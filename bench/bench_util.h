@@ -1,0 +1,37 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction benches: consistent headers,
+// shape-check reporting and model construction shortcuts.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "util/table.h"
+
+namespace varmor::bench {
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("==============================================================\n\n");
+}
+
+/// Records a qualitative "shape" assertion from the paper (who wins, by what
+/// factor, what stays small) and prints PASS/FAIL. Benches return nonzero if
+/// any shape check fails so the harness catches regressions.
+class ShapeChecks {
+public:
+    void expect(bool ok, const std::string& what) {
+        std::printf("[%s] %s\n", ok ? "SHAPE PASS" : "SHAPE FAIL", what.c_str());
+        if (!ok) failures_++;
+    }
+    int exit_code() const { return failures_ == 0 ? 0 : 1; }
+    int failures() const { return failures_; }
+
+private:
+    int failures_ = 0;
+};
+
+}  // namespace varmor::bench

@@ -1,0 +1,115 @@
+// Figure 3 reproduction: RC network of 767 unknowns with two variational
+// sources. Plots (prints) the voltage-transfer magnitude from the input to
+// an observation node for five models over 1e7..1e10 Hz:
+//   1. nominal full system
+//   2. perturbed full system           (the reference)
+//   3. reduced perturbed, nominal-projection basis (PRIMA at p = 0)
+//   4. reduced perturbed, low-rank parametric model (Algorithm 1)
+//   5. reduced perturbed, multi-point expansion (8 samples)
+//
+// Paper's shape: the nominal-projection model fails to track the perturbed
+// response; the low-rank and multi-point models are indistinguishable from
+// the perturbed full model.
+
+#include "analysis/freq_sweep.h"
+#include "bench_util.h"
+#include "circuit/generators.h"
+#include "circuit/mna.h"
+#include "mor/lowrank_pmor.h"
+#include "mor/multi_point.h"
+#include "mor/prima.h"
+
+using namespace varmor;
+
+int main() {
+    bench::banner("fig3_rc_net: variational RC network, 767 unknowns",
+                  "Li et al., DATE'05, Fig. 3 (section 5.1)");
+
+    circuit::ParametricSystem sys = assemble_mna(circuit::random_rc_net());
+    std::printf("full model: %d unknowns, %d params, %d ports\n", sys.size(),
+                sys.num_params(), sys.num_ports());
+
+    // "injecting up to 70% parametric variations into the nominal system":
+    // sens_span = 0.4, so p = (-1.75, +1.6) drives conductances down by up
+    // to 70% while capacitances rise by up to 64% — a resistance-up,
+    // capacitance-up corner (all element values remain positive: the worst
+    // coefficient magnitude is 0.7 < 1).
+    const std::vector<double> nominal{0.0, 0.0};
+    const std::vector<double> perturbed{-1.75, 1.6};
+
+    // Model 3: nominal projection, PRIMA matching 8 moments of s.
+    mor::PrimaOptions prima_opts;
+    prima_opts.blocks = 8;
+    mor::ReducedModel m_nominal_proj =
+        mor::project(sys, mor::prima_basis_at(sys, nominal, prima_opts));
+
+    // Model 4: the proposed low-rank PMOR, 4th-order multi-parameter moments
+    // (paper: "size 37 ... matches up to 4th order multi-parameter moments").
+    mor::LowRankPmorOptions lr_opts;
+    lr_opts.s_order = 4;
+    lr_opts.param_order = 4;
+    lr_opts.rank = 2;
+    mor::LowRankPmorResult lr = mor::lowrank_pmor(sys, lr_opts);
+
+    // Model 5: multi-point expansion, 8 samples, 4th-order s moments at each
+    // (paper: "taking 8 samples ... 40-state multi-point model").
+    mor::MultiPointOptions mp_opts;
+    mp_opts.blocks_per_sample = 5;
+    const std::vector<std::vector<double>> samples{{-1, -1}, {-1, 1}, {1, -1}, {1, 1},
+                                                   {0, -1},  {0, 1},  {-1, 0}, {1, 0}};
+    mor::MultiPointResult mp = mor::multi_point_basis(sys, samples, mp_opts);
+    mor::ReducedModel m_multi = mor::project(sys, mp.basis);
+
+    std::printf("model sizes: nominal-proj %d | low-rank %d (paper: 37) | "
+                "multi-point %d (paper: 40)\n",
+                m_nominal_proj.size(), lr.model.size(), m_multi.size());
+    std::printf("factorizations: low-rank %d | multi-point %d\n\n", lr.factorizations,
+                mp.factorizations);
+
+    const auto freqs = analysis::log_frequencies(1e7, 1e10, 31);
+    const auto sw_nom = analysis::sweep_full(sys, nominal, freqs);
+    const auto sw_pert = analysis::sweep_full(sys, perturbed, freqs);
+    const auto sw_nproj = analysis::sweep_reduced(m_nominal_proj, perturbed, freqs);
+    const auto sw_lr = analysis::sweep_reduced(lr.model, perturbed, freqs);
+    const auto sw_mp = analysis::sweep_reduced(m_multi, perturbed, freqs);
+
+    const auto v_nom = analysis::voltage_transfer_series(sw_nom, 0, 1);
+    const auto v_pert = analysis::voltage_transfer_series(sw_pert, 0, 1);
+    const auto v_nproj = analysis::voltage_transfer_series(sw_nproj, 0, 1);
+    const auto v_lr = analysis::voltage_transfer_series(sw_lr, 0, 1);
+    const auto v_mp = analysis::voltage_transfer_series(sw_mp, 0, 1);
+
+    util::Table table({"freq [Hz]", "nominal", "perturbed", "red:nomi-proj",
+                       "red:low-rank", "red:multi-point"});
+    for (std::size_t i = 0; i < freqs.size(); ++i)
+        table.add_row({util::Table::num(freqs[i], 4), util::Table::num(v_nom[i], 5),
+                       util::Table::num(v_pert[i], 5), util::Table::num(v_nproj[i], 5),
+                       util::Table::num(v_lr[i], 5), util::Table::num(v_mp[i], 5)});
+    table.print(std::cout);
+    std::printf("\n");
+
+    const auto err_nproj = analysis::series_error(v_pert, v_nproj);
+    const auto err_lr = analysis::series_error(v_pert, v_lr);
+    const auto err_mp = analysis::series_error(v_pert, v_mp);
+    const auto shift = analysis::series_error(v_nom, v_pert);
+    std::printf("max rel errors vs perturbed full: nomi-proj %.3e | low-rank %.3e | "
+                "multi-point %.3e (response shift due to perturbation: %.3e)\n\n",
+                err_nproj.max_rel, err_lr.max_rel, err_mp.max_rel, shift.max_rel);
+
+    bench::ShapeChecks checks;
+    checks.expect(shift.max_rel > 0.05,
+                  "the 70% perturbation visibly moves the transfer function");
+    checks.expect(err_nproj.max_rel > 3.0 * err_lr.max_rel,
+                  "nominal-projection model fails to capture the variation; "
+                  "low-rank tracks it (paper: 'fails to capture' vs 'almost "
+                  "indistinguishable')");
+    checks.expect(err_lr.max_rel < 0.02,
+                  "low-rank parametric model is visually indistinguishable "
+                  "from the perturbed full model");
+    checks.expect(err_mp.max_rel < 0.02,
+                  "multi-point model is visually indistinguishable too");
+    checks.expect(lr.factorizations == 1 && mp.factorizations == 8,
+                  "cost: one factorization for low-rank vs one per sample for "
+                  "multi-point");
+    return checks.exit_code();
+}

@@ -1,0 +1,88 @@
+// Google-benchmark micro-benchmarks for the numerical kernels underneath the
+// reproduction: sparse LU (the dominant cost of every method), transpose
+// solves (the A0^T subspaces), matrix-implicit truncated SVD, and the PRIMA
+// block-Krylov builder.
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/generators.h"
+#include "circuit/mna.h"
+#include "mor/lowrank_pmor.h"
+#include "mor/prima.h"
+#include "sparse/splu.h"
+#include "sparse/svd_iterative.h"
+
+using namespace varmor;
+
+namespace {
+
+circuit::ParametricSystem make_net(int unknowns) {
+    circuit::RandomRcOptions o;
+    o.unknowns = unknowns;
+    return assemble_mna(circuit::random_rc_net(o));
+}
+
+void BM_SparseLuFactor(benchmark::State& state) {
+    const auto sys = make_net(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        sparse::SparseLu lu(sys.g0);
+        benchmark::DoNotOptimize(lu.nnz_l());
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SparseLuFactor)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000)->Complexity();
+
+void BM_SparseLuSolve(benchmark::State& state) {
+    const auto sys = make_net(static_cast<int>(state.range(0)));
+    const sparse::SparseLu lu(sys.g0);
+    la::Vector b(sys.size());
+    for (int i = 0; i < sys.size(); ++i) b[i] = 1.0 + 0.001 * i;
+    for (auto _ : state) benchmark::DoNotOptimize(lu.solve(b));
+}
+BENCHMARK(BM_SparseLuSolve)->Arg(1000)->Arg(4000);
+
+void BM_SparseLuTransposeSolve(benchmark::State& state) {
+    const auto sys = make_net(static_cast<int>(state.range(0)));
+    const sparse::SparseLu lu(sys.g0);
+    la::Vector b(sys.size());
+    for (int i = 0; i < sys.size(); ++i) b[i] = 1.0 + 0.001 * i;
+    for (auto _ : state) benchmark::DoNotOptimize(lu.solve_transpose(b));
+}
+BENCHMARK(BM_SparseLuTransposeSolve)->Arg(1000)->Arg(4000);
+
+void BM_TruncatedSvdLanczos(benchmark::State& state) {
+    const auto sys = make_net(1000);
+    const sparse::SparseLu lu(sys.g0);
+    const sparse::Csc& g1 = sys.dg[0];
+    sparse::LinearOperator op(
+        sys.size(), sys.size(),
+        [&](const la::Vector& x) { return lu.solve(g1.apply(x)); },
+        [&](const la::Vector& x) { return g1.apply_transpose(lu.solve_transpose(x)); });
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            sparse::truncated_svd_lanczos(op, static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_TruncatedSvdLanczos)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_PrimaBasis(benchmark::State& state) {
+    const auto sys = make_net(1000);
+    mor::PrimaOptions opts;
+    opts.blocks = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mor::prima_basis(sys.g0, sys.c0, sys.b, opts));
+}
+BENCHMARK(BM_PrimaBasis)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_LowRankPmor(benchmark::State& state) {
+    const auto sys = make_net(static_cast<int>(state.range(0)));
+    mor::LowRankPmorOptions opts;
+    opts.s_order = 4;
+    opts.param_order = 2;
+    for (auto _ : state) benchmark::DoNotOptimize(mor::lowrank_pmor(sys, opts));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LowRankPmor)->Arg(500)->Arg(1000)->Arg(2000)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

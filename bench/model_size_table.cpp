@@ -1,0 +1,101 @@
+// Model-size complexity comparison (sections 3.2, 3.3, 4.2): for the same
+// target moment orders, measures the basis size of
+//   - single-point multi-parameter matching   (grows combinatorially),
+//   - multi-point expansion                   (O(c^np k m): grid blow-up),
+//   - low-rank parametric MOR                 (O((k + 4 np ksvd) k m): linear).
+//
+// Also reproduces the section 3.3 worked example: matching s-moments to
+// order k plus 1st-order in one parameter costs (k^2+k+1)m single-point vs
+// 2(k+1)m multi-point.
+
+#include "bench_util.h"
+#include "circuit/generators.h"
+#include "circuit/mna.h"
+#include "mor/lowrank_pmor.h"
+#include "mor/multi_point.h"
+#include "mor/single_point.h"
+
+using namespace varmor;
+
+int main() {
+    bench::banner("model_size_table: basis growth of the three methods",
+                  "Li et al., DATE'05, sections 3.2/3.3/4.2 size claims");
+
+    bench::ShapeChecks checks;
+
+    // --- sweep total moment order at np = 2 on a mid-size RC net ---
+    circuit::RandomRcOptions net_opts;
+    net_opts.unknowns = 300;
+    circuit::ParametricSystem sys = assemble_mna(circuit::random_rc_net(net_opts));
+
+    util::Table table({"order k", "single-point size", "words generated",
+                       "multi-point size (3^2 grid)", "low-rank size (rank 1)",
+                       "low-rank predicted"});
+    std::vector<int> sp_sizes, lr_sizes;
+    for (int k = 1; k <= 4; ++k) {
+        mor::SinglePointOptions sp_opts;
+        sp_opts.order = k;
+        const mor::SinglePointResult sp = mor::single_point_basis(sys, sp_opts);
+
+        mor::MultiPointOptions mp_opts;
+        mp_opts.blocks_per_sample = k + 1;
+        const mor::MultiPointResult mp =
+            mor::multi_point_basis(sys, mor::grid_samples(2, {-1.0, 0.0, 1.0}), mp_opts);
+
+        mor::LowRankPmorOptions lr_opts;
+        lr_opts.s_order = k;
+        lr_opts.param_order = k;
+        lr_opts.rank = 1;
+        const mor::LowRankPmorResult lr = mor::lowrank_pmor(sys, lr_opts);
+
+        sp_sizes.push_back(sp.basis.cols());
+        lr_sizes.push_back(lr.basis.cols());
+        table.add_row({std::to_string(k), std::to_string(sp.basis.cols()),
+                       std::to_string(sp.words_generated), std::to_string(mp.basis.cols()),
+                       std::to_string(lr.basis.cols()),
+                       std::to_string(mor::lowrank_pmor_predicted_size(sys.num_ports(), 2,
+                                                                       lr_opts))});
+    }
+    table.print(std::cout);
+    std::printf("\n");
+
+    // Growth-rate shape checks: single-point superlinear, low-rank linear-ish.
+    const double sp_growth = double(sp_sizes[3] - sp_sizes[2]) /
+                             std::max(1, sp_sizes[1] - sp_sizes[0]);
+    const double lr_growth = double(lr_sizes[3] - lr_sizes[2]) /
+                             std::max(1, lr_sizes[1] - lr_sizes[0]);
+    std::printf("late/early size-increment ratio: single-point %.2f | low-rank %.2f\n\n",
+                sp_growth, lr_growth);
+    checks.expect(sp_growth > 2.0,
+                  "single-point basis growth accelerates with the order (cross terms)");
+    checks.expect(lr_growth <= 2.0, "low-rank basis growth stays ~linear in the order");
+    checks.expect(lr_sizes[3] < sp_sizes[3],
+                  "at order 4 the low-rank basis is smaller than single-point");
+
+    // --- the section 3.3 worked example ---
+    std::printf("section 3.3 example (s to order k, one parameter to 1st order), m = %d:\n",
+                sys.num_ports());
+    util::Table ex({"k", "single-point formula (k^2+k+1)m", "multi-point formula 2(k+1)m"});
+    for (int k : {3, 5, 8}) {
+        ex.add_row({std::to_string(k),
+                    std::to_string((k * k + k + 1) * sys.num_ports()),
+                    std::to_string(2 * (k + 1) * sys.num_ports())});
+    }
+    ex.print(std::cout);
+    std::printf("\n");
+    checks.expect((8 * 8 + 8 + 1) > 2 * (8 + 1),
+                  "multi-point beats single-point size in the worked example");
+
+    // --- grid blow-up vs parameter count (the '81 sample points' remark) ---
+    util::Table grid({"np", "3-per-axis samples (factorizations)", "low-rank factorizations"});
+    for (int np : {1, 2, 3, 4})
+        grid.add_row({std::to_string(np),
+                      std::to_string(static_cast<int>(
+                          mor::grid_samples(np, {-1.0, 0.0, 1.0}).size())),
+                      "1"});
+    grid.print(std::cout);
+    checks.expect(mor::grid_samples(4, {-1.0, 0.0, 1.0}).size() == 81,
+                  "four parameters at three samples per axis = 81 factorizations "
+                  "(paper section 4) vs ONE for the proposed method");
+    return checks.exit_code();
+}

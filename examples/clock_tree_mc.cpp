@@ -1,0 +1,85 @@
+// Monte-Carlo timing-variability analysis of a clock tree (the paper's
+// section 5.3 use case): the dominant pole of the tree's transfer function
+// is a direct proxy for the clock-edge RC delay. One parametric reduced
+// model evaluates thousands of process samples at dense-matrix cost.
+//
+// Build & run:  cmake --build build && ./build/examples/clock_tree_mc
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/monte_carlo.h"
+#include "circuit/generators.h"
+#include "circuit/mna.h"
+#include "mor/lowrank_pmor.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace varmor;
+
+int main() {
+    std::printf("== clock-tree variability: dominant-pole Monte Carlo ==\n\n");
+
+    circuit::ParametricSystem sys =
+        assemble_mna(circuit::clock_tree(circuit::rcnet_b_options()));
+    std::printf("RCNetB-class tree: %d nodes, width params for M5/M6/M7\n", sys.size());
+
+    mor::LowRankPmorOptions opts;
+    opts.s_order = 3;
+    opts.param_order = 3;
+    opts.rank = 2;
+    mor::LowRankPmorResult rom = mor::lowrank_pmor(sys, opts);
+    std::printf("parametric ROM: %d states\n\n", rom.model.size());
+
+    // 2000 samples of +-3 sigma (30%) width variation per layer.
+    analysis::MonteCarloOptions mc;
+    mc.samples = 2000;
+    mc.sigma = 0.1;
+    const auto samples = analysis::sample_parameters(3, mc);
+
+    util::Timer timer;
+    std::vector<double> time_constants;  // -1/Re(dominant pole), in ps
+    time_constants.reserve(samples.size());
+    for (const auto& p : samples) {
+        const auto poles = analysis::dominant_poles_reduced(rom.model, p, 1);
+        time_constants.push_back(-1e12 / poles.front().real());
+    }
+    const double rom_ms = timer.milliseconds();
+
+    double mean = 0;
+    for (double t : time_constants) mean += t;
+    mean /= static_cast<double>(time_constants.size());
+    double var = 0;
+    for (double t : time_constants) var += (t - mean) * (t - mean);
+    const double sigma = std::sqrt(var / static_cast<double>(time_constants.size()));
+
+    std::printf("ROM Monte Carlo: %zu samples in %.0f ms (%.2f ms/sample)\n",
+                samples.size(), rom_ms, rom_ms / static_cast<double>(samples.size()));
+    std::printf("dominant time constant: mean %.2f ps, sigma %.2f ps (%.1f%%)\n\n", mean,
+                sigma, 100.0 * sigma / mean);
+
+    // Histogram of the delay-proxy distribution.
+    analysis::Histogram h = analysis::make_histogram(time_constants, 12);
+    util::Table table({"tau bin [ps]", "count", "bar"});
+    int max_count = 0;
+    for (int c : h.counts) max_count = std::max(max_count, c);
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+        const int width = max_count > 0 ? 40 * h.counts[b] / max_count : 0;
+        table.add_row({util::Table::num(h.edges[b], 4) + "-" + util::Table::num(h.edges[b + 1], 4),
+                       std::to_string(h.counts[b]), std::string(static_cast<std::size_t>(width), '#')});
+    }
+    table.print(std::cout);
+
+    // Spot-check a handful of samples against the full model.
+    double worst = 0;
+    analysis::PoleOptions popts;
+    popts.count = 1;
+    for (std::size_t k = 0; k < samples.size(); k += 400) {
+        const auto full = analysis::dominant_poles_at(sys, samples[k], popts);
+        const auto red = analysis::dominant_poles_reduced(rom.model, samples[k], 3);
+        worst = std::max(worst, analysis::pole_match_errors(full, red).front());
+    }
+    std::printf("\nspot-check vs full model (every 400th sample): worst rel err %.2e -> %s\n",
+                worst, worst < 1e-2 ? "PASS" : "FAIL");
+    return worst < 1e-2 ? 0 : 1;
+}

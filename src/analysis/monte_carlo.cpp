@@ -1,0 +1,145 @@
+#include "analysis/monte_carlo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace varmor::analysis {
+
+std::vector<std::vector<double>> sample_parameters(int num_params,
+                                                   const MonteCarloOptions& opts) {
+    check(num_params >= 1, "sample_parameters: need at least one parameter");
+    check(opts.samples >= 1, "sample_parameters: need at least one sample");
+    check(opts.sigma > 0, "sample_parameters: sigma must be positive");
+
+    util::Rng rng(opts.seed);
+    const double bound = opts.truncate_sigmas * opts.sigma;
+    std::vector<std::vector<double>> samples;
+    samples.reserve(static_cast<std::size_t>(opts.samples));
+    for (int k = 0; k < opts.samples; ++k) {
+        std::vector<double> p(static_cast<std::size_t>(num_params));
+        for (double& x : p) x = rng.truncated_normal(0.0, opts.sigma, -bound, bound);
+        samples.push_back(std::move(p));
+    }
+    return samples;
+}
+
+namespace {
+
+/// Standard normal CDF.
+double norm_cdf(double z) { return 0.5 * (1.0 + std::erf(z / std::sqrt(2.0))); }
+
+/// Inverse standard normal CDF (Acklam's rational approximation, |err| < 1.2e-9).
+double norm_inv_cdf(double p) {
+    check(p > 0.0 && p < 1.0, "norm_inv_cdf: p must be in (0,1)");
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double plow = 0.02425, phigh = 1 - plow;
+    if (p < plow) {
+        const double q = std::sqrt(-2 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+    }
+    if (p > phigh) {
+        const double q = std::sqrt(-2 * std::log(1 - p));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+    }
+    const double q = p - 0.5, r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> sample_parameters_lhs(int num_params,
+                                                       const MonteCarloOptions& opts) {
+    check(num_params >= 1, "sample_parameters_lhs: need at least one parameter");
+    check(opts.samples >= 1, "sample_parameters_lhs: need at least one sample");
+    check(opts.sigma > 0, "sample_parameters_lhs: sigma must be positive");
+
+    util::Rng rng(opts.seed);
+    const int ns = opts.samples;
+    const double zb = opts.truncate_sigmas;  // truncation in standard units
+    const double phi_lo = norm_cdf(-zb), phi_hi = norm_cdf(zb);
+
+    std::vector<std::vector<double>> samples(
+        static_cast<std::size_t>(ns), std::vector<double>(static_cast<std::size_t>(num_params)));
+    for (int d = 0; d < num_params; ++d) {
+        // One draw per equal-probability stratum of the truncated normal
+        // (inverse-CDF stratification), then a random permutation.
+        std::vector<double> values(static_cast<std::size_t>(ns));
+        for (int s = 0; s < ns; ++s) {
+            const double u = (s + rng.uniform(0.0, 1.0)) / ns;         // stratified U(0,1)
+            const double p = phi_lo + u * (phi_hi - phi_lo);           // truncated CDF
+            values[static_cast<std::size_t>(s)] = opts.sigma * norm_inv_cdf(p);
+        }
+        for (int s = ns - 1; s > 0; --s) {
+            const int j = rng.below(s + 1);
+            std::swap(values[static_cast<std::size_t>(s)], values[static_cast<std::size_t>(j)]);
+        }
+        for (int s = 0; s < ns; ++s)
+            samples[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)] =
+                values[static_cast<std::size_t>(s)];
+    }
+    return samples;
+}
+
+PoleErrorStudy pole_error_study(const circuit::ParametricSystem& sys,
+                                const mor::ReducedModel& model,
+                                const std::vector<std::vector<double>>& samples,
+                                const PoleOptions& pole_opts) {
+    sys.validate();
+    check(!samples.empty(), "pole_error_study: no samples");
+
+    PoleErrorStudy study;
+    study.errors.reserve(samples.size());
+    for (const std::vector<double>& p : samples) {
+        const std::vector<la::cplx> full = dominant_poles_at(sys, p, pole_opts);
+        // Give the matcher more reduced poles than requested so a slightly
+        // misordered reduced spectrum still pairs correctly.
+        const std::vector<la::cplx> red =
+            dominant_poles_reduced(model, p, pole_opts.count * 2 + 4);
+        std::vector<double> err = pole_match_errors(full, red);
+        study.flattened.insert(study.flattened.end(), err.begin(), err.end());
+        study.errors.push_back(std::move(err));
+    }
+    for (double e : study.flattened) {
+        study.max_error = std::max(study.max_error, e);
+        study.mean_error += e;
+    }
+    study.mean_error /= static_cast<double>(study.flattened.size());
+    return study;
+}
+
+Histogram make_histogram(const std::vector<double>& values, int bins) {
+    check(!values.empty(), "make_histogram: no values");
+    check(bins >= 1, "make_histogram: need at least one bin");
+    const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+    double lo = *mn, hi = *mx;
+    if (hi <= lo) hi = lo + 1e-300 + std::abs(lo) * 1e-12 + 1e-30;
+
+    Histogram h;
+    h.edges.resize(static_cast<std::size_t>(bins) + 1);
+    h.counts.assign(static_cast<std::size_t>(bins), 0);
+    const double width = (hi - lo) / bins;
+    for (int i = 0; i <= bins; ++i) h.edges[static_cast<std::size_t>(i)] = lo + width * i;
+    for (double v : values) {
+        int bin = static_cast<int>((v - lo) / width);
+        bin = std::clamp(bin, 0, bins - 1);
+        ++h.counts[static_cast<std::size_t>(bin)];
+    }
+    return h;
+}
+
+}  // namespace varmor::analysis

@@ -1,0 +1,103 @@
+#include "analysis/poles.h"
+
+#include <algorithm>
+
+#include "la/eig.h"
+#include "la/ops.h"
+#include "sparse/arnoldi.h"
+#include "sparse/linear_operator.h"
+#include "sparse/splu.h"
+#include "util/check.h"
+
+namespace varmor::analysis {
+
+using la::cplx;
+using la::Vector;
+
+namespace {
+
+/// Converts nu-eigenvalues of G^-1 C into poles s = -1/nu, most dominant
+/// (smallest |s|) first, keeping `count`.
+std::vector<cplx> nus_to_poles(std::vector<cplx> nus, int count, double nu_scale) {
+    std::vector<cplx> poles;
+    const double cutoff = 1e-12 * nu_scale;
+    for (const cplx& nu : nus) {
+        if (std::abs(nu) <= cutoff) continue;  // pole at infinity
+        poles.push_back(-1.0 / nu);
+    }
+    std::sort(poles.begin(), poles.end(),
+              [](cplx a, cplx b) { return std::abs(a) < std::abs(b); });
+    if (static_cast<int>(poles.size()) > count) poles.resize(static_cast<std::size_t>(count));
+    return poles;
+}
+
+}  // namespace
+
+std::vector<cplx> dominant_poles(const sparse::Csc& g, const sparse::Csc& c,
+                                 const PoleOptions& opts) {
+    check(opts.count >= 1, "dominant_poles: count must be positive");
+    const int n = g.rows();
+    check(n == g.cols() && n == c.rows() && n == c.cols(), "dominant_poles: shape mismatch");
+
+    const sparse::SparseLu lu(g);
+    if (opts.use_dense || n <= std::max(2 * opts.subspace, 40)) {
+        // Small system: dense eigenvalues of G^-1 C are cheap and exact.
+        const la::Matrix a = lu.solve(c.to_dense());
+        auto nus = la::eig_values(a);
+        double scale = 0;
+        for (const cplx& nu : nus) scale = std::max(scale, std::abs(nu));
+        return nus_to_poles(std::move(nus), opts.count, scale);
+    }
+
+    sparse::LinearOperator op(
+        n, n, [&](const Vector& x) { return lu.solve(c.apply(x)); },
+        [&](const Vector& x) { return c.apply_transpose(lu.solve_transpose(x)); });
+    sparse::ArnoldiOptions aopts;
+    aopts.subspace = std::min(opts.subspace, n);
+    const sparse::ArnoldiResult r = sparse::arnoldi_eigenvalues(op, aopts);
+    double scale = r.ritz_values.empty() ? 1.0 : std::abs(r.ritz_values.front());
+    return nus_to_poles(r.ritz_values, opts.count, scale);
+}
+
+std::vector<cplx> dominant_poles_at(const circuit::ParametricSystem& sys,
+                                    const std::vector<double>& p, const PoleOptions& opts) {
+    sys.validate();
+    return dominant_poles(sys.g_at(p), sys.c_at(p), opts);
+}
+
+std::vector<cplx> dominant_poles_reduced(const mor::ReducedModel& model,
+                                         const std::vector<double>& p, int count) {
+    check(count >= 1, "dominant_poles_reduced: count must be positive");
+    std::vector<cplx> poles = model.poles(p);
+    if (static_cast<int>(poles.size()) > count) poles.resize(static_cast<std::size_t>(count));
+    return poles;
+}
+
+std::vector<double> pole_match_errors(const std::vector<cplx>& full,
+                                      const std::vector<cplx>& reduced) {
+    check(!full.empty(), "pole_match_errors: no reference poles");
+    std::vector<bool> used(reduced.size(), false);
+    std::vector<double> errors;
+    errors.reserve(full.size());
+    for (const cplx& sf : full) {
+        double best = std::numeric_limits<double>::infinity();
+        int best_idx = -1;
+        for (std::size_t j = 0; j < reduced.size(); ++j) {
+            if (used[j]) continue;
+            const double d = std::abs(reduced[j] - sf);
+            if (d < best) {
+                best = d;
+                best_idx = static_cast<int>(j);
+            }
+        }
+        if (best_idx < 0) {
+            errors.push_back(std::numeric_limits<double>::infinity());
+            continue;
+        }
+        used[static_cast<std::size_t>(best_idx)] = true;
+        errors.push_back(best / std::abs(sf));
+    }
+    return errors;
+}
+
+}  // namespace varmor::analysis

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "circuit/parametric_system.h"
+#include "mor/reduced_model.h"
+
+namespace varmor::analysis {
+
+/// Options for full-model dominant-pole extraction.
+struct PoleOptions {
+    int count = 5;        ///< how many dominant poles to return
+    int subspace = 80;    ///< Arnoldi subspace (clamped to the system size)
+    bool use_dense = false;  ///< force the dense eigensolver (exact, O(n^3))
+};
+
+/// Dominant poles (smallest |s|) of the full system (G, C): the values s
+/// where G + sC is singular. Computed from the eigenvalues nu of G^-1 C
+/// (poles are s = -1/nu, dominant poles come from the LARGEST |nu|, which is
+/// exactly what Arnoldi converges to first). One sparse LU of G.
+std::vector<la::cplx> dominant_poles(const sparse::Csc& g, const sparse::Csc& c,
+                                     const PoleOptions& opts = {});
+
+/// Dominant poles of the full parametric system at a parameter point.
+std::vector<la::cplx> dominant_poles_at(const circuit::ParametricSystem& sys,
+                                        const std::vector<double>& p,
+                                        const PoleOptions& opts = {});
+
+/// First `count` poles of a reduced model at a parameter point.
+std::vector<la::cplx> dominant_poles_reduced(const mor::ReducedModel& model,
+                                             const std::vector<double>& p, int count);
+
+/// Greedy closest-pair matching of reduced poles against full-model poles;
+/// returns the per-pole relative errors |s_red - s_full| / |s_full| in the
+/// full poles' dominance order — the quantity Figs. 5 and 6 histogram.
+std::vector<double> pole_match_errors(const std::vector<la::cplx>& full,
+                                      const std::vector<la::cplx>& reduced);
+
+}  // namespace varmor::analysis

@@ -1,0 +1,114 @@
+#include "analysis/transient.h"
+
+#include "la/lu_dense.h"
+#include "la/ops.h"
+#include "sparse/splu.h"
+#include "util/check.h"
+
+namespace varmor::analysis {
+
+using la::Matrix;
+using la::Vector;
+
+InputFn step_input(int num_ports, int port, double amplitude) {
+    check(port >= 0 && port < num_ports, "step_input: port out of range");
+    return [num_ports, port, amplitude](double t) {
+        Vector u(num_ports);
+        if (t >= 0.0) u[port] = amplitude;
+        return u;
+    };
+}
+
+namespace {
+
+/// Shared trapezoidal loop over an abstract "solve M x = rhs" callback with
+/// M = C/h + G/2 and the explicit part applied via callbacks too — keeps the
+/// sparse and dense paths identical.
+TransientResult trapezoidal(int num_ports, const TransientOptions& opts,
+                            const InputFn& input,
+                            const std::function<Vector(const Vector&)>& solve_m,
+                            const std::function<Vector(const Vector&)>& apply_rhs_matrix,
+                            const std::function<Vector(const Vector&)>& apply_b,
+                            const std::function<Vector(const Vector&)>& apply_lt,
+                            int state_size) {
+    check(opts.dt > 0 && opts.t_stop > opts.dt, "transient: invalid time grid");
+    const int steps = static_cast<int>(opts.t_stop / opts.dt);
+
+    TransientResult out;
+    out.ports.assign(static_cast<std::size_t>(num_ports), {});
+    Vector x(state_size);
+
+    auto record = [&](double t) {
+        out.time.push_back(t);
+        const Vector y = apply_lt(x);
+        for (int k = 0; k < num_ports; ++k)
+            out.ports[static_cast<std::size_t>(k)].push_back(y[k]);
+    };
+    record(0.0);
+    for (int s = 1; s <= steps; ++s) {
+        const double t0 = (s - 1) * opts.dt;
+        const double t1 = s * opts.dt;
+        // (C/h + G/2) x1 = (C/h - G/2) x0 + B (u0 + u1)/2.
+        Vector rhs = apply_rhs_matrix(x);
+        Vector umid = input(t0) + input(t1);
+        la::scale(umid, 0.5);
+        la::axpy(1.0, apply_b(umid), rhs);
+        x = solve_m(rhs);
+        record(t1);
+    }
+    return out;
+}
+
+}  // namespace
+
+TransientResult simulate(const circuit::ParametricSystem& sys, const std::vector<double>& p,
+                         const InputFn& input, const TransientOptions& opts) {
+    sys.validate();
+    const sparse::Csc g = sys.g_at(p);
+    const sparse::Csc c = sys.c_at(p);
+    const double inv_h = 1.0 / opts.dt;
+    const sparse::Csc lhs = sparse::add(inv_h, c, 0.5, g);
+    const sparse::Csc rhs_m = sparse::add(inv_h, c, -0.5, g);
+    const sparse::SparseLu lu(lhs);
+
+    return trapezoidal(
+        sys.num_ports(), opts, input, [&](const Vector& r) { return lu.solve(r); },
+        [&](const Vector& x) { return rhs_m.apply(x); },
+        [&](const Vector& u) { return la::matvec(sys.b, u); },
+        [&](const Vector& x) { return la::matvec_transpose(sys.l, x); }, sys.size());
+}
+
+TransientResult simulate(const mor::ReducedModel& model, const std::vector<double>& p,
+                         const InputFn& input, const TransientOptions& opts) {
+    const Matrix g = model.g_at(p);
+    const Matrix c = model.c_at(p);
+    const double inv_h = 1.0 / opts.dt;
+    Matrix lhs = c, rhs_m = c;
+    for (std::size_t e = 0; e < lhs.raw().size(); ++e) {
+        lhs.raw()[e] = inv_h * c.raw()[e] + 0.5 * g.raw()[e];
+        rhs_m.raw()[e] = inv_h * c.raw()[e] - 0.5 * g.raw()[e];
+    }
+    const la::DenseLu<double> lu(lhs);
+
+    return trapezoidal(
+        model.num_ports(), opts, input, [&](const Vector& r) { return lu.solve(r); },
+        [&](const Vector& x) { return la::matvec(rhs_m, x); },
+        [&](const Vector& u) { return la::matvec(model.b, u); },
+        [&](const Vector& x) { return la::matvec_transpose(model.l, x); }, model.size());
+}
+
+double crossing_time(const TransientResult& result, int port, double level) {
+    check(port >= 0 && port < static_cast<int>(result.ports.size()),
+          "crossing_time: port out of range");
+    const auto& w = result.ports[static_cast<std::size_t>(port)];
+    for (std::size_t i = 1; i < w.size(); ++i) {
+        const bool crossed = (w[i - 1] < level && w[i] >= level) ||
+                             (w[i - 1] > level && w[i] <= level);
+        if (!crossed) continue;
+        const double frac = (level - w[i - 1]) / (w[i] - w[i - 1]);
+        return result.time[i - 1] + frac * (result.time[i] - result.time[i - 1]);
+    }
+    return -1.0;
+}
+
+}  // namespace varmor::analysis

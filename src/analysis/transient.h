@@ -1,0 +1,46 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "circuit/parametric_system.h"
+#include "mor/reduced_model.h"
+
+namespace varmor::analysis {
+
+/// Time-domain simulation of C x' = -G x + B u(t), y = L^T x by the
+/// trapezoidal rule (the SPICE default): one sparse LU of (C/h + G/2) then
+/// two triangular solves per step. The reduced-model overload uses dense
+/// factors. Used to study delay under process variation (clock skew is the
+/// paper's motivating application for the clock-tree experiments).
+struct TransientOptions {
+    double t_stop = 1e-9;
+    double dt = 1e-12;
+};
+
+struct TransientResult {
+    std::vector<double> time;               ///< step times (t_0 = 0)
+    std::vector<std::vector<double>> ports; ///< ports[k][t] = y_k at time[t]
+};
+
+/// Port input u(t): m-vector per time point.
+using InputFn = std::function<la::Vector(double)>;
+
+/// Unit step on one port, zero elsewhere.
+InputFn step_input(int num_ports, int port, double amplitude = 1.0);
+
+/// Full-system transient from zero initial state.
+TransientResult simulate(const circuit::ParametricSystem& sys,
+                         const std::vector<double>& p, const InputFn& input,
+                         const TransientOptions& opts = {});
+
+/// Reduced-model transient from zero initial state.
+TransientResult simulate(const mor::ReducedModel& model, const std::vector<double>& p,
+                         const InputFn& input, const TransientOptions& opts = {});
+
+/// First time the waveform crosses `level` (linear interpolation between
+/// steps); returns -1 if never crossed. The 50% crossing of a step response
+/// is the standard interconnect delay metric.
+double crossing_time(const TransientResult& result, int port, double level);
+
+}  // namespace varmor::analysis

@@ -1,0 +1,47 @@
+#include "circuit/extraction.h"
+
+#include <cmath>
+
+namespace varmor::circuit {
+
+Technology default_tech() {
+    // Upper-metal 90nm-class values. Units: Ohm/sq, F/m^2, F/m, F, m, m.
+    Technology t;
+    t.layers = {
+        Layer{"M5", 0.085, 3.0e-5, 4.0e-11, 5.0e-17, 0.28e-6, 0.56e-6},
+        Layer{"M6", 0.060, 2.6e-5, 3.8e-11, 4.5e-17, 0.40e-6, 0.80e-6},
+        Layer{"M7", 0.040, 2.2e-5, 3.5e-11, 4.0e-17, 0.60e-6, 1.20e-6},
+    };
+    return t;
+}
+
+WireRc extract_wire(const Layer& layer, double length, double width_delta, bool coupled) {
+    check(length > 0.0, "extract_wire: length must be positive");
+    const double w = layer.nominal_width + width_delta;
+    check(w > 0.0, "extract_wire: width collapsed to zero");
+    const double spacing = layer.nominal_pitch - w;
+    check(!coupled || spacing > 0.0, "extract_wire: spacing collapsed to zero");
+
+    WireRc rc;
+    rc.resistance = layer.sheet_res * length / w;
+    rc.cap_ground = layer.cap_area * w * length + 2.0 * layer.cap_fringe * length;
+    rc.cap_coupling = coupled ? layer.cap_couple * length / spacing : 0.0;
+    return rc;
+}
+
+WireSensitivity extract_wire_sensitivity(const Layer& layer, double length, bool coupled) {
+    check(length > 0.0, "extract_wire_sensitivity: length must be positive");
+    const double w = layer.nominal_width;
+    const double spacing = layer.nominal_pitch - w;
+
+    WireSensitivity s;
+    // g = w / (rho_sheet * len)  =>  dg/dw = 1 / (rho_sheet * len).
+    s.dconductance_dw = 1.0 / (layer.sheet_res * length);
+    // C_ground = ca * w * len + 2 cf len  =>  d/dw = ca * len.
+    s.dcap_ground_dw = layer.cap_area * length;
+    // C_c = k * len / (pitch - w)  =>  d/dw = k * len / (pitch - w)^2.
+    s.dcap_coupling_dw = coupled ? layer.cap_couple * length / (spacing * spacing) : 0.0;
+    return s;
+}
+
+}  // namespace varmor::circuit

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace varmor::circuit {
+
+/// Per-layer interconnect technology description. This substitutes for the
+/// industrial parasitic extractor the paper used: it maps wire geometry
+/// (width, length, spacing) to R and C the same way a pattern-matching
+/// extractor's base formulas do, so width variations induce the same
+/// physically-signed sensitivities (conductance grows with width, area
+/// capacitance grows with width, coupling capacitance grows as spacing
+/// shrinks).
+struct Layer {
+    std::string name;      ///< e.g. "M5"
+    double sheet_res;      ///< sheet resistance [Ohm/sq]
+    double cap_area;       ///< area capacitance to ground [F/m^2]
+    double cap_fringe;     ///< fringe capacitance per edge [F/m]
+    double cap_couple;     ///< lateral coupling coefficient [F]: C = cap_couple * len / spacing
+    double nominal_width;  ///< drawn width [m]
+    double nominal_pitch;  ///< line pitch [m] (width + spacing)
+};
+
+/// Technology = ordered set of layers (index = layer id).
+struct Technology {
+    std::vector<Layer> layers;
+
+    const Layer& layer(int id) const {
+        check(id >= 0 && id < static_cast<int>(layers.size()),
+              "Technology: layer id out of range");
+        return layers[static_cast<std::size_t>(id)];
+    }
+    int num_layers() const { return static_cast<int>(layers.size()); }
+};
+
+/// Three-metal-layer (M5/M6/M7) technology with 90nm-class upper-metal
+/// parameters; the clock-tree experiments (Figs. 5 and 6) route on these.
+Technology default_tech();
+
+/// Wire-segment electrical values from geometry. `width_delta` is the
+/// absolute deviation of the drawn width from nominal (the variational
+/// parameter of the clock-tree experiments).
+struct WireRc {
+    double resistance;    ///< [Ohm]
+    double cap_ground;    ///< [F] area + fringe
+    double cap_coupling;  ///< [F] to the parallel neighbour (0 if isolated)
+};
+
+/// Evaluates R/C of a segment of `length` at width (nominal + width_delta).
+/// `coupled` selects whether a parallel neighbour at the layer pitch exists.
+WireRc extract_wire(const Layer& layer, double length, double width_delta,
+                    bool coupled = false);
+
+/// Analytic derivatives d(conductance)/dw, d(C_ground)/dw, d(C_couple)/dw at
+/// the nominal width. Used by the generators to populate first-order
+/// sensitivities; cross-checked against finite-difference extraction in the
+/// tests (the paper obtains these "by performing multiple parasitic
+/// extractions").
+struct WireSensitivity {
+    double dconductance_dw;   ///< [S/m]
+    double dcap_ground_dw;    ///< [F/m]
+    double dcap_coupling_dw;  ///< [F/m]
+};
+
+WireSensitivity extract_wire_sensitivity(const Layer& layer, double length,
+                                         bool coupled = false);
+
+}  // namespace varmor::circuit

@@ -1,0 +1,164 @@
+#include <cmath>
+
+#include "circuit/generators.h"
+#include "util/rng.h"
+
+namespace varmor::circuit {
+
+namespace {
+
+/// Layer assignment by tree level: root edges on M7, leaf edges on M5,
+/// everything in between on M6 (the paper's nets are "routed on three metal
+/// layers: M5, M6 and M7").
+int layer_for_level(int level, int depth) {
+    if (level == 0) return 2;           // M7
+    if (level == depth - 1) return 0;   // M5
+    return 1;                           // M6
+}
+
+/// Base number of RC subsegments for an edge of the given length (~50um each).
+int base_subsegments(double length) {
+    return std::max(1, static_cast<int>(std::round(length / 50e-6)));
+}
+
+struct TreeBuilder {
+    Netlist& net;
+    const Technology& tech;
+    util::Rng& rng;
+
+    /// Adds `count` RC subsegments of one wire on `layer_id` from `from`,
+    /// returning the final node. Sensitivities are the analytic extraction
+    /// derivatives w.r.t. the *relative* width parameter of that layer:
+    /// g(p) = g0 (1+p) and Cg(p) = Cg0 + ca*w0*len * p are exactly affine.
+    int add_wire(int from, int layer_id, double seg_len, int count) {
+        const Layer& layer = tech.layer(layer_id);
+        int node = from;
+        for (int i = 0; i < count; ++i) {
+            const double len = seg_len * (1.0 + 0.5 * rng.uniform(-1.0, 1.0));
+            const WireRc rc = extract_wire(layer, len, 0.0, /*coupled=*/false);
+            const WireSensitivity sens = extract_wire_sensitivity(layer, len);
+            const int next = net.add_node();
+
+            // Relative width parameter: dw = w0 * p.
+            std::vector<double> dg(3, 0.0), dc(3, 0.0);
+            dg[static_cast<std::size_t>(layer_id)] =
+                sens.dconductance_dw * layer.nominal_width;
+            dc[static_cast<std::size_t>(layer_id)] =
+                sens.dcap_ground_dw * layer.nominal_width;
+
+            net.add_resistor(node, next, rc.resistance, dg);
+            net.add_capacitor(next, 0, rc.cap_ground, dc);
+            node = next;
+        }
+        return node;
+    }
+};
+
+}  // namespace
+
+Netlist clock_tree(const ClockTreeOptions& opts) {
+    check(opts.depth >= 1, "clock_tree: depth must be at least 1");
+    check(opts.level0_length > 0.0, "clock_tree: level0_length must be positive");
+
+    const Technology tech = default_tech();
+    util::Rng rng(opts.seed);
+    Netlist net(3);  // p0 = M5 width, p1 = M6 width, p2 = M7 width
+    TreeBuilder builder{net, tech, rng};
+
+    // Industrial clock routing is irregular: per-edge detours and jogs make
+    // branch lengths (and hence subsegment counts) uneven. That irregularity
+    // is what gives the generalized sensitivity matrices the decaying
+    // singular spectrum the paper's rank-1 approximation relies on; a
+    // perfectly symmetric tree has a flat, high-multiplicity spectrum.
+    // Draw per-edge subsegment counts first so the node budget is exact.
+    std::vector<std::vector<int>> seg_counts(static_cast<std::size_t>(opts.depth));
+    int tree_nodes = 0;
+    for (int level = 0; level < opts.depth; ++level) {
+        const double len = opts.level0_length / static_cast<double>(1 << level);
+        const int edges = 2 << level;
+        auto& counts = seg_counts[static_cast<std::size_t>(level)];
+        counts.resize(static_cast<std::size_t>(edges));
+        for (int e = 0; e < edges; ++e) {
+            const double stretch = rng.uniform(0.55, 1.45);  // detours and jogs
+            counts[static_cast<std::size_t>(e)] =
+                std::max(1, static_cast<int>(std::round(base_subsegments(len) * stretch)));
+            tree_nodes += counts[static_cast<std::size_t>(e)];
+        }
+    }
+    // Clamp down to the node budget (keep >= 1 subsegment per edge).
+    while (tree_nodes > opts.target_nodes - 1) {
+        bool shrunk = false;
+        for (auto& level_counts : seg_counts) {
+            for (int& c : level_counts) {
+                if (tree_nodes <= opts.target_nodes - 1) break;
+                if (c > 1) {
+                    --c;
+                    --tree_nodes;
+                    shrunk = true;
+                }
+            }
+        }
+        check(shrunk, "clock_tree: target_nodes too small for this depth");
+    }
+    const int pad = opts.target_nodes - 1 - tree_nodes;  // -1 for the driver node
+
+    // Driver node + padding chain on M7 toward the tree root. The driver's
+    // output resistance grounds the resistive network (nonsingular G0); it
+    // is not a wire, so it carries no width sensitivity.
+    const int driver = net.add_node();
+    net.add_resistor(driver, 0, 25.0);
+    int root = driver;
+    if (pad > 0) root = builder.add_wire(driver, 2, 40e-6, pad);
+
+    // Grow the binary tree breadth-first.
+    std::vector<int> frontier{root};
+    int a_leaf = root;
+    for (int level = 0; level < opts.depth; ++level) {
+        const double len = opts.level0_length / static_cast<double>(1 << level);
+        const int layer_id = layer_for_level(level, opts.depth);
+        std::vector<int> next_frontier;
+        int edge_index = 0;
+        for (int junction : frontier) {
+            for (int child = 0; child < 2; ++child) {
+                const int segs =
+                    seg_counts[static_cast<std::size_t>(level)][static_cast<std::size_t>(edge_index++)];
+                const int end = builder.add_wire(junction, layer_id, len / segs, segs);
+                next_frontier.push_back(end);
+                a_leaf = end;
+            }
+        }
+        frontier = std::move(next_frontier);
+    }
+
+    // Leaf loads (buffer input capacitance, no width dependence). Unevenly
+    // sized receivers, as in real clock distribution.
+    for (int leaf : frontier) net.add_capacitor(leaf, 0, rng.uniform(2e-15, 20e-15));
+
+    check(net.num_nodes() == opts.target_nodes,
+          "clock_tree: node accounting bug — got " + std::to_string(net.num_nodes()) +
+              ", wanted " + std::to_string(opts.target_nodes));
+
+    net.add_port(driver);
+    net.add_port(a_leaf);
+    return net;
+}
+
+ClockTreeOptions rcnet_a_options() {
+    ClockTreeOptions o;
+    o.target_nodes = 78;
+    o.depth = 3;
+    o.level0_length = 600e-6;  // base subsegments per level: 12, 6, 3
+    o.seed = 7;
+    return o;
+}
+
+ClockTreeOptions rcnet_b_options() {
+    ClockTreeOptions o;
+    o.target_nodes = 333;
+    o.depth = 5;
+    o.level0_length = 1600e-6;  // base subsegments: 32, 16, 8, 4, 2
+    o.seed = 11;
+    return o;
+}
+
+}  // namespace varmor::circuit

@@ -1,0 +1,73 @@
+#include "circuit/generators.h"
+#include "util/rng.h"
+
+namespace varmor::circuit {
+
+Netlist random_rc_net(const RandomRcOptions& opts) {
+    check(opts.unknowns >= 2, "random_rc_net: need at least two unknowns");
+    check(opts.num_params >= 1, "random_rc_net: need at least one parameter");
+    check(opts.sens_span >= 0.0 && opts.sens_span < 0.5,
+          "random_rc_net: sens_span must be in [0, 0.5) to keep element values positive");
+
+    util::Rng rng(opts.seed);
+    Netlist net(opts.num_params);
+
+    // Random per-element affine sensitivities ("we randomly vary the RC
+    // values"), sign-consistent per variational source the way physical
+    // width/thickness variations are, and SPATIALLY WEIGHTED the way die-
+    // level variation is: source 0 is strongest far from the driver, source
+    // 1 strongest near it. A spatially non-uniform perturbation reshapes
+    // the system (instead of merely rescaling it), which is what defeats
+    // the nominal-projection baseline in the paper's Fig. 3. Values stay
+    // positive for |p_i| <= 1 because sens_span < 0.5.
+    auto random_sens = [&](double value, bool is_conductance, double position) {
+        std::vector<double> d(static_cast<std::size_t>(opts.num_params));
+        for (int i = 0; i < opts.num_params; ++i) {
+            const bool affects = (i == 0) ? is_conductance
+                                          : (i == 1 ? !is_conductance : true);
+            if (!affects) continue;
+            const double weight = (i % 2 == 0) ? position : 1.0 - position;
+            // 60% spatially-correlated component + 40% per-element roughness.
+            const double coef = 0.6 * weight + 0.4 * rng.uniform(-1.0, 1.0);
+            d[static_cast<std::size_t>(i)] = value * opts.sens_span * coef;
+        }
+        return d;
+    };
+
+    const int n = opts.unknowns;  // RC net: unknowns == non-ground nodes
+    net.ensure_nodes(n);
+
+    // Driver output resistance at the input node. Without it the resistive
+    // network floats (singular G0); with it the DC transfer ratio to every
+    // node is exactly 1, giving the unit-amplitude low-pass of Fig. 3.
+    // The driver is not part of the varying interconnect: no sensitivities.
+    net.add_resistor(1, 0, 25.0);
+
+    // Grow a random tree: node k attaches to a random earlier node. A mild
+    // bias toward recent nodes produces chain-like regions (long RC paths)
+    // next to bushy regions, which is what makes the transfer function roll
+    // off inside the paper's 1e7..1e10 Hz window.
+    std::vector<int> depth(static_cast<std::size_t>(n) + 1, 0);
+    int deepest = 1;
+    for (int k = 2; k <= n; ++k) {
+        const int lo = std::max(1, k - 1 - rng.below(8));
+        const int parent = rng.chance(0.7) ? lo : 1 + rng.below(k - 1);
+        const double r = rng.uniform(5.0, 60.0);        // Ohm
+        const double c = rng.uniform(1e-15, 8e-15);     // F
+        const double position = static_cast<double>(k) / n;
+        net.add_resistor(parent, k, r, random_sens(1.0 / r, true, position));
+        net.add_capacitor(k, 0, c, random_sens(c, false, position));
+        depth[static_cast<std::size_t>(k)] = depth[static_cast<std::size_t>(parent)] + 1;
+        if (depth[static_cast<std::size_t>(k)] > depth[static_cast<std::size_t>(deepest)])
+            deepest = k;
+    }
+    // Root load.
+    const double croot = 2e-15;
+    net.add_capacitor(1, 0, croot, random_sens(croot, false, 0.0));
+
+    net.add_port(1);        // voltage input (driven by a unit current source)
+    net.add_port(deepest);  // observation node
+    return net;
+}
+
+}  // namespace varmor::circuit

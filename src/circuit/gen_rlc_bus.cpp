@@ -1,0 +1,81 @@
+#include "circuit/generators.h"
+#include "util/rng.h"
+
+namespace varmor::circuit {
+
+Netlist coupled_rlc_bus(const RlcBusOptions& opts) {
+    check(opts.lines == 2, "coupled_rlc_bus: the two-bit bus has exactly 2 lines");
+    check(opts.segments_per_line >= 1, "coupled_rlc_bus: need at least one segment");
+    check(opts.rel_sens >= 0.0 && opts.rel_sens <= 1.0,
+          "coupled_rlc_bus: rel_sens must be in [0, 1]");
+
+    util::Rng rng(opts.seed);
+    // Parameters: p0 = relative metal width variation, p1 = relative metal
+    // thickness variation. First-order coefficients follow the physics:
+    //   conductance  ~ w * t        => dg = g  per unit of either parameter
+    //   ground cap   ~ area part    => dC ~ +0.5 C per width unit
+    //   coupling cap ~ 1/spacing    => grows with width, shrinks with nothing else
+    //   inductance   ~ -log(w+t)    => weak negative dependence
+    Netlist net(2);
+
+    const int s = opts.segments_per_line;
+    const double len = opts.segment_length;
+    check(len > 0.0, "coupled_rlc_bus: segment_length must be positive");
+
+    // Electrical values per segment (M6-class wire).
+    const double r_seg = 0.06 * len / 0.4e-6;   // sheet_res * len / width
+    const double l_seg = 1.0e-6 * len;          // ~1 pH/um
+    const double cg_seg = 2.6e-5 * 0.4e-6 * len + 2.0 * 3.8e-11 * len;
+    const double cc_seg = 4.5e-17 * len / 0.4e-6;
+
+    const double ks = opts.rel_sens;
+
+    // Node bookkeeping: per line, main nodes 0..s and one interior node per
+    // segment (between R and L). Interior nodes are what bring the MNA size
+    // to ~2*(2s+1) + 2s = 1082 for s = 180, matching the paper's 1086-sized
+    // two-bit bus formulation.
+    std::vector<std::vector<int>> main_node(2, std::vector<int>(static_cast<std::size_t>(s) + 1));
+    for (int line = 0; line < 2; ++line)
+        for (int k = 0; k <= s; ++k)
+            main_node[static_cast<std::size_t>(line)][static_cast<std::size_t>(k)] = net.add_node();
+
+    for (int line = 0; line < 2; ++line) {
+        for (int k = 1; k <= s; ++k) {
+            const int a = main_node[static_cast<std::size_t>(line)][static_cast<std::size_t>(k) - 1];
+            const int b = main_node[static_cast<std::size_t>(line)][static_cast<std::size_t>(k)];
+            const int mid = net.add_node();
+            const double jitter = 1.0 + 0.02 * rng.uniform(-1.0, 1.0);
+            const double g = 1.0 / (r_seg * jitter);
+            // dg/dp_w = +g, dg/dp_t = +g (conductance ~ w * t).
+            net.add_resistor(a, mid, r_seg * jitter, {ks * g, ks * g});
+            // dL/dp_w = -0.2 L, dL/dp_t = -0.3 L.
+            net.add_inductor(mid, b, l_seg * jitter,
+                             {-0.2 * ks * l_seg * jitter, -0.3 * ks * l_seg * jitter});
+            // Ground cap at the far main node; dC/dp_w = +0.5 C (area part).
+            net.add_capacitor(b, 0, cg_seg * jitter, {0.5 * ks * cg_seg * jitter, 0.0});
+        }
+        // Near-end loading plus a weak leakage/termination resistance, which
+        // grounds the line resistively (otherwise G is singular: the bus
+        // floats at DC) without masking the line's own admittance.
+        const int n0 = main_node[static_cast<std::size_t>(line)][0];
+        net.add_capacitor(n0, 0, 0.5 * cg_seg, {0.5 * ks * 0.5 * cg_seg, 0.0});
+        net.add_resistor(n0, 0, 1000.0);
+    }
+
+    // Coupling capacitors between facing main nodes; spacing = pitch - w
+    // shrinks when width grows: dCc/dp_w = +Cc * w/(pitch-w) ~ +1.0 Cc.
+    for (int k = 0; k <= s; ++k) {
+        const int a = main_node[0][static_cast<std::size_t>(k)];
+        const int b = main_node[1][static_cast<std::size_t>(k)];
+        net.add_capacitor(a, b, cc_seg, {1.0 * ks * cc_seg, 0.0});
+    }
+
+    // 4 ports: near and far ends of both lines.
+    net.add_port(main_node[0][0]);
+    net.add_port(main_node[1][0]);
+    net.add_port(main_node[0][static_cast<std::size_t>(s)]);
+    net.add_port(main_node[1][static_cast<std::size_t>(s)]);
+    return net;
+}
+
+}  // namespace varmor::circuit

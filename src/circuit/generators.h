@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/extraction.h"
+#include "circuit/netlist.h"
+
+namespace varmor::circuit {
+
+// ---------------------------------------------------------------------------
+// Workload generators reproducing the paper's three benchmark families
+// (section 5). Each returns a Netlist whose MNA assembly matches the paper's
+// reported problem sizes; see DESIGN.md for the size accounting.
+// ---------------------------------------------------------------------------
+
+/// Section 5.1: RC network with `unknowns` MNA unknowns and two independent
+/// variational sources. A random RC tree is grown and every element value is
+/// given a random affine dependence on the two parameters ("we randomly vary
+/// the RC values of the circuit, and then extract the sensitivity matrices").
+///
+/// `sens_span` scales the per-element sensitivity coefficients: an element
+/// value changes by at most sens_span * |p_i| (relative) per parameter, so
+/// p = +-1 gives up to +-(2*sens_span) total variation. Ports: input at the
+/// tree root (port 0) and an observation node at the deepest leaf (port 1).
+struct RandomRcOptions {
+    int unknowns = 767;
+    int num_params = 2;
+    double sens_span = 0.40;
+    std::uint64_t seed = 2005;
+};
+Netlist random_rc_net(const RandomRcOptions& opts = {});
+
+/// Section 5.2: two-bit bus modeled as a coupled 4-port RLC network, 180 RLC
+/// segments per line. Each segment is R (with an internal node) in series
+/// with L; shunt ground capacitance at every node and coupling capacitance
+/// between facing nodes of the two lines. Two variational parameters: p0 =
+/// metal width variation (affects R, C_ground, C_coupling), p1 = metal
+/// thickness variation (affects R and L). Ports at both ends of both lines.
+struct RlcBusOptions {
+    int lines = 2;
+    int segments_per_line = 180;
+    double segment_length = 50e-6;  ///< [m]
+    double rel_sens = 0.8;          ///< relative element change at p = 1
+    std::uint64_t seed = 42;
+};
+Netlist coupled_rlc_bus(const RlcBusOptions& opts = {});
+
+/// Section 5.3: clock-tree RC networks routed on M5/M6/M7 with one width
+/// parameter per layer (parameters in layer order: p0 = M5, p1 = M6,
+/// p2 = M7). A balanced binary tree is grown with per-level wire lengths;
+/// edges are split into RC subsegments; deeper levels use lower layers.
+/// A root chain pads the node count to exactly `target_nodes`
+/// (78 = RCNetA, 333 = RCNetB). Parameters are *relative* width variations:
+/// p_i = (w - w_nom)/w_nom for the corresponding layer.
+struct ClockTreeOptions {
+    int target_nodes = 78;
+    int depth = 3;                 ///< binary-tree depth
+    double level0_length = 400e-6; ///< root segment length [m]; halves per level
+    std::uint64_t seed = 7;
+};
+Netlist clock_tree(const ClockTreeOptions& opts = {});
+
+/// Preset matching the paper's RCNetA (78 nodes).
+ClockTreeOptions rcnet_a_options();
+
+/// Preset matching the paper's RCNetB (333 nodes).
+ClockTreeOptions rcnet_b_options();
+
+}  // namespace varmor::circuit

@@ -1,0 +1,93 @@
+#include "circuit/mna.h"
+
+namespace varmor::circuit {
+
+namespace {
+
+/// Stamps a conductance-like value across nodes a, b into a triplet list
+/// (node indices are 1-based with 0 = ground; MNA rows are node-1).
+void stamp_pair(sparse::Triplets& t, int a, int b, double value) {
+    if (value == 0.0) return;
+    if (a > 0) t.add(a - 1, a - 1, value);
+    if (b > 0) t.add(b - 1, b - 1, value);
+    if (a > 0 && b > 0) {
+        t.add(a - 1, b - 1, -value);
+        t.add(b - 1, a - 1, -value);
+    }
+}
+
+/// Stamps the incidence of inductor branch `k` between nodes a and b:
+/// +1/-1 in the node rows (current leaving the nodes) and the negated
+/// transpose in the branch row.
+void stamp_incidence(sparse::Triplets& g, int a, int b, int branch_row) {
+    if (a > 0) {
+        g.add(a - 1, branch_row, 1.0);
+        g.add(branch_row, a - 1, -1.0);
+    }
+    if (b > 0) {
+        g.add(b - 1, branch_row, -1.0);
+        g.add(branch_row, b - 1, 1.0);
+    }
+}
+
+}  // namespace
+
+ParametricSystem assemble_mna(const Netlist& netlist) {
+    check(netlist.num_nodes() >= 1, "assemble_mna: netlist has no nodes");
+    check(netlist.num_ports() >= 1, "assemble_mna: netlist has no ports");
+    const int nv = netlist.num_nodes();
+    const int nl = netlist.num_inductors();
+    const int n = nv + nl;
+    const int np = netlist.num_params();
+
+    sparse::Triplets tg(n, n), tc(n, n);
+    std::vector<sparse::Triplets> tdg(static_cast<std::size_t>(np), sparse::Triplets(n, n));
+    std::vector<sparse::Triplets> tdc(static_cast<std::size_t>(np), sparse::Triplets(n, n));
+
+    int inductor_index = 0;
+    for (const Element& e : netlist.elements()) {
+        switch (e.kind) {
+            case ElementKind::resistor:
+                stamp_pair(tg, e.node_a, e.node_b, e.value);
+                for (int i = 0; i < np; ++i)
+                    stamp_pair(tdg[static_cast<std::size_t>(i)], e.node_a, e.node_b,
+                               e.dvalue[static_cast<std::size_t>(i)]);
+                break;
+            case ElementKind::capacitor:
+                stamp_pair(tc, e.node_a, e.node_b, e.value);
+                for (int i = 0; i < np; ++i)
+                    stamp_pair(tdc[static_cast<std::size_t>(i)], e.node_a, e.node_b,
+                               e.dvalue[static_cast<std::size_t>(i)]);
+                break;
+            case ElementKind::inductor: {
+                const int row = nv + inductor_index++;
+                stamp_incidence(tg, e.node_a, e.node_b, row);
+                tc.add(row, row, e.value);
+                for (int i = 0; i < np; ++i) {
+                    const double dv = e.dvalue[static_cast<std::size_t>(i)];
+                    if (dv != 0.0) tdc[static_cast<std::size_t>(i)].add(row, row, dv);
+                }
+                break;
+            }
+        }
+    }
+
+    ParametricSystem sys;
+    sys.g0 = sparse::Csc(tg);
+    sys.c0 = sparse::Csc(tc);
+    sys.dg.reserve(static_cast<std::size_t>(np));
+    sys.dc.reserve(static_cast<std::size_t>(np));
+    for (int i = 0; i < np; ++i) {
+        sys.dg.emplace_back(tdg[static_cast<std::size_t>(i)]);
+        sys.dc.emplace_back(tdc[static_cast<std::size_t>(i)]);
+    }
+
+    const int m = netlist.num_ports();
+    sys.b = la::Matrix(n, m);
+    for (int j = 0; j < m; ++j) sys.b(netlist.ports()[static_cast<std::size_t>(j)] - 1, j) = 1.0;
+    sys.l = sys.b;
+    sys.validate();
+    return sys;
+}
+
+}  // namespace varmor::circuit

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "circuit/netlist.h"
+#include "circuit/parametric_system.h"
+
+namespace varmor::circuit {
+
+/// Assembles the PRIMA-form MNA system from a netlist.
+///
+/// Unknown ordering: x = [v_1 .. v_N, i_L1 .. i_LM] (node voltages except
+/// ground, then inductor branch currents in declaration order). The stamps
+/// produce
+///
+///   G = [ N   E ]    C = [ Q   0 ]
+///       [-E^T 0 ]        [ 0   H ]
+///
+/// with N (resistive) and Q (capacitive) symmetric positive semidefinite and
+/// H (inductive) positive diagonal, so the system is passive; congruence
+/// projection of this form preserves passivity (PRIMA [4], used by the
+/// paper's Algorithm 1 step 4).
+///
+/// Sensitivity matrices dG/dp_i, dC/dp_i are assembled from the elements'
+/// affine value dependence, giving the paper's G(p), C(p) of eq. (5) exactly.
+ParametricSystem assemble_mna(const Netlist& netlist);
+
+}  // namespace varmor::circuit

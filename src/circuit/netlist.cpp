@@ -1,0 +1,60 @@
+#include "circuit/netlist.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace varmor::circuit {
+
+void Netlist::validate_nodes(int a, int b) {
+    check(a >= 0 && b >= 0, "Netlist: negative node id");
+    check(a != b, "Netlist: element terminals must differ");
+    max_node_ = std::max({max_node_, a, b});
+}
+
+void Netlist::validate_sens(std::vector<double>& d) const {
+    if (d.empty()) {
+        d.assign(static_cast<std::size_t>(num_params_), 0.0);
+        return;
+    }
+    check(static_cast<int>(d.size()) == num_params_,
+          "Netlist: sensitivity vector length must equal the parameter count");
+}
+
+void Netlist::add_resistor(int a, int b, double resistance,
+                           std::vector<double> dconductance) {
+    validate_nodes(a, b);
+    check(resistance > 0.0 && std::isfinite(resistance),
+          "Netlist::add_resistor: resistance must be positive and finite");
+    validate_sens(dconductance);
+    elements_.push_back(
+        {ElementKind::resistor, a, b, 1.0 / resistance, std::move(dconductance)});
+}
+
+void Netlist::add_capacitor(int a, int b, double capacitance,
+                            std::vector<double> dcapacitance) {
+    validate_nodes(a, b);
+    check(capacitance > 0.0 && std::isfinite(capacitance),
+          "Netlist::add_capacitor: capacitance must be positive and finite");
+    validate_sens(dcapacitance);
+    elements_.push_back(
+        {ElementKind::capacitor, a, b, capacitance, std::move(dcapacitance)});
+}
+
+void Netlist::add_inductor(int a, int b, double inductance,
+                           std::vector<double> dinductance) {
+    validate_nodes(a, b);
+    check(inductance > 0.0 && std::isfinite(inductance),
+          "Netlist::add_inductor: inductance must be positive and finite");
+    validate_sens(dinductance);
+    elements_.push_back(
+        {ElementKind::inductor, a, b, inductance, std::move(dinductance)});
+    ++num_inductors_;
+}
+
+void Netlist::add_port(int node) {
+    check(node >= 1 && node <= max_node_,
+          "Netlist::add_port: port node must be an existing non-ground node");
+    ports_.push_back(node);
+}
+
+}  // namespace varmor::circuit

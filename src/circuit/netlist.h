@@ -1,0 +1,94 @@
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace varmor::circuit {
+
+/// Kind of a two-terminal element.
+enum class ElementKind { resistor, capacitor, inductor };
+
+/// A two-terminal element with an affine dependence on the netlist's global
+/// variational parameters:
+///
+///   value(p) = value + sum_i  dvalue[i] * p_i
+///
+/// Resistors are stored as *conductance* so that all three element kinds
+/// stamp linearly into (G, C) — this is what makes the paper's first-order
+/// parametric model G(p) = G0 + sum_i p_i Gi exact at the element level
+/// (e.g. wire conductance is linear in metal width).
+struct Element {
+    ElementKind kind = ElementKind::resistor;
+    int node_a = 0;            ///< first terminal (0 = ground)
+    int node_b = 0;            ///< second terminal (0 = ground)
+    double value = 0.0;        ///< nominal conductance [S], capacitance [F] or inductance [H]
+    std::vector<double> dvalue;  ///< per-parameter first-order sensitivities
+};
+
+/// Circuit netlist: nodes, parametric two-terminal elements and ports.
+///
+/// Node 0 is ground and is eliminated during MNA assembly. Ports are
+/// current-injection ports (Y-parameter convention, B = L), the standard
+/// PRIMA setting that preserves passivity under congruence projection.
+class Netlist {
+public:
+    /// Creates a netlist with `num_params` global variational parameters.
+    explicit Netlist(int num_params = 0) : num_params_(num_params) {
+        check(num_params >= 0, "Netlist: negative parameter count");
+    }
+
+    /// Registers a new node and returns its id (>= 1; 0 is ground).
+    int add_node() { return ++max_node_; }
+
+    /// Declares that node ids up to `n` exist (for generators that compute
+    /// node ids arithmetically).
+    void ensure_nodes(int n) {
+        check(n >= 0, "Netlist::ensure_nodes: negative node id");
+        max_node_ = std::max(max_node_, n);
+    }
+
+    /// Adds a resistor specified by resistance [Ohm]; stored as conductance.
+    /// `dconductance` holds per-parameter conductance sensitivities (may be
+    /// empty = no dependence).
+    void add_resistor(int a, int b, double resistance,
+                      std::vector<double> dconductance = {});
+
+    /// Adds a capacitor [F] with per-parameter capacitance sensitivities.
+    void add_capacitor(int a, int b, double capacitance,
+                       std::vector<double> dcapacitance = {});
+
+    /// Adds an inductor [H] with per-parameter inductance sensitivities.
+    /// Inductors introduce a branch-current unknown in the MNA system.
+    void add_inductor(int a, int b, double inductance,
+                      std::vector<double> dinductance = {});
+
+    /// Declares a current-injection port at `node`. Port order defines the
+    /// column order of B (and L).
+    void add_port(int node);
+
+    int num_params() const { return num_params_; }
+    int num_nodes() const { return max_node_; }  ///< excluding ground
+    int num_ports() const { return static_cast<int>(ports_.size()); }
+    int num_inductors() const { return num_inductors_; }
+
+    const std::vector<Element>& elements() const { return elements_; }
+    const std::vector<int>& ports() const { return ports_; }
+
+    /// MNA unknown count: node voltages + inductor currents.
+    int mna_size() const { return max_node_ + num_inductors_; }
+
+private:
+    void validate_nodes(int a, int b);
+    void validate_sens(std::vector<double>& d) const;
+
+    int num_params_ = 0;
+    int max_node_ = 0;
+    int num_inductors_ = 0;
+    std::vector<Element> elements_;
+    std::vector<int> ports_;
+};
+
+}  // namespace varmor::circuit

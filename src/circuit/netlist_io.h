@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace varmor::circuit {
+
+/// SPICE-flavoured netlist serialization so externally extracted parasitic
+/// nets (with sensitivity annotations) can be loaded into varmor, and
+/// generated workloads can be inspected/diffed as text.
+///
+/// Format (one element per line, case-insensitive prefixes):
+///
+///   * comment
+///   .params 2            ; number of variational parameters (must come first)
+///   R1 in n2 50.0 sens=0.1,0      ; resistor [Ohm]; sens = dCONDUCTANCE/dp_i
+///   C1 n2 0  1e-15 sens=0,2e-16   ; capacitor [F]; sens = dC/dp_i
+///   L1 n2 out 1e-9                ; inductor [H]; omitted sens = zeros
+///   .port in
+///   .port out
+///   .end
+///
+/// Node names are arbitrary identifiers; "0" and "gnd" mean ground. Names
+/// are mapped to indices in order of first appearance.
+
+/// Writes the netlist in the format above. Node names are v<k>.
+void write_netlist(const Netlist& netlist, std::ostream& os);
+
+/// Writes to a file; throws varmor::Error if the file cannot be opened.
+void write_netlist_file(const Netlist& netlist, const std::string& path);
+
+/// Parses a netlist; throws varmor::Error with a line number on malformed
+/// input (unknown element kind, bad node/value, wrong sensitivity count,
+/// missing .params before sens= usage, duplicate .end content).
+Netlist parse_netlist(std::istream& is);
+
+/// Parses from a file; throws varmor::Error if the file cannot be opened.
+Netlist parse_netlist_file(const std::string& path);
+
+}  // namespace varmor::circuit

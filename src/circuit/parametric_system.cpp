@@ -1,0 +1,47 @@
+#include "circuit/parametric_system.h"
+
+#include "util/check.h"
+
+namespace varmor::circuit {
+
+void ParametricSystem::validate() const {
+    const int n = g0.rows();
+    check(g0.cols() == n, "ParametricSystem: g0 must be square");
+    check(c0.rows() == n && c0.cols() == n, "ParametricSystem: c0 shape mismatch");
+    check(dg.size() == dc.size(),
+          "ParametricSystem: dg and dc must have one entry per parameter");
+    for (const auto& m : dg)
+        check(m.rows() == n && m.cols() == n, "ParametricSystem: dg shape mismatch");
+    for (const auto& m : dc)
+        check(m.rows() == n && m.cols() == n, "ParametricSystem: dc shape mismatch");
+    check(b.rows() == n, "ParametricSystem: b row count mismatch");
+    check(l.rows() == n, "ParametricSystem: l row count mismatch");
+    check(b.cols() == l.cols(), "ParametricSystem: b and l port count mismatch");
+    check(b.cols() >= 1, "ParametricSystem: at least one port required");
+}
+
+namespace {
+
+sparse::Csc affine_combination(const sparse::Csc& base, const std::vector<sparse::Csc>& terms,
+                               const std::vector<double>& p) {
+    check(p.size() == terms.size(),
+          "ParametricSystem: parameter vector length mismatch");
+    sparse::Csc acc = base;
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+        if (p[i] == 0.0) continue;
+        acc = sparse::add(1.0, acc, p[i], terms[i]);
+    }
+    return acc;
+}
+
+}  // namespace
+
+sparse::Csc ParametricSystem::g_at(const std::vector<double>& p) const {
+    return affine_combination(g0, dg, p);
+}
+
+sparse::Csc ParametricSystem::c_at(const std::vector<double>& p) const {
+    return affine_combination(c0, dc, p);
+}
+
+}  // namespace varmor::circuit

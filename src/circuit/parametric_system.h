@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "la/dense.h"
+#include "sparse/csc.h"
+
+namespace varmor::circuit {
+
+/// Affine parametric MNA descriptor system (eq. (5) of the paper):
+///
+///   C(p) dx/dt = -G(p) x + B u,     y = L^T x
+///   G(p) = g0 + sum_i p_i dg[i],    C(p) = c0 + sum_i p_i dc[i]
+///
+/// with dg/dc the sensitivity matrices w.r.t. the variational parameters.
+/// All varmor MOR algorithms consume and produce systems of this shape
+/// (reduced models keep dense copies, see mor/reduced_model.h).
+struct ParametricSystem {
+    sparse::Csc g0;              ///< nominal conductance matrix (n x n)
+    sparse::Csc c0;              ///< nominal capacitance matrix (n x n)
+    std::vector<sparse::Csc> dg; ///< per-parameter conductance sensitivities
+    std::vector<sparse::Csc> dc; ///< per-parameter capacitance sensitivities
+    la::Matrix b;                ///< input matrix (n x m)
+    la::Matrix l;                ///< output matrix (n x m); equals b for ports
+
+    int size() const { return g0.rows(); }
+    int num_ports() const { return b.cols(); }
+    int num_params() const { return static_cast<int>(dg.size()); }
+
+    /// Validates dimensional consistency; throws varmor::Error otherwise.
+    void validate() const;
+
+    /// G(p) at a parameter point.
+    sparse::Csc g_at(const std::vector<double>& p) const;
+
+    /// C(p) at a parameter point.
+    sparse::Csc c_at(const std::vector<double>& p) const;
+};
+
+}  // namespace varmor::circuit

@@ -1,0 +1,69 @@
+#include "la/cholesky.h"
+
+#include <cmath>
+
+#include "la/ops.h"
+
+namespace varmor::la {
+
+Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
+    check(a.rows() == a.cols(), "Cholesky: square matrix required");
+    const int n = a.rows();
+    for (int j = 0; j < n; ++j) {
+        double diag = a(j, j);
+        for (int k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+        check(diag > 0.0, "Cholesky: matrix is not positive definite");
+        const double ljj = std::sqrt(diag);
+        l_(j, j) = ljj;
+        for (int i = j + 1; i < n; ++i) {
+            double v = a(i, j);
+            for (int k = 0; k < j; ++k) v -= l_(i, k) * l_(j, k);
+            l_(i, j) = v / ljj;
+        }
+    }
+}
+
+Vector Cholesky::forward_solve(const Vector& b) const {
+    check(b.size() == size(), "Cholesky::forward_solve: dimension mismatch");
+    const int n = size();
+    Vector y(n);
+    for (int i = 0; i < n; ++i) {
+        double acc = b[i];
+        for (int j = 0; j < i; ++j) acc -= l_(i, j) * y[j];
+        y[i] = acc / l_(i, i);
+    }
+    return y;
+}
+
+Vector Cholesky::backward_solve(const Vector& y) const {
+    check(y.size() == size(), "Cholesky::backward_solve: dimension mismatch");
+    const int n = size();
+    Vector x(n);
+    for (int i = n - 1; i >= 0; --i) {
+        double acc = y[i];
+        for (int j = i + 1; j < n; ++j) acc -= l_(j, i) * x[j];
+        x[i] = acc / l_(i, i);
+    }
+    return x;
+}
+
+Vector Cholesky::solve(const Vector& b) const { return backward_solve(forward_solve(b)); }
+
+bool is_positive_semidefinite(const Matrix& a, double tol) {
+    check(a.rows() == a.cols(), "is_positive_semidefinite: square matrix required");
+    // Shift by tol * max diagonal so PSD-with-zero-modes matrices pass.
+    double dmax = 0;
+    for (int i = 0; i < a.rows(); ++i) dmax = std::max(dmax, std::abs(a(i, i)));
+    const double shift = tol * (dmax > 0 ? dmax : 1.0);
+    Matrix shifted = a;
+    for (int i = 0; i < a.rows(); ++i) shifted(i, i) += shift;
+    try {
+        Cholesky c(shifted);
+        (void)c;
+        return true;
+    } catch (const Error&) {
+        return false;
+    }
+}
+
+}  // namespace varmor::la

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "la/dense.h"
+
+namespace varmor::la {
+
+/// Dense Cholesky factorization A = L L^T of a symmetric positive definite
+/// matrix. Throws varmor::Error if A is not (numerically) SPD, which the
+/// passivity checker uses as a fast certificate.
+class Cholesky {
+public:
+    explicit Cholesky(const Matrix& a);
+
+    int size() const { return l_.rows(); }
+
+    /// The lower-triangular factor L.
+    const Matrix& l() const { return l_; }
+
+    /// Solves L y = b.
+    Vector forward_solve(const Vector& b) const;
+
+    /// Solves L^T x = y.
+    Vector backward_solve(const Vector& y) const;
+
+    /// Solves A x = b.
+    Vector solve(const Vector& b) const;
+
+private:
+    Matrix l_;
+};
+
+/// True iff the symmetric matrix is positive semidefinite within `tol`
+/// (checked by attempting Cholesky on A + tol*I scaled by the diagonal).
+bool is_positive_semidefinite(const Matrix& a, double tol = 1e-10);
+
+}  // namespace varmor::la

@@ -1,0 +1,195 @@
+#include "la/eig.h"
+
+#include <cmath>
+
+#include "la/ops.h"
+
+namespace varmor::la {
+
+namespace {
+
+double sign_of(double magnitude, double sign_source) {
+    return sign_source >= 0 ? std::abs(magnitude) : -std::abs(magnitude);
+}
+
+}  // namespace
+
+Matrix hessenberg(const Matrix& a) {
+    check(a.rows() == a.cols(), "hessenberg: square matrix required");
+    Matrix h = a;
+    const int n = h.rows();
+    for (int m = 1; m < n - 1; ++m) {
+        // Pivot: largest magnitude in column m-1 at/below row m.
+        double x = 0.0;
+        int piv = m;
+        for (int j = m; j < n; ++j) {
+            if (std::abs(h(j, m - 1)) > std::abs(x)) {
+                x = h(j, m - 1);
+                piv = j;
+            }
+        }
+        if (piv != m) {
+            for (int j = m - 1; j < n; ++j) std::swap(h(piv, j), h(m, j));
+            for (int j = 0; j < n; ++j) std::swap(h(j, piv), h(j, m));
+        }
+        if (x == 0.0) continue;
+        for (int i = m + 1; i < n; ++i) {
+            double y = h(i, m - 1);
+            if (y == 0.0) continue;
+            y /= x;
+            h(i, m - 1) = 0.0;  // eliminated (multiplier not retained)
+            for (int j = m; j < n; ++j) h(i, j) -= y * h(m, j);
+            for (int j = 0; j < n; ++j) h(j, m) += y * h(j, i);
+        }
+    }
+    // Zero strictly-below-subdiagonal storage for a clean Hessenberg matrix.
+    for (int j = 0; j + 2 < n; ++j)
+        for (int i = j + 2; i < n; ++i) h(i, j) = 0.0;
+    return h;
+}
+
+std::vector<cplx> eig_hessenberg(Matrix h) {
+    const int n = h.rows();
+    check(n == h.cols(), "eig_hessenberg: square matrix required");
+    std::vector<cplx> w(static_cast<std::size_t>(n));
+    if (n == 0) return w;
+
+    const double eps = 1e-15;
+    double anorm = 0.0;
+    for (int i = 0; i < n; ++i)
+        for (int j = std::max(i - 1, 0); j < n; ++j) anorm += std::abs(h(i, j));
+    if (anorm == 0.0) return w;  // zero matrix
+
+    int nn = n - 1;
+    double t = 0.0;
+    while (nn >= 0) {
+        int its = 0;
+        int l = 0;
+        do {
+            for (l = nn; l >= 1; --l) {
+                double s = std::abs(h(l - 1, l - 1)) + std::abs(h(l, l));
+                if (s == 0.0) s = anorm;
+                if (std::abs(h(l, l - 1)) <= eps * s) {
+                    h(l, l - 1) = 0.0;
+                    break;
+                }
+            }
+            if (l < 0) l = 0;
+            double x = h(nn, nn);
+            if (l == nn) {  // one real root
+                w[static_cast<std::size_t>(nn)] = x + t;
+                --nn;
+            } else {
+                double y = h(nn - 1, nn - 1);
+                double ww = h(nn, nn - 1) * h(nn - 1, nn);
+                if (l == nn - 1) {  // two roots from the trailing 2x2 block
+                    double p = 0.5 * (y - x);
+                    double q = p * p + ww;
+                    double z = std::sqrt(std::abs(q));
+                    x += t;
+                    if (q >= 0.0) {
+                        z = p + sign_of(z, p);
+                        w[static_cast<std::size_t>(nn - 1)] = x + z;
+                        w[static_cast<std::size_t>(nn)] =
+                            (z != 0.0) ? cplx(x - ww / z) : cplx(x + z);
+                    } else {
+                        w[static_cast<std::size_t>(nn - 1)] = cplx(x + p, z);
+                        w[static_cast<std::size_t>(nn)] = cplx(x + p, -z);
+                    }
+                    nn -= 2;
+                } else {  // no root yet: perform a double QR step
+                    check(its < 60, "eig_hessenberg: QR iteration failed to converge");
+                    if (its == 10 || its == 20 || its == 30 || its == 40 || its == 50) {
+                        // Exceptional shift to break cycling.
+                        t += x;
+                        for (int i = 0; i <= nn; ++i) h(i, i) -= x;
+                        double s = std::abs(h(nn, nn - 1)) + std::abs(h(nn - 1, nn - 2));
+                        y = x = 0.75 * s;
+                        ww = -0.4375 * s * s;
+                    }
+                    ++its;
+                    double p = 0, q = 0, r = 0;
+                    int m = 0;
+                    for (m = nn - 2; m >= l; --m) {
+                        const double z = h(m, m);
+                        const double rr = x - z;
+                        const double ss = y - z;
+                        p = (rr * ss - ww) / h(m + 1, m) + h(m, m + 1);
+                        q = h(m + 1, m + 1) - z - rr - ss;
+                        r = h(m + 2, m + 1);
+                        const double scale = std::abs(p) + std::abs(q) + std::abs(r);
+                        p /= scale;
+                        q /= scale;
+                        r /= scale;
+                        if (m == l) break;
+                        const double u = std::abs(h(m, m - 1)) * (std::abs(q) + std::abs(r));
+                        const double v = std::abs(p) * (std::abs(h(m - 1, m - 1)) +
+                                                        std::abs(z) + std::abs(h(m + 1, m + 1)));
+                        if (u <= eps * v) break;
+                    }
+                    if (m < l) m = l;
+                    for (int i = m + 2; i <= nn; ++i) {
+                        h(i, i - 2) = 0.0;
+                        if (i != m + 2) h(i, i - 3) = 0.0;
+                    }
+                    for (int k = m; k <= nn - 1; ++k) {
+                        const bool notlast = (k != nn - 1);
+                        if (k != m) {
+                            p = h(k, k - 1);
+                            q = h(k + 1, k - 1);
+                            r = notlast ? h(k + 2, k - 1) : 0.0;
+                            x = std::abs(p) + std::abs(q) + std::abs(r);
+                            if (x != 0.0) {
+                                p /= x;
+                                q /= x;
+                                r /= x;
+                            }
+                        }
+                        const double s = sign_of(std::sqrt(p * p + q * q + r * r), p);
+                        if (s == 0.0) continue;
+                        if (k == m) {
+                            if (l != m) h(k, k - 1) = -h(k, k - 1);
+                        } else {
+                            h(k, k - 1) = -s * x;
+                        }
+                        p += s;
+                        x = p / s;
+                        y = q / s;
+                        double z = r / s;
+                        q /= p;
+                        r /= p;
+                        for (int j = k; j <= nn; ++j) {  // row modification
+                            double pp = h(k, j) + q * h(k + 1, j);
+                            if (notlast) {
+                                pp += r * h(k + 2, j);
+                                h(k + 2, j) -= pp * z;
+                            }
+                            h(k + 1, j) -= pp * y;
+                            h(k, j) -= pp * x;
+                        }
+                        const int mmin = nn < k + 3 ? nn : k + 3;
+                        for (int i = l; i <= mmin; ++i) {  // column modification
+                            double pp = x * h(i, k) + y * h(i, k + 1);
+                            if (notlast) {
+                                pp += z * h(i, k + 2);
+                                h(i, k + 2) -= pp * r;
+                            }
+                            h(i, k + 1) -= pp * q;
+                            h(i, k) -= pp;
+                        }
+                    }
+                }
+            }
+        } while (l < nn - 1 && nn >= 0);
+    }
+    return w;
+}
+
+std::vector<cplx> eig_values(const Matrix& a) {
+    check(a.rows() == a.cols(), "eig_values: square matrix required");
+    if (a.rows() == 0) return {};
+    if (a.rows() == 1) return {cplx(a(0, 0))};
+    return eig_hessenberg(hessenberg(a));
+}
+
+}  // namespace varmor::la

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "la/dense.h"
+
+namespace varmor::la {
+
+/// Eigenvalues of a general real square matrix (complex, unordered pairs),
+/// computed by Hessenberg reduction followed by the Francis double-shift QR
+/// iteration (EISPACK hqr lineage). Eigenvalues only — varmor needs them for
+/// reduced-model poles (RLC models have complex pole pairs) and for Arnoldi
+/// Ritz values.
+std::vector<cplx> eig_values(const Matrix& a);
+
+/// Reduces A to upper Hessenberg form by stabilized elementary similarity
+/// transformations (elmhes). Exposed for tests.
+Matrix hessenberg(const Matrix& a);
+
+/// Eigenvalues of an upper Hessenberg matrix (the QR iteration itself).
+/// Exposed so the Arnoldi solver can reuse it on its projected matrix.
+std::vector<cplx> eig_hessenberg(Matrix h);
+
+}  // namespace varmor::la

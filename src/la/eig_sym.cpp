@@ -1,0 +1,101 @@
+#include "la/eig_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "la/cholesky.h"
+#include "la/ops.h"
+
+namespace varmor::la {
+
+SymEigResult eig_symmetric(const Matrix& a_in) {
+    check(a_in.rows() == a_in.cols(), "eig_symmetric: square matrix required");
+    const int n = a_in.rows();
+    Matrix a = symmetric_part(a_in);  // tolerate tiny asymmetry from roundoff
+    Matrix q = Matrix::identity(n);
+
+    const int max_sweeps = 100;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        // Off-diagonal Frobenius norm as convergence measure.
+        double off = 0;
+        for (int j = 0; j < n; ++j)
+            for (int i = 0; i < j; ++i) off += a(i, j) * a(i, j);
+        if (std::sqrt(off) <= 1e-15 * (1.0 + norm_fro(a))) break;
+
+        for (int p = 0; p < n - 1; ++p) {
+            for (int qi = p + 1; qi < n; ++qi) {
+                const double apq = a(p, qi);
+                if (apq == 0.0) continue;
+                const double app = a(p, p), aqq = a(qi, qi);
+                if (std::abs(apq) <= 1e-18 * (std::abs(app) + std::abs(aqq))) continue;
+                const double theta = (aqq - app) / (2.0 * apq);
+                const double t = (theta >= 0 ? 1.0 : -1.0) /
+                                 (std::abs(theta) + std::sqrt(1.0 + theta * theta));
+                const double c = 1.0 / std::sqrt(1.0 + t * t);
+                const double s = t * c;
+                // A <- J^T A J over rows/cols p and qi.
+                for (int k = 0; k < n; ++k) {
+                    const double akp = a(k, p), akq = a(k, qi);
+                    a(k, p) = c * akp - s * akq;
+                    a(k, qi) = s * akp + c * akq;
+                }
+                for (int k = 0; k < n; ++k) {
+                    const double apk = a(p, k), aqk = a(qi, k);
+                    a(p, k) = c * apk - s * aqk;
+                    a(qi, k) = s * apk + c * aqk;
+                }
+                for (int k = 0; k < n; ++k) {
+                    const double qkp = q(k, p), qkq = q(k, qi);
+                    q(k, p) = c * qkp - s * qkq;
+                    q(k, qi) = s * qkp + c * qkq;
+                }
+            }
+        }
+    }
+
+    std::vector<int> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int x, int y) { return a(x, x) < a(y, y); });
+
+    SymEigResult out{std::vector<double>(static_cast<std::size_t>(n)), Matrix(n, n)};
+    for (int j = 0; j < n; ++j) {
+        const int src = order[static_cast<std::size_t>(j)];
+        out.values[static_cast<std::size_t>(j)] = a(src, src);
+        for (int i = 0; i < n; ++i) out.vectors(i, j) = q(i, src);
+    }
+    return out;
+}
+
+SymEigResult eig_symmetric_generalized(const Matrix& a, const Matrix& b) {
+    check(a.rows() == a.cols() && b.rows() == b.cols() && a.rows() == b.rows(),
+          "eig_symmetric_generalized: shape mismatch");
+    const Cholesky chol(b);
+    // C = L^-1 A L^-T, computed column-wise.
+    const int n = a.rows();
+    Matrix c(n, n);
+    for (int j = 0; j < n; ++j) {
+        // Column j of A L^-T: solve L y = e_j path is wrong way around; instead
+        // compute W = A L^-T by solving L W^T = A^T, i.e. forward solves on rows.
+        // Simpler: L^-T applied from the right means solving L z = a_col for
+        // each row — do it via two triangular solves on the symmetric form.
+        Vector col = a.col(j);
+        c.set_col(j, chol.forward_solve(col));  // L^-1 A (:, j)
+    }
+    // Now c = L^-1 A; apply L^-T from the right: (L^-1 A) L^-T = (L^-1 (L^-1 A)^T)^T.
+    Matrix ct = transpose(c);
+    for (int j = 0; j < n; ++j) {
+        Vector col = ct.col(j);
+        ct.set_col(j, chol.forward_solve(col));
+    }
+    Matrix sym = transpose(ct);
+    SymEigResult eig = eig_symmetric(sym);
+    // Map eigenvectors back: x = L^-T y, which are B-orthonormal.
+    for (int j = 0; j < n; ++j) {
+        Vector y = eig.vectors.col(j);
+        eig.vectors.set_col(j, chol.backward_solve(y));
+    }
+    return eig;
+}
+
+}  // namespace varmor::la

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "la/dense.h"
+
+namespace varmor::la {
+
+/// Eigendecomposition of a real symmetric matrix: A = Q diag(w) Q^T with
+/// eigenvalues ascending.
+struct SymEigResult {
+    std::vector<double> values;  ///< ascending
+    Matrix vectors;              ///< columns are the corresponding eigenvectors
+};
+
+/// Cyclic Jacobi eigensolver for symmetric matrices. Robust and accurate;
+/// used for passivity certificates, TBR gramians and symmetric pole problems.
+SymEigResult eig_symmetric(const Matrix& a);
+
+/// Solves the symmetric-definite generalized problem A x = lambda B x with
+/// B symmetric positive definite, via B = L L^T and the standard reduction
+/// to C = L^-1 A L^-T. Returns eigenvalues ascending and B-orthonormal
+/// eigenvectors. This is how RC reduced-model poles are computed:
+/// (G + s C) x = 0  =>  C x = (-1/s) G x  with G SPD.
+SymEigResult eig_symmetric_generalized(const Matrix& a, const Matrix& b);
+
+}  // namespace varmor::la

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cmath>
+#include <numeric>
+
+#include "la/dense.h"
+#include "la/ops.h"
+
+namespace varmor::la {
+
+/// Dense LU factorization with partial pivoting, templated on scalar so the
+/// same code solves real reduced systems and complex pencils G~ + sC~.
+///
+/// Invariant: after construction, P*A = L*U with unit-diagonal L stored below
+/// the diagonal of lu_ and U on/above it.
+template <class T>
+class DenseLu {
+public:
+    /// Factors a square matrix. Throws varmor::Error if A is singular to
+    /// working precision.
+    explicit DenseLu(MatrixT<T> a) : lu_(std::move(a)), perm_(lu_.rows()) {
+        check(lu_.rows() == lu_.cols(), "DenseLu: square matrix required");
+        const int n = lu_.rows();
+        for (int i = 0; i < n; ++i) perm_[i] = i;
+
+        for (int k = 0; k < n; ++k) {
+            // Partial pivoting: largest magnitude in column k at/below row k.
+            int piv = k;
+            double best = std::abs(lu_(k, k));
+            for (int i = k + 1; i < n; ++i) {
+                const double v = std::abs(lu_(i, k));
+                if (v > best) { best = v; piv = i; }
+            }
+            check(best > 0.0, "DenseLu: matrix is numerically singular");
+            if (piv != k) {
+                for (int j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(piv, j));
+                std::swap(perm_[k], perm_[piv]);
+                sign_ = -sign_;
+            }
+            const T pivot = lu_(k, k);
+            for (int i = k + 1; i < n; ++i) {
+                const T m = lu_(i, k) / pivot;
+                lu_(i, k) = m;
+                if (m == T{}) continue;
+                for (int j = k + 1; j < n; ++j) lu_(i, j) -= m * lu_(k, j);
+            }
+        }
+    }
+
+    int size() const { return lu_.rows(); }
+
+    /// Solves A x = b.
+    VectorT<T> solve(const VectorT<T>& b) const {
+        check(b.size() == size(), "DenseLu::solve: dimension mismatch");
+        const int n = size();
+        VectorT<T> x(n);
+        // Apply permutation, then forward/back substitution.
+        for (int i = 0; i < n; ++i) x[i] = b[perm_[i]];
+        for (int i = 1; i < n; ++i) {
+            T acc = x[i];
+            for (int j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+            x[i] = acc;
+        }
+        for (int i = n - 1; i >= 0; --i) {
+            T acc = x[i];
+            for (int j = i + 1; j < n; ++j) acc -= lu_(i, j) * x[j];
+            x[i] = acc / lu_(i, i);
+        }
+        return x;
+    }
+
+    /// Solves A X = B column by column.
+    MatrixT<T> solve(const MatrixT<T>& b) const {
+        check(b.rows() == size(), "DenseLu::solve: dimension mismatch");
+        MatrixT<T> x(b.rows(), b.cols());
+        for (int j = 0; j < b.cols(); ++j) x.set_col(j, solve(b.col(j)));
+        return x;
+    }
+
+    /// Determinant (product of U's diagonal times the permutation sign).
+    T determinant() const {
+        T d = sign_ < 0 ? T(-1) : T(1);
+        for (int i = 0; i < size(); ++i) d *= lu_(i, i);
+        return d;
+    }
+
+private:
+    MatrixT<T> lu_;
+    std::vector<int> perm_;
+    int sign_ = 1;
+};
+
+/// Convenience: X = A^-1 B without exposing the factorization.
+template <class T>
+MatrixT<T> solve_dense(const MatrixT<T>& a, const MatrixT<T>& b) {
+    return DenseLu<T>(a).solve(b);
+}
+
+/// Convenience: x = A^-1 b.
+template <class T>
+VectorT<T> solve_dense(const MatrixT<T>& a, const VectorT<T>& b) {
+    return DenseLu<T>(a).solve(b);
+}
+
+/// Dense inverse (used only on small reduced models and in tests).
+template <class T>
+MatrixT<T> inverse(const MatrixT<T>& a) {
+    return DenseLu<T>(a).solve(MatrixT<T>::identity(a.rows()));
+}
+
+}  // namespace varmor::la

@@ -1,0 +1,253 @@
+#pragma once
+
+#include <cmath>
+
+#include "la/dense.h"
+
+namespace varmor::la {
+
+// ---------------------------------------------------------------------------
+// Level-1: vector-vector
+// ---------------------------------------------------------------------------
+
+/// Inner product x . y (conjugates x for complex scalars, i.e. x^H y).
+template <class T>
+T dot(const VectorT<T>& x, const VectorT<T>& y) {
+    check(x.size() == y.size(), "dot: dimension mismatch");
+    T acc{};
+    for (int i = 0; i < x.size(); ++i) {
+        if constexpr (std::is_same_v<T, cplx>)
+            acc += std::conj(x[i]) * y[i];
+        else
+            acc += x[i] * y[i];
+    }
+    return acc;
+}
+
+/// Euclidean norm.
+template <class T>
+double norm2(const VectorT<T>& x) {
+    double acc = 0;
+    for (int i = 0; i < x.size(); ++i) acc += std::norm(x[i]);
+    return std::sqrt(acc);
+}
+
+/// y += alpha * x.
+template <class T>
+void axpy(T alpha, const VectorT<T>& x, VectorT<T>& y) {
+    check(x.size() == y.size(), "axpy: dimension mismatch");
+    for (int i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+/// x *= alpha.
+template <class T>
+void scale(VectorT<T>& x, T alpha) {
+    for (int i = 0; i < x.size(); ++i) x[i] *= alpha;
+}
+
+template <class T>
+VectorT<T> operator+(const VectorT<T>& a, const VectorT<T>& b) {
+    check(a.size() == b.size(), "vector +: dimension mismatch");
+    VectorT<T> r(a.size());
+    for (int i = 0; i < a.size(); ++i) r[i] = a[i] + b[i];
+    return r;
+}
+
+template <class T>
+VectorT<T> operator-(const VectorT<T>& a, const VectorT<T>& b) {
+    check(a.size() == b.size(), "vector -: dimension mismatch");
+    VectorT<T> r(a.size());
+    for (int i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+    return r;
+}
+
+template <class T>
+VectorT<T> operator*(T alpha, const VectorT<T>& x) {
+    VectorT<T> r = x;
+    scale(r, alpha);
+    return r;
+}
+
+// ---------------------------------------------------------------------------
+// Level-2/3: matrix-vector, matrix-matrix
+// ---------------------------------------------------------------------------
+
+/// A * x.
+template <class T>
+VectorT<T> matvec(const MatrixT<T>& a, const VectorT<T>& x) {
+    check(a.cols() == x.size(), "matvec: dimension mismatch");
+    VectorT<T> y(a.rows());
+    for (int j = 0; j < a.cols(); ++j) {
+        const T xj = x[j];
+        const T* col = a.col_data(j);
+        for (int i = 0; i < a.rows(); ++i) y[i] += col[i] * xj;
+    }
+    return y;
+}
+
+/// A^T * x (plain transpose; no conjugation, matching the paper's V^T usage).
+template <class T>
+VectorT<T> matvec_transpose(const MatrixT<T>& a, const VectorT<T>& x) {
+    check(a.rows() == x.size(), "matvec_transpose: dimension mismatch");
+    VectorT<T> y(a.cols());
+    for (int j = 0; j < a.cols(); ++j) {
+        const T* col = a.col_data(j);
+        T acc{};
+        for (int i = 0; i < a.rows(); ++i) acc += col[i] * x[i];
+        y[j] = acc;
+    }
+    return y;
+}
+
+/// A * B.
+template <class T>
+MatrixT<T> matmul(const MatrixT<T>& a, const MatrixT<T>& b) {
+    check(a.cols() == b.rows(), "matmul: dimension mismatch");
+    MatrixT<T> c(a.rows(), b.cols());
+    for (int j = 0; j < b.cols(); ++j) {
+        const T* bj = b.col_data(j);
+        T* cj = c.col_data(j);
+        for (int k = 0; k < a.cols(); ++k) {
+            const T bkj = bj[k];
+            if (bkj == T{}) continue;
+            const T* ak = a.col_data(k);
+            for (int i = 0; i < a.rows(); ++i) cj[i] += ak[i] * bkj;
+        }
+    }
+    return c;
+}
+
+/// A^T * B (plain transpose, the congruence-transform workhorse V^T G V).
+template <class T>
+MatrixT<T> matmul_transA(const MatrixT<T>& a, const MatrixT<T>& b) {
+    check(a.rows() == b.rows(), "matmul_transA: dimension mismatch");
+    MatrixT<T> c(a.cols(), b.cols());
+    for (int j = 0; j < b.cols(); ++j) {
+        const T* bj = b.col_data(j);
+        for (int i = 0; i < a.cols(); ++i) {
+            const T* ai = a.col_data(i);
+            T acc{};
+            for (int r = 0; r < a.rows(); ++r) acc += ai[r] * bj[r];
+            c(i, j) = acc;
+        }
+    }
+    return c;
+}
+
+/// Plain transpose.
+template <class T>
+MatrixT<T> transpose(const MatrixT<T>& a) {
+    MatrixT<T> t(a.cols(), a.rows());
+    for (int j = 0; j < a.cols(); ++j)
+        for (int i = 0; i < a.rows(); ++i) t(j, i) = a(i, j);
+    return t;
+}
+
+template <class T>
+MatrixT<T> operator+(const MatrixT<T>& a, const MatrixT<T>& b) {
+    check(a.rows() == b.rows() && a.cols() == b.cols(), "matrix +: shape mismatch");
+    MatrixT<T> c = a;
+    for (std::size_t i = 0; i < c.raw().size(); ++i) c.raw()[i] += b.raw()[i];
+    return c;
+}
+
+template <class T>
+MatrixT<T> operator-(const MatrixT<T>& a, const MatrixT<T>& b) {
+    check(a.rows() == b.rows() && a.cols() == b.cols(), "matrix -: shape mismatch");
+    MatrixT<T> c = a;
+    for (std::size_t i = 0; i < c.raw().size(); ++i) c.raw()[i] -= b.raw()[i];
+    return c;
+}
+
+template <class T>
+MatrixT<T> operator*(T alpha, const MatrixT<T>& a) {
+    MatrixT<T> c = a;
+    for (T& v : c.raw()) v *= alpha;
+    return c;
+}
+
+template <class T>
+MatrixT<T> operator*(const MatrixT<T>& a, const MatrixT<T>& b) {
+    return matmul(a, b);
+}
+
+template <class T>
+VectorT<T> operator*(const MatrixT<T>& a, const VectorT<T>& x) {
+    return matvec(a, x);
+}
+
+// ---------------------------------------------------------------------------
+// Norms, comparisons, assembly helpers
+// ---------------------------------------------------------------------------
+
+/// Frobenius norm.
+template <class T>
+double norm_fro(const MatrixT<T>& a) {
+    double acc = 0;
+    for (const T& v : a.raw()) acc += std::norm(v);
+    return std::sqrt(acc);
+}
+
+/// Max absolute entry.
+template <class T>
+double norm_max(const MatrixT<T>& a) {
+    double m = 0;
+    for (const T& v : a.raw()) m = std::max(m, std::abs(v));
+    return m;
+}
+
+/// Max absolute entry of a vector.
+template <class T>
+double norm_max(const VectorT<T>& a) {
+    double m = 0;
+    for (int i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i]));
+    return m;
+}
+
+/// Horizontal concatenation [A | B].
+template <class T>
+MatrixT<T> hcat(const MatrixT<T>& a, const MatrixT<T>& b) {
+    if (a.empty()) return b;
+    if (b.empty()) return a;
+    check(a.rows() == b.rows(), "hcat: row mismatch");
+    MatrixT<T> c(a.rows(), a.cols() + b.cols());
+    for (int j = 0; j < a.cols(); ++j)
+        for (int i = 0; i < a.rows(); ++i) c(i, j) = a(i, j);
+    for (int j = 0; j < b.cols(); ++j)
+        for (int i = 0; i < b.rows(); ++i) c(i, a.cols() + j) = b(i, j);
+    return c;
+}
+
+/// Promotes a real matrix to complex (for frequency-domain evaluations).
+inline ZMatrix to_complex(const Matrix& a) {
+    ZMatrix z(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.raw().size(); ++i) z.raw()[i] = a.raw()[i];
+    return z;
+}
+
+/// Promotes a real vector to complex.
+inline ZVector to_complex(const Vector& a) {
+    ZVector z(a.size());
+    for (int i = 0; i < a.size(); ++i) z[i] = a[i];
+    return z;
+}
+
+/// G + s*C over complex s: the resolvent pencil used in frequency sweeps.
+inline ZMatrix pencil(const Matrix& g, const Matrix& c, cplx s) {
+    check(g.rows() == c.rows() && g.cols() == c.cols(), "pencil: shape mismatch");
+    ZMatrix z(g.rows(), g.cols());
+    for (std::size_t i = 0; i < z.raw().size(); ++i)
+        z.raw()[i] = g.raw()[i] + s * c.raw()[i];
+    return z;
+}
+
+/// Symmetric part (A + A^T)/2 — input to the passivity checker.
+inline Matrix symmetric_part(const Matrix& a) {
+    check(a.rows() == a.cols(), "symmetric_part: square matrix required");
+    Matrix s(a.rows(), a.cols());
+    for (int j = 0; j < a.cols(); ++j)
+        for (int i = 0; i < a.rows(); ++i) s(i, j) = 0.5 * (a(i, j) + a(j, i));
+    return s;
+}
+
+}  // namespace varmor::la

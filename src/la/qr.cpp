@@ -1,0 +1,108 @@
+#include "la/qr.h"
+
+#include <cmath>
+
+#include "la/ops.h"
+
+namespace varmor::la {
+
+namespace {
+
+/// Householder vectors are stored below the diagonal of `h`; betas alongside.
+struct HouseholderQr {
+    Matrix h;                   // packed factors
+    std::vector<double> beta;   // reflector scalars
+
+    explicit HouseholderQr(Matrix a) : h(std::move(a)), beta(static_cast<std::size_t>(h.cols())) {
+        const int m = h.rows(), n = h.cols();
+        check(m >= n, "qr: requires rows >= cols");
+        for (int k = 0; k < n; ++k) {
+            // Build the reflector annihilating h(k+1..m-1, k).
+            double normx = 0;
+            for (int i = k; i < m; ++i) normx += h(i, k) * h(i, k);
+            normx = std::sqrt(normx);
+            if (normx == 0.0) { beta[static_cast<std::size_t>(k)] = 0; continue; }
+            const double alpha = h(k, k) >= 0 ? -normx : normx;
+            double v0 = h(k, k) - alpha;
+            h(k, k) = alpha;
+            // v = [v0, h(k+1..,k)]; normalize so v[0] = 1.
+            double vnorm2 = v0 * v0;
+            for (int i = k + 1; i < m; ++i) vnorm2 += h(i, k) * h(i, k);
+            if (vnorm2 == 0.0) { beta[static_cast<std::size_t>(k)] = 0; continue; }
+            beta[static_cast<std::size_t>(k)] = 2.0 * v0 * v0 / vnorm2;
+            for (int i = k + 1; i < m; ++i) h(i, k) /= v0;
+            // Apply (I - beta v v^T) to trailing columns.
+            for (int j = k + 1; j < n; ++j) {
+                double s = h(k, j);
+                for (int i = k + 1; i < m; ++i) s += h(i, k) * h(i, j);
+                s *= beta[static_cast<std::size_t>(k)];
+                h(k, j) -= s;
+                for (int i = k + 1; i < m; ++i) h(i, j) -= s * h(i, k);
+            }
+        }
+    }
+
+    /// Applies Q^T to a vector in place.
+    void apply_qt(Vector& x) const {
+        const int m = h.rows(), n = h.cols();
+        for (int k = 0; k < n; ++k) {
+            const double bk = beta[static_cast<std::size_t>(k)];
+            if (bk == 0.0) continue;
+            double s = x[k];
+            for (int i = k + 1; i < m; ++i) s += h(i, k) * x[i];
+            s *= bk;
+            x[k] -= s;
+            for (int i = k + 1; i < m; ++i) x[i] -= s * h(i, k);
+        }
+    }
+
+    /// Applies Q to a vector in place.
+    void apply_q(Vector& x) const {
+        const int m = h.rows(), n = h.cols();
+        for (int k = n - 1; k >= 0; --k) {
+            const double bk = beta[static_cast<std::size_t>(k)];
+            if (bk == 0.0) continue;
+            double s = x[k];
+            for (int i = k + 1; i < m; ++i) s += h(i, k) * x[i];
+            s *= bk;
+            x[k] -= s;
+            for (int i = k + 1; i < m; ++i) x[i] -= s * h(i, k);
+        }
+    }
+};
+
+}  // namespace
+
+QrResult qr(const Matrix& a) {
+    HouseholderQr f(a);
+    const int m = a.rows(), n = a.cols();
+    QrResult out{Matrix(m, n), Matrix(n, n)};
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i <= j; ++i) out.r(i, j) = f.h(i, j);
+    // Q = apply reflectors to the first n identity columns.
+    for (int j = 0; j < n; ++j) {
+        Vector e(m);
+        e[j] = 1.0;
+        f.apply_q(e);
+        out.q.set_col(j, e);
+    }
+    return out;
+}
+
+Vector least_squares(const Matrix& a, const Vector& b) {
+    check(a.rows() == b.size(), "least_squares: dimension mismatch");
+    HouseholderQr f(a);
+    Vector y = b;
+    f.apply_qt(y);
+    const int n = a.cols();
+    Vector x(n);
+    for (int i = n - 1; i >= 0; --i) {
+        double acc = y[i];
+        for (int j = i + 1; j < n; ++j) acc -= f.h(i, j) * x[j];
+        check(f.h(i, i) != 0.0, "least_squares: rank-deficient matrix");
+        x[i] = acc / f.h(i, i);
+    }
+    return x;
+}
+
+}  // namespace varmor::la

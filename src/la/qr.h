@@ -1,0 +1,22 @@
+#pragma once
+
+#include "la/dense.h"
+
+namespace varmor::la {
+
+/// Thin Householder QR of an m x n matrix with m >= n: A = Q R with
+/// Q (m x n) having orthonormal columns and R (n x n) upper triangular.
+struct QrResult {
+    Matrix q;  ///< m x n, orthonormal columns
+    Matrix r;  ///< n x n, upper triangular
+};
+
+/// Computes the thin QR factorization via Householder reflections.
+QrResult qr(const Matrix& a);
+
+/// Solves the least-squares problem min ||A x - b||_2 for full-column-rank A
+/// (m >= n) using the QR factorization. Used by the projection-fitting
+/// baseline (Liu et al., DAC'99) and by tests.
+Vector least_squares(const Matrix& a, const Vector& b);
+
+}  // namespace varmor::la

@@ -1,0 +1,116 @@
+#include "la/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "la/ops.h"
+
+namespace varmor::la {
+
+namespace {
+
+/// One-sided Jacobi on columns: rotates column pairs of U until all pairs are
+/// numerically orthogonal; V accumulates the rotations.
+void jacobi_sweeps(Matrix& u, Matrix& v) {
+    const int m = u.rows(), n = u.cols();
+    const double tol = 1e-14;
+    const int max_sweeps = 60;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        bool rotated = false;
+        for (int p = 0; p < n - 1; ++p) {
+            for (int q = p + 1; q < n; ++q) {
+                double* up = u.col_data(p);
+                double* uq = u.col_data(q);
+                double alpha = 0, beta = 0, gamma = 0;
+                for (int i = 0; i < m; ++i) {
+                    alpha += up[i] * up[i];
+                    beta += uq[i] * uq[i];
+                    gamma += up[i] * uq[i];
+                }
+                if (std::abs(gamma) <= tol * std::sqrt(alpha * beta)) continue;
+                rotated = true;
+                // Rutishauser rotation zeroing the (p,q) entry of U^T U.
+                const double zeta = (beta - alpha) / (2.0 * gamma);
+                const double t = (zeta >= 0 ? 1.0 : -1.0) /
+                                 (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+                const double c = 1.0 / std::sqrt(1.0 + t * t);
+                const double s = c * t;
+                for (int i = 0; i < m; ++i) {
+                    const double a = up[i], b = uq[i];
+                    up[i] = c * a - s * b;
+                    uq[i] = s * a + c * b;
+                }
+                double* vp = v.col_data(p);
+                double* vq = v.col_data(q);
+                for (int i = 0; i < n; ++i) {
+                    const double a = vp[i], b = vq[i];
+                    vp[i] = c * a - s * b;
+                    vq[i] = s * a + c * b;
+                }
+            }
+        }
+        if (!rotated) return;
+    }
+}
+
+}  // namespace
+
+SvdResult svd(const Matrix& a) {
+    check(!a.empty(), "svd: empty matrix");
+    // One-sided Jacobi wants m >= n; otherwise factor the transpose and swap.
+    if (a.rows() < a.cols()) {
+        SvdResult t = svd(transpose(a));
+        return SvdResult{std::move(t.v), std::move(t.s), std::move(t.u)};
+    }
+    const int m = a.rows(), n = a.cols();
+    Matrix u = a;
+    Matrix v = Matrix::identity(n);
+    jacobi_sweeps(u, v);
+
+    // Column norms are the singular values; normalize U's columns.
+    std::vector<double> s(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+        double norm = 0;
+        const double* col = u.col_data(j);
+        for (int i = 0; i < m; ++i) norm += col[i] * col[i];
+        s[static_cast<std::size_t>(j)] = std::sqrt(norm);
+    }
+    // Sort descending.
+    std::vector<int> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](int x, int y) { return s[static_cast<std::size_t>(x)] > s[static_cast<std::size_t>(y)]; });
+
+    SvdResult out{Matrix(m, n), std::vector<double>(static_cast<std::size_t>(n)), Matrix(n, n)};
+    for (int j = 0; j < n; ++j) {
+        const int src = order[static_cast<std::size_t>(j)];
+        const double sigma = s[static_cast<std::size_t>(src)];
+        out.s[static_cast<std::size_t>(j)] = sigma;
+        const double inv = sigma > 0 ? 1.0 / sigma : 0.0;
+        for (int i = 0; i < m; ++i) out.u(i, j) = u(i, src) * inv;
+        for (int i = 0; i < n; ++i) out.v(i, j) = v(i, src);
+    }
+    return out;
+}
+
+SvdResult svd_truncated(const Matrix& a, int rank) {
+    check(rank >= 1, "svd_truncated: rank must be positive");
+    SvdResult full = svd(a);
+    const int r = std::min<int>(rank, static_cast<int>(full.s.size()));
+    SvdResult out{full.u.cols_range(0, r),
+                  std::vector<double>(full.s.begin(), full.s.begin() + r),
+                  full.v.cols_range(0, r)};
+    return out;
+}
+
+Matrix svd_reconstruct(const SvdResult& f) {
+    Matrix us = f.u;
+    for (int j = 0; j < us.cols(); ++j) {
+        double* col = us.col_data(j);
+        for (int i = 0; i < us.rows(); ++i) col[i] *= f.s[static_cast<std::size_t>(j)];
+    }
+    return matmul(us, transpose(f.v));
+}
+
+}  // namespace varmor::la

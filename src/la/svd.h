@@ -1,0 +1,29 @@
+#pragma once
+
+#include "la/dense.h"
+
+namespace varmor::la {
+
+/// Full singular value decomposition A = U diag(S) V^T with singular values
+/// sorted descending.
+struct SvdResult {
+    Matrix u;               ///< m x r, orthonormal columns (r = min(m, n))
+    std::vector<double> s;  ///< r singular values, descending
+    Matrix v;               ///< n x r, orthonormal columns
+};
+
+/// Computes the SVD by one-sided Jacobi rotations (the LAPACK dgesvj
+/// algorithm family): numerically robust and adequate for the dense sizes
+/// varmor touches (reduced models, low-rank factors, tests).
+SvdResult svd(const Matrix& a);
+
+/// Truncated factors of the best rank-k approximation A ~= U_k diag(S_k) V_k^T.
+/// This is the "optimal 2-norm rank-k approximation" of eq. (11) in the paper
+/// when applied to an explicitly formed matrix (tests / small problems; the
+/// production path uses the matrix-implicit Lanczos SVD in varmor::sparse).
+SvdResult svd_truncated(const Matrix& a, int rank);
+
+/// Reconstructs U diag(S) V^T (test helper).
+Matrix svd_reconstruct(const SvdResult& f);
+
+}  // namespace varmor::la

@@ -1,0 +1,99 @@
+#include "mor/awe.h"
+
+#include <cmath>
+
+#include "la/eig.h"
+#include "la/lu_dense.h"
+#include "la/ops.h"
+#include "sparse/splu.h"
+#include "util/check.h"
+
+namespace varmor::mor {
+
+using la::cplx;
+using la::Matrix;
+using la::Vector;
+using la::ZMatrix;
+using la::ZVector;
+
+AweModel awe(const sparse::Csc& g, const sparse::Csc& c, const Vector& b, const Vector& l,
+             const AweOptions& opts) {
+    const int q = opts.poles;
+    check(q >= 1, "awe: need at least one pole");
+    check(g.rows() == g.cols() && c.rows() == g.rows() && c.cols() == g.cols(),
+          "awe: shape mismatch");
+    check(b.size() == g.rows() && l.size() == g.rows(), "awe: port vector mismatch");
+
+    // Explicit moments m_k = l^T (-G^-1 C)^k G^-1 b — the raw recursion that
+    // AWE is built on (and that loses digits exponentially fast).
+    const sparse::SparseLu lu(g);
+    AweModel model;
+    Vector v = lu.solve(b);
+    model.moments.reserve(static_cast<std::size_t>(2 * q));
+    for (int k = 0; k < 2 * q; ++k) {
+        model.moments.push_back(la::dot(l, v));
+        Vector w = lu.solve(c.apply(v));
+        la::scale(w, -1.0);
+        v = w;
+    }
+
+    // Denominator 1 + a_1 s + ... + a_q s^q from the Hankel system
+    //   sum_{j=1..q} a_j m_{k-j} = -m_k,  k = q .. 2q-1.
+    Matrix h(q, q);
+    Vector rhs(q);
+    for (int row = 0; row < q; ++row) {
+        const int k = q + row;
+        for (int j = 1; j <= q; ++j)
+            h(row, j - 1) = model.moments[static_cast<std::size_t>(k - j)];
+        rhs[row] = -model.moments[static_cast<std::size_t>(k)];
+    }
+    Vector a = la::solve_dense(h, rhs);  // throws if numerically singular
+
+    // Poles: roots of Q(s) = 1 + a_1 s + ... + a_q s^q via the companion
+    // matrix of the reversed (monic-in-s^q) polynomial.
+    check(std::abs(a[q - 1]) > 0.0, "awe: degenerate denominator");
+    // Monic form s^q + c_{q-1} s^{q-1} + ... + c_0 with c_j = a_j / a_q
+    // (c_0 = 1 / a_q); standard companion has first row -c_{q-1} .. -c_0.
+    Matrix companion(q, q);
+    for (int j = 0; j < q; ++j) {
+        const double cj = (j == 0 ? 1.0 : a[j - 1]) / a[q - 1];
+        companion(0, q - 1 - j) = -cj;
+    }
+    for (int i = 1; i < q; ++i) companion(i, i - 1) = 1.0;
+    model.poles = la::eig_values(companion);
+
+    // Residues from the first q moments: m_j = sum_i -k_i / p_i^{j+1}.
+    ZMatrix vand(q, q);
+    ZVector mom(q);
+    for (int j = 0; j < q; ++j) {
+        for (int i = 0; i < q; ++i)
+            vand(j, i) = -1.0 / std::pow(model.poles[static_cast<std::size_t>(i)],
+                                         static_cast<double>(j + 1));
+        mom[j] = model.moments[static_cast<std::size_t>(j)];
+    }
+    const ZVector k = la::solve_dense(vand, mom);
+    model.residues.assign(k.raw().begin(), k.raw().end());
+    return model;
+}
+
+cplx AweModel::transfer(cplx s) const {
+    cplx acc{};
+    for (std::size_t i = 0; i < poles.size(); ++i) acc += residues[i] / (s - poles[i]);
+    return acc;
+}
+
+bool AweModel::stable() const {
+    for (const cplx& p : poles)
+        if (p.real() >= 0.0) return false;
+    return true;
+}
+
+cplx AweModel::model_moment(int j) const {
+    check(j >= 0, "AweModel::model_moment: negative index");
+    cplx acc{};
+    for (std::size_t i = 0; i < poles.size(); ++i)
+        acc += -residues[i] / std::pow(poles[i], static_cast<double>(j + 1));
+    return acc;
+}
+
+}  // namespace varmor::mor

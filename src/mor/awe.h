@@ -1,0 +1,47 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "sparse/csc.h"
+
+namespace varmor::mor {
+
+/// Asymptotic Waveform Evaluation (Pillage & Rohrer [1] — the first
+/// reference of the paper and the ancestor of every Krylov MOR method).
+/// Explicitly computes 2q transfer-function moments and fits a q-pole
+/// Pade approximation
+///
+///   H(s) ~= sum_i  k_i / (s - p_i)
+///
+/// via a Hankel system for the denominator. AWE is exact for small q and
+/// famously ill-conditioned as q grows (the moment vectors align with the
+/// dominant eigenvector), which is precisely why PRIMA's implicit moment
+/// matching replaced it; bench/awe_stability measures that breakdown.
+struct AweOptions {
+    int poles = 4;  ///< q: approximation order (2q moments are computed)
+};
+
+struct AweModel {
+    std::vector<la::cplx> poles;     ///< p_i
+    std::vector<la::cplx> residues;  ///< k_i
+    std::vector<double> moments;     ///< the 2q matched moments m_0..m_{2q-1}
+
+    /// H(s) = sum k_i / (s - p_i).
+    la::cplx transfer(la::cplx s) const;
+
+    /// True iff every pole has a strictly negative real part.
+    bool stable() const;
+
+    /// j-th moment of the fitted model, sum_i -k_i / p_i^{j+1} — equals
+    /// moments[j] in exact arithmetic (test hook for the matching property).
+    la::cplx model_moment(int j) const;
+};
+
+/// Single-input single-output AWE: b and l select the driven and observed
+/// port pattern. Throws varmor::Error if the Hankel system is numerically
+/// singular (the breakdown mode).
+AweModel awe(const sparse::Csc& g, const sparse::Csc& c, const la::Vector& b,
+             const la::Vector& l, const AweOptions& opts = {});
+
+}  // namespace varmor::mor

@@ -1,0 +1,121 @@
+#include "mor/fit_projection.h"
+
+#include <cmath>
+
+#include "la/lu_dense.h"
+#include "la/ops.h"
+#include "la/orth.h"
+#include "util/check.h"
+
+namespace varmor::mor {
+
+using la::Matrix;
+using la::Vector;
+
+namespace {
+
+/// Monomial values [1, p_i.., p_i^2..] for one parameter point.
+std::vector<double> monomials(const std::vector<double>& p, bool quadratic) {
+    std::vector<double> m{1.0};
+    for (double x : p) m.push_back(x);
+    if (quadratic)
+        for (double x : p) m.push_back(x * x);
+    return m;
+}
+
+/// Flips sample-basis columns so each has nonnegative inner product with the
+/// reference basis column (PRIMA bases are unique only up to column signs).
+void align_columns(const Matrix& reference, Matrix& v) {
+    const int cols = std::min(reference.cols(), v.cols());
+    for (int j = 0; j < cols; ++j) {
+        double dot = 0;
+        for (int i = 0; i < v.rows(); ++i) dot += reference(i, j) * v(i, j);
+        if (dot < 0)
+            for (int i = 0; i < v.rows(); ++i) v(i, j) = -v(i, j);
+    }
+}
+
+}  // namespace
+
+FittedProjection::FittedProjection(const circuit::ParametricSystem& sys,
+                                   const std::vector<std::vector<double>>& samples,
+                                   const FitProjectionOptions& opts)
+    : num_params_(sys.num_params()), quadratic_(opts.quadratic) {
+    sys.validate();
+    const int nb = 1 + (opts.quadratic ? 2 : 1) * num_params_;
+    check(static_cast<int>(samples.size()) >= nb,
+          "FittedProjection: need at least " + std::to_string(nb) + " samples for " +
+              std::to_string(nb) + " polynomial coefficients");
+
+    // Sample the projection matrix (PRIMA at each parameter point).
+    PrimaOptions prima_opts;
+    prima_opts.blocks = opts.blocks;
+    std::vector<Matrix> vs;
+    vs.reserve(samples.size());
+    int cols = -1;
+    for (const auto& p : samples) {
+        check(static_cast<int>(p.size()) == num_params_,
+              "FittedProjection: sample dimension mismatch");
+        Matrix v = prima_basis_at(sys, p, prima_opts);
+        ++factorizations_;
+        cols = cols < 0 ? v.cols() : std::min(cols, v.cols());
+        vs.push_back(std::move(v));
+    }
+    check(cols >= 1, "FittedProjection: empty sampled bases");
+    for (Matrix& v : vs) v = v.cols_range(0, cols);
+    if (opts.align_signs)
+        for (std::size_t s = 1; s < vs.size(); ++s) align_columns(vs[0], vs[s]);
+
+    // Least squares per entry, all entries at once: solve (D^T D) X = D^T Y
+    // where D is the (ns x nb) monomial design matrix and Y stacks the
+    // sampled matrix entries as rows of length n*cols.
+    const int ns = static_cast<int>(samples.size());
+    Matrix d(ns, nb);
+    for (int s = 0; s < ns; ++s) {
+        const auto m = monomials(samples[static_cast<std::size_t>(s)], quadratic_);
+        for (int j = 0; j < nb; ++j) d(s, j) = m[static_cast<std::size_t>(j)];
+    }
+    const Matrix dtd = la::matmul_transA(d, d);
+    const la::DenseLu<double> normal(dtd);
+
+    const int n = sys.size();
+    coeffs_.assign(static_cast<std::size_t>(nb), Matrix(n, cols));
+    double residual = 0.0, scale = 0.0;
+    // Process column-of-V at a time to keep memory modest.
+    for (int c = 0; c < cols; ++c) {
+        for (int i = 0; i < n; ++i) {
+            Vector y(ns);
+            for (int s = 0; s < ns; ++s) y[s] = vs[static_cast<std::size_t>(s)](i, c);
+            const Vector rhs = la::matvec_transpose(d, y);
+            const Vector x = normal.solve(rhs);
+            for (int b = 0; b < nb; ++b) coeffs_[static_cast<std::size_t>(b)](i, c) = x[b];
+            const Vector fit = la::matvec(d, x);
+            for (int s = 0; s < ns; ++s) {
+                residual += (fit[s] - y[s]) * (fit[s] - y[s]);
+                scale += y[s] * y[s];
+            }
+        }
+    }
+    fit_residual_ = std::sqrt(residual / (scale + 1e-300));
+}
+
+Matrix FittedProjection::basis_at(const std::vector<double>& p) const {
+    check(static_cast<int>(p.size()) == num_params_,
+          "FittedProjection::basis_at: parameter dimension mismatch");
+    const auto m = monomials(p, quadratic_);
+    Matrix v = coeffs_.front();
+    for (std::size_t b = 1; b < coeffs_.size(); ++b) {
+        const double w = m[b];
+        if (w == 0.0) continue;
+        for (std::size_t e = 0; e < v.raw().size(); ++e)
+            v.raw()[e] += w * coeffs_[b].raw()[e];
+    }
+    return la::orthonormalize(v);
+}
+
+ReducedModel FittedProjection::model_at(const circuit::ParametricSystem& sys,
+                                        const std::vector<double>& p) const {
+    return project(sys, basis_at(p));
+}
+
+}  // namespace varmor::mor

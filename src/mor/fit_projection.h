@@ -1,0 +1,66 @@
+#pragma once
+
+#include "circuit/parametric_system.h"
+#include "mor/prima.h"
+#include "mor/reduced_model.h"
+
+namespace varmor::mor {
+
+/// The projection-fitting baseline of Liu, Pileggi and Strojwas (DAC'99,
+/// reference [6] of the paper; eq. (4)): PRIMA is applied at samples of the
+/// variational parameter space and the projection matrix is expanded as a
+/// Taylor polynomial
+///
+///   V(p) = V0 + sum_i Vi1 p_i + sum_i Vi2 p_i^2
+///
+/// whose coefficient matrices are fitted entrywise over the samples by least
+/// squares. Section 3.3 of the paper contrasts this "direct fitting" with
+/// the multi-point expansion: "Sometimes it is observed that the projection
+/// matrix is sensitive w.r.t variational parameters thus making a direct
+/// fitting less robust." The ablation bench quantifies that claim.
+struct FitProjectionOptions {
+    int blocks = 6;          ///< PRIMA moments per sample
+    bool quadratic = true;   ///< include the p_i^2 terms of eq. (4)
+    /// Align each sample's basis columns to the nominal basis before
+    /// fitting (sign matching). Without alignment the fit is meaningless
+    /// whenever PRIMA flips a column sign between samples — one concrete
+    /// mechanism behind the robustness problem the paper mentions.
+    bool align_signs = true;
+};
+
+class FittedProjection {
+public:
+    /// Fits the coefficient matrices over the given samples (each sample is
+    /// a parameter vector). Requires at least as many samples as polynomial
+    /// coefficients (1 + np, or 1 + 2 np with quadratic terms).
+    FittedProjection(const circuit::ParametricSystem& sys,
+                     const std::vector<std::vector<double>>& samples,
+                     const FitProjectionOptions& opts = {});
+
+    /// Evaluates the fitted projection matrix at a parameter point
+    /// (orthonormalized for a well-conditioned congruence).
+    la::Matrix basis_at(const std::vector<double>& p) const;
+
+    /// Projects the full parametric system with V(p) and returns the reduced
+    /// model (valid at and around that p).
+    ReducedModel model_at(const circuit::ParametricSystem& sys,
+                          const std::vector<double>& p) const;
+
+    int num_params() const { return num_params_; }
+    int columns() const { return coeffs_.empty() ? 0 : coeffs_.front().cols(); }
+    int factorizations() const { return factorizations_; }
+
+    /// Residual of the least-squares fit relative to the sampled projection
+    /// matrices (large residual = the projection is a poor polynomial in p,
+    /// the failure mode the paper warns about).
+    double fit_residual() const { return fit_residual_; }
+
+private:
+    int num_params_ = 0;
+    bool quadratic_ = true;
+    int factorizations_ = 0;
+    double fit_residual_ = 0.0;
+    std::vector<la::Matrix> coeffs_;  ///< [1, p_0.., p_0^2..] coefficient matrices
+};
+
+}  // namespace varmor::mor

@@ -1,0 +1,41 @@
+#include "mor/krylov.h"
+
+#include "util/check.h"
+
+namespace varmor::mor {
+
+using la::Matrix;
+using la::Vector;
+
+Matrix block_arnoldi_extend(Matrix basis,
+                            const std::function<Vector(const Vector&)>& apply_a,
+                            const Matrix& x0, int blocks, const la::OrthOptions& opts) {
+    check(static_cast<bool>(apply_a), "block_arnoldi: apply callback required");
+    check(blocks >= 1, "block_arnoldi: need at least one block");
+    check(!x0.empty(), "block_arnoldi: empty start block");
+    if (!basis.empty())
+        check(basis.rows() == x0.rows(), "block_arnoldi: dimension mismatch");
+
+    // Current block; orthonormalized before first use so deflation inside a
+    // block is handled too.
+    int before = basis.cols();
+    basis = la::extend_basis(basis, x0, opts);
+    Matrix block = basis.cols_range(before, basis.cols() - before);
+
+    for (int j = 1; j < blocks; ++j) {
+        if (block.empty()) break;  // Krylov space exhausted early
+        Matrix next(x0.rows(), block.cols());
+        for (int c = 0; c < block.cols(); ++c) next.set_col(c, apply_a(block.col(c)));
+        before = basis.cols();
+        basis = la::extend_basis(basis, next, opts);
+        block = basis.cols_range(before, basis.cols() - before);
+    }
+    return basis;
+}
+
+Matrix block_arnoldi(const std::function<Vector(const Vector&)>& apply_a,
+                     const Matrix& x0, int blocks, const la::OrthOptions& opts) {
+    return block_arnoldi_extend(Matrix(x0.rows(), 0), apply_a, x0, blocks, opts);
+}
+
+}  // namespace varmor::mor

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <functional>
+
+#include "la/dense.h"
+#include "la/orth.h"
+
+namespace varmor::mor {
+
+/// Block Arnoldi: builds an orthonormal basis of the block Krylov subspace
+///
+///   Kr(A, X0, blocks) = span{ X0, A X0, ..., A^{blocks-1} X0 }
+///
+/// where A is given as a callback (typically x -> -G0^-1 (C0 x) backed by
+/// one sparse factorization). Each block is orthogonalized against
+/// everything before it with deflation, and the next block is generated from
+/// the *orthonormalized* previous block — the numerically sound way to
+/// match high moment orders (raw moment vectors align exponentially fast).
+///
+/// Returns a basis whose span contains the exact block Krylov space (up to
+/// the deflation tolerance), which is all moment-matching proofs need.
+la::Matrix block_arnoldi(const std::function<la::Vector(const la::Vector&)>& apply_a,
+                         const la::Matrix& x0, int blocks,
+                         const la::OrthOptions& opts = {});
+
+/// Same, but appends to an existing orthonormal `basis` (used by Algorithm 1
+/// to accumulate the per-parameter subspaces into one projection matrix).
+la::Matrix block_arnoldi_extend(la::Matrix basis,
+                                const std::function<la::Vector(const la::Vector&)>& apply_a,
+                                const la::Matrix& x0, int blocks,
+                                const la::OrthOptions& opts = {});
+
+}  // namespace varmor::mor

@@ -1,0 +1,86 @@
+#include "mor/model_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace varmor::mor {
+
+namespace {
+
+void write_matrix(std::ostream& os, const std::string& tag, const la::Matrix& m) {
+    os << tag << "\n";
+    for (double v : m.raw()) os << v << ' ';
+    os << "\n";
+}
+
+la::Matrix read_matrix(std::istream& is, const std::string& expected_tag, int rows,
+                       int cols) {
+    std::string tag;
+    check(static_cast<bool>(is >> tag), "read_model: truncated before " + expected_tag);
+    check(tag == expected_tag,
+          "read_model: expected section '" + expected_tag + "', got '" + tag + "'");
+    la::Matrix m(rows, cols);
+    for (double& v : m.raw())
+        check(static_cast<bool>(is >> v), "read_model: truncated inside " + expected_tag);
+    return m;
+}
+
+}  // namespace
+
+void write_model(const ReducedModel& model, std::ostream& os) {
+    check(model.size() >= 1, "write_model: empty model");
+    os.precision(17);
+    os << "varmor-rom 1\n";
+    os << "size " << model.size() << " ports " << model.num_ports() << " params "
+       << model.num_params() << "\n";
+    write_matrix(os, "G0", model.g0);
+    write_matrix(os, "C0", model.c0);
+    write_matrix(os, "B", model.b);
+    write_matrix(os, "L", model.l);
+    for (int i = 0; i < model.num_params(); ++i) {
+        write_matrix(os, "dG" + std::to_string(i), model.dg[static_cast<std::size_t>(i)]);
+        write_matrix(os, "dC" + std::to_string(i), model.dc[static_cast<std::size_t>(i)]);
+    }
+}
+
+void write_model_file(const ReducedModel& model, const std::string& path) {
+    std::ofstream f(path);
+    check(f.good(), "write_model_file: cannot open " + path);
+    write_model(model, f);
+}
+
+ReducedModel read_model(std::istream& is) {
+    std::string magic;
+    int version = 0;
+    check(static_cast<bool>(is >> magic >> version), "read_model: missing header");
+    check(magic == "varmor-rom", "read_model: bad magic '" + magic + "'");
+    check(version == 1, "read_model: unsupported version " + std::to_string(version));
+
+    std::string k1, k2, k3;
+    int q = 0, m = 0, np = 0;
+    check(static_cast<bool>(is >> k1 >> q >> k2 >> m >> k3 >> np) && k1 == "size" &&
+              k2 == "ports" && k3 == "params",
+          "read_model: malformed dimension line");
+    check(q >= 1 && m >= 1 && np >= 0, "read_model: invalid dimensions");
+
+    ReducedModel model;
+    model.g0 = read_matrix(is, "G0", q, q);
+    model.c0 = read_matrix(is, "C0", q, q);
+    model.b = read_matrix(is, "B", q, m);
+    model.l = read_matrix(is, "L", q, m);
+    for (int i = 0; i < np; ++i) {
+        model.dg.push_back(read_matrix(is, "dG" + std::to_string(i), q, q));
+        model.dc.push_back(read_matrix(is, "dC" + std::to_string(i), q, q));
+    }
+    return model;
+}
+
+ReducedModel read_model_file(const std::string& path) {
+    std::ifstream f(path);
+    check(f.good(), "read_model_file: cannot open " + path);
+    return read_model(f);
+}
+
+}  // namespace varmor::mor

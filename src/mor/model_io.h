@@ -1,0 +1,30 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mor/reduced_model.h"
+
+namespace varmor::mor {
+
+/// Text serialization of a parametric reduced model, so a model extracted
+/// once (expensively, from the full netlist) can be shipped to and reused by
+/// downstream timing/yield tools without the netlist.
+///
+/// Format:
+///   varmor-rom 1           ; magic + version
+///   size q ports m params np
+///   G0 <q*q numbers, column-major> C0 <...> B <...> L <...>
+///   dG0 <...> dC0 <...> dG1 ...
+/// All numbers are full-precision decimal.
+
+/// Writes the model.
+void write_model(const ReducedModel& model, std::ostream& os);
+void write_model_file(const ReducedModel& model, const std::string& path);
+
+/// Reads a model; throws varmor::Error on malformed input (bad magic,
+/// wrong version, truncated data, inconsistent dimensions).
+ReducedModel read_model(std::istream& is);
+ReducedModel read_model_file(const std::string& path);
+
+}  // namespace varmor::mor

@@ -1,0 +1,102 @@
+#include "mor/moments.h"
+
+#include "la/lu_dense.h"
+#include "la/ops.h"
+#include "util/check.h"
+
+namespace varmor::mor {
+
+using la::Matrix;
+
+MomentOracle::MomentOracle(const Matrix& g0, const Matrix& c0, const std::vector<Matrix>& dg,
+                           const std::vector<Matrix>& dc, const Matrix& b, const Matrix& l)
+    : l_(l) {
+    check(g0.rows() == g0.cols(), "MomentOracle: G0 must be square");
+    check(dg.size() == dc.size(), "MomentOracle: dg/dc count mismatch");
+    const la::DenseLu<double> lu(g0);
+    r0_ = lu.solve(b);
+    a_s_ = lu.solve(c0);
+    for (double& x : a_s_.raw()) x = -x;
+    for (const Matrix& gi : dg) {
+        Matrix m = lu.solve(gi);
+        for (double& x : m.raw()) x = -x;
+        a_g_.push_back(std::move(m));
+    }
+    for (const Matrix& ci : dc) {
+        Matrix m = lu.solve(ci);
+        for (double& x : m.raw()) x = -x;
+        a_c_.push_back(std::move(m));
+    }
+}
+
+const Matrix& MomentOracle::state_moment(const MomentKey& key) {
+    check(static_cast<int>(key.p.size()) == num_params(),
+          "MomentOracle: key parameter count mismatch");
+    check(key.s >= 0, "MomentOracle: negative s degree");
+    for (int v : key.p) check(v >= 0, "MomentOracle: negative parameter degree");
+
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+
+    Matrix value(r0_.rows(), r0_.cols());
+    if (key.total() == 0) {
+        value = r0_;
+    } else {
+        // First-letter recursion.
+        if (key.s >= 1) {
+            MomentKey sub = key;
+            --sub.s;
+            value = value + la::matmul(a_s_, state_moment(sub));
+        }
+        for (int i = 0; i < num_params(); ++i) {
+            if (key.p[static_cast<std::size_t>(i)] >= 1) {
+                MomentKey sub = key;
+                --sub.p[static_cast<std::size_t>(i)];
+                value = value + la::matmul(a_g_[static_cast<std::size_t>(i)], state_moment(sub));
+                if (key.s >= 1) {
+                    MomentKey sub2 = sub;
+                    --sub2.s;
+                    value = value +
+                            la::matmul(a_c_[static_cast<std::size_t>(i)], state_moment(sub2));
+                }
+            }
+        }
+    }
+    return cache_.emplace(key, std::move(value)).first->second;
+}
+
+Matrix MomentOracle::port_moment(const MomentKey& key) {
+    return la::matmul_transA(l_, state_moment(key));
+}
+
+std::vector<MomentKey> MomentOracle::keys_up_to(int order, int num_params) {
+    check(order >= 0 && num_params >= 0, "keys_up_to: negative input");
+    std::vector<MomentKey> keys;
+    MomentKey key;
+    key.p.assign(static_cast<std::size_t>(num_params), 0);
+    // Enumerate multidegrees by recursion over positions.
+    struct Walker {
+        int order;
+        int num_params;
+        std::vector<MomentKey>& keys;
+        MomentKey& key;
+        void walk(int pos, int remaining) {
+            if (pos == num_params) {
+                for (int s = 0; s <= remaining; ++s) {
+                    key.s = s;
+                    keys.push_back(key);
+                }
+                return;
+            }
+            for (int v = 0; v <= remaining; ++v) {
+                key.p[static_cast<std::size_t>(pos)] = v;
+                walk(pos + 1, remaining - v);
+            }
+            key.p[static_cast<std::size_t>(pos)] = 0;
+        }
+    };
+    Walker{order, num_params, keys, key}.walk(0, order);
+    return keys;
+}
+
+}  // namespace varmor::mor

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "la/dense.h"
+
+namespace varmor::mor {
+
+/// Multidegree of a multi-parameter moment: power of s and powers of each
+/// parameter (the (k_s, k_1, ..., k_np) of eq. (7)).
+struct MomentKey {
+    int s = 0;
+    std::vector<int> p;
+
+    int total() const {
+        int t = s;
+        for (int v : p) t += v;
+        return t;
+    }
+    bool operator<(const MomentKey& other) const {
+        if (s != other.s) return s < other.s;
+        return p < other.p;
+    }
+};
+
+/// Exact multi-parameter moment computation on small *dense* systems — the
+/// oracle used to machine-verify the moment-matching theorems (PRIMA,
+/// single-point order-k matching, and Theorem 1 for Algorithm 1).
+///
+/// Expansion (eq. (7)): X(s, p) = sum over words w in letters
+/// {A_s (deg s), A_gi (deg p_i), A_ci (deg s and p_i)} of w * R0, where
+/// A_s = -G0^-1 C0, A_gi = -G0^-1 Gi, A_ci = -G0^-1 Ci, R0 = G0^-1 B.
+/// The moment of multidegree mu is the sum of all word products of that
+/// multidegree; it satisfies the first-letter recursion
+///   M(mu) = A_s M(mu - e_s) + sum_i A_gi M(mu - e_i) + sum_i A_ci M(mu - e_s - e_i)
+/// which this class memoizes.
+class MomentOracle {
+public:
+    /// Builds from dense system matrices. `dg`/`dc` may be empty (nominal
+    /// system: PRIMA moments).
+    MomentOracle(const la::Matrix& g0, const la::Matrix& c0,
+                 const std::vector<la::Matrix>& dg, const std::vector<la::Matrix>& dc,
+                 const la::Matrix& b, const la::Matrix& l);
+
+    int num_params() const { return static_cast<int>(a_g_.size()); }
+
+    /// State-space moment M(mu), an n x m matrix.
+    const la::Matrix& state_moment(const MomentKey& key);
+
+    /// Port moment L^T M(mu), an m x m matrix — what reduced models must
+    /// reproduce.
+    la::Matrix port_moment(const MomentKey& key);
+
+    /// Every multidegree with total order <= `order` over `num_params`
+    /// parameters (s-degree included in the total).
+    static std::vector<MomentKey> keys_up_to(int order, int num_params);
+
+private:
+    la::Matrix r0_;
+    la::Matrix a_s_;
+    std::vector<la::Matrix> a_g_;
+    std::vector<la::Matrix> a_c_;
+    la::Matrix l_;
+    std::map<MomentKey, la::Matrix> cache_;
+};
+
+}  // namespace varmor::mor

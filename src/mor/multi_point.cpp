@@ -1,0 +1,50 @@
+#include "mor/multi_point.h"
+
+#include "la/orth.h"
+#include "util/check.h"
+
+namespace varmor::mor {
+
+MultiPointResult multi_point_basis(const circuit::ParametricSystem& sys,
+                                   const std::vector<std::vector<double>>& samples,
+                                   const MultiPointOptions& opts) {
+    sys.validate();
+    check(!samples.empty(), "multi_point_basis: need at least one sample point");
+
+    PrimaOptions prima_opts;
+    prima_opts.blocks = opts.blocks_per_sample;
+    prima_opts.orth = opts.orth;
+
+    MultiPointResult out;
+    out.basis = la::Matrix(sys.size(), 0);
+    for (const std::vector<double>& p : samples) {
+        check(static_cast<int>(p.size()) == sys.num_params(),
+              "multi_point_basis: sample dimension mismatch");
+        const la::Matrix vi = prima_basis_at(sys, p, prima_opts);
+        ++out.factorizations;
+        out.basis = la::extend_basis(out.basis, vi, opts.orth);
+    }
+    return out;
+}
+
+std::vector<std::vector<double>> grid_samples(int num_params,
+                                              const std::vector<double>& levels) {
+    check(num_params >= 1, "grid_samples: need at least one parameter");
+    check(!levels.empty(), "grid_samples: need at least one level");
+    std::vector<std::vector<double>> grid{{}};
+    for (int i = 0; i < num_params; ++i) {
+        std::vector<std::vector<double>> next;
+        next.reserve(grid.size() * levels.size());
+        for (const auto& partial : grid) {
+            for (double level : levels) {
+                std::vector<double> extended = partial;
+                extended.push_back(level);
+                next.push_back(std::move(extended));
+            }
+        }
+        grid = std::move(next);
+    }
+    return grid;
+}
+
+}  // namespace varmor::mor

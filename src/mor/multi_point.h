@@ -1,0 +1,37 @@
+#pragma once
+
+#include "circuit/parametric_system.h"
+#include "mor/prima.h"
+
+namespace varmor::mor {
+
+/// Options for the multi-point expansion (section 3.3 / Fig. 1 of the paper).
+struct MultiPointOptions {
+    /// Moments of s matched at each sample point.
+    int blocks_per_sample = 8;
+    la::OrthOptions orth;
+};
+
+struct MultiPointResult {
+    la::Matrix basis;
+    int factorizations = 0;  ///< one sparse LU per sample (the method's cost)
+};
+
+/// Multi-point expansion: applies PRIMA at each sample point of the
+/// variational parameter space and merges the projection matrices into one
+/// orthonormal basis, V = colspan{V1, ..., V_ns}. The model interpolates
+/// implicitly between the samples via projection (more robust than the
+/// direct fitting of Liu et al. [6] when the projection matrix is sensitive
+/// to the parameters). Cost: one matrix factorization per sample.
+MultiPointResult multi_point_basis(const circuit::ParametricSystem& sys,
+                                   const std::vector<std::vector<double>>& samples,
+                                   const MultiPointOptions& opts = {});
+
+/// Full factorial grid: every combination of the per-parameter values, e.g.
+/// levels = {-1, 0, +1} over n_p parameters gives 3^{n_p} samples (the
+/// "three samples per axis ... 81 sample points" cost example of
+/// section 4).
+std::vector<std::vector<double>> grid_samples(int num_params,
+                                              const std::vector<double>& levels);
+
+}  // namespace varmor::mor

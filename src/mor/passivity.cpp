@@ -1,0 +1,48 @@
+#include "mor/passivity.h"
+
+#include "la/eig_sym.h"
+#include "la/ops.h"
+#include "util/check.h"
+
+namespace varmor::mor {
+
+using la::Matrix;
+
+PassivityReport check_passivity(const Matrix& g, const Matrix& c, const Matrix& b,
+                                const Matrix& l, double tol) {
+    check(g.rows() == g.cols() && c.rows() == c.cols() && g.rows() == c.rows(),
+          "check_passivity: shape mismatch");
+    PassivityReport report;
+
+    const Matrix gs = la::symmetric_part(g);
+    const Matrix cs = la::symmetric_part(c);
+    const double gscale = 1.0 + la::norm_max(gs);
+    const double cscale = 1.0 + la::norm_max(cs);
+
+    report.min_eig_g_sym = la::eig_symmetric(gs).values.front();
+    report.min_eig_c_sym = la::eig_symmetric(cs).values.front();
+    report.g_symmetric_part_psd = report.min_eig_g_sym >= -tol * gscale;
+    // (2) also requires C itself symmetric, not just its symmetric part PSD.
+    double asym = 0.0;
+    for (int j = 0; j < c.cols(); ++j)
+        for (int i = 0; i < c.rows(); ++i) asym = std::max(asym, std::abs(c(i, j) - c(j, i)));
+    report.c_psd = report.min_eig_c_sym >= -tol * cscale && asym <= tol * cscale;
+
+    report.b_equals_l =
+        b.rows() == l.rows() && b.cols() == l.cols() && la::norm_max(b - l) <= tol;
+    return report;
+}
+
+PassivityReport check_passivity(const ReducedModel& model, const std::vector<double>& p,
+                                double tol) {
+    return check_passivity(model.g_at(p), model.c_at(p), model.b, model.l, tol);
+}
+
+PassivityReport check_passivity(const circuit::ParametricSystem& sys,
+                                const std::vector<double>& p, double tol) {
+    sys.validate();
+    return check_passivity(sys.g_at(p).to_dense(), sys.c_at(p).to_dense(), sys.b, sys.l,
+                           tol);
+}
+
+}  // namespace varmor::mor

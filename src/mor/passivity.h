@@ -1,0 +1,42 @@
+#pragma once
+
+#include "circuit/parametric_system.h"
+#include "la/dense.h"
+#include "mor/reduced_model.h"
+
+namespace varmor::mor {
+
+/// Result of a passivity certificate check for a descriptor system in the
+/// PRIMA-form sufficient condition: a system C x' = -G x + B u, y = L^T x is
+/// passive if
+///   (1) G + G^T is positive semidefinite,
+///   (2) C is symmetric positive semidefinite,
+///   (3) B == L.
+struct PassivityReport {
+    bool g_symmetric_part_psd = false;
+    bool c_psd = false;
+    bool b_equals_l = false;
+    double min_eig_g_sym = 0.0;  ///< most negative eigenvalue of (G+G^T)/2
+    double min_eig_c_sym = 0.0;  ///< most negative eigenvalue of (C+C^T)/2
+
+    bool passive() const { return g_symmetric_part_psd && c_psd && b_equals_l; }
+};
+
+/// Certificate for a dense (reduced) model at a parameter point. Because
+/// projection is a congruence with one V, a passive full parametric model
+/// stays passive for every p where the full model is — the property the
+/// paper's Algorithm 1 advertises.
+PassivityReport check_passivity(const la::Matrix& g, const la::Matrix& c,
+                                const la::Matrix& b, const la::Matrix& l,
+                                double tol = 1e-9);
+
+/// Certificate for a reduced parametric model at a parameter point.
+PassivityReport check_passivity(const ReducedModel& model, const std::vector<double>& p,
+                                double tol = 1e-9);
+
+/// Certificate for the full sparse parametric system at a parameter point
+/// (densifies the symmetric parts; intended for the paper-scale systems).
+PassivityReport check_passivity(const circuit::ParametricSystem& sys,
+                                const std::vector<double>& p, double tol = 1e-9);
+
+}  // namespace varmor::mor

@@ -1,0 +1,36 @@
+#include "mor/prima.h"
+
+#include "la/ops.h"
+#include "mor/krylov.h"
+#include "util/check.h"
+
+namespace varmor::mor {
+
+using la::Matrix;
+using la::Vector;
+
+Matrix prima_basis(const sparse::Csc& g, const sparse::Csc& c, const Matrix& b,
+                   const PrimaOptions& opts) {
+    check(opts.blocks >= 1, "prima_basis: blocks must be positive");
+    check(g.rows() == g.cols(), "prima_basis: G must be square");
+    check(c.rows() == g.rows() && c.cols() == g.cols(), "prima_basis: C shape mismatch");
+    check(b.rows() == g.rows(), "prima_basis: B row mismatch");
+    check(b.cols() >= 1, "prima_basis: need at least one port");
+
+    const sparse::SparseLu lu(g);
+    const Matrix r0 = lu.solve(b);
+    auto apply_a = [&](const Vector& x) {
+        Vector y = lu.solve(c.apply(x));
+        la::scale(y, -1.0);
+        return y;
+    };
+    return block_arnoldi(apply_a, r0, opts.blocks, opts.orth);
+}
+
+Matrix prima_basis_at(const circuit::ParametricSystem& sys, const std::vector<double>& p,
+                      const PrimaOptions& opts) {
+    sys.validate();
+    return prima_basis(sys.g_at(p), sys.c_at(p), sys.b, opts);
+}
+
+}  // namespace varmor::mor

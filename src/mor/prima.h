@@ -1,0 +1,31 @@
+#pragma once
+
+#include "circuit/parametric_system.h"
+#include "la/dense.h"
+#include "la/orth.h"
+#include "sparse/splu.h"
+
+namespace varmor::mor {
+
+/// Options for the PRIMA projection (Odabasioglu-Celik-Pileggi [4]).
+struct PrimaOptions {
+    /// Number of block moments matched: the basis spans
+    /// {R, AR, ..., A^{blocks-1} R}, matching `blocks` block moments of the
+    /// transfer function at s = 0 (the paper says "matching k moments of s").
+    int blocks = 8;
+    la::OrthOptions orth;
+};
+
+/// Computes the PRIMA projection basis for the deterministic system (G, C, B):
+/// an orthonormal basis of Kr(-G^-1 C, G^-1 B, blocks). One sparse LU of G is
+/// the dominant cost.
+la::Matrix prima_basis(const sparse::Csc& g, const sparse::Csc& c, const la::Matrix& b,
+                       const PrimaOptions& opts = {});
+
+/// PRIMA basis of a parametric system evaluated at a parameter point
+/// (used by the multi-point expansion and by the "nominal projection"
+/// baseline of Figs. 3 and 4 at p = 0).
+la::Matrix prima_basis_at(const circuit::ParametricSystem& sys,
+                          const std::vector<double>& p, const PrimaOptions& opts = {});
+
+}  // namespace varmor::mor

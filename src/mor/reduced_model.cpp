@@ -1,0 +1,96 @@
+#include "mor/reduced_model.h"
+
+#include <algorithm>
+
+#include "la/eig.h"
+#include "la/lu_dense.h"
+#include "la/ops.h"
+#include "util/check.h"
+
+namespace varmor::mor {
+
+using la::cplx;
+using la::Matrix;
+using la::ZMatrix;
+
+namespace {
+
+Matrix affine(const Matrix& base, const std::vector<Matrix>& terms,
+              const std::vector<double>& p) {
+    check(p.size() == terms.size(), "ReducedModel: parameter vector length mismatch");
+    Matrix acc = base;
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+        if (p[i] == 0.0) continue;
+        for (std::size_t e = 0; e < acc.raw().size(); ++e)
+            acc.raw()[e] += p[i] * terms[i].raw()[e];
+    }
+    return acc;
+}
+
+}  // namespace
+
+Matrix ReducedModel::g_at(const std::vector<double>& p) const { return affine(g0, dg, p); }
+
+Matrix ReducedModel::c_at(const std::vector<double>& p) const { return affine(c0, dc, p); }
+
+ZMatrix ReducedModel::transfer(cplx s, const std::vector<double>& p) const {
+    const ZMatrix pencil = la::pencil(g_at(p), c_at(p), s);
+    const ZMatrix x = la::solve_dense(pencil, la::to_complex(b));
+    return la::matmul(la::transpose(la::to_complex(l)), x);
+}
+
+ZMatrix ReducedModel::transfer_sensitivity(cplx s, const std::vector<double>& p,
+                                           int param) const {
+    check(param >= 0 && param < num_params(),
+          "ReducedModel::transfer_sensitivity: parameter index out of range");
+    const la::DenseLu<cplx> k(la::pencil(g_at(p), c_at(p), s));
+    const ZMatrix x = k.solve(la::to_complex(b));  // K^-1 B
+    // dK/dp_i * x
+    const ZMatrix dk = la::pencil(dg[static_cast<std::size_t>(param)],
+                                  dc[static_cast<std::size_t>(param)], s);
+    const ZMatrix y = k.solve(la::matmul(dk, x));  // K^-1 dK K^-1 B
+    ZMatrix out = la::matmul(la::transpose(la::to_complex(l)), y);
+    for (cplx& v : out.raw()) v = -v;
+    return out;
+}
+
+std::vector<cplx> ReducedModel::poles(const std::vector<double>& p) const {
+    // mu-eigenvalues of A = -G^-1 C; finite poles are s = -1/mu, mu != 0.
+    const Matrix g = g_at(p);
+    const Matrix c = c_at(p);
+    const Matrix a = la::DenseLu<double>(g).solve(c);  // G^-1 C (sign folded below)
+    std::vector<cplx> mus = la::eig_values(a);
+    std::vector<cplx> poles;
+    const double cutoff = 1e-14 * (1.0 + la::norm_fro(a));
+    for (const cplx& mu : mus) {
+        if (std::abs(mu) <= cutoff) continue;  // pole at infinity
+        poles.push_back(-1.0 / mu);            // s = -1/mu with mu from +G^-1 C
+    }
+    std::sort(poles.begin(), poles.end(),
+              [](cplx x, cplx y) { return std::abs(x) < std::abs(y); });
+    return poles;
+}
+
+ReducedModel project(const circuit::ParametricSystem& sys, const Matrix& v) {
+    sys.validate();
+    check(v.rows() == sys.size(), "project: basis row count must match system size");
+    check(v.cols() >= 1 && v.cols() <= sys.size(), "project: invalid basis width");
+
+    auto congruence = [&](const sparse::Csc& m) {
+        // V^T (M V), exploiting sparsity of M.
+        return la::matmul_transA(v, m.apply(v));
+    };
+
+    ReducedModel r;
+    r.g0 = congruence(sys.g0);
+    r.c0 = congruence(sys.c0);
+    r.dg.reserve(sys.dg.size());
+    r.dc.reserve(sys.dc.size());
+    for (const auto& m : sys.dg) r.dg.push_back(congruence(m));
+    for (const auto& m : sys.dc) r.dc.push_back(congruence(m));
+    r.b = la::matmul_transA(v, sys.b);
+    r.l = la::matmul_transA(v, sys.l);
+    return r;
+}
+
+}  // namespace varmor::mor

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "circuit/parametric_system.h"
+#include "la/dense.h"
+#include "la/orth.h"
+
+namespace varmor::mor {
+
+/// Options for the single-point multi-parameter moment-matching baseline
+/// (Daniel et al. [10], section 3.1 of the paper).
+struct SinglePointOptions {
+    /// Total multi-parameter moment order k: the basis spans every word
+    /// product of the letters {A_s, A_gi, A_ci} applied to R0 with total
+    /// degree <= k, where deg(A_s) = deg(A_gi) = 1 and deg(A_ci) = 2
+    /// (the C-sensitivity letter carries s * p_i).
+    int order = 2;
+    la::OrthOptions orth;
+    /// Safety cap on generated word products (the count grows as
+    /// (2 n_p + 1)^k — the very blow-up section 3.2 criticizes).
+    int max_words = 20000;
+};
+
+/// Result: projection basis plus bookkeeping for the size-complexity bench.
+struct SinglePointResult {
+    la::Matrix basis;
+    int words_generated = 0;  ///< word products evaluated (before deflation)
+};
+
+/// Single-point expansion at (s, p) = 0: generates all multi-parameter
+/// moment word products up to the requested total order and orthonormalizes
+/// them. The reduced model matches every multi-parameter moment of order
+/// <= k, at the cost of a basis that grows combinatorially with k and n_p —
+/// this is the baseline whose "inefficiency" (section 3.2) motivates the
+/// paper's Algorithm 1.
+SinglePointResult single_point_basis(const circuit::ParametricSystem& sys,
+                                     const SinglePointOptions& opts = {});
+
+}  // namespace varmor::mor

@@ -1,0 +1,132 @@
+#include "mor/tbr.h"
+
+#include <cmath>
+
+#include "la/eig_sym.h"
+#include "la/lu_dense.h"
+#include "la/ops.h"
+#include "la/svd.h"
+#include "util/check.h"
+
+namespace varmor::mor {
+
+using la::Matrix;
+
+Matrix solve_lyapunov(const Matrix& a, const Matrix& w, const TbrOptions& opts) {
+    check(a.rows() == a.cols() && w.rows() == w.cols() && a.rows() == w.rows(),
+          "solve_lyapunov: shape mismatch");
+    // Roberts' sign iteration: Z <- (Z + Z^-1)/2 converges to sign(A) = -I
+    // for stable A while the coupled iterate
+    //   W <- (W + Z^-1 W Z^-T)/2
+    // converges to 2X with A X + X A^T + W = 0.
+    Matrix z = a;
+    Matrix x = w;
+    for (int it = 0; it < opts.max_sign_iters; ++it) {
+        const Matrix zinv = la::inverse(z);
+        Matrix znext = z;
+        for (std::size_t e = 0; e < znext.raw().size(); ++e)
+            znext.raw()[e] = 0.5 * (z.raw()[e] + zinv.raw()[e]);
+        const Matrix xt = la::matmul(zinv, la::matmul(x, la::transpose(zinv)));
+        for (std::size_t e = 0; e < x.raw().size(); ++e)
+            x.raw()[e] = 0.5 * (x.raw()[e] + xt.raw()[e]);
+        const double delta = la::norm_fro(znext - z);
+        z = std::move(znext);
+        if (delta <= opts.tol * (1.0 + la::norm_fro(z))) break;
+    }
+    // sign(A) must be -I for a stable A; X = W_inf / 2.
+    Matrix minus_i = Matrix::identity(a.rows());
+    for (double& v : minus_i.raw()) v = -v;
+    check(la::norm_fro(z - minus_i) < 1e-6 * a.rows(),
+          "solve_lyapunov: A is not (numerically) stable");
+    for (double& v : x.raw()) v *= 0.5;
+    return x;
+}
+
+TbrResult tbr(const sparse::Csc& g, const sparse::Csc& c, const Matrix& b, const Matrix& l,
+              const TbrOptions& opts) {
+    const int n = g.rows();
+    check(n == g.cols() && n == c.rows() && n == c.cols(), "tbr: shape mismatch");
+    check(b.rows() == n && l.rows() == n, "tbr: port matrix shape mismatch");
+    check(opts.order >= 1, "tbr: order must be positive");
+
+    // Standard state space (dense — TBR is the expensive baseline).
+    const la::DenseLu<double> clu(c.to_dense());
+    Matrix a = clu.solve(g.to_dense());
+    for (double& v : a.raw()) v = -v;
+    const Matrix bs = clu.solve(b);
+    const Matrix cs = la::transpose(l);
+
+    // Controllability gramian: A P + P A^T + Bs Bs^T = 0.
+    const Matrix p = solve_lyapunov(a, la::matmul(bs, la::transpose(bs)), opts);
+    // Observability gramian: A^T Q + Q A + Cs^T Cs = 0.
+    const Matrix q =
+        solve_lyapunov(la::transpose(a), la::matmul(la::transpose(cs), cs), opts);
+
+    // Square-root balancing: P = S S^T, Q = R R^T via eigendecompositions
+    // (robust to semidefiniteness), then SVD of R^T S.
+    auto psd_sqrt = [](const Matrix& m) {
+        const la::SymEigResult e = la::eig_symmetric(m);
+        Matrix s(m.rows(), m.cols());
+        for (int j = 0; j < m.cols(); ++j) {
+            const double lam = e.values[static_cast<std::size_t>(j)];
+            const double f = lam > 0 ? std::sqrt(lam) : 0.0;
+            for (int i = 0; i < m.rows(); ++i) s(i, j) = e.vectors(i, j) * f;
+        }
+        return s;  // columns scaled: m ~= s s^T
+    };
+    const Matrix s = psd_sqrt(p);
+    const Matrix r = psd_sqrt(q);
+    const la::SvdResult svd = la::svd(la::matmul_transA(r, s));
+
+    TbrResult out;
+    out.hankel = svd.s;
+    int order = std::min(opts.order, static_cast<int>(svd.s.size()));
+    while (order > 1 && svd.s[static_cast<std::size_t>(order - 1)] <
+                            1e-13 * (svd.s[0] + 1e-300))
+        --order;  // drop numerically-zero Hankel directions
+
+    // T_l = Sigma^-1/2 U^T R^T, T_r = S V Sigma^-1/2.
+    Matrix tl(order, n), tr(n, order);
+    for (int k = 0; k < order; ++k) {
+        const double f = 1.0 / std::sqrt(svd.s[static_cast<std::size_t>(k)]);
+        for (int i = 0; i < n; ++i) {
+            double acc_l = 0;
+            for (int j = 0; j < n; ++j) acc_l += svd.u(j, k) * r(i, j);
+            tl(k, i) = f * acc_l;
+        }
+        for (int i = 0; i < n; ++i) {
+            double acc_r = 0;
+            for (int j = 0; j < n; ++j) acc_r += s(i, j) * svd.v(j, k);
+            tr(i, k) = f * acc_r;
+        }
+    }
+    out.a = la::matmul(tl, la::matmul(a, tr));
+    out.b = la::matmul(tl, bs);
+    out.c = la::matmul(cs, tr);
+    return out;
+}
+
+TbrResult tbr_at(const circuit::ParametricSystem& sys, const std::vector<double>& p,
+                 const TbrOptions& opts) {
+    sys.validate();
+    return tbr(sys.g_at(p), sys.c_at(p), sys.b, sys.l, opts);
+}
+
+la::ZMatrix TbrResult::transfer(la::cplx s) const {
+    const int r = a.rows();
+    la::ZMatrix pencil(r, r);
+    for (int j = 0; j < r; ++j)
+        for (int i = 0; i < r; ++i)
+            pencil(i, j) = (i == j ? s : la::cplx(0)) - a(i, j);
+    const la::ZMatrix x = la::solve_dense(pencil, la::to_complex(b));
+    return la::matmul(la::to_complex(c), x);
+}
+
+double TbrResult::error_bound() const {
+    double bound = 0;
+    for (std::size_t i = static_cast<std::size_t>(a.rows()); i < hankel.size(); ++i)
+        bound += 2.0 * hankel[i];
+    return bound;
+}
+
+}  // namespace varmor::mor

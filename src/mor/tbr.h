@@ -1,0 +1,59 @@
+#pragma once
+
+#include "circuit/parametric_system.h"
+#include "la/dense.h"
+
+namespace varmor::mor {
+
+/// Truncated balanced realization (Moore [5]) — the control-theoretic MOR
+/// family the paper's introduction positions Krylov methods against: "more
+/// accurate, but suffer from a dramatic increase in computational cost".
+/// varmor implements the square-root method with a matrix-sign-function
+/// Lyapunov solver so the cost claim (dense O(n^3)) and the accuracy claim
+/// (Hankel-bound error) can both be measured against Algorithm 1.
+///
+/// The descriptor system C x' = -G x + B u, y = L^T x is converted to
+/// standard state space A = -C^-1 G, Bs = C^-1 B, Cs = L^T (requires C
+/// nonsingular, true for the RC workloads TBR is benchmarked on).
+struct TbrOptions {
+    int order = 10;          ///< retained states
+    int max_sign_iters = 60; ///< Newton iterations for sign(A)
+    double tol = 1e-12;      ///< sign-iteration convergence tolerance
+};
+
+struct TbrResult {
+    // Reduced standard state space: x' = a x + b u, y = c x.
+    la::Matrix a;
+    la::Matrix b;
+    la::Matrix c;
+    /// Hankel singular values of the full system, descending. The H-inf
+    /// error bound of truncation to order r is 2 * sum of the discarded
+    /// values.
+    std::vector<double> hankel;
+
+    int size() const { return a.rows(); }
+
+    /// Transfer function C (sI - A)^-1 B.
+    la::ZMatrix transfer(la::cplx s) const;
+
+    /// The truncation error bound 2 * sum_{i>r} hankel_i.
+    double error_bound() const;
+};
+
+/// Balanced truncation of the (nominal) descriptor system.
+TbrResult tbr(const sparse::Csc& g, const sparse::Csc& c, const la::Matrix& b,
+              const la::Matrix& l, const TbrOptions& opts = {});
+
+/// Convenience: TBR of a parametric system frozen at a parameter point —
+/// the "TBR analysis on perturbed systems" approach of Heydari et al. [7]
+/// requires one of these per sample, which is exactly the cost blow-up the
+/// paper criticizes.
+TbrResult tbr_at(const circuit::ParametricSystem& sys, const std::vector<double>& p,
+                 const TbrOptions& opts = {});
+
+/// Solves the Lyapunov equation A X + X A^T + W = 0 for stable A via the
+/// matrix sign function (Roberts' iteration). Exposed for tests.
+la::Matrix solve_lyapunov(const la::Matrix& a, const la::Matrix& w,
+                          const TbrOptions& opts = {});
+
+}  // namespace varmor::mor

@@ -1,0 +1,31 @@
+#include "sparse/csc.h"
+
+namespace varmor::sparse {
+
+ZCsc pencil(const Csc& g, const Csc& c, cplx s) {
+    check(g.rows() == c.rows() && g.cols() == c.cols(), "pencil: shape mismatch");
+    TripletsT<cplx> t(g.rows(), g.cols());
+    for (int j = 0; j < g.cols(); ++j) {
+        for (int p = g.col_ptr()[static_cast<std::size_t>(j)];
+             p < g.col_ptr()[static_cast<std::size_t>(j) + 1]; ++p)
+            t.add(g.row_idx()[static_cast<std::size_t>(p)], j,
+                  cplx(g.values()[static_cast<std::size_t>(p)]));
+        for (int p = c.col_ptr()[static_cast<std::size_t>(j)];
+             p < c.col_ptr()[static_cast<std::size_t>(j) + 1]; ++p)
+            t.add(c.row_idx()[static_cast<std::size_t>(p)], j,
+                  s * c.values()[static_cast<std::size_t>(p)]);
+    }
+    return ZCsc(t);
+}
+
+ZCsc to_complex(const Csc& a) {
+    TripletsT<cplx> t(a.rows(), a.cols());
+    for (int j = 0; j < a.cols(); ++j)
+        for (int p = a.col_ptr()[static_cast<std::size_t>(j)];
+             p < a.col_ptr()[static_cast<std::size_t>(j) + 1]; ++p)
+            t.add(a.row_idx()[static_cast<std::size_t>(p)], j,
+                  cplx(a.values()[static_cast<std::size_t>(p)]));
+    return ZCsc(t);
+}
+
+}  // namespace varmor::sparse

@@ -1,0 +1,14 @@
+#include "sparse/linear_operator.h"
+
+#include "la/ops.h"
+
+namespace varmor::sparse {
+
+LinearOperator dense_operator(const la::Matrix& a) {
+    return LinearOperator(
+        a.rows(), a.cols(),
+        [a](const la::Vector& x) { return la::matvec(a, x); },
+        [a](const la::Vector& x) { return la::matvec_transpose(a, x); });
+}
+
+}  // namespace varmor::sparse

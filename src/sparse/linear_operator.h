@@ -1,0 +1,58 @@
+#pragma once
+
+#include <functional>
+
+#include "la/dense.h"
+
+namespace varmor::sparse {
+
+/// Matrix-free linear operator: everything the iterative SVD / Arnoldi
+/// kernels need. The paper's generalized sensitivity matrices G0^-1 Gi are
+/// dense and never formed; they are exposed through this interface as
+/// "solve-then-multiply" compositions reusing the one factorization of G0
+/// (section 4.2).
+class LinearOperator {
+public:
+    /// Builds from explicit apply / apply-transpose callbacks.
+    LinearOperator(int rows, int cols,
+                   std::function<la::Vector(const la::Vector&)> apply,
+                   std::function<la::Vector(const la::Vector&)> apply_transpose)
+        : rows_(rows), cols_(cols), apply_(std::move(apply)),
+          apply_transpose_(std::move(apply_transpose)) {
+        check(rows >= 0 && cols >= 0, "LinearOperator: negative dimension");
+        check(static_cast<bool>(apply_), "LinearOperator: apply required");
+    }
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    /// y = M x.
+    la::Vector apply(const la::Vector& x) const {
+        check(x.size() == cols_, "LinearOperator::apply: dimension mismatch");
+        la::Vector y = apply_(x);
+        check(y.size() == rows_, "LinearOperator::apply: callback returned wrong size");
+        return y;
+    }
+
+    /// y = M^T x. Throws if no transpose callback was supplied.
+    la::Vector apply_transpose(const la::Vector& x) const {
+        check(static_cast<bool>(apply_transpose_),
+              "LinearOperator::apply_transpose: operator has no transpose");
+        check(x.size() == rows_, "LinearOperator::apply_transpose: dimension mismatch");
+        la::Vector y = apply_transpose_(x);
+        check(y.size() == cols_, "LinearOperator::apply_transpose: callback returned wrong size");
+        return y;
+    }
+
+    bool has_transpose() const { return static_cast<bool>(apply_transpose_); }
+
+private:
+    int rows_, cols_;
+    std::function<la::Vector(const la::Vector&)> apply_;
+    std::function<la::Vector(const la::Vector&)> apply_transpose_;
+};
+
+/// Wraps a dense matrix as an operator (tests, small problems).
+LinearOperator dense_operator(const la::Matrix& a);
+
+}  // namespace varmor::sparse

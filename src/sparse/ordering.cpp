@@ -1,0 +1,127 @@
+#include "sparse/ordering.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <set>
+
+namespace varmor::sparse {
+
+namespace {
+
+/// Adjacency of the symmetrized pattern A + A^T, excluding the diagonal.
+std::vector<std::set<int>> symmetric_adjacency(int n, const std::vector<int>& col_ptr,
+                                               const std::vector<int>& row_idx) {
+    std::vector<std::set<int>> adj(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+        for (int p = col_ptr[static_cast<std::size_t>(j)];
+             p < col_ptr[static_cast<std::size_t>(j) + 1]; ++p) {
+            const int i = row_idx[static_cast<std::size_t>(p)];
+            if (i == j) continue;
+            adj[static_cast<std::size_t>(i)].insert(j);
+            adj[static_cast<std::size_t>(j)].insert(i);
+        }
+    }
+    return adj;
+}
+
+}  // namespace
+
+std::vector<int> min_degree_ordering(int n, const std::vector<int>& col_ptr,
+                                     const std::vector<int>& row_idx) {
+    std::vector<std::set<int>> adj = symmetric_adjacency(n, col_ptr, row_idx);
+    std::vector<bool> eliminated(static_cast<std::size_t>(n), false);
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(n));
+
+    // degree -> candidate nodes; degrees may be stale, validated on pop.
+    using Entry = std::pair<int, int>;  // (degree, node)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    for (int v = 0; v < n; ++v)
+        heap.emplace(static_cast<int>(adj[static_cast<std::size_t>(v)].size()), v);
+
+    while (!heap.empty()) {
+        const auto [deg, v] = heap.top();
+        heap.pop();
+        if (eliminated[static_cast<std::size_t>(v)]) continue;
+        if (deg != static_cast<int>(adj[static_cast<std::size_t>(v)].size())) {
+            heap.emplace(static_cast<int>(adj[static_cast<std::size_t>(v)].size()), v);
+            continue;  // stale degree entry
+        }
+        eliminated[static_cast<std::size_t>(v)] = true;
+        order.push_back(v);
+
+        // Eliminate v: clique its neighbours (symbolic Gaussian elimination).
+        std::vector<int> nbrs(adj[static_cast<std::size_t>(v)].begin(),
+                              adj[static_cast<std::size_t>(v)].end());
+        for (int u : nbrs) adj[static_cast<std::size_t>(u)].erase(v);
+        for (std::size_t x = 0; x < nbrs.size(); ++x) {
+            for (std::size_t y = x + 1; y < nbrs.size(); ++y) {
+                adj[static_cast<std::size_t>(nbrs[x])].insert(nbrs[y]);
+                adj[static_cast<std::size_t>(nbrs[y])].insert(nbrs[x]);
+            }
+        }
+        for (int u : nbrs)
+            heap.emplace(static_cast<int>(adj[static_cast<std::size_t>(u)].size()), u);
+        adj[static_cast<std::size_t>(v)].clear();
+    }
+    return order;
+}
+
+std::vector<int> rcm_ordering(int n, const std::vector<int>& col_ptr,
+                              const std::vector<int>& row_idx) {
+    std::vector<std::set<int>> adj = symmetric_adjacency(n, col_ptr, row_idx);
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(n));
+    std::vector<bool> visited(static_cast<std::size_t>(n), false);
+
+    auto degree = [&](int v) { return static_cast<int>(adj[static_cast<std::size_t>(v)].size()); };
+
+    for (;;) {
+        // Start the next component from an unvisited node of minimum degree.
+        int start = -1;
+        for (int v = 0; v < n; ++v)
+            if (!visited[static_cast<std::size_t>(v)] &&
+                (start < 0 || degree(v) < degree(start)))
+                start = v;
+        if (start < 0) break;
+
+        std::queue<int> q;
+        q.push(start);
+        visited[static_cast<std::size_t>(start)] = true;
+        while (!q.empty()) {
+            const int v = q.front();
+            q.pop();
+            order.push_back(v);
+            std::vector<int> nbrs;
+            for (int u : adj[static_cast<std::size_t>(v)])
+                if (!visited[static_cast<std::size_t>(u)]) nbrs.push_back(u);
+            std::sort(nbrs.begin(), nbrs.end(),
+                      [&](int x, int y) { return degree(x) < degree(y); });
+            for (int u : nbrs) {
+                visited[static_cast<std::size_t>(u)] = true;
+                q.push(u);
+            }
+        }
+    }
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+std::vector<int> natural_ordering(int n) {
+    std::vector<int> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    return order;
+}
+
+bool is_permutation(const std::vector<int>& perm, int n) {
+    if (static_cast<int>(perm.size()) != n) return false;
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    for (int v : perm) {
+        if (v < 0 || v >= n || seen[static_cast<std::size_t>(v)]) return false;
+        seen[static_cast<std::size_t>(v)] = true;
+    }
+    return true;
+}
+
+}  // namespace varmor::sparse

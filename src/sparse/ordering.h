@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.h"
+
+namespace varmor::sparse {
+
+/// Fill-reducing column orderings for sparse LU. All operate on the
+/// symmetrized pattern of A + A^T, which is appropriate for MNA matrices
+/// (structurally symmetric up to the inductor coupling blocks). The
+/// pattern-only overloads let the complex pencil factorization reuse the
+/// same orderings.
+
+/// Minimum-degree ordering (exact-degree variant — adequate for the circuit
+/// sizes varmor targets). Returns a permutation `order` such that column
+/// order[k] of A should be eliminated k-th.
+std::vector<int> min_degree_ordering(int n, const std::vector<int>& col_ptr,
+                                     const std::vector<int>& row_idx);
+
+/// Reverse Cuthill-McKee (bandwidth-reducing) ordering; cheaper to compute,
+/// usually more fill than minimum degree. Kept as an alternative and for
+/// cross-checking the LU on different orderings.
+std::vector<int> rcm_ordering(int n, const std::vector<int>& col_ptr,
+                              const std::vector<int>& row_idx);
+
+/// Identity (natural) ordering.
+std::vector<int> natural_ordering(int n);
+
+/// True iff `perm` is a permutation of 0..n-1 (test helper).
+bool is_permutation(const std::vector<int>& perm, int n);
+
+template <class T>
+std::vector<int> min_degree_ordering(const CscT<T>& a) {
+    check(a.rows() == a.cols(), "ordering: square matrix required");
+    return min_degree_ordering(a.rows(), a.col_ptr(), a.row_idx());
+}
+
+template <class T>
+std::vector<int> rcm_ordering(const CscT<T>& a) {
+    check(a.rows() == a.cols(), "ordering: square matrix required");
+    return rcm_ordering(a.rows(), a.col_ptr(), a.row_idx());
+}
+
+}  // namespace varmor::sparse

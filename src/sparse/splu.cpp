@@ -1,0 +1,63 @@
+#include "sparse/splu.h"
+
+namespace varmor::sparse::detail {
+
+namespace {
+
+/// Non-recursive DFS from node `start` through the L graph; pushes nodes onto
+/// stack[top..] in reverse topological order (cs_dfs).
+int dfs_from(int start, const std::vector<int>& l_colptr, const std::vector<int>& l_rowidx,
+             const std::vector<int>& pinv, std::vector<int>& stack, int top,
+             std::vector<int>& work_stack, std::vector<int>& position,
+             std::vector<bool>& marked) {
+    int head = 0;
+    work_stack[0] = start;
+    while (head >= 0) {
+        const int i = work_stack[static_cast<std::size_t>(head)];
+        const int jcol = pinv[static_cast<std::size_t>(i)];  // L column for row i, or -1
+        if (!marked[static_cast<std::size_t>(i)]) {
+            marked[static_cast<std::size_t>(i)] = true;
+            position[static_cast<std::size_t>(head)] =
+                jcol < 0 ? -1 : l_colptr[static_cast<std::size_t>(jcol)];
+        }
+        bool done = true;
+        if (jcol >= 0) {
+            const int pend = l_colptr[static_cast<std::size_t>(jcol) + 1];
+            int p = position[static_cast<std::size_t>(head)];
+            // Skip the unit diagonal entry (first in the column).
+            if (p == l_colptr[static_cast<std::size_t>(jcol)]) ++p;
+            for (; p < pend; ++p) {
+                const int row = l_rowidx[static_cast<std::size_t>(p)];
+                if (marked[static_cast<std::size_t>(row)]) continue;
+                position[static_cast<std::size_t>(head)] = p + 1;
+                work_stack[static_cast<std::size_t>(++head)] = row;
+                done = false;
+                break;
+            }
+        }
+        if (done) {
+            --head;
+            stack[static_cast<std::size_t>(--top)] = i;
+        }
+    }
+    return top;
+}
+
+}  // namespace
+
+int lu_reach(int n, const std::vector<int>& l_colptr, const std::vector<int>& l_rowidx,
+             const std::vector<int>& b_rows, const std::vector<int>& pinv,
+             std::vector<int>& stack, std::vector<int>& work_stack,
+             std::vector<bool>& marked) {
+    static thread_local std::vector<int> position;
+    position.assign(static_cast<std::size_t>(n), 0);
+    int top = n;
+    for (int i : b_rows)
+        if (!marked[static_cast<std::size_t>(i)])
+            top = dfs_from(i, l_colptr, l_rowidx, pinv, stack, top, work_stack, position, marked);
+    for (int p = top; p < n; ++p)
+        marked[static_cast<std::size_t>(stack[static_cast<std::size_t>(p)])] = false;
+    return top;
+}
+
+}  // namespace varmor::sparse::detail

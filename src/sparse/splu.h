@@ -1,0 +1,270 @@
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "sparse/csc.h"
+#include "sparse/ordering.h"
+
+namespace varmor::sparse {
+
+/// Sparse LU factorization (Gilbert-Peierls left-looking algorithm with
+/// partial pivoting, CSparse lineage), templated on scalar so the same code
+/// factors real MNA matrices G0 and complex pencils G + sC.
+///
+/// The factorization is L U = P A Q with row pivoting P and a fill-reducing
+/// column ordering Q (minimum degree by default). Both A x = b and
+/// A^T x = b solves are provided; the transpose solve is what makes the
+/// paper's Krylov subspaces w.r.t. A0^T = -C0^T G0^-T cheap: it reuses this
+/// one factorization (section 4.2: "Notice that if the LU factorization of
+/// G0 is G0 = Lg Ug, then G0^T = Ug^T Lg^T").
+template <class T>
+class SparseLuT {
+public:
+    struct Options {
+        enum class Ordering { min_degree, rcm, natural };
+        Ordering ordering = Ordering::min_degree;
+        /// Pivot threshold in (0,1]; 1.0 = classic partial pivoting.
+        double pivot_tol = 1.0;
+    };
+
+    /// Factors A. Throws varmor::Error if A is structurally or numerically
+    /// singular.
+    explicit SparseLuT(const CscT<T>& a, const Options& opts = {});
+
+    int size() const { return n_; }
+    int nnz_l() const { return static_cast<int>(l_values_.size()); }
+    int nnz_u() const { return static_cast<int>(u_values_.size()); }
+
+    /// Number of triangular-solve passes performed since construction
+    /// (forward+back counts as one). The section 4.2 cost analysis is about
+    /// this quantity: one factorization plus a solve count linear in the
+    /// moment order and the parameter count.
+    long solve_count() const { return solve_count_; }
+
+    /// Solves A x = b.
+    VectorT<T> solve(const VectorT<T>& b) const;
+
+    /// Solves A^T x = b (plain transpose).
+    VectorT<T> solve_transpose(const VectorT<T>& b) const;
+
+    /// Column-wise A X = B.
+    MatrixT<T> solve(const MatrixT<T>& b) const;
+
+    /// Column-wise A^T X = B.
+    MatrixT<T> solve_transpose(const MatrixT<T>& b) const;
+
+private:
+    // L: unit lower triangular (diagonal stored first per column, value 1).
+    // U: upper triangular (diagonal stored last per column).
+    // Row indices of both are in pivot coordinates.
+    int n_ = 0;
+    std::vector<int> l_colptr_, l_rowidx_;
+    std::vector<T> l_values_;
+    std::vector<int> u_colptr_, u_rowidx_;
+    std::vector<T> u_values_;
+    std::vector<int> pinv_;  // row i of A is pivot row pinv_[i]
+    std::vector<int> q_;     // column order: k-th eliminated column is q_[k]
+    mutable long solve_count_ = 0;
+};
+
+using SparseLu = SparseLuT<double>;
+using ZSparseLu = SparseLuT<cplx>;
+
+// ---------------------------------------------------------------------------
+// Implementation (templated; kept in the header so double and complex share).
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Depth-first search used by the symbolic step of Gilbert-Peierls: computes
+/// the set of rows reachable from the pattern of column b through the graph
+/// of already-computed L columns (cs_reach). Returns `top` such that
+/// stack[top..n-1] lists the reach in topological order.
+int lu_reach(int n, const std::vector<int>& l_colptr, const std::vector<int>& l_rowidx,
+             const std::vector<int>& b_rows, const std::vector<int>& pinv,
+             std::vector<int>& stack, std::vector<int>& work_stack,
+             std::vector<bool>& marked);
+
+}  // namespace detail
+
+template <class T>
+SparseLuT<T>::SparseLuT(const CscT<T>& a, const Options& opts) : n_(a.rows()) {
+    check(a.rows() == a.cols(), "SparseLu: square matrix required");
+    check(opts.pivot_tol > 0 && opts.pivot_tol <= 1.0, "SparseLu: pivot_tol in (0,1]");
+    const int n = n_;
+
+    switch (opts.ordering) {
+        case Options::Ordering::min_degree: q_ = min_degree_ordering(a); break;
+        case Options::Ordering::rcm: q_ = rcm_ordering(a); break;
+        case Options::Ordering::natural: q_ = natural_ordering(n); break;
+    }
+
+    pinv_.assign(static_cast<std::size_t>(n), -1);
+    l_colptr_.assign(1, 0);
+    u_colptr_.assign(1, 0);
+
+    // Scale reference for the singularity test: a pivot collapsing to
+    // roundoff relative to the matrix (e.g. a floating resistive network's
+    // Laplacian) must be reported, not silently inverted.
+    double amax_all = 0.0;
+    for (const T& v : a.values()) amax_all = std::max(amax_all, std::abs(v));
+    check(amax_all > 0.0, "SparseLu: zero matrix");
+    const double singular_tol = 1e-13 * amax_all;
+
+    std::vector<T> x(static_cast<std::size_t>(n), T{});
+    std::vector<int> stack(static_cast<std::size_t>(n));
+    std::vector<int> work_stack(static_cast<std::size_t>(n));
+    std::vector<bool> marked(static_cast<std::size_t>(n), false);
+
+    for (int k = 0; k < n; ++k) {
+        const int col = q_[static_cast<std::size_t>(k)];
+
+        // ---- symbolic: rows reachable from pattern of A(:, col) ----
+        std::vector<int> b_rows;
+        for (int p = a.col_ptr()[static_cast<std::size_t>(col)];
+             p < a.col_ptr()[static_cast<std::size_t>(col) + 1]; ++p)
+            b_rows.push_back(a.row_idx()[static_cast<std::size_t>(p)]);
+        const int top = detail::lu_reach(n, l_colptr_, l_rowidx_, b_rows, pinv_,
+                                         stack, work_stack, marked);
+
+        // ---- numeric: sparse triangular solve L x = A(:, col) ----
+        for (int p = top; p < n; ++p) x[static_cast<std::size_t>(stack[static_cast<std::size_t>(p)])] = T{};
+        for (int p = a.col_ptr()[static_cast<std::size_t>(col)];
+             p < a.col_ptr()[static_cast<std::size_t>(col) + 1]; ++p)
+            x[static_cast<std::size_t>(a.row_idx()[static_cast<std::size_t>(p)])] =
+                a.values()[static_cast<std::size_t>(p)];
+        for (int p = top; p < n; ++p) {
+            const int i = stack[static_cast<std::size_t>(p)];  // original row index
+            const int j = pinv_[static_cast<std::size_t>(i)];  // L column, or -1
+            if (j < 0) continue;
+            const T xj = x[static_cast<std::size_t>(i)];
+            if (xj == T{}) continue;
+            // Skip the unit diagonal (stored first in column j).
+            for (int pp = l_colptr_[static_cast<std::size_t>(j)] + 1;
+                 pp < l_colptr_[static_cast<std::size_t>(j) + 1]; ++pp)
+                x[static_cast<std::size_t>(l_rowidx_[static_cast<std::size_t>(pp)])] -=
+                    l_values_[static_cast<std::size_t>(pp)] * xj;
+        }
+
+        // ---- pivot search among not-yet-pivotal rows ----
+        int ipiv = -1;
+        double amax = -1.0;
+        for (int p = top; p < n; ++p) {
+            const int i = stack[static_cast<std::size_t>(p)];
+            if (pinv_[static_cast<std::size_t>(i)] < 0) {
+                const double t = std::abs(x[static_cast<std::size_t>(i)]);
+                if (t > amax) {
+                    amax = t;
+                    ipiv = i;
+                }
+            } else {
+                u_rowidx_.push_back(pinv_[static_cast<std::size_t>(i)]);
+                u_values_.push_back(x[static_cast<std::size_t>(i)]);
+            }
+        }
+        check(ipiv >= 0 && amax > singular_tol,
+              "SparseLu: matrix is numerically singular");
+        // Prefer the diagonal entry when it is large enough (threshold pivoting).
+        if (pinv_[static_cast<std::size_t>(col)] < 0 &&
+            std::abs(x[static_cast<std::size_t>(col)]) >= opts.pivot_tol * amax)
+            ipiv = col;
+
+        // ---- commit column k of L and U ----
+        const T pivot = x[static_cast<std::size_t>(ipiv)];
+        u_rowidx_.push_back(k);
+        u_values_.push_back(pivot);
+        pinv_[static_cast<std::size_t>(ipiv)] = k;
+        l_rowidx_.push_back(ipiv);  // fixed up to pivot coordinates below
+        l_values_.push_back(T(1));
+        for (int p = top; p < n; ++p) {
+            const int i = stack[static_cast<std::size_t>(p)];
+            if (pinv_[static_cast<std::size_t>(i)] < 0) {
+                l_rowidx_.push_back(i);
+                l_values_.push_back(x[static_cast<std::size_t>(i)] / pivot);
+            }
+            x[static_cast<std::size_t>(i)] = T{};
+        }
+        l_colptr_.push_back(static_cast<int>(l_values_.size()));
+        u_colptr_.push_back(static_cast<int>(u_values_.size()));
+    }
+
+    // Map L's row indices into pivot coordinates.
+    for (int& i : l_rowidx_) i = pinv_[static_cast<std::size_t>(i)];
+}
+
+template <class T>
+VectorT<T> SparseLuT<T>::solve(const VectorT<T>& b) const {
+    check(b.size() == n_, "SparseLu::solve: dimension mismatch");
+    ++solve_count_;
+    const int n = n_;
+    VectorT<T> x(n);
+    for (int i = 0; i < n; ++i) x[pinv_[static_cast<std::size_t>(i)]] = b[i];
+    // L y = Pb  (unit diagonal first per column)
+    for (int j = 0; j < n; ++j) {
+        const T xj = x[j];
+        if (xj == T{}) continue;
+        for (int p = l_colptr_[static_cast<std::size_t>(j)] + 1;
+             p < l_colptr_[static_cast<std::size_t>(j) + 1]; ++p)
+            x[l_rowidx_[static_cast<std::size_t>(p)]] -= l_values_[static_cast<std::size_t>(p)] * xj;
+    }
+    // U z = y  (diagonal last per column)
+    for (int j = n - 1; j >= 0; --j) {
+        const int pend = u_colptr_[static_cast<std::size_t>(j) + 1];
+        x[j] /= u_values_[static_cast<std::size_t>(pend) - 1];
+        const T xj = x[j];
+        if (xj == T{}) continue;
+        for (int p = u_colptr_[static_cast<std::size_t>(j)]; p < pend - 1; ++p)
+            x[u_rowidx_[static_cast<std::size_t>(p)]] -= u_values_[static_cast<std::size_t>(p)] * xj;
+    }
+    // Undo the column permutation.
+    VectorT<T> out(n);
+    for (int k = 0; k < n; ++k) out[q_[static_cast<std::size_t>(k)]] = x[k];
+    return out;
+}
+
+template <class T>
+VectorT<T> SparseLuT<T>::solve_transpose(const VectorT<T>& b) const {
+    check(b.size() == n_, "SparseLu::solve_transpose: dimension mismatch");
+    ++solve_count_;
+    const int n = n_;
+    // A^T = Q U^T L^T P  =>  x = P^T L^-T U^-T Q^T b.
+    VectorT<T> x(n);
+    for (int k = 0; k < n; ++k) x[k] = b[q_[static_cast<std::size_t>(k)]];
+    // U^T w = x : forward substitution over columns of U.
+    for (int j = 0; j < n; ++j) {
+        const int pend = u_colptr_[static_cast<std::size_t>(j) + 1];
+        T acc = x[j];
+        for (int p = u_colptr_[static_cast<std::size_t>(j)]; p < pend - 1; ++p)
+            acc -= u_values_[static_cast<std::size_t>(p)] * x[u_rowidx_[static_cast<std::size_t>(p)]];
+        x[j] = acc / u_values_[static_cast<std::size_t>(pend) - 1];
+    }
+    // L^T v = w : backward substitution over columns of L (unit diagonal).
+    for (int j = n - 1; j >= 0; --j) {
+        T acc = x[j];
+        for (int p = l_colptr_[static_cast<std::size_t>(j)] + 1;
+             p < l_colptr_[static_cast<std::size_t>(j) + 1]; ++p)
+            acc -= l_values_[static_cast<std::size_t>(p)] * x[l_rowidx_[static_cast<std::size_t>(p)]];
+        x[j] = acc;
+    }
+    // x = P^T v : out[i] = v[pinv[i]].
+    VectorT<T> out(n);
+    for (int i = 0; i < n; ++i) out[i] = x[pinv_[static_cast<std::size_t>(i)]];
+    return out;
+}
+
+template <class T>
+MatrixT<T> SparseLuT<T>::solve(const MatrixT<T>& b) const {
+    MatrixT<T> x(b.rows(), b.cols());
+    for (int j = 0; j < b.cols(); ++j) x.set_col(j, solve(b.col(j)));
+    return x;
+}
+
+template <class T>
+MatrixT<T> SparseLuT<T>::solve_transpose(const MatrixT<T>& b) const {
+    MatrixT<T> x(b.rows(), b.cols());
+    for (int j = 0; j < b.cols(); ++j) x.set_col(j, solve_transpose(b.col(j)));
+    return x;
+}
+
+}  // namespace varmor::sparse

@@ -1,0 +1,159 @@
+#include "sparse/svd_iterative.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/ops.h"
+#include "la/orth.h"
+
+namespace varmor::sparse {
+
+using la::Matrix;
+using la::SvdResult;
+using la::Vector;
+
+namespace {
+
+/// Orthogonalizes v against the first `count` columns of basis (two MGS
+/// passes) and returns its remaining norm.
+double orthogonalize_against(const Matrix& basis, int count, Vector& v) {
+    for (int pass = 0; pass < 2; ++pass) {
+        for (int j = 0; j < count; ++j) {
+            const double* q = basis.col_data(j);
+            double coef = 0;
+            for (int i = 0; i < v.size(); ++i) coef += q[i] * v[i];
+            for (int i = 0; i < v.size(); ++i) v[i] -= coef * q[i];
+        }
+    }
+    return la::norm2(v);
+}
+
+}  // namespace
+
+SvdResult truncated_svd_lanczos(const LinearOperator& op, int rank,
+                                const TruncatedSvdOptions& opts) {
+    check(rank >= 1, "truncated_svd_lanczos: rank must be positive");
+    check(op.has_transpose(), "truncated_svd_lanczos: operator needs a transpose");
+    const int m = op.rows(), n = op.cols();
+    const int kmax = std::min({opts.max_iterations, m, n});
+    check(kmax >= 1, "truncated_svd_lanczos: empty operator");
+
+    util::Rng rng(opts.seed);
+    Matrix uu(m, kmax);  // left Lanczos vectors
+    Matrix vv(n, kmax);  // right Lanczos vectors
+    std::vector<double> alpha, beta;
+
+    // Start vector.
+    Vector v(n);
+    for (int i = 0; i < n; ++i) v[i] = rng.normal();
+    la::scale(v, 1.0 / la::norm2(v));
+    vv.set_col(0, v);
+
+    std::vector<double> prev_sv;
+    int steps = 0;
+    for (int k = 0; k < kmax; ++k) {
+        // u_k = M v_k - beta_{k-1} u_{k-1}, then full reorthogonalization.
+        Vector u = op.apply(vv.col(k));
+        const double unorm = orthogonalize_against(uu, k, u);
+        if (unorm <= 1e-300) break;  // invariant subspace exhausted
+        la::scale(u, 1.0 / unorm);
+        alpha.push_back(unorm);
+        uu.set_col(k, u);
+        ++steps;
+
+        // Convergence check on the bidiagonal section every few steps.
+        if (static_cast<int>(alpha.size()) >= rank && (k % 2 == 1 || k == kmax - 1)) {
+            Matrix b(static_cast<int>(alpha.size()), static_cast<int>(alpha.size()));
+            for (std::size_t i = 0; i < alpha.size(); ++i) {
+                b(static_cast<int>(i), static_cast<int>(i)) = alpha[i];
+                if (i + 1 < alpha.size()) b(static_cast<int>(i), static_cast<int>(i) + 1) = beta[i];
+            }
+            const SvdResult bs = la::svd(b);
+            std::vector<double> sv(bs.s.begin(),
+                                   bs.s.begin() + std::min<std::size_t>(bs.s.size(),
+                                                                        static_cast<std::size_t>(rank)));
+            if (prev_sv.size() == sv.size()) {
+                double rel = 0;
+                for (std::size_t i = 0; i < sv.size(); ++i)
+                    rel = std::max(rel, std::abs(sv[i] - prev_sv[i]) /
+                                            (std::abs(sv[i]) + 1e-300));
+                if (rel < opts.tol) {
+                    prev_sv = sv;
+                    break;
+                }
+            }
+            prev_sv = sv;
+        }
+
+        if (k + 1 == kmax) break;
+        // v_{k+1} = M^T u_k - alpha_k v_k, full reorthogonalization.
+        Vector w = op.apply_transpose(u);
+        const double wnorm = orthogonalize_against(vv, k + 1, w);
+        if (wnorm <= 1e-300) break;
+        la::scale(w, 1.0 / wnorm);
+        beta.push_back(wnorm);
+        vv.set_col(k + 1, w);
+    }
+
+    check(steps >= 1, "truncated_svd_lanczos: breakdown before first step");
+
+    // SVD of the bidiagonal section B (steps x steps).
+    Matrix b(steps, steps);
+    for (int i = 0; i < steps; ++i) {
+        b(i, i) = alpha[static_cast<std::size_t>(i)];
+        if (i + 1 < steps) b(i, i + 1) = beta[static_cast<std::size_t>(i)];
+    }
+    const SvdResult bs = la::svd(b);
+    const int r = std::min(rank, steps);
+
+    SvdResult out{Matrix(m, r), std::vector<double>(static_cast<std::size_t>(r)), Matrix(n, r)};
+    const Matrix uk = uu.cols_range(0, steps);
+    const Matrix vk = vv.cols_range(0, steps);
+    const Matrix pu = la::matmul(uk, bs.u.cols_range(0, r));
+    const Matrix pv = la::matmul(vk, bs.v.cols_range(0, r));
+    for (int j = 0; j < r; ++j) {
+        out.s[static_cast<std::size_t>(j)] = bs.s[static_cast<std::size_t>(j)];
+        for (int i = 0; i < m; ++i) out.u(i, j) = pu(i, j);
+        for (int i = 0; i < n; ++i) out.v(i, j) = pv(i, j);
+    }
+    return out;
+}
+
+SvdResult truncated_svd_randomized(const LinearOperator& op, int rank,
+                                   const TruncatedSvdOptions& opts) {
+    check(rank >= 1, "truncated_svd_randomized: rank must be positive");
+    check(op.has_transpose(), "truncated_svd_randomized: operator needs a transpose");
+    const int m = op.rows(), n = op.cols();
+    const int l = std::min(rank + opts.oversample, std::min(m, n));
+
+    util::Rng rng(opts.seed);
+    // Range finder: Y = (M M^T)^p M Omega, orthonormalized between passes.
+    Matrix y(m, l);
+    for (int j = 0; j < l; ++j) {
+        Vector w(n);
+        for (int i = 0; i < n; ++i) w[i] = rng.normal();
+        y.set_col(j, op.apply(w));
+    }
+    Matrix q = la::orthonormalize(y);
+    for (int it = 0; it < opts.power_iterations; ++it) {
+        Matrix z(n, q.cols());
+        for (int j = 0; j < q.cols(); ++j) z.set_col(j, op.apply_transpose(q.col(j)));
+        z = la::orthonormalize(z);
+        Matrix y2(m, z.cols());
+        for (int j = 0; j < z.cols(); ++j) y2.set_col(j, op.apply(z.col(j)));
+        q = la::orthonormalize(y2);
+    }
+
+    // Small projected problem: B^T = M^T Q (n x l), SVD of B = Q^T M.
+    Matrix bt(n, q.cols());
+    for (int j = 0; j < q.cols(); ++j) bt.set_col(j, op.apply_transpose(q.col(j)));
+    const SvdResult bs = la::svd(la::transpose(bt));
+    const int r = std::min(rank, static_cast<int>(bs.s.size()));
+
+    SvdResult out{la::matmul(q, bs.u.cols_range(0, r)),
+                  std::vector<double>(bs.s.begin(), bs.s.begin() + r),
+                  bs.v.cols_range(0, r)};
+    return out;
+}
+
+}  // namespace varmor::sparse

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace varmor {
+
+/// Exception thrown on contract violations (bad arguments, numerical
+/// breakdown, inconsistent model dimensions) anywhere in the varmor library.
+class Error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Throws varmor::Error carrying `msg` when `cond` is false.
+///
+/// Used to validate public-API preconditions; internal invariants use
+/// assert() instead.
+inline void check(bool cond, const std::string& msg) {
+    if (!cond) throw Error(msg);
+}
+
+}  // namespace varmor

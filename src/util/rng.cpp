@@ -1,0 +1,25 @@
+#include "util/rng.h"
+
+#include "util/check.h"
+
+namespace varmor::util {
+
+double Rng::truncated_normal(double mean, double stddev, double lo, double hi) {
+    check(lo < hi, "Rng::truncated_normal: empty interval");
+    // Resampling is fine here: callers truncate at +-3 sigma, so the
+    // acceptance probability is ~99.7%.
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        const double x = normal(mean, stddev);
+        if (x >= lo && x <= hi) return x;
+    }
+    // Pathological parameters (interval far in the tail): clamp the mean.
+    return mean < lo ? lo : (mean > hi ? hi : mean);
+}
+
+std::vector<double> Rng::uniform_vector(int n, double lo, double hi) {
+    std::vector<double> v(static_cast<std::size_t>(n));
+    for (double& x : v) x = uniform(lo, hi);
+    return v;
+}
+
+}  // namespace varmor::util

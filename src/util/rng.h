@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace varmor::util {
+
+/// Deterministic random number generator used by workload generators,
+/// Monte-Carlo drivers and property tests.
+///
+/// Thin wrapper over std::mt19937_64 so every experiment is reproducible
+/// from a single integer seed.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+    /// Uniform real in [lo, hi).
+    double uniform(double lo = 0.0, double hi = 1.0) {
+        std::uniform_real_distribution<double> d(lo, hi);
+        return d(engine_);
+    }
+
+    /// Normal with the given mean / standard deviation.
+    double normal(double mean = 0.0, double stddev = 1.0) {
+        std::normal_distribution<double> d(mean, stddev);
+        return d(engine_);
+    }
+
+    /// Normal truncated to [lo, hi] by resampling (used for the paper's
+    /// "3-sigma" metal-width variations).
+    double truncated_normal(double mean, double stddev, double lo, double hi);
+
+    /// Uniform integer in [0, n).
+    int below(int n) {
+        std::uniform_int_distribution<int> d(0, n - 1);
+        return d(engine_);
+    }
+
+    /// Fair coin / biased coin.
+    bool chance(double p = 0.5) { return uniform() < p; }
+
+    /// Vector of n uniform reals in [lo, hi).
+    std::vector<double> uniform_vector(int n, double lo = 0.0, double hi = 1.0);
+
+    std::mt19937_64& engine() { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace varmor::util

@@ -1,0 +1,61 @@
+#include "util/table.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace varmor::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    check(!headers_.empty(), "Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    check(cells.size() == headers_.size(),
+          "Table::add_row: cell count does not match header count");
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << value;
+    return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t j = 0; j < headers_.size(); ++j) widths[j] = headers_[j].size();
+    for (const auto& row : rows_)
+        for (std::size_t j = 0; j < row.size(); ++j)
+            widths[j] = std::max(widths[j], row[j].size());
+
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t j = 0; j < cells.size(); ++j)
+            os << (j == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[j]))
+               << std::left << cells[j];
+        os << '\n';
+    };
+    emit(headers_);
+    std::string rule;
+    for (std::size_t j = 0; j < widths.size(); ++j)
+        rule += std::string(widths[j], '-') + (j + 1 < widths.size() ? "  " : "");
+    os << rule << '\n';
+    for (const auto& row : rows_) emit(row);
+}
+
+void Table::write_csv(const std::string& path) const {
+    std::ofstream f(path);
+    check(f.good(), "Table::write_csv: cannot open " + path);
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t j = 0; j < cells.size(); ++j)
+            f << (j == 0 ? "" : ",") << cells[j];
+        f << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace varmor::util

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace varmor::util {
+
+/// Column-aligned text table used by the benchmark binaries to print the
+/// rows/series the paper's figures report.
+///
+/// Cells are strings; add_row() has numeric conveniences. print() aligns
+/// columns; write_csv() emits the same content as CSV for post-processing.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Appends one row; must match the header count.
+    void add_row(std::vector<std::string> cells);
+
+    /// Formats a double with `precision` significant digits.
+    static std::string num(double value, int precision = 6);
+
+    int rows() const { return static_cast<int>(rows_.size()); }
+    int cols() const { return static_cast<int>(headers_.size()); }
+
+    /// Pretty-prints with aligned columns.
+    void print(std::ostream& os) const;
+
+    /// Writes headers + rows as comma-separated values.
+    void write_csv(const std::string& path) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace varmor::util

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <chrono>
+
+namespace varmor::util {
+
+/// Wall-clock stopwatch used by the cost-scaling benchmarks (section 4.2 of
+/// the paper claims near-linear reduction cost; bench/cost_scaling measures
+/// it with this).
+class Timer {
+public:
+    Timer() : start_(clock::now()) {}
+
+    /// Restart the stopwatch.
+    void reset() { start_ = clock::now(); }
+
+    /// Seconds elapsed since construction / last reset().
+    double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    /// Milliseconds elapsed since construction / last reset().
+    double milliseconds() const { return seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace varmor::util

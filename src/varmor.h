@@ -1,0 +1,55 @@
+#pragma once
+
+/// Umbrella header: the full varmor public API.
+///
+/// varmor reproduces "Modeling Interconnect Variability Using Efficient
+/// Parametric Model Order Reduction" (Li, Liu, Li, Pileggi, Nassif,
+/// DATE 2005). Entry points:
+///
+///   circuit::Netlist / assemble_mna    build G(p), C(p), B, L
+///   mor::lowrank_pmor                  the paper's Algorithm 1
+///   mor::prima / single_point / multi_point / fit_projection / tbr / awe
+///                                      every baseline it is compared with
+///   analysis::*                        sweeps, poles, Monte Carlo, transient
+
+#include "analysis/freq_sweep.h"
+#include "analysis/monte_carlo.h"
+#include "analysis/poles.h"
+#include "analysis/transient.h"
+#include "circuit/extraction.h"
+#include "circuit/generators.h"
+#include "circuit/mna.h"
+#include "circuit/netlist.h"
+#include "circuit/netlist_io.h"
+#include "circuit/parametric_system.h"
+#include "la/cholesky.h"
+#include "la/dense.h"
+#include "la/eig.h"
+#include "la/eig_sym.h"
+#include "la/lu_dense.h"
+#include "la/ops.h"
+#include "la/orth.h"
+#include "la/qr.h"
+#include "la/svd.h"
+#include "mor/awe.h"
+#include "mor/fit_projection.h"
+#include "mor/krylov.h"
+#include "mor/lowrank_pmor.h"
+#include "mor/model_io.h"
+#include "mor/moments.h"
+#include "mor/multi_point.h"
+#include "mor/passivity.h"
+#include "mor/prima.h"
+#include "mor/reduced_model.h"
+#include "mor/single_point.h"
+#include "mor/tbr.h"
+#include "sparse/arnoldi.h"
+#include "sparse/csc.h"
+#include "sparse/linear_operator.h"
+#include "sparse/ordering.h"
+#include "sparse/splu.h"
+#include "sparse/svd_iterative.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"

@@ -1,0 +1,85 @@
+#pragma once
+
+#include "circuit/mna.h"
+#include "circuit/netlist.h"
+#include "la/ops.h"
+#include "mor/moments.h"
+#include "mor/reduced_model.h"
+#include "util/rng.h"
+
+namespace varmor::testing {
+
+/// Small random parametric RC tree for moment-matching tests: every element
+/// carries random sensitivities to every parameter. Node/parameter counts
+/// stay small so the dense moment oracle is exact and fast.
+inline circuit::ParametricSystem small_parametric_rc(int nodes, int num_params,
+                                                     std::uint64_t seed, int ports = 2) {
+    util::Rng rng(seed);
+    circuit::Netlist net(num_params);
+    net.ensure_nodes(nodes);
+    auto sens = [&](double value) {
+        std::vector<double> d(static_cast<std::size_t>(num_params));
+        for (double& x : d) x = 0.3 * value * rng.uniform(-1.0, 1.0);
+        return d;
+    };
+    // Driver resistance grounds the tree: G0 must be nonsingular (a floating
+    // resistive network has a singular Laplacian G and no DC operating point).
+    net.add_resistor(1, 0, 1.0);
+    for (int k = 2; k <= nodes; ++k) {
+        const int parent = 1 + rng.below(k - 1);
+        const double r = rng.uniform(0.5, 2.0);
+        const double c = rng.uniform(0.5, 2.0);  // O(1) values: benign moment scales
+        net.add_resistor(parent, k, r, sens(1.0 / r));
+        net.add_capacitor(k, 0, c, sens(c));
+    }
+    net.add_capacitor(1, 0, 1.0, sens(1.0));
+    net.add_port(1);
+    if (ports >= 2) net.add_port(nodes);
+    return assemble_mna(net);
+}
+
+/// Dense copies of a parametric system's matrices (oracle input).
+struct DenseSystem {
+    la::Matrix g0, c0;
+    std::vector<la::Matrix> dg, dc;
+    la::Matrix b, l;
+};
+
+inline DenseSystem to_dense(const circuit::ParametricSystem& sys) {
+    DenseSystem d;
+    d.g0 = sys.g0.to_dense();
+    d.c0 = sys.c0.to_dense();
+    for (const auto& m : sys.dg) d.dg.push_back(m.to_dense());
+    for (const auto& m : sys.dc) d.dc.push_back(m.to_dense());
+    d.b = sys.b;
+    d.l = sys.l;
+    return d;
+}
+
+inline mor::MomentOracle oracle_of(const DenseSystem& d) {
+    return mor::MomentOracle(d.g0, d.c0, d.dg, d.dc, d.b, d.l);
+}
+
+inline mor::MomentOracle oracle_of(const circuit::ParametricSystem& sys) {
+    return oracle_of(to_dense(sys));
+}
+
+inline mor::MomentOracle oracle_of(const mor::ReducedModel& m) {
+    return mor::MomentOracle(m.g0, m.c0, m.dg, m.dc, m.b, m.l);
+}
+
+/// Max relative port-moment mismatch between two oracles over all
+/// multidegrees of total order <= `order`.
+inline double max_moment_mismatch(mor::MomentOracle& full, mor::MomentOracle& reduced,
+                                  int order, int num_params) {
+    double worst = 0.0;
+    for (const mor::MomentKey& key : mor::MomentOracle::keys_up_to(order, num_params)) {
+        const la::Matrix mf = full.port_moment(key);
+        const la::Matrix mr = reduced.port_moment(key);
+        const double scale = la::norm_max(mf) + 1e-300;
+        worst = std::max(worst, la::norm_max(mf - mr) / scale);
+    }
+    return worst;
+}
+
+}  // namespace varmor::testing

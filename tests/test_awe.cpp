@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "mor/awe.h"
+#include "la/lu_dense.h"
+#include "mor/prima.h"
+#include "mor/reduced_model.h"
+#include "mor_test_utils.h"
+
+namespace varmor::mor {
+namespace {
+
+using la::cplx;
+using la::Vector;
+using varmor::testing::small_parametric_rc;
+
+TEST(Awe, SingleRcExactPoleAndResidue) {
+    // H(s) = 1/(g + s c): one pole at -g/c with residue 1/c.
+    circuit::Netlist net;
+    const int a = net.add_node();
+    net.add_resistor(a, 0, 2.0);    // g = 0.5
+    net.add_capacitor(a, 0, 0.25);  // c = 0.25
+    net.add_port(a);
+    circuit::ParametricSystem sys = assemble_mna(net);
+    AweOptions opts;
+    opts.poles = 1;
+    AweModel m = awe(sys.g0, sys.c0, sys.b.col(0), sys.l.col(0), opts);
+    ASSERT_EQ(m.poles.size(), 1u);
+    EXPECT_NEAR(m.poles[0].real(), -2.0, 1e-10);
+    EXPECT_NEAR(m.residues[0].real(), 4.0, 1e-9);  // 1/c
+    EXPECT_TRUE(m.stable());
+}
+
+TEST(Awe, MatchesTransferOfSmallSystemExactly) {
+    // With q = n the Pade approximation is the exact (rational) transfer fn.
+    circuit::ParametricSystem sys = small_parametric_rc(4, 0, 201, 1);
+    AweOptions opts;
+    opts.poles = 4;
+    AweModel m = awe(sys.g0, sys.c0, sys.b.col(0), sys.l.col(0), opts);
+    for (double w : {0.01, 0.1, 1.0, 10.0}) {
+        const cplx s(0.0, w);
+        la::ZMatrix yfull = la::matmul(
+            la::transpose(la::to_complex(sys.l)),
+            la::solve_dense(la::pencil(sys.g0.to_dense(), sys.c0.to_dense(), s),
+                            la::to_complex(sys.b)));
+        EXPECT_LE(std::abs(m.transfer(s) - yfull(0, 0)), 1e-7 * (1 + std::abs(yfull(0, 0))))
+            << "w = " << w;
+    }
+}
+
+TEST(Awe, ModelMomentsMatchComputedMoments) {
+    // The defining Pade property: the model reproduces the first 2q moments.
+    circuit::ParametricSystem sys = small_parametric_rc(20, 0, 202, 1);
+    AweOptions opts;
+    opts.poles = 3;
+    AweModel m = awe(sys.g0, sys.c0, sys.b.col(0), sys.l.col(0), opts);
+    ASSERT_EQ(m.moments.size(), 6u);
+    for (int j = 0; j < 6; ++j) {
+        const cplx mm = m.model_moment(j);
+        EXPECT_NEAR(mm.real(), m.moments[static_cast<std::size_t>(j)],
+                    1e-6 * (1 + std::abs(m.moments[static_cast<std::size_t>(j)])))
+            << "moment " << j;
+        EXPECT_NEAR(mm.imag(), 0.0, 1e-6 * (1 + std::abs(m.moments[static_cast<std::size_t>(j)])));
+    }
+}
+
+TEST(Awe, LowOrderStableOnRcTree) {
+    circuit::ParametricSystem sys = small_parametric_rc(50, 0, 203, 1);
+    for (int q : {1, 2, 3}) {
+        AweOptions opts;
+        opts.poles = q;
+        AweModel m = awe(sys.g0, sys.c0, sys.b.col(0), sys.l.col(0), opts);
+        EXPECT_TRUE(m.stable()) << "order " << q;
+    }
+}
+
+TEST(Awe, AgreesWithPrimaAtLowFrequencies) {
+    circuit::ParametricSystem sys = small_parametric_rc(40, 0, 204, 1);
+    AweOptions aopts;
+    aopts.poles = 4;
+    AweModel m = awe(sys.g0, sys.c0, sys.b.col(0), sys.l.col(0), aopts);
+    PrimaOptions popts;
+    popts.blocks = 8;
+    ReducedModel prima = project(sys, prima_basis(sys.g0, sys.c0, sys.b, popts));
+    // Both match the same leading moments, so they agree in the expansion
+    // region (small |s| relative to the system's time constants).
+    for (double w : {0.001, 0.01}) {
+        const cplx s(0.0, w);
+        const cplx h_awe = m.transfer(s);
+        const cplx h_prima = prima.transfer(s, {})(0, 0);
+        EXPECT_LE(std::abs(h_awe - h_prima), 1e-5 * (1 + std::abs(h_prima))) << "w " << w;
+    }
+}
+
+TEST(Awe, InvalidInputsThrow) {
+    circuit::ParametricSystem sys = small_parametric_rc(10, 0, 205, 1);
+    AweOptions bad;
+    bad.poles = 0;
+    EXPECT_THROW(awe(sys.g0, sys.c0, sys.b.col(0), sys.l.col(0), bad), Error);
+    EXPECT_THROW(awe(sys.g0, sys.c0, Vector(3), sys.l.col(0), {}), Error);
+}
+
+}  // namespace
+}  // namespace varmor::mor

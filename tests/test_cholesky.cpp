@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "la/cholesky.h"
+#include "test_helpers.h"
+
+namespace varmor::la {
+namespace {
+
+using testing::expect_near;
+using testing::random_spd_matrix;
+
+TEST(Cholesky, FactorsHandComputedSpd) {
+    Matrix a{{4.0, 2.0}, {2.0, 5.0}};
+    Cholesky c(a);
+    EXPECT_NEAR(c.l()(0, 0), 2.0, 1e-14);
+    EXPECT_NEAR(c.l()(1, 0), 1.0, 1e-14);
+    EXPECT_NEAR(c.l()(1, 1), 2.0, 1e-14);
+}
+
+TEST(Cholesky, ReconstructsA) {
+    util::Rng rng(1);
+    Matrix a = random_spd_matrix(10, rng);
+    Cholesky c(a);
+    expect_near(matmul(c.l(), transpose(c.l())), a, 1e-10);
+}
+
+TEST(Cholesky, SolveResidual) {
+    util::Rng rng(2);
+    Matrix a = random_spd_matrix(12, rng);
+    Vector b(12);
+    for (int i = 0; i < 12; ++i) b[i] = rng.uniform(-1, 1);
+    Vector x = Cholesky(a).solve(b);
+    EXPECT_LE(norm2(matvec(a, x) - b), 1e-9 * (1 + norm2(b)));
+}
+
+TEST(Cholesky, IndefiniteThrows) {
+    Matrix a{{1.0, 0.0}, {0.0, -1.0}};
+    EXPECT_THROW(Cholesky{a}, Error);
+}
+
+TEST(Cholesky, NonSquareThrows) {
+    EXPECT_THROW(Cholesky{Matrix(2, 3)}, Error);
+}
+
+TEST(Psd, PositiveDefiniteIsPsd) {
+    util::Rng rng(3);
+    EXPECT_TRUE(is_positive_semidefinite(random_spd_matrix(6, rng)));
+}
+
+TEST(Psd, SingularPsdPasses) {
+    // Laplacian of a path graph: PSD with a zero eigenvalue.
+    Matrix a{{1.0, -1.0, 0.0}, {-1.0, 2.0, -1.0}, {0.0, -1.0, 1.0}};
+    EXPECT_TRUE(is_positive_semidefinite(a));
+}
+
+TEST(Psd, IndefiniteFails) {
+    Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+    EXPECT_FALSE(is_positive_semidefinite(a));
+}
+
+TEST(Psd, NegativeDefiniteFails) {
+    Matrix a{{-2.0, 0.0}, {0.0, -3.0}};
+    EXPECT_FALSE(is_positive_semidefinite(a));
+}
+
+}  // namespace
+}  // namespace varmor::la

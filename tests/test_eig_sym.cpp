@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "la/eig_sym.h"
+#include "la/orth.h"
+#include "test_helpers.h"
+
+namespace varmor::la {
+namespace {
+
+using testing::expect_near;
+using testing::random_matrix;
+using testing::random_spd_matrix;
+
+TEST(EigSym, DiagonalMatrix) {
+    Matrix a{{3.0, 0.0}, {0.0, -1.0}};
+    SymEigResult e = eig_symmetric(a);
+    EXPECT_NEAR(e.values[0], -1.0, 1e-13);
+    EXPECT_NEAR(e.values[1], 3.0, 1e-13);
+}
+
+TEST(EigSym, HandComputed2x2) {
+    // [[2,1],[1,2]] has eigenvalues 1 and 3.
+    Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+    SymEigResult e = eig_symmetric(a);
+    EXPECT_NEAR(e.values[0], 1.0, 1e-13);
+    EXPECT_NEAR(e.values[1], 3.0, 1e-13);
+}
+
+TEST(EigSym, EigenEquationHolds) {
+    util::Rng rng(1);
+    Matrix a = symmetric_part(random_matrix(12, 12, rng));
+    SymEigResult e = eig_symmetric(a);
+    for (int j = 0; j < 12; ++j) {
+        Vector v = e.vectors.col(j);
+        Vector r = matvec(a, v) - e.values[static_cast<std::size_t>(j)] * v;
+        EXPECT_LE(norm2(r), 1e-10 * (1 + std::abs(e.values[static_cast<std::size_t>(j)])));
+    }
+}
+
+TEST(EigSym, VectorsOrthonormal) {
+    util::Rng rng(2);
+    Matrix a = symmetric_part(random_matrix(10, 10, rng));
+    SymEigResult e = eig_symmetric(a);
+    EXPECT_LE(orthonormality_error(e.vectors), 1e-11);
+}
+
+TEST(EigSym, TraceEqualsSum) {
+    util::Rng rng(3);
+    Matrix a = symmetric_part(random_matrix(15, 15, rng));
+    SymEigResult e = eig_symmetric(a);
+    double trace = 0, sum = 0;
+    for (int i = 0; i < 15; ++i) trace += a(i, i);
+    for (double v : e.values) sum += v;
+    EXPECT_NEAR(trace, sum, 1e-10);
+}
+
+TEST(EigSymGeneralized, ReducesToStandardWhenBIsIdentity) {
+    util::Rng rng(4);
+    Matrix a = symmetric_part(random_matrix(8, 8, rng));
+    SymEigResult std_e = eig_symmetric(a);
+    SymEigResult gen_e = eig_symmetric_generalized(a, Matrix::identity(8));
+    for (std::size_t i = 0; i < std_e.values.size(); ++i)
+        EXPECT_NEAR(std_e.values[i], gen_e.values[i], 1e-10);
+}
+
+TEST(EigSymGeneralized, SatisfiesGeneralizedEquation) {
+    util::Rng rng(5);
+    Matrix a = symmetric_part(random_matrix(9, 9, rng));
+    Matrix b = random_spd_matrix(9, rng);
+    SymEigResult e = eig_symmetric_generalized(a, b);
+    for (int j = 0; j < 9; ++j) {
+        Vector v = e.vectors.col(j);
+        Vector r = matvec(a, v) - e.values[static_cast<std::size_t>(j)] * matvec(b, v);
+        EXPECT_LE(norm2(r), 1e-9 * (1 + std::abs(e.values[static_cast<std::size_t>(j)])) *
+                                (1 + norm_fro(b)));
+    }
+}
+
+TEST(EigSymGeneralized, VectorsAreBOrthonormal) {
+    util::Rng rng(6);
+    Matrix a = symmetric_part(random_matrix(7, 7, rng));
+    Matrix b = random_spd_matrix(7, rng);
+    SymEigResult e = eig_symmetric_generalized(a, b);
+    Matrix gram = matmul_transA(e.vectors, matmul(b, e.vectors));
+    expect_near(gram, Matrix::identity(7), 1e-9);
+}
+
+class EigSymProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigSymProperty, SpdHasPositiveSpectrum) {
+    const int n = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(n) * 13);
+    Matrix a = random_spd_matrix(n, rng);
+    SymEigResult e = eig_symmetric(a);
+    for (double v : e.values) EXPECT_GT(v, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigSymProperty, ::testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace varmor::la

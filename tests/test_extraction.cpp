@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "circuit/extraction.h"
+
+namespace varmor::circuit {
+namespace {
+
+TEST(Extraction, DefaultTechHasThreeLayers) {
+    Technology t = default_tech();
+    ASSERT_EQ(t.num_layers(), 3);
+    EXPECT_EQ(t.layer(0).name, "M5");
+    EXPECT_EQ(t.layer(1).name, "M6");
+    EXPECT_EQ(t.layer(2).name, "M7");
+    EXPECT_THROW(t.layer(3), Error);
+}
+
+TEST(Extraction, UpperLayersAreThickerAndLessResistive) {
+    Technology t = default_tech();
+    EXPECT_GT(t.layer(0).sheet_res, t.layer(2).sheet_res);
+    EXPECT_LT(t.layer(0).nominal_width, t.layer(2).nominal_width);
+}
+
+TEST(Extraction, ResistanceScalesWithGeometry) {
+    const Layer& m5 = default_tech().layer(0);
+    WireRc rc1 = extract_wire(m5, 100e-6, 0.0);
+    WireRc rc2 = extract_wire(m5, 200e-6, 0.0);
+    EXPECT_NEAR(rc2.resistance, 2.0 * rc1.resistance, 1e-9);
+    // Wider wire -> lower resistance.
+    WireRc wide = extract_wire(m5, 100e-6, 0.1 * m5.nominal_width);
+    EXPECT_LT(wide.resistance, rc1.resistance);
+    // Wider wire -> higher ground cap.
+    EXPECT_GT(extract_wire(m5, 100e-6, 0.1 * m5.nominal_width).cap_ground, rc1.cap_ground);
+}
+
+TEST(Extraction, CouplingGrowsWhenSpacingShrinks) {
+    const Layer& m6 = default_tech().layer(1);
+    WireRc nom = extract_wire(m6, 100e-6, 0.0, true);
+    WireRc wide = extract_wire(m6, 100e-6, 0.1 * m6.nominal_width, true);
+    EXPECT_GT(nom.cap_coupling, 0.0);
+    EXPECT_GT(wide.cap_coupling, nom.cap_coupling);
+    EXPECT_EQ(extract_wire(m6, 100e-6, 0.0, false).cap_coupling, 0.0);
+}
+
+TEST(Extraction, InvalidGeometryThrows) {
+    const Layer& m5 = default_tech().layer(0);
+    EXPECT_THROW(extract_wire(m5, 0.0, 0.0), Error);
+    EXPECT_THROW(extract_wire(m5, 100e-6, -2.0 * m5.nominal_width), Error);
+    // Width so large the spacing collapses.
+    EXPECT_THROW(extract_wire(m5, 100e-6, m5.nominal_pitch, true), Error);
+}
+
+/// The paper obtains sensitivities "by performing multiple parasitic
+/// extractions" — the analytic derivatives must agree with central finite
+/// differences of the extraction itself.
+class ExtractionFdProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtractionFdProperty, AnalyticDerivativesMatchFiniteDifference) {
+    const Layer& layer = default_tech().layer(GetParam());
+    const double len = 120e-6;
+    const double h = 1e-4 * layer.nominal_width;
+
+    for (bool coupled : {false, true}) {
+        WireRc plus = extract_wire(layer, len, h, coupled);
+        WireRc minus = extract_wire(layer, len, -h, coupled);
+        WireSensitivity s = extract_wire_sensitivity(layer, len, coupled);
+
+        const double fd_dg =
+            (1.0 / plus.resistance - 1.0 / minus.resistance) / (2.0 * h);
+        EXPECT_NEAR(s.dconductance_dw, fd_dg, 1e-4 * std::abs(fd_dg));
+
+        const double fd_dcg = (plus.cap_ground - minus.cap_ground) / (2.0 * h);
+        EXPECT_NEAR(s.dcap_ground_dw, fd_dcg, 1e-6 * std::abs(fd_dcg) + 1e-30);
+
+        if (coupled) {
+            const double fd_dcc = (plus.cap_coupling - minus.cap_coupling) / (2.0 * h);
+            EXPECT_NEAR(s.dcap_coupling_dw, fd_dcc, 1e-4 * std::abs(fd_dcc));
+        } else {
+            EXPECT_EQ(s.dcap_coupling_dw, 0.0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layers, ExtractionFdProperty, ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace varmor::circuit

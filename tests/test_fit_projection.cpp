@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "la/lu_dense.h"
+#include "la/orth.h"
+#include "mor/fit_projection.h"
+#include "mor/multi_point.h"
+#include "mor_test_utils.h"
+
+namespace varmor::mor {
+namespace {
+
+using varmor::testing::small_parametric_rc;
+
+std::vector<std::vector<double>> cross_samples() {
+    return {{0.0, 0.0}, {1.0, 0.0},  {-1.0, 0.0}, {0.0, 1.0}, {0.0, -1.0},
+            {1.0, 1.0}, {-1.0, -1.0}, {1.0, -1.0}, {-1.0, 1.0}};
+}
+
+TEST(FitProjection, RequiresEnoughSamples) {
+    circuit::ParametricSystem sys = small_parametric_rc(20, 2, 91);
+    FitProjectionOptions opts;
+    opts.quadratic = true;  // needs 1 + 2*2 = 5 samples
+    EXPECT_THROW(FittedProjection(sys, {{0.0, 0.0}, {1.0, 0.0}}, opts), Error);
+}
+
+TEST(FitProjection, BasisAtIsOrthonormal) {
+    circuit::ParametricSystem sys = small_parametric_rc(25, 2, 92);
+    FittedProjection fit(sys, cross_samples());
+    la::Matrix v = fit.basis_at({0.4, -0.6});
+    EXPECT_LE(la::orthonormality_error(v), 1e-10);
+    EXPECT_EQ(fit.factorizations(), 9);
+}
+
+TEST(FitProjection, ReproducesSampleExactlyAtSamplePoints) {
+    // With enough polynomial terms the fit interpolates the sampled bases,
+    // so at a sample point the model should match a directly-computed PRIMA
+    // model there (same subspace up to fitting residual).
+    circuit::ParametricSystem sys = small_parametric_rc(30, 1, 93);
+    FitProjectionOptions opts;
+    opts.blocks = 4;
+    FittedProjection fit(sys, {{-1.0}, {0.0}, {1.0}}, opts);  // 3 coeffs, 3 samples
+    EXPECT_LT(fit.fit_residual(), 1e-10);
+
+    const std::vector<double> p{1.0};
+    PrimaOptions popts;
+    popts.blocks = 4;
+    la::Matrix direct = prima_basis_at(sys, p, popts);
+    la::Matrix fitted = fit.basis_at(p);
+    // Same span: projectors agree.
+    la::Matrix pd = la::matmul(direct, la::transpose(direct));
+    la::Matrix pf = la::matmul(fitted, la::transpose(fitted));
+    EXPECT_LE(la::norm_max(pd - pf), 1e-7);
+}
+
+TEST(FitProjection, AccurateBetweenSamplesOnSmoothProblem) {
+    circuit::ParametricSystem sys = small_parametric_rc(40, 2, 94);
+    FitProjectionOptions opts;
+    opts.blocks = 5;
+    FittedProjection fit(sys, cross_samples(), opts);
+
+    const std::vector<double> p{0.5, -0.4};
+    ReducedModel model = fit.model_at(sys, p);
+    const la::cplx s(0.0, 0.5);
+    la::ZMatrix yref = la::matmul(
+        la::transpose(la::to_complex(sys.l)),
+        la::solve_dense(la::pencil(sys.g_at(p).to_dense(), sys.c_at(p).to_dense(), s),
+                        la::to_complex(sys.b)));
+    const double err = la::norm_max(model.transfer(s, p) - yref) / la::norm_max(yref);
+    EXPECT_LT(err, 5e-3);  // usable, but clearly behind multi-point expansion
+}
+
+TEST(FitProjection, FitResidualRevealsProjectionSensitivity) {
+    // Section 3.3's robustness caveat, measured: on this workload the
+    // sampled projection matrices are NOT a low-order polynomial in p (the
+    // Krylov basis rotates with the parameters), so the entrywise fit keeps
+    // a substantial residual in both alignment modes. This is the mechanism
+    // behind "direct fitting less robust" vs implicit interpolation by
+    // projection (multi-point expansion).
+    circuit::ParametricSystem sys = small_parametric_rc(40, 2, 95);
+    FitProjectionOptions aligned;
+    aligned.align_signs = true;
+    FitProjectionOptions unaligned;
+    unaligned.align_signs = false;
+    FittedProjection fa(sys, cross_samples(), aligned);
+    FittedProjection fu(sys, cross_samples(), unaligned);
+    EXPECT_GT(fa.fit_residual(), 1e-3);
+    EXPECT_GT(fu.fit_residual(), 1e-3);
+    EXPECT_LT(fa.fit_residual(), 1.0);
+}
+
+TEST(FitProjection, LinearOnlyUsesFewerCoefficients) {
+    circuit::ParametricSystem sys = small_parametric_rc(20, 2, 96);
+    FitProjectionOptions lin;
+    lin.quadratic = false;  // 1 + np = 3 coefficients
+    FittedProjection fit(sys, {{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}}, lin);
+    EXPECT_GE(fit.columns(), 1);
+}
+
+TEST(FitProjection, SampleDimensionValidated) {
+    circuit::ParametricSystem sys = small_parametric_rc(15, 2, 97);
+    EXPECT_THROW(FittedProjection(sys, {{0.0}, {1.0}, {0.5}, {0.2}, {0.7}}, {}), Error);
+}
+
+}  // namespace
+}  // namespace varmor::mor

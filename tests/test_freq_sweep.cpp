@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "analysis/freq_sweep.h"
+#include "circuit/mna.h"
+#include "mor/reduced_model.h"
+#include "mor_test_utils.h"
+
+namespace varmor::analysis {
+namespace {
+
+using la::Matrix;
+
+TEST(Frequencies, LogSpacingEndpointsAndMonotonicity) {
+    auto f = log_frequencies(1e7, 1e10, 31);
+    ASSERT_EQ(f.size(), 31u);
+    EXPECT_NEAR(f.front(), 1e7, 1e-2);
+    EXPECT_NEAR(f.back(), 1e10, 10);
+    for (std::size_t i = 0; i + 1 < f.size(); ++i) EXPECT_LT(f[i], f[i + 1]);
+    // Log spacing: constant ratio.
+    EXPECT_NEAR(f[1] / f[0], f[2] / f[1], 1e-9);
+}
+
+TEST(Frequencies, LinearSpacing) {
+    auto f = linear_frequencies(1e9, 2e9, 11);
+    EXPECT_NEAR(f[1] - f[0], 1e8, 1.0);
+    EXPECT_THROW(linear_frequencies(2e9, 1e9, 5), Error);
+    EXPECT_THROW(log_frequencies(-1.0, 1e9, 5), Error);
+}
+
+TEST(FreqSweep, SingleRcAnalyticResponse) {
+    // One-node RC low-pass driven by a current source:
+    // V(s) = 1 / (g + sC), |V| = 1/sqrt(g^2 + (wC)^2).
+    circuit::Netlist net;
+    const int a = net.add_node();
+    net.add_resistor(a, 0, 1.0);       // g = 1
+    net.add_capacitor(a, 0, 1e-9);     // corner at ~1/(2 pi RC) = 159 MHz
+    net.add_port(a);
+    circuit::ParametricSystem sys = assemble_mna(net);
+
+    auto freqs = log_frequencies(1e6, 1e10, 25);
+    auto sweep = sweep_full(sys, {}, freqs);
+    auto mag = magnitude_series(sweep, 0, 0);
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+        const double w = 2.0 * M_PI * freqs[i];
+        const double expected = 1.0 / std::sqrt(1.0 + w * w * 1e-18);
+        EXPECT_NEAR(mag[i], expected, 1e-9 * expected) << "f = " << freqs[i];
+    }
+}
+
+TEST(FreqSweep, FullAndIdentityReducedAgree) {
+    circuit::ParametricSystem sys = varmor::testing::small_parametric_rc(14, 2, 71);
+    mor::ReducedModel red = mor::project(sys, Matrix::identity(sys.size()));
+    const std::vector<double> p{0.4, -0.3};
+    auto freqs = log_frequencies(1e-3, 1.0, 7);  // O(1) element values
+    auto full = sweep_full(sys, p, freqs);
+    auto reduced = sweep_reduced(red, p, freqs);
+    for (std::size_t i = 0; i < freqs.size(); ++i)
+        EXPECT_LE(la::norm_max(full[i] - reduced[i]), 1e-9 * (1 + la::norm_max(full[i])));
+}
+
+TEST(FreqSweep, VoltageTransferIsUnityAtDcForRcTree) {
+    // At DC no current flows through an RC tree, so every node sits at the
+    // driven-node voltage: the Fig. 3 style transfer starts at 1.
+    circuit::ParametricSystem sys = varmor::testing::small_parametric_rc(20, 2, 72);
+    auto freqs = log_frequencies(1e-6, 1e-5, 3);  // far below the corner
+    auto sweep = sweep_full(sys, {0.0, 0.0}, freqs);
+    auto ratio = voltage_transfer_series(sweep, 0, 1);
+    EXPECT_NEAR(ratio[0], 1.0, 1e-6);
+}
+
+TEST(SeriesError, ExactMatchIsZero) {
+    std::vector<double> a{1.0, 2.0, 3.0};
+    auto err = series_error(a, a);
+    EXPECT_EQ(err.max_rel, 0.0);
+    EXPECT_EQ(err.rms_rel, 0.0);
+}
+
+TEST(SeriesError, KnownDeviation) {
+    std::vector<double> ref{1.0, 2.0};
+    std::vector<double> approx{1.0, 1.8};
+    auto err = series_error(ref, approx);
+    EXPECT_NEAR(err.max_rel, 0.1, 1e-12);  // 0.2 / max(ref)=2
+}
+
+TEST(SeriesError, MismatchedLengthThrows) {
+    EXPECT_THROW(series_error({1.0}, {1.0, 2.0}), Error);
+    EXPECT_THROW(series_error({}, {}), Error);
+}
+
+}  // namespace
+}  // namespace varmor::analysis

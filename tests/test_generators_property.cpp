@@ -1,0 +1,110 @@
+// Property sweeps over the workload generators: sizes, determinism,
+// passivity and spectral sanity across the configuration space.
+
+#include <gtest/gtest.h>
+
+#include "analysis/poles.h"
+#include "circuit/generators.h"
+#include "circuit/mna.h"
+#include "mor/passivity.h"
+
+namespace varmor::circuit {
+namespace {
+
+class RandomRcSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomRcSizes, ExactUnknownCountAndPassivity) {
+    RandomRcOptions o;
+    o.unknowns = GetParam();
+    ParametricSystem sys = assemble_mna(random_rc_net(o));
+    EXPECT_EQ(sys.size(), GetParam());
+    EXPECT_TRUE(mor::check_passivity(sys, {0.0, 0.0}).passive());
+    // Dominant pole must be strictly stable.
+    analysis::PoleOptions popts;
+    popts.count = 1;
+    auto poles = analysis::dominant_poles_at(sys, {0.0, 0.0}, popts);
+    ASSERT_FALSE(poles.empty());
+    EXPECT_LT(poles[0].real(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomRcSizes, ::testing::Values(10, 50, 200, 767));
+
+class RcSeedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RcSeedProperty, DifferentSeedsGiveDifferentButValidNets) {
+    RandomRcOptions a, b;
+    a.unknowns = b.unknowns = 60;
+    a.seed = GetParam();
+    b.seed = GetParam() + 1;
+    ParametricSystem sa = assemble_mna(random_rc_net(a));
+    ParametricSystem sb = assemble_mna(random_rc_net(b));
+    EXPECT_EQ(sa.size(), sb.size());
+    // Values differ somewhere.
+    bool differs = sa.g0.nnz() != sb.g0.nnz();
+    if (!differs)
+        for (int i = 0; i < sa.g0.nnz() && !differs; ++i)
+            differs = sa.g0.values()[static_cast<std::size_t>(i)] !=
+                      sb.g0.values()[static_cast<std::size_t>(i)];
+    EXPECT_TRUE(differs);
+    EXPECT_TRUE(mor::check_passivity(sb, {0.5, -0.5}).passive());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RcSeedProperty, ::testing::Values(1u, 77u, 2005u));
+
+class BusSegments : public ::testing::TestWithParam<int> {};
+
+TEST_P(BusSegments, SizeFormulaHolds) {
+    RlcBusOptions o;
+    o.segments_per_line = GetParam();
+    ParametricSystem sys = assemble_mna(coupled_rlc_bus(o));
+    // 2 lines x (s+1 main + s interior) nodes + 2 s inductor currents.
+    const int s = GetParam();
+    EXPECT_EQ(sys.size(), 2 * (2 * s + 1) + 2 * s);
+    EXPECT_EQ(sys.num_ports(), 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Segments, BusSegments, ::testing::Values(1, 5, 30, 180));
+
+class TreeTargets : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeTargets, HitsArbitraryNodeTargets) {
+    ClockTreeOptions o = rcnet_a_options();
+    o.target_nodes = GetParam();
+    ParametricSystem sys = assemble_mna(clock_tree(o));
+    EXPECT_EQ(sys.size(), GetParam());
+    EXPECT_TRUE(mor::check_passivity(sys, {0.3, -0.3, 0.3}).passive());
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, TreeTargets, ::testing::Values(78, 90, 120, 200));
+
+TEST(GeneratorsProperty, ClockTreePolesSpreadAcrossDecade) {
+    // Realistic RC trees have clustered-but-distinct dominant time
+    // constants; a degenerate generator would collapse them.
+    ParametricSystem sys = assemble_mna(clock_tree(rcnet_b_options()));
+    analysis::PoleOptions popts;
+    popts.count = 5;
+    popts.subspace = 90;
+    auto poles = analysis::dominant_poles_at(sys, {0.0, 0.0, 0.0}, popts);
+    ASSERT_EQ(poles.size(), 5u);
+    EXPECT_GT(std::abs(poles[4]) / std::abs(poles[0]), 2.0);
+    EXPECT_LT(std::abs(poles[4]) / std::abs(poles[0]), 1e4);
+}
+
+TEST(GeneratorsProperty, BusFrequencyScaleInBenchWindow) {
+    // The paper plots 0.5..4.5e10 Hz; the bus must have dynamics there:
+    // dominant pole below 4.5e10 * 2 pi and above 1e8 * 2 pi.
+    RlcBusOptions o;
+    o.segments_per_line = 60;
+    ParametricSystem sys = assemble_mna(coupled_rlc_bus(o));
+    analysis::PoleOptions popts;
+    popts.count = 1;
+    popts.subspace = 80;
+    auto poles = analysis::dominant_poles_at(sys, {0.0, 0.0}, popts);
+    ASSERT_FALSE(poles.empty());
+    const double mag = std::abs(poles[0]);
+    EXPECT_GT(mag, 2 * M_PI * 1e7);
+    EXPECT_LT(mag, 2 * M_PI * 1e11);
+}
+
+}  // namespace
+}  // namespace varmor::circuit

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "la/dense.h"
+#include "la/ops.h"
+#include "util/rng.h"
+
+namespace varmor::testing {
+
+/// Random dense matrix with entries ~ U(-1, 1).
+inline la::Matrix random_matrix(int rows, int cols, util::Rng& rng) {
+    la::Matrix a(rows, cols);
+    for (int j = 0; j < cols; ++j)
+        for (int i = 0; i < rows; ++i) a(i, j) = rng.uniform(-1.0, 1.0);
+    return a;
+}
+
+/// Random diagonally-dominant matrix (always invertible).
+inline la::Matrix random_dd_matrix(int n, util::Rng& rng) {
+    la::Matrix a = random_matrix(n, n, rng);
+    for (int i = 0; i < n; ++i) a(i, i) += n;
+    return a;
+}
+
+/// Random symmetric positive definite matrix A = B^T B + I.
+inline la::Matrix random_spd_matrix(int n, util::Rng& rng) {
+    la::Matrix b = random_matrix(n, n, rng);
+    la::Matrix a = la::matmul_transA(b, b);
+    for (int i = 0; i < n; ++i) a(i, i) += 1.0;
+    return a;
+}
+
+/// Random complex dense matrix.
+inline la::ZMatrix random_zmatrix(int rows, int cols, util::Rng& rng) {
+    la::ZMatrix a(rows, cols);
+    for (int j = 0; j < cols; ++j)
+        for (int i = 0; i < rows; ++i)
+            a(i, j) = la::cplx(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    return a;
+}
+
+/// Asserts max |A - B| <= tol.
+inline void expect_near(const la::Matrix& a, const la::Matrix& b, double tol,
+                        const char* what = "") {
+    ASSERT_EQ(a.rows(), b.rows()) << what;
+    ASSERT_EQ(a.cols(), b.cols()) << what;
+    EXPECT_LE(la::norm_max(a - b), tol) << what;
+}
+
+}  // namespace varmor::testing

@@ -1,0 +1,152 @@
+// End-to-end integration tests: scaled-down versions of the paper's
+// experimental protocols, run across modules (generators -> MNA -> MOR ->
+// analysis) with accuracy gates. These catch wiring regressions that module
+// tests cannot.
+
+#include <gtest/gtest.h>
+
+#include "analysis/freq_sweep.h"
+#include "analysis/monte_carlo.h"
+#include "analysis/poles.h"
+#include "analysis/transient.h"
+#include "circuit/generators.h"
+#include "circuit/mna.h"
+#include "circuit/netlist_io.h"
+#include "mor/lowrank_pmor.h"
+#include "mor/multi_point.h"
+#include "mor/passivity.h"
+#include "mor/prima.h"
+
+namespace varmor {
+namespace {
+
+TEST(Integration, Fig3ProtocolAtReducedScale) {
+    circuit::RandomRcOptions o;
+    o.unknowns = 200;
+    circuit::ParametricSystem sys = assemble_mna(circuit::random_rc_net(o));
+
+    mor::LowRankPmorOptions lr;
+    lr.s_order = 4;
+    lr.param_order = 4;
+    lr.rank = 2;
+    mor::LowRankPmorResult rom = mor::lowrank_pmor(sys, lr);
+
+    const std::vector<double> perturbed{-1.5, 1.4};
+    const auto freqs = analysis::log_frequencies(1e7, 1e10, 9);
+    const auto full = analysis::voltage_transfer_series(
+        analysis::sweep_full(sys, perturbed, freqs), 0, 1);
+    const auto red = analysis::voltage_transfer_series(
+        analysis::sweep_reduced(rom.model, perturbed, freqs), 0, 1);
+    EXPECT_LT(analysis::series_error(full, red).max_rel, 0.02);
+    EXPECT_TRUE(mor::check_passivity(rom.model, perturbed).passive());
+}
+
+TEST(Integration, Fig5ProtocolAtReducedScale) {
+    circuit::ParametricSystem sys =
+        assemble_mna(circuit::clock_tree(circuit::rcnet_a_options()));
+    mor::LowRankPmorOptions lr;
+    lr.s_order = 4;
+    lr.param_order = 2;
+    lr.rank = 2;
+    mor::LowRankPmorResult rom = mor::lowrank_pmor(sys, lr);
+
+    analysis::MonteCarloOptions mc;
+    mc.samples = 25;
+    mc.sigma = 0.1;
+    analysis::PoleOptions popts;
+    popts.count = 5;
+    popts.use_dense = true;
+    const auto study = analysis::pole_error_study(
+        sys, rom.model, analysis::sample_parameters(3, mc), popts);
+    EXPECT_LT(study.max_error, 5e-3);
+    EXPECT_EQ(study.flattened.size(), 125u);
+}
+
+TEST(Integration, BusRoundTripThroughNetlistFileAndReduce) {
+    circuit::RlcBusOptions o;
+    o.segments_per_line = 20;
+    const std::string path = ::testing::TempDir() + "/bus.sp";
+    circuit::write_netlist_file(circuit::coupled_rlc_bus(o), path);
+    circuit::ParametricSystem sys = assemble_mna(circuit::parse_netlist_file(path));
+
+    mor::LowRankPmorOptions lr;
+    lr.s_order = 8;
+    lr.param_order = 6;
+    lr.rank = 1;
+    mor::LowRankPmorResult rom = mor::lowrank_pmor(sys, lr);
+
+    const std::vector<double> p{0.25, -0.25};
+    const auto freqs = analysis::linear_frequencies(1e9, 2e10, 7);
+    const auto full = analysis::admittance_series(analysis::sweep_full(sys, p, freqs), 0, 0);
+    const auto red =
+        analysis::admittance_series(analysis::sweep_reduced(rom.model, p, freqs), 0, 0);
+    EXPECT_LT(analysis::series_error(full, red).max_rel, 0.03);
+}
+
+TEST(Integration, FrequencyAndTimeDomainConsistency) {
+    // The dominant pole extracted in the frequency domain must predict the
+    // step-response settling in the time domain: v(t) ~ 1 - exp(t * p1).
+    circuit::ParametricSystem sys =
+        assemble_mna(circuit::clock_tree(circuit::rcnet_a_options()));
+    const std::vector<double> p{0.1, -0.1, 0.0};
+    analysis::PoleOptions popts;
+    popts.count = 1;
+    popts.use_dense = true;
+    const double tau = -1.0 / analysis::dominant_poles_at(sys, p, popts)[0].real();
+
+    analysis::TransientOptions topts;
+    topts.t_stop = 8.0 * tau;
+    topts.dt = tau / 200.0;
+    const auto result =
+        analysis::simulate(sys, p, analysis::step_input(sys.num_ports(), 0), topts);
+    const double v_final = result.ports[1].back();
+    // At t = tau the single-dominant-pole estimate is 1 - e^-1 = 63.2%; RC
+    // trees have secondary poles so allow a band.
+    const double v_tau = [&] {
+        for (std::size_t i = 0; i < result.time.size(); ++i)
+            if (result.time[i] >= tau) return result.ports[1][i];
+        return result.ports[1].back();
+    }();
+    EXPECT_GT(v_tau / v_final, 0.55);
+    EXPECT_LT(v_tau / v_final, 0.78);
+}
+
+TEST(Integration, MultiPointAndLowRankAgreeAwayFromNominal) {
+    circuit::RandomRcOptions o;
+    o.unknowns = 150;
+    circuit::ParametricSystem sys = assemble_mna(circuit::random_rc_net(o));
+
+    mor::MultiPointOptions mp;
+    mp.blocks_per_sample = 5;
+    mor::ReducedModel m_mp =
+        mor::project(sys, mor::multi_point_basis(sys, mor::grid_samples(2, {-1.0, 1.0}), mp).basis);
+
+    mor::LowRankPmorOptions lr;
+    lr.s_order = 4;
+    lr.param_order = 4;
+    lr.rank = 2;
+    mor::ReducedModel m_lr = mor::lowrank_pmor(sys, lr).model;
+
+    const std::vector<double> p{0.8, -0.6};
+    const auto freqs = analysis::log_frequencies(1e7, 5e9, 7);
+    const auto a = analysis::voltage_transfer_series(
+        analysis::sweep_reduced(m_mp, p, freqs), 0, 1);
+    const auto b = analysis::voltage_transfer_series(
+        analysis::sweep_reduced(m_lr, p, freqs), 0, 1);
+    EXPECT_LT(analysis::series_error(a, b).max_rel, 0.01);
+}
+
+TEST(Integration, ReducedModelsAreDrasticallySmallerAndFaster) {
+    circuit::RandomRcOptions o;
+    o.unknowns = 1000;
+    circuit::ParametricSystem sys = assemble_mna(circuit::random_rc_net(o));
+    mor::LowRankPmorOptions lr;
+    lr.s_order = 4;
+    lr.param_order = 2;
+    mor::LowRankPmorResult rom = mor::lowrank_pmor(sys, lr);
+    EXPECT_LT(rom.model.size() * 20, sys.size());
+    EXPECT_EQ(rom.factorizations, 1);
+}
+
+}  // namespace
+}  // namespace varmor

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "la/lu_dense.h"
+#include "la/orth.h"
+#include "mor/krylov.h"
+#include "test_helpers.h"
+
+namespace varmor::mor {
+namespace {
+
+using la::Matrix;
+using la::Vector;
+using varmor::testing::random_matrix;
+
+TEST(BlockArnoldi, SpansExplicitKrylovSpace) {
+    util::Rng rng(1);
+    const int n = 20;
+    Matrix a = random_matrix(n, n, rng);
+    for (double& x : a.raw()) x *= 0.3;
+    Matrix x0 = random_matrix(n, 2, rng);
+    auto apply = [&](const Vector& v) { return la::matvec(a, v); };
+
+    const int blocks = 4;
+    Matrix v = block_arnoldi(apply, x0, blocks);
+    EXPECT_LE(la::orthonormality_error(v), 1e-10);
+
+    // Explicit Krylov vectors must lie in span(V).
+    Matrix power = x0;
+    for (int j = 0; j < blocks; ++j) {
+        for (int c = 0; c < power.cols(); ++c) {
+            Vector w = power.col(c);
+            Vector proj = la::matvec(v, la::matvec_transpose(v, w));
+            EXPECT_LE(la::norm2(w - proj), 1e-8 * (1 + la::norm2(w)))
+                << "block " << j << " col " << c;
+        }
+        power = la::matmul(a, power);
+    }
+}
+
+TEST(BlockArnoldi, ColumnsBoundedByBlocksTimesWidth) {
+    util::Rng rng(2);
+    const int n = 30;
+    Matrix a = random_matrix(n, n, rng);
+    Matrix x0 = random_matrix(n, 3, rng);
+    auto apply = [&](const Vector& v) { return la::matvec(a, v); };
+    Matrix v = block_arnoldi(apply, x0, 5);
+    EXPECT_LE(v.cols(), 15);
+    EXPECT_GE(v.cols(), 3);
+}
+
+TEST(BlockArnoldi, TerminatesOnInvariantSubspace) {
+    // Projector onto first 3 coordinates: Krylov space saturates at dim 3.
+    const int n = 10;
+    Matrix a(n, n);
+    for (int i = 0; i < 3; ++i) a(i, i) = 1.0;
+    Matrix x0(n, 1);
+    x0(0, 0) = 1.0;
+    x0(1, 0) = 0.5;
+    x0(2, 0) = 0.25;
+    auto apply = [&](const Vector& v) { return la::matvec(a, v); };
+    Matrix v = block_arnoldi(apply, x0, 8);
+    EXPECT_LE(v.cols(), 3);
+}
+
+TEST(BlockArnoldi, ExtendAccumulatesSubspaces) {
+    util::Rng rng(3);
+    const int n = 25;
+    Matrix a = random_matrix(n, n, rng);
+    auto apply = [&](const Vector& v) { return la::matvec(a, v); };
+    Matrix x1 = random_matrix(n, 1, rng);
+    Matrix x2 = random_matrix(n, 1, rng);
+    Matrix v1 = block_arnoldi(apply, x1, 3);
+    Matrix v12 = block_arnoldi_extend(v1, apply, x2, 3);
+    EXPECT_GE(v12.cols(), v1.cols());
+    EXPECT_LE(la::orthonormality_error(v12), 1e-10);
+    // First columns unchanged.
+    for (int j = 0; j < v1.cols(); ++j)
+        for (int i = 0; i < n; ++i) EXPECT_EQ(v12(i, j), v1(i, j));
+}
+
+TEST(BlockArnoldi, InvalidArgumentsThrow) {
+    Matrix x0(5, 1);
+    x0(0, 0) = 1.0;
+    auto apply = [](const Vector& v) { return v; };
+    EXPECT_THROW(block_arnoldi(apply, x0, 0), Error);
+    EXPECT_THROW(block_arnoldi(apply, Matrix(5, 0), 2), Error);
+    EXPECT_THROW(block_arnoldi(nullptr, x0, 2), Error);
+}
+
+}  // namespace
+}  // namespace varmor::mor

@@ -1,0 +1,160 @@
+// Additional dense-LA stress tests: ill conditioning, scaling invariance,
+// structured matrices with known factorizations/spectra.
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "la/cholesky.h"
+#include "la/eig.h"
+#include "la/eig_sym.h"
+#include "la/lu_dense.h"
+#include "la/orth.h"
+#include "la/qr.h"
+#include "la/svd.h"
+#include "test_helpers.h"
+
+namespace varmor::la {
+namespace {
+
+using testing::expect_near;
+using testing::random_matrix;
+
+Matrix hilbert(int n) {
+    Matrix h(n, n);
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i) h(i, j) = 1.0 / (i + j + 1.0);
+    return h;
+}
+
+TEST(LaExtra, HilbertSvdKnownLeadingSingularValue) {
+    // sigma_1 of the 5x5 Hilbert matrix (well-conditioned in sigma_1).
+    SvdResult f = svd(hilbert(5));
+    EXPECT_NEAR(f.s[0], 1.5670506910982311, 1e-10);
+    // Tiny trailing singular value exists (cond ~ 4.7e5).
+    EXPECT_LT(f.s[4], 1e-4);
+    EXPECT_GT(f.s[0] / f.s[4], 1e4);
+}
+
+TEST(LaExtra, HilbertCholeskyStillFactors) {
+    // Hilbert is SPD though terribly conditioned; Cholesky must succeed up
+    // to moderate sizes and reconstruct.
+    Matrix h = hilbert(8);
+    Cholesky c(h);
+    expect_near(matmul(c.l(), transpose(c.l())), h, 1e-10);
+}
+
+TEST(LaExtra, SvdScalingEquivariance) {
+    util::Rng rng(1);
+    Matrix a = random_matrix(10, 6, rng);
+    SvdResult f1 = svd(a);
+    Matrix a1000 = a;
+    for (double& v : a1000.raw()) v *= 1000.0;
+    SvdResult f2 = svd(a1000);
+    for (std::size_t i = 0; i < f1.s.size(); ++i)
+        EXPECT_NEAR(f2.s[i], 1000.0 * f1.s[i], 1e-9 * f2.s[0]);
+}
+
+TEST(LaExtra, LuSolveBadlyScaledSystem) {
+    // Rows scaled across 12 orders of magnitude: partial pivoting must cope.
+    util::Rng rng(2);
+    const int n = 10;
+    Matrix a = testing::random_dd_matrix(n, rng);
+    Vector xs(n);
+    for (int i = 0; i < n; ++i) xs[i] = rng.uniform(-1, 1);
+    for (int i = 0; i < n; ++i) {
+        const double s = std::pow(10.0, -12.0 + 24.0 * i / (n - 1));
+        for (int j = 0; j < n; ++j) a(i, j) *= s;
+    }
+    Vector b = matvec(a, xs);
+    Vector x = solve_dense(a, b);
+    EXPECT_LE(norm2(x - xs), 1e-7 * (1 + norm2(xs)));
+}
+
+TEST(LaExtra, EigOfStiffnessMatrixKnownSpectrum) {
+    // 1-D Laplacian: eigenvalues 2 - 2 cos(k pi / (n+1)).
+    const int n = 12;
+    Matrix a(n, n);
+    for (int i = 0; i < n; ++i) {
+        a(i, i) = 2.0;
+        if (i > 0) {
+            a(i, i - 1) = -1.0;
+            a(i - 1, i) = -1.0;
+        }
+    }
+    SymEigResult e = eig_symmetric(a);
+    for (int k = 1; k <= n; ++k) {
+        const double expected = 2.0 - 2.0 * std::cos(k * M_PI / (n + 1));
+        EXPECT_NEAR(e.values[static_cast<std::size_t>(k - 1)], expected, 1e-10);
+    }
+}
+
+TEST(LaExtra, FrancisQrOnNearlyDefectiveMatrix) {
+    // Jordan-like block with tiny coupling: eigenvalues are eps-separated;
+    // QR must still return values near 1 without dying.
+    const double eps = 1e-8;
+    Matrix a{{1.0, 1.0, 0.0}, {0.0, 1.0, 1.0}, {eps, 0.0, 1.0}};
+    auto w = eig_values(a);
+    for (const cplx& z : w) EXPECT_NEAR(std::abs(z - cplx(1.0)), std::cbrt(eps), 2e-3);
+}
+
+TEST(LaExtra, QrOfOrthogonalMatrixGivesIdentityR) {
+    util::Rng rng(3);
+    Matrix q0 = orthonormalize(random_matrix(8, 8, rng));
+    QrResult f = qr(q0);
+    // R should be diagonal +-1 (orthonormal input).
+    for (int j = 0; j < 8; ++j)
+        for (int i = 0; i < j; ++i) EXPECT_NEAR(f.r(i, j), 0.0, 1e-10);
+    for (int j = 0; j < 8; ++j) EXPECT_NEAR(std::abs(f.r(j, j)), 1.0, 1e-10);
+}
+
+TEST(LaExtra, OrthDropToleranceControlsDeflation) {
+    util::Rng rng(4);
+    Matrix a = random_matrix(10, 2, rng);
+    Matrix nearly(10, 3);
+    for (int i = 0; i < 10; ++i) {
+        nearly(i, 0) = a(i, 0);
+        nearly(i, 1) = a(i, 1);
+        // Almost dependent: in-span part plus a 1e-8 out-of-span component.
+        nearly(i, 2) = a(i, 0) + 1e-8 * rng.uniform(-1.0, 1.0);
+    }
+    OrthOptions loose;
+    loose.drop_tol = 1e-6;
+    OrthOptions tight;
+    tight.drop_tol = 1e-12;
+    EXPECT_EQ(orthonormalize(nearly, loose).cols(), 2);
+    EXPECT_EQ(orthonormalize(nearly, tight).cols(), 3);
+}
+
+TEST(LaExtra, DeterminantProductProperty) {
+    util::Rng rng(5);
+    Matrix a = testing::random_dd_matrix(6, rng);
+    Matrix b = testing::random_dd_matrix(6, rng);
+    const double da = DenseLu<double>(a).determinant();
+    const double db = DenseLu<double>(b).determinant();
+    const double dab = DenseLu<double>(matmul(a, b)).determinant();
+    EXPECT_NEAR(dab, da * db, 1e-8 * std::abs(da * db));
+}
+
+class ComplexLuProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComplexLuProperty, PencilSolveAtManyFrequencies) {
+    // The frequency-sweep inner loop, stress-tested: (G + j w C) x = b over
+    // 6 decades of w.
+    const int n = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(n) * 3 + 7);
+    Matrix g = testing::random_spd_matrix(n, rng);
+    Matrix c = testing::random_spd_matrix(n, rng);
+    Vector b(n);
+    for (int i = 0; i < n; ++i) b[i] = rng.uniform(-1, 1);
+    for (double w : {1e-3, 1e-1, 1e1, 1e3}) {
+        ZMatrix p = pencil(g, c, cplx(0.0, w));
+        ZVector x = solve_dense(p, to_complex(b));
+        ZVector r = matvec(p, x) - to_complex(b);
+        EXPECT_LE(norm2(r), 1e-9 * (1 + norm2(b))) << "w = " << w;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ComplexLuProperty, ::testing::Values(4, 12, 24, 48));
+
+}  // namespace
+}  // namespace varmor::la

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "la/lu_dense.h"
+#include "test_helpers.h"
+
+namespace varmor::la {
+namespace {
+
+using testing::expect_near;
+using testing::random_dd_matrix;
+using testing::random_matrix;
+using testing::random_zmatrix;
+
+TEST(DenseLu, SolvesHandComputedSystem) {
+    Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+    Vector b{3.0, 4.0};  // solution x = (1, 1)
+    Vector x = solve_dense(a, b);
+    EXPECT_NEAR(x[0], 1.0, 1e-14);
+    EXPECT_NEAR(x[1], 1.0, 1e-14);
+}
+
+TEST(DenseLu, PivotingHandlesZeroDiagonal) {
+    Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+    Vector b{2.0, 3.0};
+    Vector x = solve_dense(a, b);
+    EXPECT_NEAR(x[0], 3.0, 1e-14);
+    EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(DenseLu, SingularThrows) {
+    Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+    EXPECT_THROW(DenseLu<double>{a}, Error);
+}
+
+TEST(DenseLu, NonSquareThrows) {
+    EXPECT_THROW(DenseLu<double>{Matrix(2, 3)}, Error);
+}
+
+TEST(DenseLu, Determinant2x2) {
+    Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_NEAR(DenseLu<double>(a).determinant(), -2.0, 1e-14);
+}
+
+TEST(DenseLu, DeterminantOfIdentityPermutation) {
+    // Permutation matrix: det = sign of the permutation.
+    Matrix p{{0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}, {1.0, 0.0, 0.0}};  // cyclic, even
+    EXPECT_NEAR(DenseLu<double>(p).determinant(), 1.0, 1e-14);
+}
+
+TEST(DenseLu, InverseTimesMatrixIsIdentity) {
+    util::Rng rng(21);
+    Matrix a = random_dd_matrix(8, rng);
+    expect_near(matmul(inverse(a), a), Matrix::identity(8), 1e-10);
+}
+
+TEST(DenseLu, ComplexSolve) {
+    ZMatrix a{{cplx(1, 1), cplx(0, 0)}, {cplx(0, 0), cplx(0, 2)}};
+    ZVector b{cplx(2, 0), cplx(2, 0)};
+    ZVector x = solve_dense(a, b);
+    EXPECT_NEAR(std::abs(x[0] - cplx(1, -1)), 0.0, 1e-14);
+    EXPECT_NEAR(std::abs(x[1] - cplx(0, -1)), 0.0, 1e-14);
+}
+
+class LuResidualProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuResidualProperty, RealResidualSmall) {
+    const int n = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(n) + 100);
+    Matrix a = random_dd_matrix(n, rng);
+    Vector b = Vector(n);
+    for (int i = 0; i < n; ++i) b[i] = rng.uniform(-1, 1);
+    Vector x = solve_dense(a, b);
+    Vector r = matvec(a, x) - b;
+    EXPECT_LE(norm2(r), 1e-10 * (1.0 + norm2(b)));
+}
+
+TEST_P(LuResidualProperty, ComplexResidualSmall) {
+    const int n = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(n) + 200);
+    ZMatrix a = random_zmatrix(n, n, rng);
+    for (int i = 0; i < n; ++i) a(i, i) += cplx(n, n);  // diagonally dominant
+    ZVector b(n);
+    for (int i = 0; i < n; ++i) b[i] = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    ZVector x = solve_dense(a, b);
+    ZVector r = matvec(a, x) - b;
+    EXPECT_LE(norm2(r), 1e-10 * (1.0 + norm2(b)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuResidualProperty, ::testing::Values(1, 2, 3, 5, 10, 20, 50));
+
+TEST(DenseLu, MultipleRhs) {
+    util::Rng rng(33);
+    Matrix a = random_dd_matrix(6, rng);
+    Matrix b = random_matrix(6, 4, rng);
+    Matrix x = solve_dense(a, b);
+    expect_near(matmul(a, x), b, 1e-10);
+}
+
+}  // namespace
+}  // namespace varmor::la

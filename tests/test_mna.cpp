@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "circuit/mna.h"
+#include "la/ops.h"
+#include "test_helpers.h"
+
+namespace varmor::circuit {
+namespace {
+
+using la::Matrix;
+using varmor::testing::expect_near;
+
+/// Two-node RC: R from node 1 to 2, C at each node, port at 1.
+Netlist two_node_rc() {
+    Netlist net;
+    const int a = net.add_node();
+    const int b = net.add_node();
+    net.add_resistor(a, b, 2.0);     // g = 0.5
+    net.add_capacitor(a, 0, 1e-12);
+    net.add_capacitor(b, 0, 2e-12);
+    net.add_port(a);
+    return net;
+}
+
+TEST(Mna, HandComputedRcStamps) {
+    ParametricSystem sys = assemble_mna(two_node_rc());
+    EXPECT_EQ(sys.size(), 2);
+    Matrix g = sys.g0.to_dense();
+    EXPECT_DOUBLE_EQ(g(0, 0), 0.5);
+    EXPECT_DOUBLE_EQ(g(1, 1), 0.5);
+    EXPECT_DOUBLE_EQ(g(0, 1), -0.5);
+    EXPECT_DOUBLE_EQ(g(1, 0), -0.5);
+    Matrix c = sys.c0.to_dense();
+    EXPECT_DOUBLE_EQ(c(0, 0), 1e-12);
+    EXPECT_DOUBLE_EQ(c(1, 1), 2e-12);
+    EXPECT_DOUBLE_EQ(c(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(sys.b(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(sys.b(1, 0), 0.0);
+}
+
+TEST(Mna, GroundedElementStampsDiagonalOnly) {
+    Netlist net;
+    const int a = net.add_node();
+    net.add_resistor(a, 0, 4.0);
+    net.add_port(a);
+    ParametricSystem sys = assemble_mna(net);
+    EXPECT_EQ(sys.size(), 1);
+    EXPECT_DOUBLE_EQ(sys.g0.to_dense()(0, 0), 0.25);
+}
+
+TEST(Mna, InductorPrimaForm) {
+    // R-L chain: node1 -R- node2 -L- ground.
+    Netlist net;
+    const int a = net.add_node();
+    const int b = net.add_node();
+    net.add_resistor(a, b, 1.0);
+    net.add_inductor(b, 0, 1e-9);
+    net.add_capacitor(a, 0, 1e-12);
+    net.add_port(a);
+    ParametricSystem sys = assemble_mna(net);
+    ASSERT_EQ(sys.size(), 3);  // 2 nodes + 1 inductor current
+
+    Matrix g = sys.g0.to_dense();
+    // Incidence column: current leaves node b into the inductor.
+    EXPECT_DOUBLE_EQ(g(1, 2), 1.0);
+    EXPECT_DOUBLE_EQ(g(2, 1), -1.0);
+    EXPECT_DOUBLE_EQ(g(2, 2), 0.0);
+    // G + G^T must be PSD: skew incidence cancels.
+    Matrix gs = la::symmetric_part(g);
+    EXPECT_DOUBLE_EQ(gs(1, 2), 0.0);
+
+    Matrix c = sys.c0.to_dense();
+    EXPECT_DOUBLE_EQ(c(2, 2), 1e-9);
+}
+
+TEST(Mna, SensitivityMatricesMatchElementDerivatives) {
+    Netlist net(2);
+    const int a = net.add_node();
+    const int b = net.add_node();
+    net.add_resistor(a, b, 2.0, {0.1, -0.05});  // dg/dp
+    net.add_capacitor(b, 0, 1e-12, {2e-13, 0.0});
+    net.add_port(a);
+    ParametricSystem sys = assemble_mna(net);
+    ASSERT_EQ(sys.num_params(), 2);
+
+    Matrix dg0 = sys.dg[0].to_dense();
+    EXPECT_DOUBLE_EQ(dg0(0, 0), 0.1);
+    EXPECT_DOUBLE_EQ(dg0(0, 1), -0.1);
+    Matrix dc0 = sys.dc[0].to_dense();
+    EXPECT_DOUBLE_EQ(dc0(1, 1), 2e-13);
+    // Second parameter has no capacitance effect.
+    EXPECT_EQ(sys.dc[1].nnz(), 0);
+}
+
+TEST(Mna, AffineAssemblyMatchesPerturbedRestamp) {
+    // G(p) from the parametric system must equal stamping perturbed values.
+    Netlist net(1);
+    const int a = net.add_node();
+    const int b = net.add_node();
+    const double g0 = 0.5, dg = 0.1;
+    net.add_resistor(a, b, 1.0 / g0, {dg});
+    net.add_capacitor(b, 0, 1e-12, {1e-13});
+    net.add_port(a);
+    ParametricSystem sys = assemble_mna(net);
+
+    const double p = 0.7;
+    Netlist pert(0);
+    const int a2 = pert.add_node();
+    const int b2 = pert.add_node();
+    pert.add_resistor(a2, b2, 1.0 / (g0 + dg * p));
+    pert.add_capacitor(b2, 0, 1e-12 + 1e-13 * p);
+    pert.add_port(a2);
+    ParametricSystem ref = assemble_mna(pert);
+
+    expect_near(sys.g_at({p}).to_dense(), ref.g0.to_dense(), 1e-15);
+    expect_near(sys.c_at({p}).to_dense(), ref.c0.to_dense(), 1e-27);
+}
+
+TEST(Mna, RequiresPortsAndNodes) {
+    Netlist empty;
+    EXPECT_THROW(assemble_mna(empty), Error);
+    Netlist no_port;
+    no_port.add_node();
+    EXPECT_THROW(assemble_mna(no_port), Error);
+}
+
+TEST(Mna, MultiPortB) {
+    Netlist net;
+    const int a = net.add_node();
+    const int b = net.add_node();
+    net.add_resistor(a, b, 1.0);
+    net.add_capacitor(b, 0, 1e-15);
+    net.add_port(a);
+    net.add_port(b);
+    ParametricSystem sys = assemble_mna(net);
+    EXPECT_EQ(sys.num_ports(), 2);
+    EXPECT_DOUBLE_EQ(sys.b(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(sys.b(1, 1), 1.0);
+    expect_near(sys.b, sys.l, 0.0);  // B == L for port formulation
+}
+
+TEST(ParametricSystemTest, ValidateCatchesInconsistency) {
+    ParametricSystem sys = assemble_mna(two_node_rc());
+    sys.b = Matrix(3, 1);  // wrong row count
+    EXPECT_THROW(sys.validate(), Error);
+}
+
+TEST(ParametricSystemTest, GAtRejectsWrongParameterCount) {
+    ParametricSystem sys = assemble_mna(two_node_rc());
+    EXPECT_THROW(sys.g_at({1.0}), Error);  // system has zero parameters
+}
+
+}  // namespace
+}  // namespace varmor::circuit

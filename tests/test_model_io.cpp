@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "la/ops.h"
+#include "mor/lowrank_pmor.h"
+#include "mor/model_io.h"
+#include "mor_test_utils.h"
+
+namespace varmor::mor {
+namespace {
+
+using varmor::testing::small_parametric_rc;
+
+ReducedModel make_model() {
+    circuit::ParametricSystem sys = small_parametric_rc(25, 2, 401);
+    LowRankPmorOptions opts;
+    opts.s_order = 3;
+    opts.param_order = 2;
+    return lowrank_pmor(sys, opts).model;
+}
+
+TEST(ModelIo, RoundTripPreservesEverything) {
+    ReducedModel original = make_model();
+    std::ostringstream os;
+    write_model(original, os);
+    std::istringstream is(os.str());
+    ReducedModel loaded = read_model(is);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    ASSERT_EQ(loaded.num_ports(), original.num_ports());
+    ASSERT_EQ(loaded.num_params(), original.num_params());
+    EXPECT_EQ(la::norm_max(loaded.g0 - original.g0), 0.0);
+    EXPECT_EQ(la::norm_max(loaded.c0 - original.c0), 0.0);
+    for (int i = 0; i < 2; ++i) {
+        EXPECT_EQ(la::norm_max(loaded.dg[static_cast<std::size_t>(i)] -
+                               original.dg[static_cast<std::size_t>(i)]),
+                  0.0);
+        EXPECT_EQ(la::norm_max(loaded.dc[static_cast<std::size_t>(i)] -
+                               original.dc[static_cast<std::size_t>(i)]),
+                  0.0);
+    }
+
+    // Behavioural equality: same transfer function at an arbitrary point.
+    const la::cplx s(0.0, 0.7);
+    const std::vector<double> p{0.4, -0.6};
+    EXPECT_EQ(la::norm_max(loaded.transfer(s, p) - original.transfer(s, p)), 0.0);
+}
+
+TEST(ModelIo, FileRoundTrip) {
+    ReducedModel original = make_model();
+    const std::string path = ::testing::TempDir() + "/model.rom";
+    write_model_file(original, path);
+    ReducedModel loaded = read_model_file(path);
+    EXPECT_EQ(loaded.size(), original.size());
+    EXPECT_THROW(read_model_file("/nonexistent/model.rom"), Error);
+    EXPECT_THROW(write_model_file(original, "/nonexistent/dir/model.rom"), Error);
+}
+
+TEST(ModelIo, MalformedInputsThrow) {
+    auto parse = [](const std::string& text) {
+        std::istringstream is(text);
+        return read_model(is);
+    };
+    EXPECT_THROW(parse(""), Error);
+    EXPECT_THROW(parse("wrong-magic 1\n"), Error);
+    EXPECT_THROW(parse("varmor-rom 2\nsize 1 ports 1 params 0\n"), Error);  // version
+    EXPECT_THROW(parse("varmor-rom 1\nsize 0 ports 1 params 0\n"), Error);  // dims
+    EXPECT_THROW(parse("varmor-rom 1\nsize 1 ports 1 params 0\nG0 1.0\n"), Error);  // truncated
+    // Wrong section order.
+    EXPECT_THROW(parse("varmor-rom 1\nsize 1 ports 1 params 0\nC0 1.0\n"), Error);
+}
+
+TEST(ModelIo, ZeroParameterModelSupported) {
+    circuit::ParametricSystem sys = small_parametric_rc(10, 0, 402, 1);
+    ReducedModel m = project(sys, la::Matrix::identity(10));
+    std::ostringstream os;
+    write_model(m, os);
+    std::istringstream is(os.str());
+    ReducedModel loaded = read_model(is);
+    EXPECT_EQ(loaded.num_params(), 0);
+    EXPECT_EQ(loaded.size(), 10);
+}
+
+}  // namespace
+}  // namespace varmor::mor

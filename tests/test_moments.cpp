@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "la/lu_dense.h"
+#include "mor/moments.h"
+#include "mor_test_utils.h"
+#include "test_helpers.h"
+
+namespace varmor::mor {
+namespace {
+
+using la::Matrix;
+using varmor::testing::random_matrix;
+
+/// Abstract well-scaled parametric system (not a circuit): G0 = I + small,
+/// so the moment series converges for |s|, |p| < 1 and partial sums can be
+/// compared against the exact resolvent.
+struct AbstractSystem {
+    Matrix g0, c0, g1, c1, g2, c2, b, l;
+};
+
+AbstractSystem make_abstract(int n, util::Rng& rng) {
+    AbstractSystem s;
+    s.g0 = Matrix::identity(n);
+    auto small = [&](double scale) {
+        Matrix m = random_matrix(n, n, rng);
+        for (double& x : m.raw()) x *= scale / n;
+        return m;
+    };
+    s.g0 = s.g0 + small(0.3);
+    s.c0 = small(0.8);
+    s.g1 = small(0.6);
+    s.c1 = small(0.5);
+    s.g2 = small(0.4);
+    s.c2 = small(0.7);
+    s.b = random_matrix(n, 2, rng);
+    s.l = random_matrix(n, 2, rng);
+    return s;
+}
+
+TEST(MomentOracle, ZeroOrderMomentIsR0) {
+    util::Rng rng(1);
+    AbstractSystem s = make_abstract(6, rng);
+    MomentOracle oracle(s.g0, s.c0, {s.g1, s.g2}, {s.c1, s.c2}, s.b, s.l);
+    MomentKey key;
+    key.p = {0, 0};
+    const Matrix r0 = la::solve_dense(s.g0, s.b);
+    varmor::testing::expect_near(oracle.state_moment(key), r0, 1e-12);
+}
+
+TEST(MomentOracle, FirstSMomentIsMinusAR0) {
+    util::Rng rng(2);
+    AbstractSystem s = make_abstract(5, rng);
+    MomentOracle oracle(s.g0, s.c0, {}, {}, s.b, s.l);
+    MomentKey key;
+    key.s = 1;
+    const la::DenseLu<double> lu(s.g0);
+    const Matrix expected = la::matmul(lu.solve(s.c0), lu.solve(s.b));
+    Matrix got = oracle.state_moment(key);
+    for (double& x : got.raw()) x = -x;
+    varmor::testing::expect_near(got, expected, 1e-12);
+}
+
+/// The defining property: the truncated multi-parameter series reproduces
+/// X(s, p) = (G(p) + s C(p))^-1 B with error dropping geometrically in the
+/// truncation order.
+TEST(MomentOracle, TruncatedSeriesConvergesToResolvent) {
+    util::Rng rng(3);
+    const int n = 7;
+    AbstractSystem sys = make_abstract(n, rng);
+    MomentOracle oracle(sys.g0, sys.c0, {sys.g1, sys.g2}, {sys.c1, sys.c2}, sys.b, sys.l);
+
+    const double s = 0.23, p1 = 0.17, p2 = -0.21;
+    // Exact resolvent at the evaluation point.
+    Matrix gp = sys.g0;
+    Matrix cp = sys.c0;
+    for (std::size_t i = 0; i < gp.raw().size(); ++i) {
+        gp.raw()[i] += p1 * sys.g1.raw()[i] + p2 * sys.g2.raw()[i] + s * sys.c0.raw()[i] * 0;
+        cp.raw()[i] += p1 * sys.c1.raw()[i] + p2 * sys.c2.raw()[i];
+    }
+    Matrix pencil = gp;
+    for (std::size_t i = 0; i < pencil.raw().size(); ++i)
+        pencil.raw()[i] += s * cp.raw()[i];
+    const Matrix exact = la::solve_dense(pencil, sys.b);
+
+    double prev_err = 1e100;
+    for (int order : {2, 4, 6, 8}) {
+        Matrix sum(n, sys.b.cols());
+        for (const MomentKey& key : MomentOracle::keys_up_to(order, 2)) {
+            double coef = std::pow(s, key.s) * std::pow(p1, key.p[0]) * std::pow(p2, key.p[1]);
+            const Matrix& m = oracle.state_moment(key);
+            for (std::size_t i = 0; i < sum.raw().size(); ++i)
+                sum.raw()[i] += coef * m.raw()[i];
+        }
+        const double err = la::norm_max(sum - exact);
+        EXPECT_LT(err, 0.7 * prev_err) << "series must converge at order " << order;
+        prev_err = err;
+    }
+    EXPECT_LT(prev_err, 1e-4);
+}
+
+TEST(MomentOracle, KeysEnumerationCountsMatchStarsAndBars) {
+    // Number of multidegrees with total <= k over (s + np) variables is
+    // C(k + np + 1, np + 1).
+    auto count = [](int order, int np) {
+        return static_cast<int>(MomentOracle::keys_up_to(order, np).size());
+    };
+    EXPECT_EQ(count(0, 0), 1);
+    EXPECT_EQ(count(3, 0), 4);       // s^0..s^3
+    EXPECT_EQ(count(2, 1), 6);       // C(4,2)
+    EXPECT_EQ(count(2, 2), 10);      // C(5,3)
+    EXPECT_EQ(count(4, 2), 35);      // C(7,3)
+}
+
+TEST(MomentOracle, RejectsNegativeAndMismatchedKeys) {
+    util::Rng rng(4);
+    AbstractSystem s = make_abstract(4, rng);
+    MomentOracle oracle(s.g0, s.c0, {s.g1}, {s.c1}, s.b, s.l);
+    MomentKey bad;
+    bad.p = {0, 0};  // two parameters but oracle has one
+    EXPECT_THROW(oracle.state_moment(bad), Error);
+    MomentKey neg;
+    neg.s = -1;
+    neg.p = {0};
+    EXPECT_THROW(oracle.state_moment(neg), Error);
+}
+
+TEST(MomentOracle, CircuitMomentsFiniteAndCached) {
+    circuit::ParametricSystem sys = varmor::testing::small_parametric_rc(10, 2, 5);
+    MomentOracle oracle = varmor::testing::oracle_of(sys);
+    for (const MomentKey& key : MomentOracle::keys_up_to(3, 2)) {
+        const Matrix m = oracle.port_moment(key);
+        for (double v : m.raw()) EXPECT_TRUE(std::isfinite(v));
+    }
+}
+
+}  // namespace
+}  // namespace varmor::mor

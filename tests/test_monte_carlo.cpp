@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "analysis/monte_carlo.h"
+#include "circuit/generators.h"
+#include "circuit/mna.h"
+#include "mor/lowrank_pmor.h"
+
+namespace varmor::analysis {
+namespace {
+
+TEST(SampleParameters, RespectsTruncation) {
+    MonteCarloOptions opts;
+    opts.samples = 500;
+    opts.sigma = 0.1;
+    opts.truncate_sigmas = 3.0;
+    auto samples = sample_parameters(3, opts);
+    ASSERT_EQ(samples.size(), 500u);
+    for (const auto& p : samples) {
+        ASSERT_EQ(p.size(), 3u);
+        for (double x : p) {
+            EXPECT_LE(std::abs(x), 0.3 + 1e-12);  // 3 sigma bound
+        }
+    }
+}
+
+TEST(SampleParameters, EmpiricalMomentsReasonable) {
+    MonteCarloOptions opts;
+    opts.samples = 4000;
+    opts.sigma = 0.1;
+    auto samples = sample_parameters(1, opts);
+    double mean = 0, var = 0;
+    for (const auto& p : samples) mean += p[0];
+    mean /= static_cast<double>(samples.size());
+    for (const auto& p : samples) var += (p[0] - mean) * (p[0] - mean);
+    var /= static_cast<double>(samples.size());
+    EXPECT_NEAR(mean, 0.0, 0.01);
+    EXPECT_NEAR(std::sqrt(var), 0.1, 0.01);
+}
+
+TEST(SampleParameters, Deterministic) {
+    MonteCarloOptions opts;
+    opts.samples = 5;
+    auto a = sample_parameters(2, opts);
+    auto b = sample_parameters(2, opts);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Histogram, CountsSumToInputSize) {
+    std::vector<double> v{0.1, 0.2, 0.3, 0.35, 0.9};
+    Histogram h = make_histogram(v, 4);
+    int total = 0;
+    for (int c : h.counts) total += c;
+    EXPECT_EQ(total, 5);
+    EXPECT_EQ(h.edges.size(), 5u);
+    EXPECT_DOUBLE_EQ(h.edges.front(), 0.1);
+    EXPECT_DOUBLE_EQ(h.edges.back(), 0.9);
+}
+
+TEST(Histogram, ConstantValuesHandled) {
+    std::vector<double> v{1.0, 1.0, 1.0};
+    Histogram h = make_histogram(v, 3);
+    int total = 0;
+    for (int c : h.counts) total += c;
+    EXPECT_EQ(total, 3);
+}
+
+TEST(Histogram, InvalidInputsThrow) {
+    EXPECT_THROW(make_histogram({}, 3), Error);
+    EXPECT_THROW(make_histogram({1.0}, 0), Error);
+}
+
+TEST(PoleErrorStudy, SmallClockTreeStudyProducesTinyErrors) {
+    // Miniature Fig. 5 protocol: MC over widths, reduced vs full dominant
+    // poles. Errors must be small and finite.
+    circuit::ParametricSystem sys =
+        assemble_mna(circuit::clock_tree(circuit::rcnet_a_options()));
+    mor::LowRankPmorOptions mopts;
+    mopts.s_order = 4;
+    mopts.param_order = 2;
+    mopts.rank = 2;
+    mor::LowRankPmorResult model = mor::lowrank_pmor(sys, mopts);
+
+    MonteCarloOptions mc;
+    mc.samples = 10;
+    mc.sigma = 0.1;
+    auto samples = sample_parameters(3, mc);
+
+    PoleOptions popts;
+    popts.count = 5;
+    PoleErrorStudy study = pole_error_study(sys, model.model, samples, popts);
+    EXPECT_EQ(study.errors.size(), 10u);
+    EXPECT_EQ(study.flattened.size(), 50u);  // 10 samples x 5 poles
+    EXPECT_LT(study.max_error, 0.01);        // paper: < 0.3% for RCNetB
+    EXPECT_GE(study.mean_error, 0.0);
+}
+
+}  // namespace
+}  // namespace varmor::analysis

@@ -1,0 +1,178 @@
+// Additional MOR property tests: cross-method consistency, reduced-model
+// invariances, parameter-space edge cases.
+
+#include <gtest/gtest.h>
+
+#include "la/lu_dense.h"
+#include "la/orth.h"
+#include "mor/lowrank_pmor.h"
+#include "mor/multi_point.h"
+#include "mor/prima.h"
+#include "mor/single_point.h"
+#include "mor_test_utils.h"
+#include "test_helpers.h"
+
+namespace varmor::mor {
+namespace {
+
+using la::Matrix;
+using varmor::testing::max_moment_mismatch;
+using varmor::testing::oracle_of;
+using varmor::testing::small_parametric_rc;
+
+TEST(MorExtra, LowRankBasisContainsPrimaBasis) {
+    // V0 of Algorithm 1 with s_order = k spans the PRIMA space with k+1
+    // blocks: the low-rank model can never be worse than PRIMA at nominal.
+    circuit::ParametricSystem sys = small_parametric_rc(30, 2, 301);
+    LowRankPmorOptions lr;
+    lr.s_order = 4;
+    lr.param_order = 1;
+    LowRankPmorResult rom = lowrank_pmor(sys, lr);
+    PrimaOptions popts;
+    popts.blocks = 5;
+    Matrix vp = prima_basis(sys.g0, sys.c0, sys.b, popts);
+    // Every PRIMA column must lie in span(rom.basis).
+    for (int j = 0; j < vp.cols(); ++j) {
+        la::Vector x = vp.col(j);
+        la::Vector proj = la::matvec(rom.basis, la::matvec_transpose(rom.basis, x));
+        EXPECT_LE(la::norm2(x - proj), 1e-8) << "column " << j;
+    }
+}
+
+TEST(MorExtra, ZeroParameterSystemDegradesToPrima) {
+    // A parametric system with zero-valued sensitivities must reduce to the
+    // same transfer function as plain PRIMA.
+    circuit::ParametricSystem sys = small_parametric_rc(25, 0, 302);
+    // Manufacture two zero sensitivity matrices.
+    sparse::Triplets empty(sys.size(), sys.size());
+    sys.dg = {sparse::Csc(empty), sparse::Csc(empty)};
+    sys.dc = {sparse::Csc(empty), sparse::Csc(empty)};
+    sys.validate();
+
+    LowRankPmorOptions lr;
+    lr.s_order = 4;
+    LowRankPmorResult rom = lowrank_pmor(sys, lr);
+    PrimaOptions popts;
+    popts.blocks = 5;
+    ReducedModel prima = project(sys, prima_basis(sys.g0, sys.c0, sys.b, popts));
+
+    const la::cplx s(0.0, 0.4);
+    EXPECT_LE(la::norm_max(rom.model.transfer(s, {0.0, 0.0}) -
+                           prima.transfer(s, {0.0, 0.0})),
+              1e-9 * (1 + la::norm_max(prima.transfer(s, {0.0, 0.0}))));
+}
+
+TEST(MorExtra, TransferSymmetricForReciprocalRcNetwork) {
+    // RC networks with B = L are reciprocal: H(s, p) is symmetric. The
+    // congruence-projected model must inherit that.
+    circuit::ParametricSystem sys = small_parametric_rc(30, 2, 303);
+    LowRankPmorResult rom = lowrank_pmor(sys, {});
+    const la::ZMatrix h = rom.model.transfer(la::cplx(0, 0.7), {0.5, -0.5});
+    ASSERT_EQ(h.rows(), 2);
+    EXPECT_LE(std::abs(h(0, 1) - h(1, 0)), 1e-12 * (1 + std::abs(h(0, 1))));
+}
+
+TEST(MorExtra, PolesContinuousInParameters) {
+    // Small parameter steps must move the dominant pole smoothly (no jumps):
+    // sanity for optimization/yield loops built on the parametric model.
+    circuit::ParametricSystem sys = small_parametric_rc(30, 2, 304);
+    LowRankPmorResult rom = lowrank_pmor(sys, {});
+    double prev = 0.0;
+    for (int k = 0; k <= 10; ++k) {
+        const double t = -1.0 + 0.2 * k;
+        const auto poles = rom.model.poles({t, -t});
+        ASSERT_FALSE(poles.empty());
+        const double dom = poles[0].real();
+        if (k > 0) {
+            EXPECT_LT(std::abs(dom - prev), 0.35 * std::abs(prev));
+        }
+        prev = dom;
+    }
+}
+
+TEST(MorExtra, SinglePointSubsumesLowRankAtFullRank) {
+    // With rank = n (no truncation) the low-rank "nearby" system IS the
+    // original, so single-point and low-rank match the same moments. Verify
+    // both reach the oracle at order 2.
+    circuit::ParametricSystem sys = small_parametric_rc(12, 1, 305);
+    SinglePointOptions sp;
+    sp.order = 2;
+    SinglePointResult spr = single_point_basis(sys, sp);
+    LowRankPmorOptions lr;
+    lr.s_order = 2;
+    lr.param_order = 2;
+    lr.rank = 12;  // full rank
+    LowRankPmorResult rom = lowrank_pmor(sys, lr);
+
+    MomentOracle full = oracle_of(sys);
+    MomentOracle red_sp = oracle_of(project(sys, spr.basis));
+    MomentOracle red_lr = oracle_of(project(sys, rom.basis));
+    EXPECT_LE(max_moment_mismatch(full, red_sp, 2, 1), 1e-7);
+    EXPECT_LE(max_moment_mismatch(full, red_lr, 2, 1), 1e-7);
+}
+
+TEST(MorExtra, ProjectionIdempotent) {
+    // Projecting an already-reduced-size system with identity-like V of the
+    // same span must not change the transfer function.
+    circuit::ParametricSystem sys = small_parametric_rc(20, 2, 306);
+    LowRankPmorResult rom = lowrank_pmor(sys, {});
+    // Rotate the basis by an orthogonal matrix: same span, same model.
+    util::Rng rng(307);
+    Matrix rot = la::orthonormalize(
+        varmor::testing::random_matrix(rom.basis.cols(), rom.basis.cols(), rng));
+    Matrix v2 = la::matmul(rom.basis, rot);
+    ReducedModel m2 = project(sys, v2);
+    const la::cplx s(0.0, 0.3);
+    const std::vector<double> p{0.4, 0.4};
+    EXPECT_LE(la::norm_max(rom.model.transfer(s, p) - m2.transfer(s, p)),
+              1e-9 * (1 + la::norm_max(rom.model.transfer(s, p))));
+}
+
+TEST(MorExtra, MultiPointSamplesOutsideRangeStillPassive) {
+    // Sampling beyond the physical range must not break passivity of the
+    // projected model inside the range (projection is still congruence).
+    circuit::ParametricSystem sys = small_parametric_rc(25, 1, 308);
+    MultiPointOptions mp;
+    mp.blocks_per_sample = 3;
+    MultiPointResult r = multi_point_basis(sys, {{-1.5}, {1.5}}, mp);
+    ReducedModel m = project(sys, r.basis);
+    for (double p : {-1.0, 0.0, 1.0}) {
+        const Matrix gs = la::symmetric_part(m.g_at({p}));
+        double min_diag = 1e300;
+        for (int i = 0; i < gs.rows(); ++i) min_diag = std::min(min_diag, gs(i, i));
+        EXPECT_GT(min_diag, -1e-10);
+    }
+}
+
+class RankSweepProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankSweepProperty, TheoremOneHoldsAtEveryRank) {
+    const int rank = GetParam();
+    circuit::ParametricSystem sys = small_parametric_rc(18, 2, 309);
+    LowRankPmorOptions opts;
+    opts.s_order = 2;
+    opts.param_order = 2;
+    opts.rank = rank;
+    LowRankPmorResult rom = lowrank_pmor(sys, opts);
+    // At any rank the basis must contain R0 and the U^ seeds (weak but
+    // rank-independent part of Theorem 1); spot-check via projection.
+    const sparse::SparseLu lu(sys.g0);
+    Matrix r0 = lu.solve(sys.b);
+    for (int j = 0; j < r0.cols(); ++j) {
+        la::Vector x = r0.col(j);
+        la::Vector proj = la::matvec(rom.basis, la::matvec_transpose(rom.basis, x));
+        EXPECT_LE(la::norm2(x - proj), 1e-8 * (1 + la::norm2(x)));
+    }
+    for (const la::SvdResult& f : rom.sensitivity_factors) {
+        for (int j = 0; j < f.u.cols(); ++j) {
+            la::Vector x = f.u.col(j);
+            la::Vector proj = la::matvec(rom.basis, la::matvec_transpose(rom.basis, x));
+            EXPECT_LE(la::norm2(x - proj), 1e-8);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, RankSweepProperty, ::testing::Values(1, 2, 3, 5));
+
+}  // namespace
+}  // namespace varmor::mor

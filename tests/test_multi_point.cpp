@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "la/lu_dense.h"
+#include "la/orth.h"
+#include "mor/multi_point.h"
+#include "mor/reduced_model.h"
+#include "mor_test_utils.h"
+
+namespace varmor::mor {
+namespace {
+
+using varmor::testing::max_moment_mismatch;
+using varmor::testing::oracle_of;
+using varmor::testing::small_parametric_rc;
+
+TEST(GridSamples, FullFactorial) {
+    auto grid = grid_samples(2, {-1.0, 0.0, 1.0});
+    EXPECT_EQ(grid.size(), 9u);  // 3^2
+    auto grid4 = grid_samples(4, {-1.0, 0.0, 1.0});
+    EXPECT_EQ(grid4.size(), 81u);  // the "81 sample points" of section 4
+    EXPECT_EQ(grid4[0].size(), 4u);
+}
+
+TEST(GridSamples, SingleLevel) {
+    auto grid = grid_samples(3, {0.5});
+    ASSERT_EQ(grid.size(), 1u);
+    EXPECT_EQ(grid[0], (std::vector<double>{0.5, 0.5, 0.5}));
+}
+
+/// Section 3.3's property: at each sample point p^, the reduced model
+/// matches the first k moments of s of the full model evaluated at p^.
+class MultiPointMomentProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiPointMomentProperty, MatchesSMomentsAtEverySample) {
+    const int blocks = GetParam();
+    circuit::ParametricSystem sys = small_parametric_rc(22, 2, 21);
+    const std::vector<std::vector<double>> samples =
+        grid_samples(2, {-0.8, 0.8});  // 4 corners
+    MultiPointOptions opts;
+    opts.blocks_per_sample = blocks;
+    MultiPointResult r = multi_point_basis(sys, samples, opts);
+    EXPECT_EQ(r.factorizations, 4);
+
+    ReducedModel red = project(sys, r.basis);
+    for (const auto& p : samples) {
+        // Full system frozen at p (no parameters) vs reduced frozen at p.
+        MomentOracle full(sys.g_at(p).to_dense(), sys.c_at(p).to_dense(), {}, {}, sys.b,
+                          sys.l);
+        MomentOracle reduced(red.g_at(p), red.c_at(p), {}, {}, red.b, red.l);
+        EXPECT_LE(max_moment_mismatch(full, reduced, blocks - 1, 0), 1e-7)
+            << "sample (" << p[0] << ", " << p[1] << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, MultiPointMomentProperty, ::testing::Values(1, 2, 4));
+
+TEST(MultiPoint, BasisOrthonormalAndDeduplicated) {
+    circuit::ParametricSystem sys = small_parametric_rc(18, 1, 22);
+    // Duplicate samples must not double the basis.
+    MultiPointOptions opts;
+    opts.blocks_per_sample = 3;
+    MultiPointResult once = multi_point_basis(sys, {{0.5}}, opts);
+    MultiPointResult twice = multi_point_basis(sys, {{0.5}, {0.5}}, opts);
+    EXPECT_EQ(once.basis.cols(), twice.basis.cols());
+    EXPECT_LE(la::orthonormality_error(twice.basis), 1e-10);
+}
+
+TEST(MultiPoint, InterpolatesBetweenSamples) {
+    // Accuracy at a point BETWEEN samples must beat the nominal-only PRIMA
+    // basis of equal block count when the system varies with p.
+    circuit::ParametricSystem sys = small_parametric_rc(40, 1, 23);
+    MultiPointOptions opts;
+    opts.blocks_per_sample = 4;
+    MultiPointResult mp = multi_point_basis(sys, {{-0.9}, {0.0}, {0.9}}, opts);
+    ReducedModel red_mp = project(sys, mp.basis);
+
+    PrimaOptions popts;
+    popts.blocks = 4;
+    ReducedModel red_nom = project(sys, prima_basis_at(sys, {0.0}, popts));
+
+    const std::vector<double> p{0.5};
+    const la::cplx s(0.0, 0.8);
+    // Reference: dense solve of the full perturbed system.
+    la::ZMatrix href = la::solve_dense(
+        la::pencil(sys.g_at(p).to_dense(), sys.c_at(p).to_dense(), s), la::to_complex(sys.b));
+    la::ZMatrix yref = la::matmul(la::transpose(la::to_complex(sys.l)), href);
+
+    auto err = [&](const ReducedModel& m) {
+        la::ZMatrix y = m.transfer(s, p);
+        return la::norm_max(y - yref) / la::norm_max(yref);
+    };
+    EXPECT_LT(err(red_mp), err(red_nom));
+    EXPECT_LT(err(red_mp), 1e-3);
+}
+
+TEST(MultiPoint, SampleDimensionValidated) {
+    circuit::ParametricSystem sys = small_parametric_rc(10, 2, 24);
+    EXPECT_THROW(multi_point_basis(sys, {{0.5}}, {}), Error);  // wrong length
+    EXPECT_THROW(multi_point_basis(sys, {}, {}), Error);       // empty
+}
+
+}  // namespace
+}  // namespace varmor::mor

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "circuit/netlist.h"
+
+namespace varmor::circuit {
+namespace {
+
+TEST(Netlist, NodeAllocation) {
+    Netlist net;
+    EXPECT_EQ(net.add_node(), 1);
+    EXPECT_EQ(net.add_node(), 2);
+    EXPECT_EQ(net.num_nodes(), 2);
+}
+
+TEST(Netlist, ResistorStoredAsConductance) {
+    Netlist net;
+    const int a = net.add_node();
+    net.add_resistor(a, 0, 4.0);
+    ASSERT_EQ(net.elements().size(), 1u);
+    EXPECT_EQ(net.elements()[0].kind, ElementKind::resistor);
+    EXPECT_DOUBLE_EQ(net.elements()[0].value, 0.25);
+}
+
+TEST(Netlist, ElementValidation) {
+    Netlist net;
+    const int a = net.add_node();
+    const int b = net.add_node();
+    EXPECT_THROW(net.add_resistor(a, a, 1.0), Error);     // same node
+    EXPECT_THROW(net.add_resistor(a, b, 0.0), Error);     // nonpositive
+    EXPECT_THROW(net.add_resistor(a, b, -2.0), Error);
+    EXPECT_THROW(net.add_capacitor(a, b, 0.0), Error);
+    EXPECT_THROW(net.add_inductor(a, b, -1e-9), Error);
+    EXPECT_THROW(net.add_resistor(-1, b, 1.0), Error);    // negative node
+}
+
+TEST(Netlist, SensitivityLengthValidation) {
+    Netlist net(2);
+    const int a = net.add_node();
+    net.add_resistor(a, 0, 1.0, {0.1, 0.2});         // ok
+    EXPECT_THROW(net.add_resistor(a, 0, 1.0, {0.1}), Error);  // wrong length
+    // Empty sensitivity defaults to zeros of the right length.
+    net.add_capacitor(a, 0, 1e-15);
+    EXPECT_EQ(net.elements().back().dvalue.size(), 2u);
+    EXPECT_EQ(net.elements().back().dvalue[0], 0.0);
+}
+
+TEST(Netlist, PortValidation) {
+    Netlist net;
+    const int a = net.add_node();
+    net.add_port(a);
+    EXPECT_EQ(net.num_ports(), 1);
+    EXPECT_THROW(net.add_port(0), Error);    // ground is not a port
+    EXPECT_THROW(net.add_port(99), Error);   // nonexistent node
+}
+
+TEST(Netlist, MnaSizeCountsInductorCurrents) {
+    Netlist net;
+    const int a = net.add_node();
+    const int b = net.add_node();
+    net.add_resistor(a, b, 1.0);
+    EXPECT_EQ(net.mna_size(), 2);
+    net.add_inductor(a, b, 1e-9);
+    EXPECT_EQ(net.mna_size(), 3);
+    EXPECT_EQ(net.num_inductors(), 1);
+}
+
+TEST(Netlist, EnsureNodes) {
+    Netlist net;
+    net.ensure_nodes(5);
+    EXPECT_EQ(net.num_nodes(), 5);
+    net.add_resistor(3, 5, 1.0);  // arithmetic node ids work
+    EXPECT_EQ(net.num_nodes(), 5);
+    EXPECT_THROW(net.ensure_nodes(-1), Error);
+}
+
+}  // namespace
+}  // namespace varmor::circuit

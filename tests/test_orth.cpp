@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "la/orth.h"
+#include "test_helpers.h"
+
+namespace varmor::la {
+namespace {
+
+using testing::random_matrix;
+
+TEST(Orth, ProducesOrthonormalColumns) {
+    util::Rng rng(1);
+    Matrix a = random_matrix(10, 6, rng);
+    Matrix v = orthonormalize(a);
+    EXPECT_EQ(v.cols(), 6);
+    EXPECT_LE(orthonormality_error(v), 1e-12);
+}
+
+TEST(Orth, PreservesSpan) {
+    util::Rng rng(2);
+    Matrix a = random_matrix(8, 3, rng);
+    Matrix v = orthonormalize(a);
+    // Every column of A must be reproduced by V V^T a.
+    for (int j = 0; j < a.cols(); ++j) {
+        Vector x = a.col(j);
+        Vector proj = matvec(v, matvec_transpose(v, x));
+        EXPECT_LE(norm2(x - proj), 1e-11 * (1 + norm2(x)));
+    }
+}
+
+TEST(Orth, DeflatesDependentColumns) {
+    util::Rng rng(3);
+    Matrix a = random_matrix(6, 2, rng);
+    // Append an exact linear combination: must be dropped.
+    Matrix ext(6, 3);
+    for (int i = 0; i < 6; ++i) {
+        ext(i, 0) = a(i, 0);
+        ext(i, 1) = a(i, 1);
+        ext(i, 2) = 2.0 * a(i, 0) - 3.0 * a(i, 1);
+    }
+    Matrix v = orthonormalize(ext);
+    EXPECT_EQ(v.cols(), 2);
+}
+
+TEST(Orth, DropsZeroColumns) {
+    Matrix a(5, 2);
+    a(0, 1) = 1.0;
+    Matrix v = orthonormalize(a);
+    EXPECT_EQ(v.cols(), 1);
+}
+
+TEST(Orth, ExtendBasisKeepsExistingColumnsIntact) {
+    util::Rng rng(4);
+    Matrix v0 = orthonormalize(random_matrix(9, 3, rng));
+    Matrix extra = random_matrix(9, 2, rng);
+    Matrix v = extend_basis(v0, extra);
+    ASSERT_GE(v.cols(), 3);
+    for (int j = 0; j < 3; ++j)
+        for (int i = 0; i < 9; ++i) EXPECT_EQ(v(i, j), v0(i, j));
+    EXPECT_LE(orthonormality_error(v), 1e-12);
+}
+
+TEST(Orth, ExtendBasisDeflatesContainedDirections) {
+    util::Rng rng(5);
+    Matrix v0 = orthonormalize(random_matrix(9, 4, rng));
+    // Directions inside span(v0) add nothing.
+    Matrix inside = matmul(v0, random_matrix(4, 3, rng));
+    Matrix v = extend_basis(v0, inside);
+    EXPECT_EQ(v.cols(), 4);
+}
+
+TEST(Orth, RowMismatchThrows) {
+    Matrix v0(5, 2);
+    Matrix extra(6, 1);
+    EXPECT_THROW(extend_basis(v0, extra), Error);
+}
+
+class OrthProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrthProperty, NearDependentColumnsStayWellConditioned) {
+    const int n = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(n) * 7 + 1);
+    // Krylov-like sequence: columns converge toward the dominant eigenvector,
+    // the classic pathological input for naive Gram-Schmidt.
+    Matrix a = testing::random_dd_matrix(n, rng);
+    Matrix k(n, 8 < n ? 8 : n);
+    Vector x(n);
+    for (int i = 0; i < n; ++i) x[i] = rng.uniform(-1, 1);
+    for (int j = 0; j < k.cols(); ++j) {
+        k.set_col(j, x);
+        x = matvec(a, x);
+        scale(x, 1.0 / norm2(x));
+    }
+    Matrix v = orthonormalize(k);
+    EXPECT_LE(orthonormality_error(v), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OrthProperty, ::testing::Values(8, 16, 32, 64, 128));
+
+}  // namespace
+}  // namespace varmor::la

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "circuit/generators.h"
+#include "circuit/mna.h"
+#include "mor/lowrank_pmor.h"
+#include "mor/passivity.h"
+#include "mor_test_utils.h"
+
+namespace varmor::mor {
+namespace {
+
+using la::Matrix;
+using varmor::testing::small_parametric_rc;
+
+TEST(Passivity, SpdSystemPasses) {
+    Matrix g{{2.0, -1.0}, {-1.0, 2.0}};
+    Matrix c{{1.0, 0.0}, {0.0, 1.0}};
+    Matrix b(2, 1);
+    b(0, 0) = 1.0;
+    auto report = check_passivity(g, c, b, b);
+    EXPECT_TRUE(report.passive());
+    EXPECT_GE(report.min_eig_g_sym, 0.0);
+}
+
+TEST(Passivity, NegativeResistanceFails) {
+    Matrix g{{-1.0, 0.0}, {0.0, 1.0}};
+    Matrix c = Matrix::identity(2);
+    Matrix b(2, 1);
+    b(0, 0) = 1.0;
+    auto report = check_passivity(g, c, b, b);
+    EXPECT_FALSE(report.passive());
+    EXPECT_FALSE(report.g_symmetric_part_psd);
+    EXPECT_LT(report.min_eig_g_sym, 0.0);
+}
+
+TEST(Passivity, SkewGBlockAllowed) {
+    // PRIMA-form RLC G has a skew incidence block: symmetric part is PSD.
+    Matrix g{{1.0, 1.0}, {-1.0, 0.0}};
+    Matrix c{{1.0, 0.0}, {0.0, 1e-9}};
+    Matrix b(2, 1);
+    b(0, 0) = 1.0;
+    EXPECT_TRUE(check_passivity(g, c, b, b).passive());
+}
+
+TEST(Passivity, AsymmetricCFails) {
+    Matrix g = Matrix::identity(2);
+    Matrix c{{1.0, 0.5}, {0.0, 1.0}};  // not symmetric
+    Matrix b(2, 1);
+    b(0, 0) = 1.0;
+    EXPECT_FALSE(check_passivity(g, c, b, b).c_psd);
+}
+
+TEST(Passivity, BNotEqualLFails) {
+    Matrix g = Matrix::identity(2);
+    Matrix c = Matrix::identity(2);
+    Matrix b(2, 1), l(2, 1);
+    b(0, 0) = 1.0;
+    l(1, 0) = 1.0;
+    EXPECT_FALSE(check_passivity(g, c, b, l).passive());
+}
+
+TEST(Passivity, FullGeneratorSystemsPassive) {
+    circuit::RandomRcOptions rc_opts;
+    rc_opts.unknowns = 60;
+    EXPECT_TRUE(
+        check_passivity(assemble_mna(circuit::random_rc_net(rc_opts)), {0.0, 0.0}).passive());
+
+    circuit::RlcBusOptions bus_opts;
+    bus_opts.segments_per_line = 8;
+    EXPECT_TRUE(
+        check_passivity(assemble_mna(circuit::coupled_rlc_bus(bus_opts)), {0.0, 0.0})
+            .passive());
+}
+
+/// Key paper claim: congruence projection keeps every parametric instance
+/// passive as long as the full model at that p is passive.
+class ProjectionPassivityProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProjectionPassivityProperty, ReducedPerturbedModelsPassive) {
+    const double p_mag = GetParam();
+    circuit::ParametricSystem sys = small_parametric_rc(35, 2, 61);
+    LowRankPmorResult r = lowrank_pmor(sys, {});
+    EXPECT_TRUE(check_passivity(r.model, {p_mag, -p_mag}).passive());
+    EXPECT_TRUE(check_passivity(r.model, {-p_mag, p_mag}).passive());
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, ProjectionPassivityProperty,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace varmor::mor

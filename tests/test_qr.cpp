@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "la/orth.h"
+#include "la/qr.h"
+#include "test_helpers.h"
+
+namespace varmor::la {
+namespace {
+
+using testing::expect_near;
+using testing::random_matrix;
+
+TEST(Qr, ReconstructsA) {
+    util::Rng rng(1);
+    Matrix a = random_matrix(8, 5, rng);
+    QrResult f = qr(a);
+    expect_near(matmul(f.q, f.r), a, 1e-12, "QR reconstruction");
+}
+
+TEST(Qr, QHasOrthonormalColumns) {
+    util::Rng rng(2);
+    Matrix a = random_matrix(10, 4, rng);
+    QrResult f = qr(a);
+    EXPECT_LE(orthonormality_error(f.q), 1e-12);
+}
+
+TEST(Qr, RIsUpperTriangular) {
+    util::Rng rng(3);
+    Matrix a = random_matrix(7, 7, rng);
+    QrResult f = qr(a);
+    for (int j = 0; j < 7; ++j)
+        for (int i = j + 1; i < 7; ++i) EXPECT_EQ(f.r(i, j), 0.0);
+}
+
+TEST(Qr, WideMatrixThrows) {
+    EXPECT_THROW(qr(Matrix(2, 5)), Error);
+}
+
+TEST(Qr, RankDeficientColumnHandled) {
+    // Third column is a copy of the first: R(2,2) must be ~0, Q still orthonormal.
+    util::Rng rng(4);
+    Matrix a = random_matrix(6, 3, rng);
+    for (int i = 0; i < 6; ++i) a(i, 2) = a(i, 0);
+    QrResult f = qr(a);
+    EXPECT_LE(std::abs(f.r(2, 2)), 1e-12);
+    expect_near(matmul(f.q, f.r), a, 1e-12);
+}
+
+TEST(LeastSquares, ExactSystemRecovered) {
+    util::Rng rng(5);
+    Matrix a = random_matrix(6, 6, rng);
+    for (int i = 0; i < 6; ++i) a(i, i) += 6.0;
+    Vector xs(6);
+    for (int i = 0; i < 6; ++i) xs[i] = rng.uniform(-2, 2);
+    Vector b = matvec(a, xs);
+    Vector x = least_squares(a, b);
+    EXPECT_LE(norm2(x - xs), 1e-9);
+}
+
+TEST(LeastSquares, ResidualOrthogonalToRange) {
+    util::Rng rng(6);
+    Matrix a = random_matrix(12, 4, rng);
+    Vector b(12);
+    for (int i = 0; i < 12; ++i) b[i] = rng.uniform(-1, 1);
+    Vector x = least_squares(a, b);
+    Vector r = matvec(a, x) - b;
+    // Normal equations: A^T r = 0.
+    Vector atr = matvec_transpose(a, r);
+    EXPECT_LE(norm2(atr), 1e-10 * (1 + norm2(b)));
+}
+
+TEST(LeastSquares, FitsLineExactly) {
+    // y = 2t + 1 sampled exactly: LS must recover slope/intercept.
+    Matrix a(5, 2);
+    Vector b(5);
+    for (int i = 0; i < 5; ++i) {
+        const double t = i;
+        a(i, 0) = t;
+        a(i, 1) = 1.0;
+        b[i] = 2.0 * t + 1.0;
+    }
+    Vector x = least_squares(a, b);
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+class QrProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrProperty, FactorizationValid) {
+    auto [m, n] = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(m * 31 + n));
+    Matrix a = random_matrix(m, n, rng);
+    QrResult f = qr(a);
+    expect_near(matmul(f.q, f.r), a, 1e-11);
+    EXPECT_LE(orthonormality_error(f.q), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrProperty,
+                         ::testing::Values(std::pair{1, 1}, std::pair{3, 2}, std::pair{5, 5},
+                                           std::pair{20, 7}, std::pair{40, 40},
+                                           std::pair{64, 16}));
+
+}  // namespace
+}  // namespace varmor::la

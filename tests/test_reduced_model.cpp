@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "la/lu_dense.h"
+#include "la/orth.h"
+#include "mor/reduced_model.h"
+#include "mor_test_utils.h"
+#include "test_helpers.h"
+
+namespace varmor::mor {
+namespace {
+
+using la::cplx;
+using la::Matrix;
+using varmor::testing::small_parametric_rc;
+
+TEST(ReducedModel, IdentityProjectionReproducesFullTransfer) {
+    circuit::ParametricSystem sys = small_parametric_rc(12, 2, 51);
+    ReducedModel red = project(sys, Matrix::identity(sys.size()));
+    const std::vector<double> p{0.3, -0.4};
+    const cplx s(0.0, 0.7);
+    la::ZMatrix yfull = la::matmul(
+        la::transpose(la::to_complex(sys.l)),
+        la::solve_dense(la::pencil(sys.g_at(p).to_dense(), sys.c_at(p).to_dense(), s),
+                        la::to_complex(sys.b)));
+    EXPECT_LE(la::norm_max(red.transfer(s, p) - yfull), 1e-10 * la::norm_max(yfull));
+}
+
+TEST(ReducedModel, SingleRcPoleAnalytic) {
+    // One node: conductance g to ground, cap c to ground -> pole at -g/c.
+    circuit::Netlist net;
+    const int a = net.add_node();
+    net.add_resistor(a, 0, 2.0);      // g = 0.5
+    net.add_capacitor(a, 0, 0.25);    // c = 0.25
+    net.add_port(a);
+    circuit::ParametricSystem sys = assemble_mna(net);
+    ReducedModel red = project(sys, Matrix::identity(1));
+    auto poles = red.poles({});
+    ASSERT_EQ(poles.size(), 1u);
+    EXPECT_NEAR(poles[0].real(), -2.0, 1e-12);  // -g/c = -0.5/0.25
+    EXPECT_NEAR(poles[0].imag(), 0.0, 1e-12);
+
+    // Transfer function H(s) = 1/(g + s c): check at s = j.
+    const cplx s(0.0, 1.0);
+    const cplx expected = 1.0 / (0.5 + s * 0.25);
+    EXPECT_LE(std::abs(red.transfer(s, {})(0, 0) - expected), 1e-12);
+}
+
+TEST(ReducedModel, PolesSortedByDominance) {
+    circuit::ParametricSystem sys = small_parametric_rc(15, 0, 52, 1);
+    ReducedModel red = project(sys, Matrix::identity(sys.size()));
+    auto poles = red.poles({});
+    for (std::size_t i = 0; i + 1 < poles.size(); ++i)
+        EXPECT_LE(std::abs(poles[i]), std::abs(poles[i + 1]) * (1 + 1e-12));
+}
+
+TEST(ReducedModel, RcPolesAreNegativeReal) {
+    circuit::ParametricSystem sys = small_parametric_rc(20, 0, 53, 1);
+    ReducedModel red = project(sys, Matrix::identity(sys.size()));
+    for (const cplx& pole : red.poles({})) {
+        EXPECT_LT(pole.real(), 0.0);
+        EXPECT_NEAR(pole.imag(), 0.0, 1e-8 * std::abs(pole));
+    }
+}
+
+TEST(ReducedModel, ParametricAssemblyCommutesWithProjection) {
+    // V^T G(p) V == (V^T G0 V) + sum p_i (V^T Gi V).
+    circuit::ParametricSystem sys = small_parametric_rc(18, 2, 54);
+    util::Rng rng(55);
+    Matrix v = la::orthonormalize(varmor::testing::random_matrix(sys.size(), 5, rng));
+    ReducedModel red = project(sys, v);
+    const std::vector<double> p{0.6, -0.2};
+    Matrix direct = la::matmul_transA(v, sys.g_at(p).apply(v));
+    varmor::testing::expect_near(red.g_at(p), direct, 1e-12);
+}
+
+TEST(ReducedModel, TransferSensitivityMatchesFiniteDifference) {
+    circuit::ParametricSystem sys = small_parametric_rc(15, 2, 58);
+    ReducedModel red = project(sys, Matrix::identity(sys.size()));
+    const cplx s(0.0, 0.6);
+    const std::vector<double> p{0.3, -0.2};
+    const double h = 1e-6;
+    for (int i = 0; i < 2; ++i) {
+        std::vector<double> pp = p, pm = p;
+        pp[static_cast<std::size_t>(i)] += h;
+        pm[static_cast<std::size_t>(i)] -= h;
+        const la::ZMatrix fd =
+            cplx(1.0 / (2.0 * h)) * (red.transfer(s, pp) - red.transfer(s, pm));
+        const la::ZMatrix analytic = red.transfer_sensitivity(s, p, i);
+        EXPECT_LE(la::norm_max(analytic - fd), 1e-5 * (1 + la::norm_max(analytic)))
+            << "parameter " << i;
+    }
+    EXPECT_THROW(red.transfer_sensitivity(s, p, 2), Error);
+    EXPECT_THROW(red.transfer_sensitivity(s, p, -1), Error);
+}
+
+TEST(ReducedModel, ProjectValidatesBasis) {
+    circuit::ParametricSystem sys = small_parametric_rc(10, 1, 56);
+    EXPECT_THROW(project(sys, Matrix(5, 2)), Error);                 // wrong rows
+    EXPECT_THROW(project(sys, Matrix(sys.size(), 0)), Error);        // empty
+    EXPECT_THROW(project(sys, Matrix(sys.size(), sys.size() + 1)), Error);
+}
+
+TEST(ReducedModel, WrongParameterCountThrows) {
+    circuit::ParametricSystem sys = small_parametric_rc(10, 2, 57);
+    ReducedModel red = project(sys, Matrix::identity(sys.size()));
+    EXPECT_THROW(red.g_at({0.1}), Error);
+    EXPECT_THROW(red.transfer(cplx(0, 1), {0.1, 0.2, 0.3}), Error);
+}
+
+}  // namespace
+}  // namespace varmor::mor

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "la/orth.h"
+#include "mor/single_point.h"
+#include "mor_test_utils.h"
+
+namespace varmor::mor {
+namespace {
+
+using varmor::testing::max_moment_mismatch;
+using varmor::testing::oracle_of;
+using varmor::testing::small_parametric_rc;
+
+/// Section 3.1's defining property: the single-point basis matches EVERY
+/// multi-parameter moment (cross terms included) up to the total order.
+class SinglePointMomentProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};  // (order, np)
+
+TEST_P(SinglePointMomentProperty, MatchesAllMultiParameterMoments) {
+    auto [order, np] = GetParam();
+    circuit::ParametricSystem sys = small_parametric_rc(20, np, 11);
+    SinglePointOptions opts;
+    opts.order = order;
+    SinglePointResult r = single_point_basis(sys, opts);
+    ReducedModel red = project(sys, r.basis);
+
+    MomentOracle full = oracle_of(sys);
+    MomentOracle reduced = oracle_of(red);
+    EXPECT_LE(max_moment_mismatch(full, reduced, order, np), 1e-7)
+        << "order " << order << ", " << np << " parameters";
+}
+
+INSTANTIATE_TEST_SUITE_P(OrdersAndParams, SinglePointMomentProperty,
+                         ::testing::Values(std::pair{1, 1}, std::pair{2, 1},
+                                           std::pair{3, 1}, std::pair{2, 2},
+                                           std::pair{3, 2}, std::pair{2, 3}));
+
+TEST(SinglePoint, BasisOrthonormal) {
+    circuit::ParametricSystem sys = small_parametric_rc(15, 2, 12);
+    SinglePointOptions opts;
+    opts.order = 3;
+    SinglePointResult r = single_point_basis(sys, opts);
+    EXPECT_LE(la::orthonormality_error(r.basis), 1e-10);
+}
+
+TEST(SinglePoint, WordCountGrowsCombinatorially) {
+    // Section 3.2: model size driven by cross terms. Word counts must grow
+    // rapidly with the order — the motivation for Algorithm 1.
+    circuit::ParametricSystem sys = small_parametric_rc(15, 2, 13);
+    std::vector<int> words;
+    for (int order : {1, 2, 3, 4}) {
+        SinglePointOptions opts;
+        opts.order = order;
+        words.push_back(single_point_basis(sys, opts).words_generated);
+    }
+    EXPECT_GT(words[1], 2 * words[0]);
+    EXPECT_GT(words[2], 2 * words[1]);
+    EXPECT_GT(words[3], 2 * words[2]);
+}
+
+TEST(SinglePoint, OrderZeroSpansR0Only) {
+    circuit::ParametricSystem sys = small_parametric_rc(15, 2, 14);
+    SinglePointOptions opts;
+    opts.order = 0;
+    SinglePointResult r = single_point_basis(sys, opts);
+    EXPECT_EQ(r.basis.cols(), sys.num_ports());
+}
+
+TEST(SinglePoint, WordBudgetEnforced) {
+    circuit::ParametricSystem sys = small_parametric_rc(15, 3, 15);
+    SinglePointOptions opts;
+    opts.order = 6;
+    opts.max_words = 50;
+    EXPECT_THROW(single_point_basis(sys, opts), Error);
+}
+
+TEST(SinglePoint, CrossTermMomentReallyNeedsCrossSubspace) {
+    // A PRIMA-only basis of the same size does NOT match the cross moment
+    // s^1 p^1 — demonstrating that single-point matching is doing real work.
+    circuit::ParametricSystem sys = small_parametric_rc(20, 1, 16);
+    SinglePointOptions opts;
+    opts.order = 2;
+    SinglePointResult sp = single_point_basis(sys, opts);
+
+    MomentOracle full = oracle_of(sys);
+    MomentOracle reduced_sp = oracle_of(project(sys, sp.basis));
+    MomentKey cross;
+    cross.s = 1;
+    cross.p = {1};
+    const double scale = la::norm_max(full.port_moment(cross)) + 1e-300;
+    EXPECT_LE(la::norm_max(full.port_moment(cross) - reduced_sp.port_moment(cross)) / scale,
+              1e-8);
+}
+
+}  // namespace
+}  // namespace varmor::mor

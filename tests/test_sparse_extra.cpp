@@ -1,0 +1,179 @@
+// Additional sparse stress tests: structured patterns, permutation
+// consistency, failure injection, cross-checks against dense computations.
+
+#include <gtest/gtest.h>
+
+#include "la/lu_dense.h"
+#include "la/orth.h"
+#include "la/svd.h"
+#include "sparse/arnoldi.h"
+#include "sparse/csc.h"
+#include "sparse/ordering.h"
+#include "sparse/splu.h"
+#include "sparse/svd_iterative.h"
+#include "test_helpers.h"
+
+namespace varmor::sparse {
+namespace {
+
+using la::Matrix;
+using la::Vector;
+
+Csc arrow_matrix(int n) {
+    // Arrowhead: dense first row/column + diagonal. Natural ordering fills
+    // completely; min-degree keeps it sparse — a classic ordering test.
+    Triplets t(n, n);
+    for (int i = 0; i < n; ++i) {
+        t.add(i, i, 4.0 + i * 0.01);
+        if (i > 0) {
+            t.add(0, i, -1.0);
+            t.add(i, 0, -1.0);
+        }
+    }
+    return Csc(t);
+}
+
+TEST(SparseExtra, ArrowheadMinDegreeAvoidsFill) {
+    const int n = 200;
+    Csc a = arrow_matrix(n);
+    SparseLu::Options md;
+    md.ordering = SparseLu::Options::Ordering::min_degree;
+    SparseLu::Options nat;
+    nat.ordering = SparseLu::Options::Ordering::natural;
+    SparseLu lu_md(a, md);
+    SparseLu lu_nat(a, nat);
+    // Min degree eliminates the spokes first: O(n) fill vs O(n^2).
+    EXPECT_LT(lu_md.nnz_l() + lu_md.nnz_u(), 5 * n);
+    EXPECT_GT(lu_nat.nnz_l() + lu_nat.nnz_u(), n * n / 4);
+    // Both still solve correctly.
+    Vector b(n);
+    for (int i = 0; i < n; ++i) b[i] = 1.0;
+    EXPECT_LE(la::norm2(a.apply(lu_md.solve(b)) - b), 1e-9 * la::norm2(b));
+    EXPECT_LE(la::norm2(a.apply(lu_nat.solve(b)) - b), 1e-9 * la::norm2(b));
+}
+
+TEST(SparseExtra, SolveCountTracksUsage) {
+    util::Rng rng(1);
+    Triplets t(10, 10);
+    for (int i = 0; i < 10; ++i) t.add(i, i, 2.0);
+    SparseLu lu{Csc(t)};
+    EXPECT_EQ(lu.solve_count(), 0);
+    Vector b(10);
+    b[0] = 1.0;
+    (void)lu.solve(b);
+    (void)lu.solve_transpose(b);
+    EXPECT_EQ(lu.solve_count(), 2);
+}
+
+TEST(SparseExtra, ZeroMatrixRejected) {
+    Triplets t(3, 3);
+    EXPECT_THROW(SparseLu{Csc(t)}, Error);
+}
+
+TEST(SparseExtra, FloatingNetworkLaplacianDetectedAsSingular) {
+    // The failure mode that motivated the driver resistors in the
+    // generators: a pure resistive tree with no path to ground.
+    const int n = 30;
+    Triplets t(n, n);
+    util::Rng rng(2);
+    for (int k = 1; k < n; ++k) {
+        const int parent = rng.below(k);
+        const double g = rng.uniform(0.5, 2.0);
+        t.add(k, k, g);
+        t.add(parent, parent, g);
+        t.add(k, parent, -g);
+        t.add(parent, k, -g);
+    }
+    EXPECT_THROW(SparseLu{Csc(t)}, Error);
+}
+
+TEST(SparseExtra, ComplexTransposeSolve) {
+    util::Rng rng(3);
+    const int n = 25;
+    TripletsT<la::cplx> t(n, n);
+    for (int j = 0; j < n; ++j) {
+        t.add(j, j, la::cplx(3.0 + rng.uniform(0, 1), rng.uniform(-1, 1)));
+        for (int k = 0; k < 2; ++k)
+            t.add(rng.below(n), j, la::cplx(rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5)));
+    }
+    ZCsc a(t);
+    ZSparseLu lu(a);
+    la::ZVector b(n);
+    for (int i = 0; i < n; ++i) b[i] = la::cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    la::ZVector x = lu.solve_transpose(b);
+    la::ZVector r = a.apply_transpose(x) - b;
+    EXPECT_LE(la::norm2(r), 1e-9 * (1 + la::norm2(b)));
+}
+
+TEST(SparseExtra, LanczosSvdOnRectangularOperator) {
+    util::Rng rng(4);
+    const int m = 40, n = 25;
+    Matrix a = varmor::testing::random_matrix(m, n, rng);
+    la::SvdResult dense = la::svd(a);
+    la::SvdResult lanczos = truncated_svd_lanczos(dense_operator(a), 4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_NEAR(lanczos.s[static_cast<std::size_t>(i)],
+                    dense.s[static_cast<std::size_t>(i)], 1e-7 * dense.s[0]);
+}
+
+TEST(SparseExtra, LanczosSeedIndependenceForSeparatedSpectrum) {
+    // Distinct leading singular values: the computed subspace must not
+    // depend on the random start vector (up to tolerance).
+    util::Rng rng(5);
+    const int n = 30;
+    Matrix u0 = la::orthonormalize(varmor::testing::random_matrix(n, 2, rng));
+    Matrix v0 = la::orthonormalize(varmor::testing::random_matrix(n, 2, rng));
+    Matrix a(n, n);
+    const double sv[2] = {50.0, 5.0};
+    for (int k = 0; k < 2; ++k)
+        for (int j = 0; j < n; ++j)
+            for (int i = 0; i < n; ++i) a(i, j) += sv[k] * u0(i, k) * v0(j, k);
+
+    TruncatedSvdOptions o1, o2;
+    o1.seed = 11;
+    o2.seed = 999;
+    la::SvdResult r1 = truncated_svd_lanczos(dense_operator(a), 2, o1);
+    la::SvdResult r2 = truncated_svd_lanczos(dense_operator(a), 2, o2);
+    EXPECT_NEAR(r1.s[0], r2.s[0], 1e-8 * r1.s[0]);
+    // Compare subspaces via principal angles (projector difference).
+    Matrix p1 = la::matmul(r1.u, la::transpose(r1.u));
+    Matrix p2 = la::matmul(r2.u, la::transpose(r2.u));
+    EXPECT_LE(la::norm_max(p1 - p2), 1e-6);
+}
+
+TEST(SparseExtra, ArnoldiOnPermutedOperatorSameSpectrum) {
+    // Eigenvalues are invariant under similarity P A P^T.
+    util::Rng rng(6);
+    const int n = 40;
+    Matrix a = varmor::testing::random_matrix(n, n, rng);
+    std::vector<int> perm = rcm_ordering(from_dense(a));
+    Matrix pa(n, n);
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i)
+            pa(i, j) = a(perm[static_cast<std::size_t>(i)], perm[static_cast<std::size_t>(j)]);
+    ArnoldiOptions opts;
+    opts.subspace = n;
+    auto r1 = arnoldi_eigenvalues(dense_operator(a), opts);
+    auto r2 = arnoldi_eigenvalues(dense_operator(pa), opts);
+    ASSERT_EQ(r1.ritz_values.size(), r2.ritz_values.size());
+    // Conjugate pairs tie in |lambda|, so compare each leading value of r1
+    // against the closest value of r2 instead of index-wise.
+    for (std::size_t i = 0; i < 3; ++i) {
+        double best = 1e300;
+        for (const la::cplx& z : r2.ritz_values)
+            best = std::min(best, std::abs(r1.ritz_values[i] - z));
+        EXPECT_LE(best, 1e-6 * (1 + std::abs(r1.ritz_values[i]))) << "ritz " << i;
+    }
+}
+
+TEST(SparseExtra, AddCancellationProducesEmptyMatrix) {
+    Triplets t(3, 3);
+    t.add(0, 1, 2.0);
+    t.add(2, 2, -1.0);
+    Csc a(t);
+    Csc zero = add(1.0, a, -1.0, a);
+    EXPECT_EQ(zero.nnz(), 0);
+}
+
+}  // namespace
+}  // namespace varmor::sparse

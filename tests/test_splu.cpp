@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "la/lu_dense.h"
+#include "sparse/splu.h"
+#include "test_helpers.h"
+
+namespace varmor::sparse {
+namespace {
+
+using la::Matrix;
+using la::Vector;
+using la::ZVector;
+using varmor::testing::random_matrix;
+
+Csc random_sparse(int n, double density, util::Rng& rng, double diag_boost = 0.0) {
+    Triplets t(n, n);
+    for (int j = 0; j < n; ++j) {
+        t.add(j, j, rng.uniform(1.0, 2.0) + diag_boost);
+        for (int i = 0; i < n; ++i)
+            if (i != j && rng.chance(density)) t.add(i, j, rng.uniform(-1.0, 1.0));
+    }
+    return Csc(t);
+}
+
+/// Tridiagonal ladder-like matrix, structurally close to RC-chain MNA.
+Csc ladder_matrix(int n) {
+    Triplets t(n, n);
+    for (int i = 0; i < n; ++i) {
+        t.add(i, i, 2.0 + 0.01 * i);
+        if (i > 0) {
+            t.add(i, i - 1, -1.0);
+            t.add(i - 1, i, -1.0);
+        }
+    }
+    return Csc(t);
+}
+
+TEST(SparseLu, SolvesHandComputedSystem) {
+    Triplets t(2, 2);
+    t.add(0, 0, 2.0);
+    t.add(0, 1, 1.0);
+    t.add(1, 0, 1.0);
+    t.add(1, 1, 3.0);
+    SparseLu lu{Csc(t)};
+    Vector x = lu.solve(Vector{3.0, 4.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-13);
+    EXPECT_NEAR(x[1], 1.0, 1e-13);
+}
+
+TEST(SparseLu, MatchesDenseLuOnRandomSystems) {
+    util::Rng rng(1);
+    for (int trial = 0; trial < 5; ++trial) {
+        Csc a = random_sparse(30, 0.15, rng, 5.0);
+        SparseLu lu(a);
+        Vector b(30);
+        for (int i = 0; i < 30; ++i) b[i] = rng.uniform(-1, 1);
+        Vector xs = lu.solve(b);
+        Vector xd = la::solve_dense(a.to_dense(), b);
+        EXPECT_LE(la::norm2(xs - xd), 1e-9 * (1 + la::norm2(xd)));
+    }
+}
+
+TEST(SparseLu, TransposeSolveMatchesDense) {
+    util::Rng rng(2);
+    Csc a = random_sparse(25, 0.2, rng, 4.0);
+    SparseLu lu(a);
+    Vector b(25);
+    for (int i = 0; i < 25; ++i) b[i] = rng.uniform(-1, 1);
+    Vector xs = lu.solve_transpose(b);
+    Vector xd = la::solve_dense(la::transpose(a.to_dense()), b);
+    EXPECT_LE(la::norm2(xs - xd), 1e-9 * (1 + la::norm2(xd)));
+}
+
+TEST(SparseLu, TransposeSolveConsistentWithApply) {
+    util::Rng rng(3);
+    Csc a = random_sparse(40, 0.1, rng, 6.0);
+    SparseLu lu(a);
+    Vector b(40);
+    for (int i = 0; i < 40; ++i) b[i] = rng.uniform(-1, 1);
+    Vector x = lu.solve_transpose(b);
+    EXPECT_LE(la::norm2(a.apply_transpose(x) - b), 1e-9 * (1 + la::norm2(b)));
+}
+
+TEST(SparseLu, PivotingHandlesZeroDiagonal) {
+    Triplets t(2, 2);
+    t.add(0, 1, 1.0);
+    t.add(1, 0, 1.0);
+    SparseLu lu{Csc(t)};
+    Vector x = lu.solve(Vector{2.0, 3.0});
+    EXPECT_NEAR(x[0], 3.0, 1e-14);
+    EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(SparseLu, SingularThrows) {
+    Triplets t(2, 2);
+    t.add(0, 0, 1.0);
+    t.add(1, 0, 2.0);  // second column empty
+    EXPECT_THROW(SparseLu{Csc(t)}, Error);
+}
+
+TEST(SparseLu, NumericallySingularThrows) {
+    Triplets t(2, 2);
+    t.add(0, 0, 1.0);
+    t.add(0, 1, 2.0);
+    t.add(1, 0, 2.0);
+    t.add(1, 1, 4.0);  // rank 1
+    EXPECT_THROW(SparseLu{Csc(t)}, Error);
+}
+
+TEST(SparseLu, ComplexPencilSolve) {
+    util::Rng rng(4);
+    Csc g = random_sparse(20, 0.15, rng, 3.0);
+    Csc c = random_sparse(20, 0.15, rng, 1.0);
+    const la::cplx s(0, 1.0);
+    ZSparseLu lu(pencil(g, c, s));
+    ZVector b(20);
+    for (int i = 0; i < 20; ++i) b[i] = la::cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    ZVector x = lu.solve(b);
+    ZVector r = pencil(g, c, s).apply(x) - b;
+    EXPECT_LE(la::norm2(r), 1e-9 * (1 + la::norm2(b)));
+}
+
+class SpluOrderingProperty
+    : public ::testing::TestWithParam<SparseLu::Options::Ordering> {};
+
+TEST_P(SpluOrderingProperty, AllOrderingsGiveSameSolution) {
+    util::Rng rng(5);
+    Csc a = random_sparse(50, 0.08, rng, 6.0);
+    SparseLu::Options opts;
+    opts.ordering = GetParam();
+    SparseLu lu(a, opts);
+    Vector b(50);
+    for (int i = 0; i < 50; ++i) b[i] = rng.uniform(-1, 1);
+    Vector x = lu.solve(b);
+    EXPECT_LE(la::norm2(a.apply(x) - b), 1e-8 * (1 + la::norm2(b)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Orderings, SpluOrderingProperty,
+                         ::testing::Values(SparseLu::Options::Ordering::min_degree,
+                                           SparseLu::Options::Ordering::rcm,
+                                           SparseLu::Options::Ordering::natural));
+
+class SpluSizeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpluSizeProperty, ResidualSmallAcrossSizes) {
+    const int n = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(n));
+    Csc a = random_sparse(n, 4.0 / n, rng, 3.0);
+    SparseLu lu(a);
+    Vector b(n);
+    for (int i = 0; i < n; ++i) b[i] = rng.uniform(-1, 1);
+    Vector x = lu.solve(b);
+    EXPECT_LE(la::norm2(a.apply(x) - b), 1e-8 * (1 + la::norm2(b)));
+    // Transpose path too.
+    Vector xt = lu.solve_transpose(b);
+    EXPECT_LE(la::norm2(a.apply_transpose(xt) - b), 1e-8 * (1 + la::norm2(b)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpluSizeProperty,
+                         ::testing::Values(1, 2, 3, 10, 50, 200, 500, 1000));
+
+TEST(SparseLu, LadderFillStaysLinear) {
+    // A tridiagonal system must factor with O(n) fill under min-degree.
+    const int n = 500;
+    SparseLu lu(ladder_matrix(n));
+    EXPECT_LE(lu.nnz_l() + lu.nnz_u(), 6 * n);
+}
+
+TEST(SparseLu, MultipleRhsMatrixSolve) {
+    util::Rng rng(6);
+    Csc a = random_sparse(15, 0.2, rng, 4.0);
+    SparseLu lu(a);
+    Matrix b = random_matrix(15, 4, rng);
+    Matrix x = lu.solve(b);
+    varmor::testing::expect_near(a.apply(x), b, 1e-9);
+}
+
+TEST(SparseLu, NonSquareThrows) {
+    Triplets t(2, 3);
+    t.add(0, 0, 1.0);
+    EXPECT_THROW(SparseLu{Csc(t)}, Error);
+}
+
+}  // namespace
+}  // namespace varmor::sparse

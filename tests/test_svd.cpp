@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "la/orth.h"
+#include "la/svd.h"
+#include "test_helpers.h"
+
+namespace varmor::la {
+namespace {
+
+using testing::expect_near;
+using testing::random_matrix;
+
+TEST(Svd, DiagonalMatrix) {
+    Matrix a{{3.0, 0.0}, {0.0, 4.0}};
+    SvdResult f = svd(a);
+    EXPECT_NEAR(f.s[0], 4.0, 1e-13);
+    EXPECT_NEAR(f.s[1], 3.0, 1e-13);
+}
+
+TEST(Svd, KnownRankOneMatrix) {
+    // A = u v^T with |u| = sqrt(2), |v| = sqrt(5): sigma = sqrt(10).
+    Matrix a(2, 2);
+    const double u[2] = {1.0, 1.0};
+    const double v[2] = {1.0, 2.0};
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j) a(i, j) = u[i] * v[j];
+    SvdResult f = svd(a);
+    EXPECT_NEAR(f.s[0], std::sqrt(10.0), 1e-12);
+    EXPECT_NEAR(f.s[1], 0.0, 1e-12);
+}
+
+TEST(Svd, ReconstructionTallMatrix) {
+    util::Rng rng(1);
+    Matrix a = random_matrix(12, 5, rng);
+    SvdResult f = svd(a);
+    expect_near(svd_reconstruct(f), a, 1e-11, "SVD reconstruction");
+}
+
+TEST(Svd, ReconstructionWideMatrix) {
+    util::Rng rng(2);
+    Matrix a = random_matrix(4, 9, rng);
+    SvdResult f = svd(a);
+    expect_near(svd_reconstruct(f), a, 1e-11, "wide SVD reconstruction");
+}
+
+TEST(Svd, FactorsAreOrthonormal) {
+    util::Rng rng(3);
+    Matrix a = random_matrix(10, 6, rng);
+    SvdResult f = svd(a);
+    EXPECT_LE(orthonormality_error(f.u), 1e-11);
+    EXPECT_LE(orthonormality_error(f.v), 1e-11);
+}
+
+TEST(Svd, SingularValuesSortedDescendingAndNonnegative) {
+    util::Rng rng(4);
+    Matrix a = random_matrix(9, 9, rng);
+    SvdResult f = svd(a);
+    for (std::size_t i = 0; i + 1 < f.s.size(); ++i) EXPECT_GE(f.s[i], f.s[i + 1]);
+    for (double s : f.s) EXPECT_GE(s, 0.0);
+}
+
+TEST(Svd, MatchesFrobeniusNorm) {
+    util::Rng rng(5);
+    Matrix a = random_matrix(7, 7, rng);
+    SvdResult f = svd(a);
+    double sum = 0;
+    for (double s : f.s) sum += s * s;
+    EXPECT_NEAR(std::sqrt(sum), norm_fro(a), 1e-11);
+}
+
+TEST(SvdTruncated, BestRankOneOfRankOnePlusNoise) {
+    util::Rng rng(6);
+    // A = 10 * u v^T + small noise: rank-1 truncation recovers the big part.
+    const int n = 20;
+    Vector u(n), v(n);
+    for (int i = 0; i < n; ++i) {
+        u[i] = rng.uniform(-1, 1);
+        v[i] = rng.uniform(-1, 1);
+    }
+    scale(u, 1.0 / norm2(u));
+    scale(v, 1.0 / norm2(v));
+    Matrix a(n, n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) a(i, j) = 10.0 * u[i] * v[j] + 1e-6 * rng.uniform(-1, 1);
+    SvdResult f = svd_truncated(a, 1);
+    ASSERT_EQ(f.u.cols(), 1);
+    EXPECT_NEAR(f.s[0], 10.0, 1e-4);
+    Matrix residual = a - svd_reconstruct(f);
+    EXPECT_LE(norm_fro(residual), 1e-4);
+}
+
+TEST(SvdTruncated, EckartYoungErrorEqualsNextSingularValue) {
+    util::Rng rng(7);
+    Matrix a = random_matrix(15, 10, rng);
+    SvdResult full = svd(a);
+    for (int r = 1; r <= 3; ++r) {
+        SvdResult t = svd_truncated(a, r);
+        Matrix e = a - svd_reconstruct(t);
+        // Spectral norm of the residual = sigma_{r+1}; Frobenius bound checked.
+        double tail = 0;
+        for (std::size_t i = static_cast<std::size_t>(r); i < full.s.size(); ++i)
+            tail += full.s[i] * full.s[i];
+        EXPECT_NEAR(norm_fro(e), std::sqrt(tail), 1e-9);
+    }
+}
+
+TEST(SvdTruncated, RankBeyondMinDimClamps) {
+    util::Rng rng(8);
+    Matrix a = random_matrix(4, 3, rng);
+    SvdResult f = svd_truncated(a, 10);
+    EXPECT_EQ(static_cast<int>(f.s.size()), 3);
+}
+
+TEST(Svd, ZeroRankRequestThrows) {
+    EXPECT_THROW(svd_truncated(Matrix(3, 3), 0), Error);
+}
+
+class SvdProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SvdProperty, ReconstructionAndOrthogonality) {
+    auto [m, n] = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(m * 131 + n));
+    Matrix a = random_matrix(m, n, rng);
+    SvdResult f = svd(a);
+    expect_near(svd_reconstruct(f), a, 1e-10);
+    EXPECT_LE(orthonormality_error(f.u), 1e-10);
+    EXPECT_LE(orthonormality_error(f.v), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdProperty,
+                         ::testing::Values(std::pair{1, 1}, std::pair{2, 2}, std::pair{5, 3},
+                                           std::pair{3, 5}, std::pair{20, 20},
+                                           std::pair{33, 17}, std::pair{17, 33},
+                                           std::pair{50, 10}));
+
+}  // namespace
+}  // namespace varmor::la

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "la/cholesky.h"
+#include "la/lu_dense.h"
+#include "mor/tbr.h"
+#include "mor_test_utils.h"
+#include "test_helpers.h"
+
+namespace varmor::mor {
+namespace {
+
+using la::Matrix;
+using varmor::testing::small_parametric_rc;
+
+TEST(Lyapunov, SolvesHandComputedScalar) {
+    // a x + x a + w = 0 with a = -2, w = 4  =>  x = 1.
+    Matrix a{{-2.0}};
+    Matrix w{{4.0}};
+    Matrix x = solve_lyapunov(a, w);
+    EXPECT_NEAR(x(0, 0), 1.0, 1e-10);
+}
+
+TEST(Lyapunov, ResidualSmallOnRandomStableSystems) {
+    util::Rng rng(1);
+    for (int trial = 0; trial < 3; ++trial) {
+        const int n = 12;
+        Matrix a = varmor::testing::random_matrix(n, n, rng);
+        for (int i = 0; i < n; ++i) a(i, i) -= n;  // strongly stable
+        Matrix b = varmor::testing::random_matrix(n, 2, rng);
+        Matrix w = la::matmul(b, la::transpose(b));
+        Matrix x = solve_lyapunov(a, w);
+        Matrix residual = la::matmul(a, x) + la::matmul(x, la::transpose(a)) + w;
+        EXPECT_LE(la::norm_fro(residual), 1e-8 * (1 + la::norm_fro(w)));
+        // Controllability gramian of a stable system is PSD.
+        EXPECT_TRUE(la::is_positive_semidefinite(la::symmetric_part(x), 1e-8));
+    }
+}
+
+TEST(Lyapunov, UnstableSystemThrows) {
+    Matrix a{{1.0}};  // unstable
+    Matrix w{{1.0}};
+    EXPECT_THROW(solve_lyapunov(a, w), Error);
+}
+
+TEST(Tbr, HankelValuesDescendingAndPositive) {
+    circuit::ParametricSystem sys = small_parametric_rc(20, 0, 2, 1);
+    TbrResult r = tbr(sys.g0, sys.c0, sys.b, sys.l, {});
+    ASSERT_FALSE(r.hankel.empty());
+    for (std::size_t i = 0; i + 1 < r.hankel.size(); ++i)
+        EXPECT_GE(r.hankel[i], r.hankel[i + 1] - 1e-12);
+    EXPECT_GT(r.hankel[0], 0.0);
+}
+
+TEST(Tbr, ReducedTransferMatchesFullAtLowFrequency) {
+    circuit::ParametricSystem sys = small_parametric_rc(25, 0, 3, 1);
+    TbrOptions opts;
+    opts.order = 8;
+    TbrResult r = tbr(sys.g0, sys.c0, sys.b, sys.l, opts);
+
+    for (double w : {0.01, 0.1, 1.0}) {
+        const la::cplx s(0.0, w);
+        la::ZMatrix yfull = la::matmul(
+            la::transpose(la::to_complex(sys.l)),
+            la::solve_dense(la::pencil(sys.g0.to_dense(), sys.c0.to_dense(), s),
+                            la::to_complex(sys.b)));
+        la::ZMatrix yred = r.transfer(s);
+        EXPECT_LE(la::norm_max(yred - yfull),
+                  r.error_bound() + 1e-8 * (1 + la::norm_max(yfull)))
+            << "frequency " << w;
+    }
+}
+
+TEST(Tbr, ErrorBoundHonoured) {
+    // H-inf bound: |H(jw) - Hr(jw)| <= 2 * sum of discarded Hankel values,
+    // for every w. Spot-check a frequency grid.
+    circuit::ParametricSystem sys = small_parametric_rc(30, 0, 4, 1);
+    for (int order : {2, 4, 8}) {
+        TbrOptions opts;
+        opts.order = order;
+        TbrResult r = tbr(sys.g0, sys.c0, sys.b, sys.l, opts);
+        for (double w : {0.0, 0.05, 0.2, 0.5, 2.0, 10.0}) {
+            const la::cplx s(0.0, w);
+            la::ZMatrix yfull = la::matmul(
+                la::transpose(la::to_complex(sys.l)),
+                la::solve_dense(la::pencil(sys.g0.to_dense(), sys.c0.to_dense(), s),
+                                la::to_complex(sys.b)));
+            const double err = la::norm_max(r.transfer(s) - yfull);
+            EXPECT_LE(err, r.error_bound() * 1.01 + 1e-10) << "order " << order << " w " << w;
+        }
+    }
+}
+
+TEST(Tbr, ExactWhenOrderEqualsStateCount) {
+    circuit::ParametricSystem sys = small_parametric_rc(10, 0, 5, 1);
+    TbrOptions opts;
+    opts.order = 10;
+    TbrResult r = tbr(sys.g0, sys.c0, sys.b, sys.l, opts);
+    const la::cplx s(0.0, 0.3);
+    la::ZMatrix yfull = la::matmul(
+        la::transpose(la::to_complex(sys.l)),
+        la::solve_dense(la::pencil(sys.g0.to_dense(), sys.c0.to_dense(), s),
+                        la::to_complex(sys.b)));
+    EXPECT_LE(la::norm_max(r.transfer(s) - yfull), 1e-7 * (1 + la::norm_max(yfull)));
+}
+
+TEST(Tbr, TbrAtFreezesParametricSystem) {
+    circuit::ParametricSystem sys = small_parametric_rc(15, 2, 6, 1);
+    TbrOptions opts;
+    opts.order = 6;
+    const std::vector<double> p{0.5, -0.5};
+    TbrResult r = tbr_at(sys, p, opts);
+    const la::cplx s(0.0, 0.2);
+    la::ZMatrix yfull = la::matmul(
+        la::transpose(la::to_complex(sys.l)),
+        la::solve_dense(la::pencil(sys.g_at(p).to_dense(), sys.c_at(p).to_dense(), s),
+                        la::to_complex(sys.b)));
+    EXPECT_LE(la::norm_max(r.transfer(s) - yfull),
+              r.error_bound() + 1e-8 * (1 + la::norm_max(yfull)));
+}
+
+TEST(Tbr, InvalidOrderThrows) {
+    circuit::ParametricSystem sys = small_parametric_rc(10, 0, 7, 1);
+    TbrOptions bad;
+    bad.order = 0;
+    EXPECT_THROW(tbr(sys.g0, sys.c0, sys.b, sys.l, bad), Error);
+}
+
+}  // namespace
+}  // namespace varmor::mor

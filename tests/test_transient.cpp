@@ -1,0 +1,133 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "analysis/transient.h"
+#include "circuit/mna.h"
+#include "mor/lowrank_pmor.h"
+#include "mor_test_utils.h"
+
+namespace varmor::analysis {
+namespace {
+
+/// One-node RC with known step response v(t) = R*(1 - exp(-t/RC)).
+circuit::ParametricSystem single_rc(double r, double c) {
+    circuit::Netlist net;
+    const int a = net.add_node();
+    net.add_resistor(a, 0, r);
+    net.add_capacitor(a, 0, c);
+    net.add_port(a);
+    return assemble_mna(net);
+}
+
+TEST(Transient, SingleRcStepResponseAnalytic) {
+    const double r = 100.0, c = 1e-12;  // tau = 100 ps
+    circuit::ParametricSystem sys = single_rc(r, c);
+    TransientOptions opts;
+    opts.t_stop = 1e-9;
+    opts.dt = 1e-12;
+    TransientResult result = simulate(sys, {}, step_input(1, 0), opts);
+    ASSERT_EQ(result.ports.size(), 1u);
+    for (std::size_t i = 0; i < result.time.size(); i += 100) {
+        const double t = result.time[i];
+        const double expected = r * (1.0 - std::exp(-t / (r * c)));
+        EXPECT_NEAR(result.ports[0][i], expected, 2e-3 * r) << "t = " << t;
+    }
+}
+
+TEST(Transient, TrapezoidalSecondOrderConvergence) {
+    const double r = 100.0, c = 1e-12;
+    circuit::ParametricSystem sys = single_rc(r, c);
+    const double t_eval = 2e-10;
+    const double exact = r * (1.0 - std::exp(-t_eval / (r * c)));
+
+    auto error_at = [&](double dt) {
+        TransientOptions opts;
+        opts.t_stop = t_eval + dt / 2;
+        opts.dt = dt;
+        TransientResult res = simulate(sys, {}, step_input(1, 0), opts);
+        const std::size_t idx = static_cast<std::size_t>(std::round(t_eval / dt));
+        return std::abs(res.ports[0][idx] - exact);
+    };
+    const double e1 = error_at(4e-12);
+    const double e2 = error_at(2e-12);
+    const double e3 = error_at(1e-12);
+    // Halving the step must shrink error ~4x (second order).
+    EXPECT_LT(e2, e1 / 2.5);
+    EXPECT_LT(e3, e2 / 2.5);
+}
+
+TEST(Transient, ReducedModelMatchesFullWaveform) {
+    circuit::ParametricSystem sys = varmor::testing::small_parametric_rc(40, 2, 71);
+    mor::LowRankPmorOptions mopts;
+    mopts.s_order = 5;
+    mopts.param_order = 3;
+    mopts.rank = 2;
+    mor::LowRankPmorResult rom = mor::lowrank_pmor(sys, mopts);
+
+    const std::vector<double> p{0.5, -0.5};
+    TransientOptions topts;
+    topts.t_stop = 30.0;  // element values are O(1): tau is O(1)
+    topts.dt = 0.02;
+    TransientResult full = simulate(sys, p, step_input(2, 0), topts);
+    TransientResult red = simulate(rom.model, p, step_input(2, 0), topts);
+
+    double worst = 0, scale = 0;
+    for (std::size_t i = 0; i < full.time.size(); ++i) {
+        worst = std::max(worst, std::abs(full.ports[1][i] - red.ports[1][i]));
+        scale = std::max(scale, std::abs(full.ports[1][i]));
+    }
+    EXPECT_LT(worst, 2e-3 * scale);
+}
+
+TEST(Transient, DelayShiftsWithParameters) {
+    // Deterministic RC line with monotone sensitivities: p0 scales the wire
+    // conductance (g(p) = g (1 + 0.4 p0)), p1 scales the capacitance. The
+    // resistance-up capacitance-up corner must increase the 50% crossing
+    // time of the far-end step response.
+    circuit::Netlist net(2);
+    const int n = 30;
+    net.ensure_nodes(n);
+    net.add_resistor(1, 0, 1.0);
+    for (int k = 2; k <= n; ++k) {
+        const double r = 1.0, c = 1.0;
+        net.add_resistor(k - 1, k, r, {0.4 / r, 0.0});
+        net.add_capacitor(k, 0, c, {0.0, 0.4 * c});
+    }
+    net.add_port(1);
+    net.add_port(n);
+    circuit::ParametricSystem sys = assemble_mna(net);
+
+    TransientOptions topts;
+    topts.t_stop = 2000.0;  // tau ~ n^2 RC/2 ~ 450
+    topts.dt = 0.5;
+    TransientResult nominal = simulate(sys, {0.0, 0.0}, step_input(2, 0), topts);
+    TransientResult slow = simulate(sys, {-0.9, 0.9}, step_input(2, 0), topts);
+    const double level = 0.5 * nominal.ports[1].back();
+    const double d_nom = crossing_time(nominal, 1, level);
+    const double d_slow = crossing_time(slow, 1, level);
+    ASSERT_GT(d_nom, 0.0);
+    ASSERT_GT(d_slow, 0.0);
+    EXPECT_GT(d_slow, 1.3 * d_nom);
+}
+
+TEST(Transient, CrossingTimeInterpolatesAndHandlesMiss) {
+    TransientResult r;
+    r.time = {0.0, 1.0, 2.0};
+    r.ports = {{0.0, 1.0, 1.5}};
+    EXPECT_NEAR(crossing_time(r, 0, 0.5), 0.5, 1e-12);
+    EXPECT_EQ(crossing_time(r, 0, 5.0), -1.0);
+    EXPECT_THROW(crossing_time(r, 2, 0.5), Error);
+}
+
+TEST(Transient, InvalidGridThrows) {
+    circuit::ParametricSystem sys = single_rc(1.0, 1.0);
+    TransientOptions bad;
+    bad.dt = 0.0;
+    EXPECT_THROW(simulate(sys, {}, step_input(1, 0), bad), Error);
+    bad.dt = 2.0;
+    bad.t_stop = 1.0;
+    EXPECT_THROW(simulate(sys, {}, step_input(1, 0), bad), Error);
+}
+
+}  // namespace
+}  // namespace varmor::analysis

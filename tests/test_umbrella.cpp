@@ -1,0 +1,36 @@
+// Compile-and-link check for the umbrella header: every public module must
+// be includable together (guards against header cycles and missing
+// includes) and the core one-call workflow must run through it.
+
+#include <gtest/gtest.h>
+
+#include "varmor.h"
+
+namespace varmor {
+namespace {
+
+TEST(Umbrella, EndToEndThroughSingleHeader) {
+    circuit::Netlist net(1);
+    const int a = net.add_node();
+    const int b = net.add_node();
+    net.add_resistor(a, 0, 25.0);
+    net.add_resistor(a, b, 10.0, {0.01});
+    net.add_capacitor(b, 0, 1e-14, {1e-15});
+    net.add_port(a);
+    net.add_port(b);
+
+    circuit::ParametricSystem sys = assemble_mna(net);
+    mor::LowRankPmorOptions opts;
+    opts.s_order = 2;
+    opts.param_order = 1;
+    mor::LowRankPmorResult rom = mor::lowrank_pmor(sys, opts);
+    EXPECT_LE(rom.model.size(), sys.size());
+    EXPECT_TRUE(mor::check_passivity(rom.model, {0.5}).passive());
+
+    const auto poles = rom.model.poles({0.5});
+    ASSERT_FALSE(poles.empty());
+    EXPECT_LT(poles[0].real(), 0.0);
+}
+
+}  // namespace
+}  // namespace varmor

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace varmor {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+    try {
+        check(false, "the message");
+        FAIL() << "expected throw";
+    } catch (const Error& e) {
+        EXPECT_STREQ(e.what(), "the message");
+    }
+    EXPECT_NO_THROW(check(true, "unused"));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+    util::Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    util::Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.uniform() == b.uniform()) ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformBounds) {
+    util::Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(-2.0, 5.0);
+        EXPECT_GE(x, -2.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(Rng, NormalMomentsApproximate) {
+    util::Rng rng(4);
+    double mean = 0, var = 0;
+    const int n = 20000;
+    std::vector<double> xs;
+    for (int i = 0; i < n; ++i) xs.push_back(rng.normal(3.0, 2.0));
+    for (double x : xs) mean += x;
+    mean /= n;
+    for (double x : xs) var += (x - mean) * (x - mean);
+    var /= n;
+    EXPECT_NEAR(mean, 3.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, TruncatedNormalRespectsBounds) {
+    util::Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.truncated_normal(0.0, 1.0, -0.5, 0.5);
+        EXPECT_GE(x, -0.5);
+        EXPECT_LE(x, 0.5);
+    }
+    EXPECT_THROW(rng.truncated_normal(0, 1, 1.0, -1.0), Error);
+}
+
+TEST(Rng, TruncatedNormalPathologicalIntervalClamps) {
+    util::Rng rng(6);
+    // Interval 50 sigma into the tail: resampling cannot hit it; clamp.
+    const double x = rng.truncated_normal(0.0, 1.0, 50.0, 51.0);
+    EXPECT_GE(x, 50.0);
+    EXPECT_LE(x, 51.0);
+}
+
+TEST(Rng, BelowInRange) {
+    util::Rng rng(7);
+    std::vector<int> seen(5, 0);
+    for (int i = 0; i < 1000; ++i) {
+        const int k = rng.below(5);
+        ASSERT_GE(k, 0);
+        ASSERT_LT(k, 5);
+        ++seen[static_cast<std::size_t>(k)];
+    }
+    for (int count : seen) EXPECT_GT(count, 100);  // roughly uniform
+}
+
+TEST(Table, PrintAlignsColumns) {
+    util::Table t({"name", "value"});
+    t.add_row({"x", "1"});
+    t.add_row({"longer", "2.5"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2);
+    EXPECT_EQ(t.cols(), 2);
+}
+
+TEST(Table, RowArityEnforced) {
+    util::Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only one"}), Error);
+    EXPECT_THROW(util::Table({}), Error);
+}
+
+TEST(Table, NumFormatsPrecision) {
+    EXPECT_EQ(util::Table::num(1.0, 3), "1");
+    EXPECT_EQ(util::Table::num(0.125, 3), "0.125");
+    EXPECT_EQ(util::Table::num(1234567.0, 3), "1.23e+06");
+}
+
+TEST(Table, CsvRoundTrip) {
+    util::Table t({"h1", "h2"});
+    t.add_row({"a", "b"});
+    const std::string path = ::testing::TempDir() + "/varmor_table.csv";
+    t.write_csv(path);
+    std::ifstream f(path);
+    std::string line;
+    std::getline(f, line);
+    EXPECT_EQ(line, "h1,h2");
+    std::getline(f, line);
+    EXPECT_EQ(line, "a,b");
+    EXPECT_THROW(t.write_csv("/nonexistent/dir/x.csv"), Error);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+    util::Timer t;
+    // Busy-wait a tiny amount.
+    volatile double acc = 0;
+    for (int i = 0; i < 100000; ++i) acc += std::sqrt(static_cast<double>(i));
+    EXPECT_GE(t.seconds(), 0.0);
+    EXPECT_EQ(t.milliseconds() >= t.seconds() * 1000.0 * 0.99, true);
+    const double before = t.seconds();
+    t.reset();
+    EXPECT_LE(t.seconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace varmor
