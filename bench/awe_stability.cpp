@@ -17,6 +17,7 @@
 #include "mor/awe.h"
 #include "mor/prima.h"
 #include "mor/reduced_model.h"
+#include "util/constants.h"
 
 using namespace varmor;
 
@@ -35,7 +36,7 @@ int main() {
     // Full-model reference H(obs, in).
     std::vector<la::cplx> href;
     for (double f : freqs) {
-        const la::cplx s(0.0, 2.0 * M_PI * f);
+        const la::cplx s(0.0, util::two_pi_f(f));
         const sparse::ZSparseLu lu(sparse::pencil(sys.g0, sys.c0, s));
         la::ZVector x = lu.solve(la::to_complex(b0));
         href.push_back(la::dot(la::to_complex(l1), x));
@@ -56,7 +57,7 @@ int main() {
             double err = 0;
             for (std::size_t i = 0; i < freqs.size(); ++i)
                 err = std::max(err,
-                               std::abs(m.transfer(la::cplx(0, 2 * M_PI * freqs[i])) - href[i]));
+                               std::abs(m.transfer(la::cplx(0, util::two_pi_f(freqs[i]))) - href[i]));
             awe_stable = m.stable() ? "yes" : "NO";
             awe_err = util::Table::num(err / scale, 3);
             if (!m.stable() || err / scale > 10.0 || !std::isfinite(err)) awe_broke = true;
@@ -72,7 +73,7 @@ int main() {
         double perr = 0;
         bool pstable = true;
         for (std::size_t i = 0; i < freqs.size(); ++i)
-            perr = std::max(perr, std::abs(prima.transfer(la::cplx(0, 2 * M_PI * freqs[i]),
+            perr = std::max(perr, std::abs(prima.transfer(la::cplx(0, util::two_pi_f(freqs[i])),
                                                           {0.0, 0.0})(1, 0) -
                                            href[i]));
         for (const la::cplx& pole : prima.poles({0.0, 0.0}))

@@ -5,10 +5,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include "analysis/freq_sweep.h"
 #include "circuit/generators.h"
 #include "circuit/mna.h"
 #include "mor/lowrank_pmor.h"
 #include "mor/prima.h"
+#include "sparse/assemble.h"
 #include "sparse/splu.h"
 #include "sparse/svd_iterative.h"
 
@@ -31,6 +33,56 @@ void BM_SparseLuFactor(benchmark::State& state) {
     state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_SparseLuFactor)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000)->Complexity();
+
+void BM_SparseLuRefactor(benchmark::State& state) {
+    // Numeric-only refactorization over cached symbolic data — the per-point
+    // cost of a batched sweep. Compare against BM_SparseLuFactor at the same
+    // size for the symbolic/numeric split ratio.
+    const auto sys = make_net(static_cast<int>(state.range(0)));
+    sparse::SparseLu lu(sys.g0);
+    sparse::SpluWorkspace ws;
+    for (auto _ : state) {
+        lu.refactorize(sys.g0, ws);
+        benchmark::DoNotOptimize(lu.nnz_l());
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SparseLuRefactor)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000)->Complexity();
+
+void BM_PencilAssemble(benchmark::State& state) {
+    // Union-pattern value scatter vs the triplet-sorting sparse::pencil.
+    const auto sys = make_net(2000);
+    const sparse::PencilAssembler assembler(sys.g0, sys.c0);
+    sparse::ZCsc target = assembler.skeleton();
+    const la::cplx s(0.0, 1e9);
+    for (auto _ : state) {
+        assembler.assemble(s, target);
+        benchmark::DoNotOptimize(target.values().data());
+    }
+}
+BENCHMARK(BM_PencilAssemble);
+
+void BM_PencilAssembleLegacy(benchmark::State& state) {
+    const auto sys = make_net(2000);
+    const la::cplx s(0.0, 1e9);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sparse::pencil(sys.g0, sys.c0, s));
+}
+BENCHMARK(BM_PencilAssembleLegacy);
+
+void BM_SweepFull(benchmark::State& state) {
+    // End-to-end batched sweep. Arg 1 = serial, Arg 0 = the process-wide
+    // pool (built once, so the measurement excludes pool construction;
+    // size it with VARMOR_NUM_THREADS).
+    const auto sys = make_net(1000);
+    const std::vector<double> p(static_cast<std::size_t>(sys.num_params()), 0.05);
+    const auto freqs = analysis::log_frequencies(1e6, 1e10, 24);
+    analysis::SweepOptions opts;
+    opts.threads = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(analysis::sweep_full(sys, p, freqs, opts));
+}
+BENCHMARK(BM_SweepFull)->Arg(1)->Arg(0);
 
 void BM_SparseLuSolve(benchmark::State& state) {
     const auto sys = make_net(static_cast<int>(state.range(0)));

@@ -17,6 +17,7 @@
 #include "mor/prima.h"
 #include "mor/tbr.h"
 #include "util/timer.h"
+#include "util/constants.h"
 
 using namespace varmor;
 
@@ -53,7 +54,7 @@ int main() {
         const auto freqs = analysis::log_frequencies(1e7, 3e10, 15);
         double err_prima = 0, err_tbr = 0, scale = 0;
         for (double f : freqs) {
-            const la::cplx s(0.0, 2.0 * M_PI * f);
+            const la::cplx s(0.0, util::two_pi_f(f));
             la::ZMatrix yfull = la::matmul(
                 la::transpose(la::to_complex(sys.l)),
                 sparse::ZSparseLu(sparse::pencil(sys.g0, sys.c0, s)).solve(la::to_complex(sys.b)));

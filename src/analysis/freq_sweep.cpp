@@ -1,11 +1,15 @@
 #include "analysis/freq_sweep.h"
 
 #include <cmath>
+#include <memory>
 
 #include "la/lu_dense.h"
 #include "la/ops.h"
+#include "sparse/assemble.h"
 #include "sparse/splu.h"
 #include "util/check.h"
+#include "util/constants.h"
+#include "util/thread_pool.h"
 
 namespace varmor::analysis {
 
@@ -31,21 +35,48 @@ std::vector<double> linear_frequencies(double lo, double hi, int count) {
 
 std::vector<ZMatrix> sweep_full(const circuit::ParametricSystem& sys,
                                 const std::vector<double>& p,
-                                const std::vector<double>& freqs) {
+                                const std::vector<double>& freqs,
+                                const SweepOptions& opts) {
     sys.validate();
+    std::vector<ZMatrix> out(freqs.size());
+    if (freqs.empty()) return out;
+
     const sparse::Csc g = sys.g_at(p);
     const sparse::Csc c = sys.c_at(p);
     const la::ZMatrix bz = la::to_complex(sys.b);
-    const la::ZMatrix lz = la::to_complex(sys.l);
+    const la::ZMatrix lzt = la::transpose(la::to_complex(sys.l));
 
-    std::vector<ZMatrix> out;
-    out.reserve(freqs.size());
-    for (double f : freqs) {
-        const cplx s(0.0, 2.0 * M_PI * f);
-        const sparse::ZSparseLu lu(sparse::pencil(g, c, s));
-        const ZMatrix x = lu.solve(bz);
-        out.push_back(la::matmul(la::transpose(lz), x));
-    }
+    // One symbolic analysis + pivot sequence for the whole sweep: the pencil
+    // pattern is frequency-independent, so the factorization at the first
+    // point is the reference every other point refactorizes from. Falling
+    // back to a fresh factorization when a frozen pivot collapses depends
+    // only on that point's values, which keeps results independent of the
+    // thread count.
+    const sparse::PencilAssembler pencil(g, c);
+    auto s_of = [&](double f) { return cplx(0.0, util::two_pi_f(f)); };
+    const sparse::ZSparseLu reference(pencil.assemble(s_of(freqs[0])));
+    out[0] = la::matmul(lzt, reference.solve(bz));
+
+    auto run = [&](int, int chunk_begin, int chunk_end) {
+        sparse::ZCsc a = pencil.skeleton();
+        sparse::ZSparseLu lu = reference;  // shares the symbolic data
+        sparse::ZSpluWorkspace ws;
+        for (int i = chunk_begin; i < chunk_end; ++i) {
+            pencil.assemble(s_of(freqs[static_cast<std::size_t>(i)]), a);
+            ZMatrix x;
+            try {
+                lu.refactorize(a, ws);
+                x = lu.solve(bz);
+            } catch (const sparse::RefactorError&) {
+                // Point-local fallback; `lu` keeps the reference pivot
+                // sequence so later points stay chunk-independent.
+                x = sparse::ZSparseLu(a, {}, ws).solve(bz);
+            }
+            out[static_cast<std::size_t>(i)] = la::matmul(lzt, x);
+        }
+    };
+
+    util::ThreadPool::run_chunks(opts.threads, 1, static_cast<int>(freqs.size()), run);
     return out;
 }
 
@@ -54,7 +85,7 @@ std::vector<ZMatrix> sweep_reduced(const mor::ReducedModel& model,
                                    const std::vector<double>& freqs) {
     std::vector<ZMatrix> out;
     out.reserve(freqs.size());
-    for (double f : freqs) out.push_back(model.transfer(cplx(0.0, 2.0 * M_PI * f), p));
+    for (double f : freqs) out.push_back(model.transfer(cplx(0.0, util::two_pi_f(f)), p));
     return out;
 }
 

@@ -14,12 +14,27 @@ std::vector<double> log_frequencies(double lo, double hi, int count);
 /// Linearly spaced frequencies [Hz] from lo to hi inclusive.
 std::vector<double> linear_frequencies(double lo, double hi, int count);
 
+/// Parallelism / reuse knobs for the full-system sweep.
+struct SweepOptions {
+    /// Worker count: 0 = the process-wide pool (VARMOR_NUM_THREADS), 1 =
+    /// serial, n > 1 = a dedicated pool of n. Results are bit-identical at
+    /// any thread count: every frequency point is refactorized from the same
+    /// reference factorization regardless of which worker computes it.
+    int threads = 0;
+};
+
 /// Frequency response of the FULL parametric system at parameter point p:
-/// H(j 2 pi f) = L^T (G(p) + j 2 pi f C(p))^-1 B for every f. One complex
-/// sparse LU per frequency point.
+/// H(j 2 pi f) = L^T (G(p) + j 2 pi f C(p))^-1 B for every f.
+///
+/// Batched solve engine: the pencil G + sC keeps one sparsity pattern across
+/// the sweep, so the symbolic LU analysis (ordering + elimination
+/// reachability + pivot sequence) is computed once at the first frequency
+/// and every other point performs a numeric-only refactorization — and the
+/// points fan out across a thread pool with per-thread workspaces.
 std::vector<la::ZMatrix> sweep_full(const circuit::ParametricSystem& sys,
                                     const std::vector<double>& p,
-                                    const std::vector<double>& freqs);
+                                    const std::vector<double>& freqs,
+                                    const SweepOptions& opts = {});
 
 /// Frequency response of a reduced parametric model (dense solves).
 std::vector<la::ZMatrix> sweep_reduced(const mor::ReducedModel& model,

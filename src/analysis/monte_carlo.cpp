@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace varmor::analysis {
 
@@ -98,22 +99,37 @@ std::vector<std::vector<double>> sample_parameters_lhs(int num_params,
 PoleErrorStudy pole_error_study(const circuit::ParametricSystem& sys,
                                 const mor::ReducedModel& model,
                                 const std::vector<std::vector<double>>& samples,
-                                const PoleOptions& pole_opts) {
+                                const PoleOptions& pole_opts, int threads) {
     sys.validate();
     check(!samples.empty(), "pole_error_study: no samples");
 
+    // Shared read-only batch state: union patterns for G(p)/C(p) and one
+    // symbolic LU analysis serving every sample's factorization.
+    const circuit::ParametricStamper stamper(sys);
+    const sparse::SpluSymbolic symbolic = sparse::SpluSymbolic::analyze(stamper.g_skeleton());
+
+    std::vector<std::vector<double>> errors(samples.size());
+    auto run = [&](int, int chunk_begin, int chunk_end) {
+        sparse::Csc g = stamper.g_skeleton();
+        sparse::Csc c = stamper.c_skeleton();
+        for (int i = chunk_begin; i < chunk_end; ++i) {
+            const std::vector<double>& p = samples[static_cast<std::size_t>(i)];
+            stamper.g_at(p, g);
+            stamper.c_at(p, c);
+            const std::vector<la::cplx> full = dominant_poles(g, c, pole_opts, symbolic);
+            // Give the matcher more reduced poles than requested so a
+            // slightly misordered reduced spectrum still pairs correctly.
+            const std::vector<la::cplx> red =
+                dominant_poles_reduced(model, p, pole_opts.count * 2 + 4);
+            errors[static_cast<std::size_t>(i)] = pole_match_errors(full, red);
+        }
+    };
+    util::ThreadPool::run_chunks(threads, 0, static_cast<int>(samples.size()), run);
+
     PoleErrorStudy study;
-    study.errors.reserve(samples.size());
-    for (const std::vector<double>& p : samples) {
-        const std::vector<la::cplx> full = dominant_poles_at(sys, p, pole_opts);
-        // Give the matcher more reduced poles than requested so a slightly
-        // misordered reduced spectrum still pairs correctly.
-        const std::vector<la::cplx> red =
-            dominant_poles_reduced(model, p, pole_opts.count * 2 + 4);
-        std::vector<double> err = pole_match_errors(full, red);
+    study.errors = std::move(errors);
+    for (const std::vector<double>& err : study.errors)
         study.flattened.insert(study.flattened.end(), err.begin(), err.end());
-        study.errors.push_back(std::move(err));
-    }
     for (double e : study.flattened) {
         study.max_error = std::max(study.max_error, e);
         study.mean_error += e;

@@ -43,10 +43,16 @@ struct PoleErrorStudy {
     double mean_error = 0.0;
 };
 
+/// Runs the study on the batched solve engine: all samples share one union
+/// sparsity pattern (ParametricStamper) and one symbolic LU analysis, and
+/// fan out across a thread pool with per-thread assembly buffers. `threads`
+/// follows the SweepOptions convention — 0 = process-wide pool, 1 = serial,
+/// n = dedicated pool. Each sample's computation is independent of the
+/// thread count, so results are bit-identical to a serial run.
 PoleErrorStudy pole_error_study(const circuit::ParametricSystem& sys,
                                 const mor::ReducedModel& model,
                                 const std::vector<std::vector<double>>& samples,
-                                const PoleOptions& pole_opts = {});
+                                const PoleOptions& pole_opts = {}, int threads = 0);
 
 /// Simple fixed-width histogram.
 struct Histogram {

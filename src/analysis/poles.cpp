@@ -33,13 +33,18 @@ std::vector<cplx> nus_to_poles(std::vector<cplx> nus, int count, double nu_scale
 
 }  // namespace
 
-std::vector<cplx> dominant_poles(const sparse::Csc& g, const sparse::Csc& c,
-                                 const PoleOptions& opts) {
+namespace {
+
+std::vector<cplx> dominant_poles_with(const sparse::Csc& g, const sparse::Csc& c,
+                                      const PoleOptions& opts,
+                                      const sparse::SpluSymbolic* symbolic) {
     check(opts.count >= 1, "dominant_poles: count must be positive");
     const int n = g.rows();
     check(n == g.cols() && n == c.rows() && n == c.cols(), "dominant_poles: shape mismatch");
 
-    const sparse::SparseLu lu(g);
+    sparse::SparseLu::Options lu_opts;
+    lu_opts.symbolic = symbolic;
+    const sparse::SparseLu lu(g, lu_opts);
     if (opts.use_dense || n <= std::max(2 * opts.subspace, 40)) {
         // Small system: dense eigenvalues of G^-1 C are cheap and exact.
         const la::Matrix a = lu.solve(c.to_dense());
@@ -57,6 +62,19 @@ std::vector<cplx> dominant_poles(const sparse::Csc& g, const sparse::Csc& c,
     const sparse::ArnoldiResult r = sparse::arnoldi_eigenvalues(op, aopts);
     double scale = r.ritz_values.empty() ? 1.0 : std::abs(r.ritz_values.front());
     return nus_to_poles(r.ritz_values, opts.count, scale);
+}
+
+}  // namespace
+
+std::vector<cplx> dominant_poles(const sparse::Csc& g, const sparse::Csc& c,
+                                 const PoleOptions& opts) {
+    return dominant_poles_with(g, c, opts, nullptr);
+}
+
+std::vector<cplx> dominant_poles(const sparse::Csc& g, const sparse::Csc& c,
+                                 const PoleOptions& opts,
+                                 const sparse::SpluSymbolic& symbolic) {
+    return dominant_poles_with(g, c, opts, &symbolic);
 }
 
 std::vector<cplx> dominant_poles_at(const circuit::ParametricSystem& sys,

@@ -5,6 +5,7 @@
 
 #include "circuit/parametric_system.h"
 #include "mor/reduced_model.h"
+#include "sparse/splu.h"
 
 namespace varmor::analysis {
 
@@ -21,6 +22,13 @@ struct PoleOptions {
 /// exactly what Arnoldi converges to first). One sparse LU of G.
 std::vector<la::cplx> dominant_poles(const sparse::Csc& g, const sparse::Csc& c,
                                      const PoleOptions& opts = {});
+
+/// Same, reusing a pre-computed symbolic analysis of G's sparsity pattern —
+/// the batch path of Monte-Carlo / corner studies, where every sample's G(p)
+/// carries one union pattern and pays only the numeric factorization.
+std::vector<la::cplx> dominant_poles(const sparse::Csc& g, const sparse::Csc& c,
+                                     const PoleOptions& opts,
+                                     const sparse::SpluSymbolic& symbolic);
 
 /// Dominant poles of the full parametric system at a parameter point.
 std::vector<la::cplx> dominant_poles_at(const circuit::ParametricSystem& sys,

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "la/dense.h"
+#include "sparse/assemble.h"
 #include "sparse/csc.h"
 
 namespace varmor::circuit {
@@ -35,6 +36,36 @@ struct ParametricSystem {
 
     /// C(p) at a parameter point.
     sparse::Csc c_at(const std::vector<double>& p) const;
+};
+
+/// Batched evaluator of G(p) / C(p): precomputes the union sparsity pattern
+/// of the nominal matrices and all sensitivities, so every sample of a
+/// Monte-Carlo or corner study is a value scatter into a fixed pattern
+/// instead of a chain of sort-and-merge sparse adds. The fixed pattern is
+/// also what allows one symbolic LU analysis to serve every sample.
+///
+/// Self-contained (copies the values it needs); safe to share by const
+/// reference across worker threads.
+class ParametricStamper {
+public:
+    explicit ParametricStamper(const ParametricSystem& sys)
+        : g_(sys.g0, sys.dg), c_(sys.c0, sys.dc) {}
+
+    /// Zero-valued matrices carrying the union patterns (per-thread targets).
+    sparse::Csc g_skeleton() const { return g_.skeleton(); }
+    sparse::Csc c_skeleton() const { return c_.skeleton(); }
+
+    /// In-place evaluation; `out` must carry the respective union pattern.
+    void g_at(const std::vector<double>& p, sparse::Csc& out) const { g_.combine(p, out); }
+    void c_at(const std::vector<double>& p, sparse::Csc& out) const { c_.combine(p, out); }
+
+    /// Allocating conveniences. Values equal ParametricSystem::g_at/c_at up
+    /// to explicit zeros kept for pattern stability.
+    sparse::Csc g_at(const std::vector<double>& p) const { return g_.combine(p); }
+    sparse::Csc c_at(const std::vector<double>& p) const { return c_.combine(p); }
+
+private:
+    sparse::AffineAssembler g_, c_;
 };
 
 }  // namespace varmor::circuit

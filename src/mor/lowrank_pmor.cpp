@@ -32,7 +32,15 @@ LowRankPmorResult lowrank_pmor(const circuit::ParametricSystem& sys,
     check(opts.rank >= 1, "lowrank_pmor: rank must be >= 1");
 
     const int n = sys.size();
-    const sparse::SparseLu lu(sys.g0);
+    std::shared_ptr<const sparse::SparseLu> lu_ptr = opts.g0_factor;
+    if (!lu_ptr) {
+        sparse::SparseLu::Options lu_opts;
+        lu_opts.symbolic = opts.g0_symbolic;
+        lu_ptr = std::make_shared<const sparse::SparseLu>(sys.g0, lu_opts);
+    }
+    check(lu_ptr->size() == n, "lowrank_pmor: g0_factor size mismatch");
+    const sparse::SparseLu& lu = *lu_ptr;
+    const long solves_before = lu.solve_count();
 
     // A0 = -G0^-1 C0 and its transpose, both backed by the single LU.
     auto apply_a0 = [&](const Vector& x) {
@@ -111,7 +119,7 @@ LowRankPmorResult lowrank_pmor(const circuit::ParametricSystem& sys,
     // Step 4: congruence transform of the ORIGINAL matrices.
     out.model = project(sys, basis);
     out.basis = std::move(basis);
-    out.sparse_solves = lu.solve_count();
+    out.sparse_solves = lu.solve_count() - solves_before;
     return out;
 }
 

@@ -1,10 +1,13 @@
 #pragma once
 
+#include <memory>
+
 #include "circuit/parametric_system.h"
 #include "la/dense.h"
 #include "la/orth.h"
 #include "la/svd.h"
 #include "mor/reduced_model.h"
+#include "sparse/splu.h"
 
 namespace varmor::mor {
 
@@ -46,6 +49,17 @@ struct LowRankPmorOptions {
     SvdEngine engine = SvdEngine::lanczos;
 
     la::OrthOptions orth;
+
+    /// Optional cached factorization of sys.g0, shared across runs. The
+    /// ablation benches and repeated-timing studies re-run the algorithm
+    /// many times on one system; the "one factorization" the paper counts
+    /// then really is computed once per system, not once per run. Must be a
+    /// factorization of exactly sys.g0.
+    std::shared_ptr<const sparse::SparseLu> g0_factor;
+
+    /// Optional symbolic (ordering) cache for g0's pattern, used when
+    /// g0_factor is not set. Not owned; must outlive the call.
+    const sparse::SpluSymbolic* g0_symbolic = nullptr;
 };
 
 /// Diagnostics reported alongside the reduced model.

@@ -28,8 +28,11 @@ ArnoldiResult arnoldi_eigenvalues(const LinearOperator& op, const ArnoldiOptions
     v.set_col(0, v0);
 
     int steps = m;
+    Vector vk(n);  // reused start-block buffer: no per-iteration col() copies
     for (int k = 0; k < m; ++k) {
-        Vector w = op.apply(v.col(k));
+        const double* vcol = v.col_data(k);
+        for (int i = 0; i < n; ++i) vk[i] = vcol[i];
+        Vector w = op.apply(vk);
         // Modified Gram-Schmidt with one reorthogonalization pass.
         for (int pass = 0; pass < 2; ++pass) {
             for (int j = 0; j <= k; ++j) {

@@ -1,0 +1,149 @@
+#include "sparse/assemble.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace varmor::sparse {
+
+namespace detail {
+
+UnionPattern union_pattern(const std::vector<const std::vector<int>*>& col_ptrs,
+                           const std::vector<const std::vector<int>*>& row_idxs,
+                           int rows, int cols) {
+    UnionPattern u;
+    u.rows = rows;
+    u.cols = cols;
+    u.col_ptr.assign(static_cast<std::size_t>(cols) + 1, 0);
+    std::vector<int> merged;
+    for (int j = 0; j < cols; ++j) {
+        merged.clear();
+        for (std::size_t t = 0; t < col_ptrs.size(); ++t) {
+            const std::vector<int>& cp = *col_ptrs[t];
+            const std::vector<int>& ri = *row_idxs[t];
+            for (int p = cp[static_cast<std::size_t>(j)]; p < cp[static_cast<std::size_t>(j) + 1]; ++p)
+                merged.push_back(ri[static_cast<std::size_t>(p)]);
+        }
+        std::sort(merged.begin(), merged.end());
+        merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+        u.row_idx.insert(u.row_idx.end(), merged.begin(), merged.end());
+        u.col_ptr[static_cast<std::size_t>(j) + 1] = static_cast<int>(u.row_idx.size());
+    }
+    return u;
+}
+
+std::vector<int> scatter_map(const UnionPattern& u, const std::vector<int>& col_ptr,
+                             const std::vector<int>& row_idx) {
+    std::vector<int> map;
+    map.reserve(row_idx.size());
+    for (int j = 0; j < u.cols; ++j) {
+        const int ub = u.col_ptr[static_cast<std::size_t>(j)];
+        const int ue = u.col_ptr[static_cast<std::size_t>(j) + 1];
+        for (int p = col_ptr[static_cast<std::size_t>(j)]; p < col_ptr[static_cast<std::size_t>(j) + 1]; ++p) {
+            const int i = row_idx[static_cast<std::size_t>(p)];
+            const auto it = std::lower_bound(u.row_idx.begin() + ub, u.row_idx.begin() + ue, i);
+            check(it != u.row_idx.begin() + ue && *it == i,
+                  "scatter_map: entry missing from union pattern");
+            map.push_back(static_cast<int>(it - u.row_idx.begin()));
+        }
+    }
+    return map;
+}
+
+namespace {
+
+template <class T, class S>
+PackedTerm<T> pack(const UnionPattern& u, const CscT<S>& a) {
+    PackedTerm<T> t;
+    t.idx = scatter_map(u, a.col_ptr(), a.row_idx());
+    t.val.reserve(a.values().size());
+    for (const S& v : a.values()) t.val.push_back(T(v));
+    return t;
+}
+
+}  // namespace
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// PencilAssembler
+// ---------------------------------------------------------------------------
+
+PencilAssembler::PencilAssembler(const Csc& g, const Csc& c) {
+    check(g.rows() == g.cols(), "PencilAssembler: G must be square");
+    check(c.rows() == g.rows() && c.cols() == g.cols(), "PencilAssembler: C shape mismatch");
+    rows_ = g.rows();
+    const detail::UnionPattern u = detail::union_pattern(
+        {&g.col_ptr(), &c.col_ptr()}, {&g.row_idx(), &c.row_idx()}, rows_, rows_);
+    col_ptr_ = u.col_ptr;
+    row_idx_ = u.row_idx;
+    g_ = detail::pack<cplx>(u, g);
+    c_ = detail::pack<cplx>(u, c);
+}
+
+ZCsc PencilAssembler::skeleton() const {
+    return ZCsc(rows_, rows_, col_ptr_, row_idx_,
+                std::vector<cplx>(row_idx_.size(), cplx{}));
+}
+
+void PencilAssembler::assemble(cplx s, ZCsc& out) const {
+    // Exact pattern check: a same-nnz target with a different pattern would
+    // be silently misassembled (same rationale as SparseLu::refactorize).
+    check(out.rows() == rows_ && out.cols() == rows_ &&
+              out.col_ptr() == col_ptr_ && out.row_idx() == row_idx_,
+          "PencilAssembler::assemble: target does not carry the union pattern");
+    std::vector<cplx>& v = out.values();
+    std::fill(v.begin(), v.end(), cplx{});
+    for (std::size_t k = 0; k < g_.idx.size(); ++k)
+        v[static_cast<std::size_t>(g_.idx[k])] += g_.val[k];
+    for (std::size_t k = 0; k < c_.idx.size(); ++k)
+        v[static_cast<std::size_t>(c_.idx[k])] += s * c_.val[k];
+}
+
+// ---------------------------------------------------------------------------
+// AffineAssembler
+// ---------------------------------------------------------------------------
+
+AffineAssembler::AffineAssembler(const Csc& base, const std::vector<Csc>& terms) {
+    rows_ = base.rows();
+    cols_ = base.cols();
+    std::vector<const std::vector<int>*> cps{&base.col_ptr()};
+    std::vector<const std::vector<int>*> ris{&base.row_idx()};
+    for (const Csc& t : terms) {
+        check(t.rows() == rows_ && t.cols() == cols_, "AffineAssembler: term shape mismatch");
+        cps.push_back(&t.col_ptr());
+        ris.push_back(&t.row_idx());
+    }
+    const detail::UnionPattern u = detail::union_pattern(cps, ris, rows_, cols_);
+    col_ptr_ = u.col_ptr;
+    row_idx_ = u.row_idx;
+    base_ = detail::pack<double>(u, base);
+    terms_.reserve(terms.size());
+    for (const Csc& t : terms) terms_.push_back(detail::pack<double>(u, t));
+}
+
+Csc AffineAssembler::skeleton() const {
+    return Csc(rows_, cols_, col_ptr_, row_idx_,
+               std::vector<double>(row_idx_.size(), 0.0));
+}
+
+void AffineAssembler::combine(const std::vector<double>& coeffs, Csc& out) const {
+    check(static_cast<int>(coeffs.size()) == num_terms(),
+          "AffineAssembler::combine: coefficient count mismatch");
+    check(out.rows() == rows_ && out.cols() == cols_ &&
+              out.col_ptr() == col_ptr_ && out.row_idx() == row_idx_,
+          "AffineAssembler::combine: target does not carry the union pattern");
+    std::vector<double>& v = out.values();
+    std::fill(v.begin(), v.end(), 0.0);
+    for (std::size_t k = 0; k < base_.idx.size(); ++k)
+        v[static_cast<std::size_t>(base_.idx[k])] += base_.val[k];
+    for (std::size_t t = 0; t < terms_.size(); ++t) {
+        const double c = coeffs[t];
+        if (c == 0.0) continue;
+        const detail::PackedTerm<double>& term = terms_[t];
+        for (std::size_t k = 0; k < term.idx.size(); ++k)
+            v[static_cast<std::size_t>(term.idx[k])] += c * term.val[k];
+    }
+}
+
+}  // namespace varmor::sparse

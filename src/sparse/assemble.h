@@ -1,0 +1,115 @@
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.h"
+
+namespace varmor::sparse {
+
+/// Batched matrix assembly on a fixed union sparsity pattern.
+///
+/// The evaluation layers repeatedly build matrices from the same ingredients:
+/// a frequency sweep assembles G + sC for hundreds of s values, a Monte-Carlo
+/// study assembles G(p) = G0 + sum_i p_i Gi for hundreds of samples. All of
+/// those share ONE sparsity pattern (the union of the ingredients' patterns),
+/// so the sort/compress/merge work of the generic sparse add — and the
+/// symbolic analysis of the factorization downstream — can be paid once and
+/// the per-point work reduced to a value scatter.
+
+namespace detail {
+
+/// One ingredient scattered onto the union pattern: values[k] lands at union
+/// nnz slot idx[k]. Self-contained (values are copied), so the assembler does
+/// not retain references to the source matrices.
+template <class T>
+struct PackedTerm {
+    std::vector<int> idx;
+    std::vector<T> val;
+};
+
+/// Builds the union pattern of `terms` (all the same shape) and the per-term
+/// scatter maps. Helper shared by the assemblers below.
+struct UnionPattern {
+    int rows = 0, cols = 0;
+    std::vector<int> col_ptr, row_idx;
+};
+
+UnionPattern union_pattern(const std::vector<const std::vector<int>*>& col_ptrs,
+                           const std::vector<const std::vector<int>*>& row_idxs,
+                           int rows, int cols);
+
+/// Scatter map of one term onto a union pattern (every term entry must exist
+/// in the union — guaranteed by construction).
+std::vector<int> scatter_map(const UnionPattern& u, const std::vector<int>& col_ptr,
+                             const std::vector<int>& row_idx);
+
+}  // namespace detail
+
+/// Assembles the complex pencil G + sC for many values of s on the fixed
+/// union pattern of G and C. Replaces per-frequency `pencil(g, c, s)` calls
+/// (which re-sort triplets every time) in the sweep hot path; the constant
+/// pattern is what lets the sweep refactorize one ZSparseLu per point instead
+/// of re-running the full symbolic analysis.
+class PencilAssembler {
+public:
+    PencilAssembler(const Csc& g, const Csc& c);
+
+    int size() const { return rows_; }
+    int nnz() const { return static_cast<int>(row_idx_.size()); }
+
+    /// Zero-valued matrix carrying the union pattern; the target for
+    /// assemble(). One per worker thread in a parallel sweep.
+    ZCsc skeleton() const;
+
+    /// out.values() = G + s C. `out` must carry the union pattern (i.e. come
+    /// from skeleton() or a previous assemble).
+    void assemble(cplx s, ZCsc& out) const;
+
+    /// Allocating convenience.
+    ZCsc assemble(cplx s) const {
+        ZCsc out = skeleton();
+        assemble(s, out);
+        return out;
+    }
+
+private:
+    int rows_ = 0;
+    std::vector<int> col_ptr_, row_idx_;
+    detail::PackedTerm<cplx> g_, c_;
+};
+
+/// Assembles affine combinations base + sum_i coeff_i * terms[i] on the fixed
+/// union pattern of all ingredients. Backs ParametricSystem evaluation in
+/// Monte-Carlo loops: every sample's G(p) / C(p) shares the pattern, so one
+/// symbolic LU analysis serves the whole study.
+class AffineAssembler {
+public:
+    AffineAssembler() = default;
+    AffineAssembler(const Csc& base, const std::vector<Csc>& terms);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    int num_terms() const { return static_cast<int>(terms_.size()); }
+
+    /// Zero-valued matrix carrying the union pattern.
+    Csc skeleton() const;
+
+    /// out.values() = base + sum_i coeffs[i] * terms[i]; `out` must carry the
+    /// union pattern.
+    void combine(const std::vector<double>& coeffs, Csc& out) const;
+
+    /// Allocating convenience.
+    Csc combine(const std::vector<double>& coeffs) const {
+        Csc out = skeleton();
+        combine(coeffs, out);
+        return out;
+    }
+
+private:
+    int rows_ = 0, cols_ = 0;
+    std::vector<int> col_ptr_, row_idx_;
+    detail::PackedTerm<double> base_;
+    std::vector<detail::PackedTerm<double>> terms_;
+};
+
+}  // namespace varmor::sparse

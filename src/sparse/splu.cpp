@@ -46,15 +46,15 @@ int dfs_from(int start, const std::vector<int>& l_colptr, const std::vector<int>
 }  // namespace
 
 int lu_reach(int n, const std::vector<int>& l_colptr, const std::vector<int>& l_rowidx,
-             const std::vector<int>& b_rows, const std::vector<int>& pinv,
+             const int* b_rows, int b_count, const std::vector<int>& pinv,
              std::vector<int>& stack, std::vector<int>& work_stack,
-             std::vector<bool>& marked) {
-    static thread_local std::vector<int> position;
-    position.assign(static_cast<std::size_t>(n), 0);
+             std::vector<int>& position, std::vector<bool>& marked) {
     int top = n;
-    for (int i : b_rows)
+    for (int k = 0; k < b_count; ++k) {
+        const int i = b_rows[k];
         if (!marked[static_cast<std::size_t>(i)])
             top = dfs_from(i, l_colptr, l_rowidx, pinv, stack, top, work_stack, position, marked);
+    }
     for (int p = top; p < n; ++p)
         marked[static_cast<std::size_t>(stack[static_cast<std::size_t>(p)])] = false;
     return top;

@@ -1,12 +1,88 @@
 #pragma once
 
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "sparse/csc.h"
 #include "sparse/ordering.h"
 
 namespace varmor::sparse {
+
+/// Pattern-only symbolic analysis shared across factorizations: the
+/// fill-reducing column ordering, which depends on the sparsity pattern but
+/// not on the values (and not on the scalar type — the same analysis serves
+/// the real MNA matrices and the complex pencils G + sC built on their union
+/// pattern). Computing it once per pattern and reusing it across Monte-Carlo
+/// samples / ablation re-runs removes the dominant non-numeric cost of each
+/// factorization.
+class SpluSymbolic {
+public:
+    enum class Ordering { min_degree, rcm, natural };
+
+    SpluSymbolic() = default;
+
+    /// Analyzes an explicit pattern (square, n x n).
+    static SpluSymbolic analyze(int n, const std::vector<int>& col_ptr,
+                                const std::vector<int>& row_idx,
+                                Ordering ordering = Ordering::min_degree) {
+        SpluSymbolic s;
+        s.n_ = n;
+        switch (ordering) {
+            case Ordering::min_degree: s.q_ = min_degree_ordering(n, col_ptr, row_idx); break;
+            case Ordering::rcm: s.q_ = rcm_ordering(n, col_ptr, row_idx); break;
+            case Ordering::natural: s.q_ = natural_ordering(n); break;
+        }
+        return s;
+    }
+
+    template <class T>
+    static SpluSymbolic analyze(const CscT<T>& a, Ordering ordering = Ordering::min_degree) {
+        check(a.rows() == a.cols(), "SpluSymbolic: square matrix required");
+        return analyze(a.rows(), a.col_ptr(), a.row_idx(), ordering);
+    }
+
+    bool empty() const { return n_ == 0; }
+    int size() const { return n_; }
+    const std::vector<int>& column_order() const { return q_; }
+
+private:
+    int n_ = 0;
+    std::vector<int> q_;
+};
+
+/// Scratch buffers for factorization / refactorization. Factoring through an
+/// explicit workspace lets batch drivers (frequency sweeps, Monte-Carlo
+/// studies) keep one workspace per thread and factor thousands of matrices
+/// with zero steady-state allocation — and removes the hidden
+/// `static thread_local` state the seed implementation relied on.
+template <class T>
+struct SpluWorkspaceT {
+    std::vector<T> x;              ///< dense accumulator for one column
+    std::vector<int> stack;        ///< reach in topological order
+    std::vector<int> work_stack;   ///< DFS explicit stack
+    std::vector<int> position;     ///< DFS resume position per stack level
+    std::vector<bool> marked;      ///< DFS visited flags
+
+    void resize(int n) {
+        x.assign(static_cast<std::size_t>(n), T{});
+        stack.assign(static_cast<std::size_t>(n), 0);
+        work_stack.assign(static_cast<std::size_t>(n), 0);
+        position.assign(static_cast<std::size_t>(n), 0);
+        marked.assign(static_cast<std::size_t>(n), false);
+    }
+};
+
+using SpluWorkspace = SpluWorkspaceT<double>;
+using ZSpluWorkspace = SpluWorkspaceT<cplx>;
+
+/// Thrown by SparseLuT::refactorize when the frozen pivot sequence collapses
+/// numerically on the new values; callers fall back to a fresh factorization
+/// for that matrix.
+class RefactorError : public Error {
+public:
+    using Error::Error;
+};
 
 /// Sparse LU factorization (Gilbert-Peierls left-looking algorithm with
 /// partial pivoting, CSparse lineage), templated on scalar so the same code
@@ -18,21 +94,68 @@ namespace varmor::sparse {
 /// paper's Krylov subspaces w.r.t. A0^T = -C0^T G0^-T cheap: it reuses this
 /// one factorization (section 4.2: "Notice that if the LU factorization of
 /// G0 is G0 = Lg Ug, then G0^T = Ug^T Lg^T").
+///
+/// Batched-solve support:
+///  - the symbolic data (column ordering, pivot sequence, L/U patterns) is
+///    immutable after construction and shared between copies, so handing one
+///    factor per thread to a sweep costs only the value arrays;
+///  - refactorize() recomputes the numeric values for a matrix with the SAME
+///    pattern without re-running the ordering, the reachability DFS, or the
+///    pivot search — the per-point cost of a frequency sweep drops to pure
+///    triangular arithmetic.
+///
+/// Thread-safety: const solves and refactorize on DISTINCT instances are
+/// safe; concurrent use of one instance is not (solve_count_ bookkeeping).
+/// Copies share the immutable symbolic data by reference count.
 template <class T>
 class SparseLuT {
 public:
     struct Options {
-        enum class Ordering { min_degree, rcm, natural };
+        using Ordering = SpluSymbolic::Ordering;
         Ordering ordering = Ordering::min_degree;
         /// Pivot threshold in (0,1]; 1.0 = classic partial pivoting.
         double pivot_tol = 1.0;
+        /// Optional pre-computed symbolic analysis for A's pattern (must be
+        /// for a matrix of the same size). Overrides `ordering` when set.
+        const SpluSymbolic* symbolic = nullptr;
     };
 
     /// Factors A. Throws varmor::Error if A is structurally or numerically
     /// singular.
-    explicit SparseLuT(const CscT<T>& a, const Options& opts = {});
+    explicit SparseLuT(const CscT<T>& a, const Options& opts = {}) {
+        SpluWorkspaceT<T> ws;
+        factor(a, opts, ws);
+    }
 
-    int size() const { return n_; }
+    /// Factors A reusing caller-owned scratch (no allocations beyond the
+    /// factor arrays themselves once `ws` is warm).
+    SparseLuT(const CscT<T>& a, const Options& opts, SpluWorkspaceT<T>& ws) {
+        factor(a, opts, ws);
+    }
+
+    /// Convenience: factor with a shared symbolic analysis.
+    SparseLuT(const CscT<T>& a, const SpluSymbolic& symbolic) {
+        Options opts;
+        opts.symbolic = &symbolic;
+        SpluWorkspaceT<T> ws;
+        factor(a, opts, ws);
+    }
+
+    /// Numeric-only refactorization: recomputes L and U values for a matrix
+    /// with exactly the pattern this object was built from, replaying the
+    /// frozen pivot sequence over the cached elimination reachability. Cost
+    /// is O(flops of the triangular updates) — no ordering, no DFS, no pivot
+    /// search. Throws RefactorError if a frozen pivot collapses numerically
+    /// (caller should factor from scratch), varmor::Error if the pattern
+    /// differs.
+    void refactorize(const CscT<T>& a) {
+        SpluWorkspaceT<T> ws;
+        refactorize(a, ws);
+    }
+
+    void refactorize(const CscT<T>& a, SpluWorkspaceT<T>& ws);
+
+    int size() const { return sym_->n; }
     int nnz_l() const { return static_cast<int>(l_values_.size()); }
     int nnz_u() const { return static_cast<int>(u_values_.size()); }
 
@@ -54,17 +177,40 @@ public:
     /// Column-wise A^T X = B.
     MatrixT<T> solve_transpose(const MatrixT<T>& b) const;
 
+    /// In-place kernel: overwrites the n entries at `b` with A^-1 b using
+    /// caller scratch of n entries. The allocation-free path under the
+    /// matrix solves and the batch drivers.
+    void solve_inplace(T* b, T* scratch) const;
+
+    /// In-place kernel for A^T x = b.
+    void solve_transpose_inplace(T* b, T* scratch) const;
+
 private:
-    // L: unit lower triangular (diagonal stored first per column, value 1).
-    // U: upper triangular (diagonal stored last per column).
-    // Row indices of both are in pivot coordinates.
-    int n_ = 0;
-    std::vector<int> l_colptr_, l_rowidx_;
+    /// Immutable after factor(): everything value-independent. Shared between
+    /// copies of this factor object (one copy per worker thread in the batch
+    /// drivers) and consulted by refactorize().
+    struct Symbolic {
+        int n = 0;
+        // L: unit lower triangular (diagonal stored first per column, value 1).
+        // U: upper triangular (diagonal stored last per column).
+        // Row indices of both are in pivot coordinates. Within a column, U's
+        // off-diagonal entries are stored in a valid elimination (topological)
+        // order — refactorize() replays that order.
+        std::vector<int> l_colptr, l_rowidx;
+        std::vector<int> u_colptr, u_rowidx;
+        std::vector<int> pinv;  // row i of A is pivot row pinv[i]
+        std::vector<int> q;     // column order: k-th eliminated column is q[k]
+        // Input pattern, kept so refactorize() can validate its same-pattern
+        // contract exactly (a hash would risk silent garbage on collision).
+        // O(nnz) ints — small next to the L/U factors themselves.
+        std::vector<int> a_colptr, a_rowidx;
+    };
+
+    void factor(const CscT<T>& a, const Options& opts, SpluWorkspaceT<T>& ws);
+
+    std::shared_ptr<const Symbolic> sym_;
     std::vector<T> l_values_;
-    std::vector<int> u_colptr_, u_rowidx_;
     std::vector<T> u_values_;
-    std::vector<int> pinv_;  // row i of A is pivot row pinv_[i]
-    std::vector<int> q_;     // column order: k-th eliminated column is q_[k]
     mutable long solve_count_ = 0;
 };
 
@@ -80,29 +226,41 @@ namespace detail {
 /// Depth-first search used by the symbolic step of Gilbert-Peierls: computes
 /// the set of rows reachable from the pattern of column b through the graph
 /// of already-computed L columns (cs_reach). Returns `top` such that
-/// stack[top..n-1] lists the reach in topological order.
+/// stack[top..n-1] lists the reach in topological order. `position` is DFS
+/// scratch owned by the caller's workspace (one slot per stack level).
 int lu_reach(int n, const std::vector<int>& l_colptr, const std::vector<int>& l_rowidx,
-             const std::vector<int>& b_rows, const std::vector<int>& pinv,
+             const int* b_rows, int b_count, const std::vector<int>& pinv,
              std::vector<int>& stack, std::vector<int>& work_stack,
-             std::vector<bool>& marked);
+             std::vector<int>& position, std::vector<bool>& marked);
 
 }  // namespace detail
 
 template <class T>
-SparseLuT<T>::SparseLuT(const CscT<T>& a, const Options& opts) : n_(a.rows()) {
+void SparseLuT<T>::factor(const CscT<T>& a, const Options& opts, SpluWorkspaceT<T>& ws) {
     check(a.rows() == a.cols(), "SparseLu: square matrix required");
     check(opts.pivot_tol > 0 && opts.pivot_tol <= 1.0, "SparseLu: pivot_tol in (0,1]");
-    const int n = n_;
+    const int n = a.rows();
 
-    switch (opts.ordering) {
-        case Options::Ordering::min_degree: q_ = min_degree_ordering(a); break;
-        case Options::Ordering::rcm: q_ = rcm_ordering(a); break;
-        case Options::Ordering::natural: q_ = natural_ordering(n); break;
+    auto sym = std::make_shared<Symbolic>();
+    sym->n = n;
+    if (opts.symbolic) {
+        check(opts.symbolic->size() == n, "SparseLu: symbolic analysis size mismatch");
+        sym->q = opts.symbolic->column_order();
+    } else {
+        switch (opts.ordering) {
+            case Options::Ordering::min_degree: sym->q = min_degree_ordering(a); break;
+            case Options::Ordering::rcm: sym->q = rcm_ordering(a); break;
+            case Options::Ordering::natural: sym->q = natural_ordering(n); break;
+        }
     }
+    sym->a_colptr = a.col_ptr();
+    sym->a_rowidx = a.row_idx();
 
-    pinv_.assign(static_cast<std::size_t>(n), -1);
-    l_colptr_.assign(1, 0);
-    u_colptr_.assign(1, 0);
+    sym->pinv.assign(static_cast<std::size_t>(n), -1);
+    sym->l_colptr.assign(1, 0);
+    sym->u_colptr.assign(1, 0);
+    l_values_.clear();
+    u_values_.clear();
 
     // Scale reference for the singularity test: a pivot collapsing to
     // roundoff relative to the matrix (e.g. a floating resistive network's
@@ -112,21 +270,19 @@ SparseLuT<T>::SparseLuT(const CscT<T>& a, const Options& opts) : n_(a.rows()) {
     check(amax_all > 0.0, "SparseLu: zero matrix");
     const double singular_tol = 1e-13 * amax_all;
 
-    std::vector<T> x(static_cast<std::size_t>(n), T{});
-    std::vector<int> stack(static_cast<std::size_t>(n));
-    std::vector<int> work_stack(static_cast<std::size_t>(n));
-    std::vector<bool> marked(static_cast<std::size_t>(n), false);
+    ws.resize(n);
+    std::vector<T>& x = ws.x;
+    std::vector<int>& stack = ws.stack;
 
     for (int k = 0; k < n; ++k) {
-        const int col = q_[static_cast<std::size_t>(k)];
+        const int col = sym->q[static_cast<std::size_t>(k)];
 
         // ---- symbolic: rows reachable from pattern of A(:, col) ----
-        std::vector<int> b_rows;
-        for (int p = a.col_ptr()[static_cast<std::size_t>(col)];
-             p < a.col_ptr()[static_cast<std::size_t>(col) + 1]; ++p)
-            b_rows.push_back(a.row_idx()[static_cast<std::size_t>(p)]);
-        const int top = detail::lu_reach(n, l_colptr_, l_rowidx_, b_rows, pinv_,
-                                         stack, work_stack, marked);
+        const int b_start = a.col_ptr()[static_cast<std::size_t>(col)];
+        const int b_count = a.col_ptr()[static_cast<std::size_t>(col) + 1] - b_start;
+        const int top = detail::lu_reach(n, sym->l_colptr, sym->l_rowidx,
+                                         a.row_idx().data() + b_start, b_count, sym->pinv,
+                                         stack, ws.work_stack, ws.position, ws.marked);
 
         // ---- numeric: sparse triangular solve L x = A(:, col) ----
         for (int p = top; p < n; ++p) x[static_cast<std::size_t>(stack[static_cast<std::size_t>(p)])] = T{};
@@ -135,15 +291,15 @@ SparseLuT<T>::SparseLuT(const CscT<T>& a, const Options& opts) : n_(a.rows()) {
             x[static_cast<std::size_t>(a.row_idx()[static_cast<std::size_t>(p)])] =
                 a.values()[static_cast<std::size_t>(p)];
         for (int p = top; p < n; ++p) {
-            const int i = stack[static_cast<std::size_t>(p)];  // original row index
-            const int j = pinv_[static_cast<std::size_t>(i)];  // L column, or -1
+            const int i = stack[static_cast<std::size_t>(p)];       // original row index
+            const int j = sym->pinv[static_cast<std::size_t>(i)];   // L column, or -1
             if (j < 0) continue;
             const T xj = x[static_cast<std::size_t>(i)];
             if (xj == T{}) continue;
             // Skip the unit diagonal (stored first in column j).
-            for (int pp = l_colptr_[static_cast<std::size_t>(j)] + 1;
-                 pp < l_colptr_[static_cast<std::size_t>(j) + 1]; ++pp)
-                x[static_cast<std::size_t>(l_rowidx_[static_cast<std::size_t>(pp)])] -=
+            for (int pp = sym->l_colptr[static_cast<std::size_t>(j)] + 1;
+                 pp < sym->l_colptr[static_cast<std::size_t>(j) + 1]; ++pp)
+                x[static_cast<std::size_t>(sym->l_rowidx[static_cast<std::size_t>(pp)])] -=
                     l_values_[static_cast<std::size_t>(pp)] * xj;
         }
 
@@ -152,118 +308,210 @@ SparseLuT<T>::SparseLuT(const CscT<T>& a, const Options& opts) : n_(a.rows()) {
         double amax = -1.0;
         for (int p = top; p < n; ++p) {
             const int i = stack[static_cast<std::size_t>(p)];
-            if (pinv_[static_cast<std::size_t>(i)] < 0) {
+            if (sym->pinv[static_cast<std::size_t>(i)] < 0) {
                 const double t = std::abs(x[static_cast<std::size_t>(i)]);
                 if (t > amax) {
                     amax = t;
                     ipiv = i;
                 }
             } else {
-                u_rowidx_.push_back(pinv_[static_cast<std::size_t>(i)]);
+                sym->u_rowidx.push_back(sym->pinv[static_cast<std::size_t>(i)]);
                 u_values_.push_back(x[static_cast<std::size_t>(i)]);
             }
         }
         check(ipiv >= 0 && amax > singular_tol,
               "SparseLu: matrix is numerically singular");
         // Prefer the diagonal entry when it is large enough (threshold pivoting).
-        if (pinv_[static_cast<std::size_t>(col)] < 0 &&
+        if (sym->pinv[static_cast<std::size_t>(col)] < 0 &&
             std::abs(x[static_cast<std::size_t>(col)]) >= opts.pivot_tol * amax)
             ipiv = col;
 
         // ---- commit column k of L and U ----
         const T pivot = x[static_cast<std::size_t>(ipiv)];
-        u_rowidx_.push_back(k);
+        sym->u_rowidx.push_back(k);
         u_values_.push_back(pivot);
-        pinv_[static_cast<std::size_t>(ipiv)] = k;
-        l_rowidx_.push_back(ipiv);  // fixed up to pivot coordinates below
+        sym->pinv[static_cast<std::size_t>(ipiv)] = k;
+        sym->l_rowidx.push_back(ipiv);  // fixed up to pivot coordinates below
         l_values_.push_back(T(1));
         for (int p = top; p < n; ++p) {
             const int i = stack[static_cast<std::size_t>(p)];
-            if (pinv_[static_cast<std::size_t>(i)] < 0) {
-                l_rowidx_.push_back(i);
+            if (sym->pinv[static_cast<std::size_t>(i)] < 0) {
+                sym->l_rowidx.push_back(i);
                 l_values_.push_back(x[static_cast<std::size_t>(i)] / pivot);
             }
             x[static_cast<std::size_t>(i)] = T{};
         }
-        l_colptr_.push_back(static_cast<int>(l_values_.size()));
-        u_colptr_.push_back(static_cast<int>(u_values_.size()));
+        sym->l_colptr.push_back(static_cast<int>(l_values_.size()));
+        sym->u_colptr.push_back(static_cast<int>(u_values_.size()));
     }
 
     // Map L's row indices into pivot coordinates.
-    for (int& i : l_rowidx_) i = pinv_[static_cast<std::size_t>(i)];
+    for (int& i : sym->l_rowidx) i = sym->pinv[static_cast<std::size_t>(i)];
+
+    sym_ = std::move(sym);
 }
 
 template <class T>
-VectorT<T> SparseLuT<T>::solve(const VectorT<T>& b) const {
-    check(b.size() == n_, "SparseLu::solve: dimension mismatch");
+void SparseLuT<T>::refactorize(const CscT<T>& a, SpluWorkspaceT<T>& ws) {
+    const Symbolic& s = *sym_;
+    const int n = s.n;
+    check(a.rows() == n && a.cols() == n, "SparseLu::refactorize: size mismatch");
+    check(a.col_ptr() == s.a_colptr && a.row_idx() == s.a_rowidx,
+          "SparseLu::refactorize: sparsity pattern differs from the factored matrix");
+
+    double amax_all = 0.0;
+    for (const T& v : a.values()) amax_all = std::max(amax_all, std::abs(v));
+    if (!(amax_all > 0.0)) throw RefactorError("SparseLu::refactorize: zero matrix");
+    const double singular_tol = 1e-13 * amax_all;
+
+    if (static_cast<int>(ws.x.size()) != n) ws.resize(n);
+    std::vector<T>& x = ws.x;  // invariant: all-zero outside the active column
+
+    for (int k = 0; k < n; ++k) {
+        const int col = s.q[static_cast<std::size_t>(k)];
+
+        // Scatter A(:, col) in pivot coordinates; the stored reach contains
+        // every entry, so clearing the stored patterns below restores x = 0.
+        for (int p = s.a_colptr[static_cast<std::size_t>(col)];
+             p < s.a_colptr[static_cast<std::size_t>(col) + 1]; ++p)
+            x[static_cast<std::size_t>(s.pinv[static_cast<std::size_t>(
+                s.a_rowidx[static_cast<std::size_t>(p)])])] =
+                a.values()[static_cast<std::size_t>(p)];
+
+        // Replay the elimination in the stored topological order: U's
+        // off-diagonal entries of column k name the pivotal columns to
+        // eliminate with, in the order the original DFS discovered them.
+        const int u_start = s.u_colptr[static_cast<std::size_t>(k)];
+        const int u_end = s.u_colptr[static_cast<std::size_t>(k) + 1];
+        for (int p = u_start; p < u_end - 1; ++p) {
+            const int j = s.u_rowidx[static_cast<std::size_t>(p)];
+            const T xj = x[static_cast<std::size_t>(j)];
+            u_values_[static_cast<std::size_t>(p)] = xj;
+            if (xj == T{}) continue;
+            for (int pp = s.l_colptr[static_cast<std::size_t>(j)] + 1;
+                 pp < s.l_colptr[static_cast<std::size_t>(j) + 1]; ++pp)
+                x[static_cast<std::size_t>(s.l_rowidx[static_cast<std::size_t>(pp)])] -=
+                    l_values_[static_cast<std::size_t>(pp)] * xj;
+        }
+
+        // Frozen pivot: position k on the diagonal of U (stored last).
+        const T pivot = x[static_cast<std::size_t>(k)];
+        const int l_start = s.l_colptr[static_cast<std::size_t>(k)];
+        const int l_end = s.l_colptr[static_cast<std::size_t>(k) + 1];
+        if (!(std::abs(pivot) > singular_tol)) {
+            // Restore the workspace's all-zero invariant before reporting:
+            // the same ws must be reusable for the fallback factorization.
+            x[static_cast<std::size_t>(k)] = T{};
+            for (int p = u_start; p < u_end - 1; ++p)
+                x[static_cast<std::size_t>(s.u_rowidx[static_cast<std::size_t>(p)])] = T{};
+            for (int p = l_start + 1; p < l_end; ++p)
+                x[static_cast<std::size_t>(s.l_rowidx[static_cast<std::size_t>(p)])] = T{};
+            throw RefactorError(
+                "SparseLu::refactorize: frozen pivot collapsed; factor from scratch");
+        }
+        u_values_[static_cast<std::size_t>(u_end) - 1] = pivot;
+        x[static_cast<std::size_t>(k)] = T{};
+        for (int p = u_start; p < u_end - 1; ++p)
+            x[static_cast<std::size_t>(s.u_rowidx[static_cast<std::size_t>(p)])] = T{};
+
+        l_values_[static_cast<std::size_t>(l_start)] = T(1);
+        for (int p = l_start + 1; p < l_end; ++p) {
+            const int i = s.l_rowidx[static_cast<std::size_t>(p)];
+            l_values_[static_cast<std::size_t>(p)] = x[static_cast<std::size_t>(i)] / pivot;
+            x[static_cast<std::size_t>(i)] = T{};
+        }
+    }
+}
+
+template <class T>
+void SparseLuT<T>::solve_inplace(T* b, T* scratch) const {
     ++solve_count_;
-    const int n = n_;
-    VectorT<T> x(n);
-    for (int i = 0; i < n; ++i) x[pinv_[static_cast<std::size_t>(i)]] = b[i];
+    const Symbolic& s = *sym_;
+    const int n = s.n;
+    T* x = scratch;
+    for (int i = 0; i < n; ++i) x[s.pinv[static_cast<std::size_t>(i)]] = b[i];
     // L y = Pb  (unit diagonal first per column)
     for (int j = 0; j < n; ++j) {
         const T xj = x[j];
         if (xj == T{}) continue;
-        for (int p = l_colptr_[static_cast<std::size_t>(j)] + 1;
-             p < l_colptr_[static_cast<std::size_t>(j) + 1]; ++p)
-            x[l_rowidx_[static_cast<std::size_t>(p)]] -= l_values_[static_cast<std::size_t>(p)] * xj;
+        for (int p = s.l_colptr[static_cast<std::size_t>(j)] + 1;
+             p < s.l_colptr[static_cast<std::size_t>(j) + 1]; ++p)
+            x[s.l_rowidx[static_cast<std::size_t>(p)]] -= l_values_[static_cast<std::size_t>(p)] * xj;
     }
     // U z = y  (diagonal last per column)
     for (int j = n - 1; j >= 0; --j) {
-        const int pend = u_colptr_[static_cast<std::size_t>(j) + 1];
+        const int pend = s.u_colptr[static_cast<std::size_t>(j) + 1];
         x[j] /= u_values_[static_cast<std::size_t>(pend) - 1];
         const T xj = x[j];
         if (xj == T{}) continue;
-        for (int p = u_colptr_[static_cast<std::size_t>(j)]; p < pend - 1; ++p)
-            x[u_rowidx_[static_cast<std::size_t>(p)]] -= u_values_[static_cast<std::size_t>(p)] * xj;
+        for (int p = s.u_colptr[static_cast<std::size_t>(j)]; p < pend - 1; ++p)
+            x[s.u_rowidx[static_cast<std::size_t>(p)]] -= u_values_[static_cast<std::size_t>(p)] * xj;
     }
     // Undo the column permutation.
-    VectorT<T> out(n);
-    for (int k = 0; k < n; ++k) out[q_[static_cast<std::size_t>(k)]] = x[k];
-    return out;
+    for (int k = 0; k < n; ++k) b[s.q[static_cast<std::size_t>(k)]] = x[k];
 }
 
 template <class T>
-VectorT<T> SparseLuT<T>::solve_transpose(const VectorT<T>& b) const {
-    check(b.size() == n_, "SparseLu::solve_transpose: dimension mismatch");
+void SparseLuT<T>::solve_transpose_inplace(T* b, T* scratch) const {
     ++solve_count_;
-    const int n = n_;
+    const Symbolic& s = *sym_;
+    const int n = s.n;
     // A^T = Q U^T L^T P  =>  x = P^T L^-T U^-T Q^T b.
-    VectorT<T> x(n);
-    for (int k = 0; k < n; ++k) x[k] = b[q_[static_cast<std::size_t>(k)]];
+    T* x = scratch;
+    for (int k = 0; k < n; ++k) x[k] = b[s.q[static_cast<std::size_t>(k)]];
     // U^T w = x : forward substitution over columns of U.
     for (int j = 0; j < n; ++j) {
-        const int pend = u_colptr_[static_cast<std::size_t>(j) + 1];
+        const int pend = s.u_colptr[static_cast<std::size_t>(j) + 1];
         T acc = x[j];
-        for (int p = u_colptr_[static_cast<std::size_t>(j)]; p < pend - 1; ++p)
-            acc -= u_values_[static_cast<std::size_t>(p)] * x[u_rowidx_[static_cast<std::size_t>(p)]];
+        for (int p = s.u_colptr[static_cast<std::size_t>(j)]; p < pend - 1; ++p)
+            acc -= u_values_[static_cast<std::size_t>(p)] * x[s.u_rowidx[static_cast<std::size_t>(p)]];
         x[j] = acc / u_values_[static_cast<std::size_t>(pend) - 1];
     }
     // L^T v = w : backward substitution over columns of L (unit diagonal).
     for (int j = n - 1; j >= 0; --j) {
         T acc = x[j];
-        for (int p = l_colptr_[static_cast<std::size_t>(j)] + 1;
-             p < l_colptr_[static_cast<std::size_t>(j) + 1]; ++p)
-            acc -= l_values_[static_cast<std::size_t>(p)] * x[l_rowidx_[static_cast<std::size_t>(p)]];
+        for (int p = s.l_colptr[static_cast<std::size_t>(j)] + 1;
+             p < s.l_colptr[static_cast<std::size_t>(j) + 1]; ++p)
+            acc -= l_values_[static_cast<std::size_t>(p)] * x[s.l_rowidx[static_cast<std::size_t>(p)]];
         x[j] = acc;
     }
     // x = P^T v : out[i] = v[pinv[i]].
-    VectorT<T> out(n);
-    for (int i = 0; i < n; ++i) out[i] = x[pinv_[static_cast<std::size_t>(i)]];
+    for (int i = 0; i < n; ++i) b[i] = x[s.pinv[static_cast<std::size_t>(i)]];
+}
+
+template <class T>
+VectorT<T> SparseLuT<T>::solve(const VectorT<T>& b) const {
+    check(b.size() == sym_->n, "SparseLu::solve: dimension mismatch");
+    VectorT<T> out = b;
+    VectorT<T> scratch(sym_->n);
+    solve_inplace(out.data(), scratch.data());
+    return out;
+}
+
+template <class T>
+VectorT<T> SparseLuT<T>::solve_transpose(const VectorT<T>& b) const {
+    check(b.size() == sym_->n, "SparseLu::solve_transpose: dimension mismatch");
+    VectorT<T> out = b;
+    VectorT<T> scratch(sym_->n);
+    solve_transpose_inplace(out.data(), scratch.data());
     return out;
 }
 
 template <class T>
 MatrixT<T> SparseLuT<T>::solve(const MatrixT<T>& b) const {
-    MatrixT<T> x(b.rows(), b.cols());
-    for (int j = 0; j < b.cols(); ++j) x.set_col(j, solve(b.col(j)));
+    check(b.rows() == sym_->n, "SparseLu::solve: dimension mismatch");
+    MatrixT<T> x = b;
+    VectorT<T> scratch(sym_->n);
+    for (int j = 0; j < b.cols(); ++j) solve_inplace(x.col_data(j), scratch.data());
     return x;
 }
 
 template <class T>
 MatrixT<T> SparseLuT<T>::solve_transpose(const MatrixT<T>& b) const {
-    MatrixT<T> x(b.rows(), b.cols());
-    for (int j = 0; j < b.cols(); ++j) x.set_col(j, solve_transpose(b.col(j)));
+    check(b.rows() == sym_->n, "SparseLu::solve_transpose: dimension mismatch");
+    MatrixT<T> x = b;
+    VectorT<T> scratch(sym_->n);
+    for (int j = 0; j < b.cols(); ++j) solve_transpose_inplace(x.col_data(j), scratch.data());
     return x;
 }
 

@@ -1,0 +1,13 @@
+#pragma once
+
+namespace varmor::util {
+
+/// pi, spelled out to double precision. M_PI is a POSIX extension, not part
+/// of standard C++; every angular-frequency conversion (w = 2 pi f) in the
+/// project uses this constant instead.
+inline constexpr double pi = 3.141592653589793238462643383279502884;
+
+/// Angular frequency [rad/s] of an oscillation frequency f [Hz].
+inline constexpr double two_pi_f(double f) { return 2.0 * pi * f; }
+
+}  // namespace varmor::util

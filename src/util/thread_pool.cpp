@@ -1,0 +1,134 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace varmor::util {
+
+namespace {
+
+// Set while a thread is executing pool work; nested parallel sections run
+// inline instead of deadlocking on the (busy) worker pool.
+thread_local bool t_in_pool_section = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
+    workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int i = 0; i < threads_ - 1; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (stop_ && tasks_.empty()) return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+    }
+}
+
+int ThreadPool::default_threads() {
+    if (const char* env = std::getenv("VARMOR_NUM_THREADS")) {
+        const int n = std::atoi(env);
+        if (n >= 1) return std::min(n, 64);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(std::min(hw, 64u));
+}
+
+ThreadPool& ThreadPool::global() {
+    static ThreadPool pool(default_threads());
+    return pool;
+}
+
+void ThreadPool::parallel_chunks(
+    int begin, int end, const std::function<void(int, int, int)>& fn) {
+    const int len = end - begin;
+    if (len <= 0) return;
+    const int chunks = std::min(threads_, len);
+    if (chunks <= 1 || t_in_pool_section) {
+        // Serial (or nested) execution: still one chunk per rank so callers
+        // that key workspaces on rank see the same structure.
+        for (int r = 0; r < chunks; ++r) {
+            const int b = begin + static_cast<int>(static_cast<long long>(len) * r / chunks);
+            const int e = begin + static_cast<int>(static_cast<long long>(len) * (r + 1) / chunks);
+            fn(r, b, e);
+        }
+        return;
+    }
+
+    struct Section {
+        std::atomic<int> remaining;
+        std::mutex m;
+        std::condition_variable done;
+        std::exception_ptr error;
+    };
+    auto section = std::make_shared<Section>();
+    section->remaining.store(chunks);
+
+    auto run_chunk = [section, &fn, begin, len, chunks](int r) {
+        const bool was = t_in_pool_section;
+        t_in_pool_section = true;
+        try {
+            const int b = begin + static_cast<int>(static_cast<long long>(len) * r / chunks);
+            const int e = begin + static_cast<int>(static_cast<long long>(len) * (r + 1) / chunks);
+            fn(r, b, e);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(section->m);
+            if (!section->error) section->error = std::current_exception();
+        }
+        t_in_pool_section = was;
+        if (section->remaining.fetch_sub(1) == 1) {
+            std::lock_guard<std::mutex> lock(section->m);
+            section->done.notify_all();
+        }
+    };
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (int r = 1; r < chunks; ++r) tasks_.push([run_chunk, r] { run_chunk(r); });
+    }
+    wake_.notify_all();
+    run_chunk(0);  // the caller is worker 0
+
+    std::unique_lock<std::mutex> lock(section->m);
+    section->done.wait(lock, [&] { return section->remaining.load() == 0; });
+    if (section->error) std::rethrow_exception(section->error);
+}
+
+void ThreadPool::parallel_for(int begin, int end, const std::function<void(int)>& fn) {
+    parallel_chunks(begin, end, [&fn](int, int b, int e) {
+        for (int i = b; i < e; ++i) fn(i);
+    });
+}
+
+void ThreadPool::run_chunks(int threads, int begin, int end,
+                            const std::function<void(int, int, int)>& fn) {
+    if (end <= begin) return;
+    if (threads == 1) {
+        fn(0, begin, end);
+    } else if (threads <= 0) {
+        global().parallel_chunks(begin, end, fn);
+    } else {
+        ThreadPool(threads).parallel_chunks(begin, end, fn);
+    }
+}
+
+}  // namespace varmor::util

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace varmor::util {
+
+/// Fixed-size thread pool for the data-parallel evaluation sweeps (frequency
+/// points, Monte-Carlo samples, corner grids). Deliberately simple: no work
+/// stealing, contiguous deterministic chunking, exceptions propagated to the
+/// caller. Determinism matters more than load balance here — every parallel
+/// driver in varmor computes each item independently of thread count, so
+/// results are bit-identical to a serial run.
+class ThreadPool {
+public:
+    /// Spawns `threads - 1` workers (the caller participates as the last
+    /// worker during parallel sections). threads <= 1 means fully inline
+    /// serial execution.
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Degree of parallelism (>= 1).
+    int size() const { return threads_; }
+
+    /// Process-wide pool, sized by VARMOR_NUM_THREADS when set (clamped to
+    /// [1, 64]) and std::thread::hardware_concurrency() otherwise. Built on
+    /// first use.
+    static ThreadPool& global();
+
+    /// The size global() would use.
+    static int default_threads();
+
+    /// Splits [begin, end) into at most size() contiguous chunks and runs
+    /// fn(rank, chunk_begin, chunk_end) for each, in parallel. `rank` is the
+    /// chunk index in [0, chunks) — stable across runs, so callers key
+    /// per-thread workspaces on it. Blocks until every chunk finished; the
+    /// first exception thrown by any chunk is rethrown on the caller.
+    void parallel_chunks(int begin, int end,
+                         const std::function<void(int rank, int chunk_begin, int chunk_end)>& fn);
+
+    /// Element-wise convenience: fn(i) for i in [begin, end), chunked as
+    /// above.
+    void parallel_for(int begin, int end, const std::function<void(int i)>& fn);
+
+    /// Shared dispatch policy of the evaluation drivers' `threads` knob:
+    /// 1 = inline serial (one chunk), <= 0 = the global() pool, n > 1 = a
+    /// dedicated pool of n. Keeps the policy in one place so every batch
+    /// driver (sweeps, MC studies, benches) behaves identically.
+    static void run_chunks(int threads, int begin, int end,
+                           const std::function<void(int rank, int chunk_begin, int chunk_end)>& fn);
+
+private:
+    void worker_loop();
+
+    int threads_ = 1;
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::queue<std::function<void()>> tasks_;
+    bool stop_ = false;
+};
+
+}  // namespace varmor::util

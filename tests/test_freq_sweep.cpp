@@ -4,6 +4,7 @@
 #include "circuit/mna.h"
 #include "mor/reduced_model.h"
 #include "mor_test_utils.h"
+#include "util/constants.h"
 
 namespace varmor::analysis {
 namespace {
@@ -41,7 +42,7 @@ TEST(FreqSweep, SingleRcAnalyticResponse) {
     auto sweep = sweep_full(sys, {}, freqs);
     auto mag = magnitude_series(sweep, 0, 0);
     for (std::size_t i = 0; i < freqs.size(); ++i) {
-        const double w = 2.0 * M_PI * freqs[i];
+        const double w = util::two_pi_f(freqs[i]);
         const double expected = 1.0 / std::sqrt(1.0 + w * w * 1e-18);
         EXPECT_NEAR(mag[i], expected, 1e-9 * expected) << "f = " << freqs[i];
     }

@@ -7,6 +7,7 @@
 #include "circuit/generators.h"
 #include "circuit/mna.h"
 #include "mor/passivity.h"
+#include "util/constants.h"
 
 namespace varmor::circuit {
 namespace {
@@ -102,8 +103,8 @@ TEST(GeneratorsProperty, BusFrequencyScaleInBenchWindow) {
     auto poles = analysis::dominant_poles_at(sys, {0.0, 0.0}, popts);
     ASSERT_FALSE(poles.empty());
     const double mag = std::abs(poles[0]);
-    EXPECT_GT(mag, 2 * M_PI * 1e7);
-    EXPECT_LT(mag, 2 * M_PI * 1e11);
+    EXPECT_GT(mag, util::two_pi_f(1e7));
+    EXPECT_LT(mag, util::two_pi_f(1e11));
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include "la/qr.h"
 #include "la/svd.h"
 #include "test_helpers.h"
+#include "util/constants.h"
 
 namespace varmor::la {
 namespace {
@@ -83,7 +84,7 @@ TEST(LaExtra, EigOfStiffnessMatrixKnownSpectrum) {
     }
     SymEigResult e = eig_symmetric(a);
     for (int k = 1; k <= n; ++k) {
-        const double expected = 2.0 - 2.0 * std::cos(k * M_PI / (n + 1));
+        const double expected = 2.0 - 2.0 * std::cos(k * util::pi / (n + 1));
         EXPECT_NEAR(e.values[static_cast<std::size_t>(k - 1)], expected, 1e-10);
     }
 }

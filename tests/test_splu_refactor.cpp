@@ -1,0 +1,251 @@
+// The batched solve engine's core contract: a numeric-only refactorization
+// over cached symbolic data must reproduce a from-scratch factorization to
+// machine precision, on both real matrices and complex pencils, and the
+// union-pattern assemblers must reproduce the generic sparse adds.
+
+#include <gtest/gtest.h>
+
+#include "circuit/mna.h"
+#include "circuit/netlist.h"
+#include "la/lu_dense.h"
+#include "sparse/assemble.h"
+#include "sparse/splu.h"
+#include "test_helpers.h"
+#include "mor_test_utils.h"
+
+namespace varmor::sparse {
+namespace {
+
+using la::Matrix;
+using la::Vector;
+using la::ZVector;
+
+Csc random_sparse(int n, double density, util::Rng& rng, double diag_boost = 0.0) {
+    Triplets t(n, n);
+    for (int j = 0; j < n; ++j) {
+        t.add(j, j, rng.uniform(1.0, 2.0) + diag_boost);
+        for (int i = 0; i < n; ++i)
+            if (i != j && rng.chance(density)) t.add(i, j, rng.uniform(-1.0, 1.0));
+    }
+    return Csc(t);
+}
+
+/// Same pattern as `a`, new random values (diagonal kept dominant so the
+/// frozen pivot sequence stays healthy).
+Csc reroll_values(const Csc& a, util::Rng& rng, double diag_boost) {
+    std::vector<double> vals(a.values().size());
+    Csc out(a.rows(), a.cols(), a.col_ptr(), a.row_idx(), std::move(vals));
+    for (int j = 0; j < a.cols(); ++j)
+        for (int p = a.col_ptr()[static_cast<std::size_t>(j)];
+             p < a.col_ptr()[static_cast<std::size_t>(j) + 1]; ++p)
+            out.values()[static_cast<std::size_t>(p)] =
+                a.row_idx()[static_cast<std::size_t>(p)] == j
+                    ? rng.uniform(1.0, 2.0) + diag_boost
+                    : rng.uniform(-1.0, 1.0);
+    return out;
+}
+
+TEST(SpluRefactor, MatchesFreshFactorizationToMachinePrecision) {
+    util::Rng rng(11);
+    for (int trial = 0; trial < 5; ++trial) {
+        const Csc a1 = random_sparse(60, 0.08, rng, 6.0);
+        SparseLu lu(a1);
+        const Csc a2 = reroll_values(a1, rng, 6.0);
+        lu.refactorize(a2);
+
+        const SparseLu fresh(a2);
+        Vector b(60);
+        for (int i = 0; i < 60; ++i) b[i] = rng.uniform(-1, 1);
+        const Vector xr = lu.solve(b);
+        const Vector xf = fresh.solve(b);
+        EXPECT_LE(la::norm2(xr - xf), 1e-12 * (1 + la::norm2(xf)));
+        // And both solve the actual system.
+        EXPECT_LE(la::norm2(a2.apply(xr) - b), 1e-9 * (1 + la::norm2(b)));
+        // Transpose path sees the refactorized values too.
+        const Vector xt = lu.solve_transpose(b);
+        EXPECT_LE(la::norm2(a2.apply_transpose(xt) - b), 1e-9 * (1 + la::norm2(b)));
+    }
+}
+
+TEST(SpluRefactor, SameValuesReproduceBitIdenticalSolves) {
+    util::Rng rng(12);
+    const Csc a = random_sparse(40, 0.1, rng, 5.0);
+    Vector b(40);
+    for (int i = 0; i < 40; ++i) b[i] = rng.uniform(-1, 1);
+
+    SparseLu lu(a);
+    const Vector x_before = lu.solve(b);
+    lu.refactorize(a);  // identical values: the replay must be exact
+    const Vector x_after = lu.solve(b);
+    for (int i = 0; i < 40; ++i) EXPECT_EQ(x_before[i], x_after[i]);
+}
+
+TEST(SpluRefactor, WorkspaceReuseAcrossManyRefactorizations) {
+    util::Rng rng(13);
+    const Csc a = random_sparse(50, 0.08, rng, 5.0);
+    SparseLu lu(a);
+    SpluWorkspace ws;
+    Vector b(50);
+    for (int i = 0; i < 50; ++i) b[i] = rng.uniform(-1, 1);
+    for (int rep = 0; rep < 10; ++rep) {
+        const Csc ak = reroll_values(a, rng, 5.0);
+        lu.refactorize(ak, ws);
+        const Vector x = lu.solve(b);
+        EXPECT_LE(la::norm2(ak.apply(x) - b), 1e-9 * (1 + la::norm2(b)));
+    }
+}
+
+TEST(SpluRefactor, PatternMismatchThrows) {
+    util::Rng rng(14);
+    const Csc a = random_sparse(20, 0.15, rng, 4.0);
+    Csc other = random_sparse(20, 0.3, rng, 4.0);
+    SparseLu lu(a);
+    EXPECT_THROW(lu.refactorize(other), Error);
+}
+
+TEST(SpluRefactor, CollapsedPivotThrowsRefactorError) {
+    Triplets t(2, 2);
+    t.add(0, 0, 2.0);
+    t.add(0, 1, 1.0);
+    t.add(1, 0, 1.0);
+    t.add(1, 1, 3.0);
+    const Csc a(t);
+    SparseLu lu(a);
+
+    // Same pattern, rank-one values: the frozen pivots must report collapse.
+    Triplets t2(2, 2);
+    t2.add(0, 0, 1.0);
+    t2.add(0, 1, 2.0);
+    t2.add(1, 0, 1.0);
+    t2.add(1, 1, 2.0);
+    EXPECT_THROW(lu.refactorize(Csc(t2)), RefactorError);
+}
+
+TEST(SpluRefactor, WorkspaceStaysCleanAfterCollapsedPivotThrow) {
+    // A RefactorError must leave the workspace's all-zero invariant intact:
+    // reusing the same workspace afterwards has to produce correct factors.
+    util::Rng rng(21);
+    const Csc a = random_sparse(30, 0.1, rng, 5.0);
+    SparseLu lu(a);
+    SpluWorkspace ws;
+
+    // Same pattern, values driven singular: every entry of one column zeroed
+    // is a pattern change, so instead scale a column to roundoff.
+    Csc bad = a;
+    for (int p = bad.col_ptr()[3]; p < bad.col_ptr()[4]; ++p)
+        bad.values()[static_cast<std::size_t>(p)] *= 1e-300;
+    EXPECT_THROW(lu.refactorize(bad, ws), RefactorError);
+
+    const Csc good = reroll_values(a, rng, 5.0);
+    lu.refactorize(good, ws);  // same workspace, post-throw
+    Vector b(30);
+    for (int i = 0; i < 30; ++i) b[i] = rng.uniform(-1, 1);
+    const Vector x = lu.solve(b);
+    EXPECT_LE(la::norm2(good.apply(x) - b), 1e-9 * (1 + la::norm2(b)));
+
+    const SparseLu fresh(good);
+    const Vector xf = fresh.solve(b);
+    EXPECT_LE(la::norm2(x - xf), 1e-12 * (1 + la::norm2(xf)));
+}
+
+TEST(SpluRefactor, SymbolicReuseGivesSameSolutions) {
+    util::Rng rng(15);
+    const Csc a = random_sparse(45, 0.1, rng, 5.0);
+    const SpluSymbolic symbolic = SpluSymbolic::analyze(a);
+    EXPECT_EQ(symbolic.size(), 45);
+
+    SparseLu plain(a);
+    SparseLu reused(a, symbolic);
+    Vector b(45);
+    for (int i = 0; i < 45; ++i) b[i] = rng.uniform(-1, 1);
+    const Vector xp = plain.solve(b);
+    const Vector xr = reused.solve(b);
+    for (int i = 0; i < 45; ++i) EXPECT_EQ(xp[i], xr[i]);  // same ordering, same arithmetic
+}
+
+TEST(SpluRefactor, ComplexPencilRefactorizeAcrossFrequencies) {
+    util::Rng rng(16);
+    const Csc g = random_sparse(30, 0.1, rng, 4.0);
+    const Csc c = random_sparse(30, 0.1, rng, 1.0);
+    const PencilAssembler assembler(g, c);
+
+    ZCsc a = assembler.assemble(la::cplx(0.0, 1.0));
+    ZSparseLu lu(a);
+    ZSpluWorkspace ws;
+    ZVector b(30);
+    for (int i = 0; i < 30; ++i) b[i] = la::cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+
+    for (double w : {1e-2, 1.0, 1e2, 1e4}) {
+        const la::cplx s(0.0, w);
+        assembler.assemble(s, a);
+        lu.refactorize(a, ws);
+        const ZVector x = lu.solve(b);
+        const ZVector r = pencil(g, c, s).apply(x) - b;
+        EXPECT_LE(la::norm2(r), 1e-9 * (1 + la::norm2(b))) << "w = " << w;
+
+        const ZSparseLu fresh(a);
+        const ZVector xf = fresh.solve(b);
+        EXPECT_LE(la::norm2(x - xf), 1e-12 * (1 + la::norm2(xf))) << "w = " << w;
+    }
+}
+
+TEST(PencilAssembler, MatchesGenericPencil) {
+    util::Rng rng(17);
+    const Csc g = random_sparse(25, 0.12, rng, 3.0);
+    const Csc c = random_sparse(25, 0.12, rng, 1.0);
+    const PencilAssembler assembler(g, c);
+    const la::cplx s(0.4, 7.5);
+    const ZCsc fast = assembler.assemble(s);
+    const ZCsc slow = pencil(g, c, s);
+
+    ZVector x(25);
+    for (int i = 0; i < 25; ++i) x[i] = la::cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    EXPECT_LE(la::norm2(fast.apply(x) - slow.apply(x)), 1e-13 * (1 + la::norm2(x)));
+}
+
+TEST(AffineAssembler, MatchesChainedSparseAdds) {
+    util::Rng rng(18);
+    const Csc base = random_sparse(20, 0.1, rng, 2.0);
+    std::vector<Csc> terms;
+    for (int t = 0; t < 3; ++t) terms.push_back(random_sparse(20, 0.08, rng));
+    const AffineAssembler assembler(base, terms);
+    EXPECT_EQ(assembler.num_terms(), 3);
+
+    const std::vector<double> coeffs{0.3, -1.2, 0.0};
+    Csc out = assembler.skeleton();
+    assembler.combine(coeffs, out);
+
+    Csc ref = base;
+    for (std::size_t t = 0; t < terms.size(); ++t)
+        if (coeffs[t] != 0.0) ref = add(1.0, ref, coeffs[t], terms[t]);
+
+    Vector x(20);
+    for (int i = 0; i < 20; ++i) x[i] = rng.uniform(-1, 1);
+    EXPECT_LE(la::norm2(out.apply(x) - ref.apply(x)), 1e-13 * (1 + la::norm2(x)));
+}
+
+TEST(ParametricStamper, MatchesParametricSystemEvaluation) {
+    const circuit::ParametricSystem sys = varmor::testing::small_parametric_rc(12, 3, 99);
+    const circuit::ParametricStamper stamper(sys);
+    util::Rng rng(19);
+    Vector x(sys.size());
+    for (int i = 0; i < sys.size(); ++i) x[i] = rng.uniform(-1, 1);
+
+    for (const std::vector<double>& p :
+         {std::vector<double>{0.0, 0.0, 0.0}, std::vector<double>{0.2, -0.1, 0.05}}) {
+        const Csc g_fast = stamper.g_at(p);
+        const Csc c_fast = stamper.c_at(p);
+        const Csc g_ref = sys.g_at(p);
+        const Csc c_ref = sys.c_at(p);
+        EXPECT_LE(la::norm2(g_fast.apply(x) - g_ref.apply(x)), 1e-13 * (1 + la::norm2(x)));
+        EXPECT_LE(la::norm2(c_fast.apply(x) - c_ref.apply(x)), 1e-13 * (1 + la::norm2(x)));
+    }
+    // The point of the stamper: the pattern does not move with p.
+    const Csc ga = stamper.g_at({0.1, 0.1, 0.1});
+    const Csc gb = stamper.g_at({-0.2, 0.0, 0.3});
+    EXPECT_EQ(ga.col_ptr(), gb.col_ptr());
+    EXPECT_EQ(ga.row_idx(), gb.row_idx());
+}
+
+}  // namespace
+}  // namespace varmor::sparse

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace varmor::util {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(0, 257, [&](int i) { hits[static_cast<std::size_t>(i)].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunksPartitionTheRange) {
+    ThreadPool pool(3);
+    std::mutex m;
+    std::vector<std::pair<int, int>> chunks;
+    pool.parallel_chunks(5, 47, [&](int rank, int b, int e) {
+        EXPECT_GE(rank, 0);
+        EXPECT_LT(rank, 3);
+        std::lock_guard<std::mutex> lock(m);
+        chunks.emplace_back(b, e);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    ASSERT_EQ(chunks.size(), 3u);
+    EXPECT_EQ(chunks.front().first, 5);
+    EXPECT_EQ(chunks.back().second, 47);
+    for (std::size_t i = 0; i + 1 < chunks.size(); ++i)
+        EXPECT_EQ(chunks[i].second, chunks[i + 1].first);
+}
+
+TEST(ThreadPool, SerialPoolRunsInline) {
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1);
+    const auto caller = std::this_thread::get_id();
+    int calls = 0;
+    pool.parallel_for(0, 10, [&](int) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        ++calls;  // safe: inline execution
+    });
+    EXPECT_EQ(calls, 10);
+}
+
+TEST(ThreadPool, EmptyAndSingleElementRanges) {
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallel_for(3, 3, [&](int) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    std::atomic<int> acalls{0};
+    pool.parallel_for(7, 8, [&](int i) {
+        EXPECT_EQ(i, 7);
+        acalls.fetch_add(1);
+    });
+    EXPECT_EQ(acalls.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallel_for(0, 100, [](int i) {
+            if (i == 63) throw Error("boom");
+        }),
+        Error);
+    // Pool must still be usable afterwards.
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 8, [&](int) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, NestedParallelSectionsRunInlineWithoutDeadlock) {
+    ThreadPool pool(2);
+    std::atomic<int> total{0};
+    pool.parallel_for(0, 4, [&](int) {
+        pool.parallel_for(0, 4, [&](int) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+    ThreadPool& pool = ThreadPool::global();
+    EXPECT_GE(pool.size(), 1);
+    std::atomic<long> sum{0};
+    pool.parallel_for(1, 101, [&](int i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+}  // namespace
+}  // namespace varmor::util
