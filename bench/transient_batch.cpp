@@ -1,0 +1,166 @@
+// Batched transient engine vs per-corner rebuilds (the PR-1 batched solve
+// engine carried to the time domain): a Monte-Carlo delay study over a
+// clock-tree corner batch pays ONE union-pattern construction, ONE symbolic
+// LU analysis and ONE nominal factorization, then refactorizes per corner —
+// where looping analysis::simulate() rebuilds all of that for every corner.
+// Writes machine-readable timings to BENCH_transient_batch.json (or argv[1])
+// for the CI artifact.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "analysis/monte_carlo.h"
+#include "analysis/transient.h"
+#include "analysis/transient_batch.h"
+#include "bench_util.h"
+#include "circuit/generators.h"
+#include "circuit/mna.h"
+#include "la/ops.h"
+#include "sparse/csc.h"
+#include "sparse/splu.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace varmor;
+
+namespace {
+
+double max_abs_deviation(const std::vector<analysis::TransientResult>& a,
+                         const std::vector<analysis::TransientResult>& b) {
+    double dev = 0.0;
+    for (std::size_t k = 0; k < a.size(); ++k)
+        for (std::size_t p = 0; p < a[k].ports.size(); ++p)
+            for (std::size_t i = 0; i < a[k].ports[p].size(); ++i)
+                dev = std::max(dev, std::abs(a[k].ports[p][i] - b[k].ports[p][i]));
+    return dev;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::banner("transient_batch: corner-batch transient vs per-corner rebuilds",
+                  "TurboMOR/FlexRC-style many-corner throughput on the paper's "
+                  "clock-tree workload (section 5.3)");
+    bench::ShapeChecks checks;
+
+    // A larger clock tree than RCNetB so the factorization setup is a
+    // realistic share of the per-corner cost, and a short edge window (the
+    // delay measurement needs only a few dominant time constants).
+    circuit::ClockTreeOptions copts;
+    copts.target_nodes = 1500;
+    copts.depth = 6;
+    const circuit::ParametricSystem sys = assemble_mna(circuit::clock_tree(copts));
+
+    analysis::MonteCarloOptions mc;
+    mc.samples = 64;
+    mc.sigma = 0.1;
+    const auto corners = analysis::sample_parameters(3, mc);
+
+    analysis::TransientOptions topts;
+    topts.t_stop = 2e-9;
+    topts.dt = 6.25e-11;  // 32 trapezoidal steps: a delay-window edge study
+    const auto input = analysis::step_input(sys.num_ports(), 0);
+    const int steps = static_cast<int>(std::llround(topts.t_stop / topts.dt));
+    std::printf("clock tree: %d unknowns, %zu corners, %d steps/corner\n\n",
+                sys.size(), corners.size(), steps);
+
+    // Baseline 0: the pre-batching legacy path — per corner, chained sparse
+    // adds for G(p)/C(p) and the two trapezoidal pencils, then a fresh
+    // min-degree ordering + factorization. This is exactly what simulate()
+    // did before the engine existed.
+    util::Timer t;
+    const double inv_h = 1.0 / topts.dt;
+    std::vector<analysis::TransientResult> legacy;
+    legacy.reserve(corners.size());
+    for (const auto& p : corners) {
+        const sparse::Csc g = sys.g_at(p);
+        const sparse::Csc c = sys.c_at(p);
+        const sparse::Csc lhs = sparse::add(inv_h, c, 0.5, g);
+        const sparse::Csc rhs_m = sparse::add(inv_h, c, -0.5, g);
+        const sparse::SparseLu lu(lhs);
+        legacy.push_back(analysis::detail::trapezoidal(
+            sys.num_ports(), topts, input,
+            [&](const la::Vector& r) { return lu.solve(r); },
+            [&](const la::Vector& x) { return rhs_m.apply(x); },
+            [&](const la::Vector& u) { return la::matvec(sys.b, u); },
+            [&](const la::Vector& x) { return la::matvec_transpose(sys.l, x); },
+            sys.size()));
+    }
+    const double ms_legacy = t.milliseconds();
+
+    // Baseline 1: the per-corner rebuild path TODAY — every simulate() call
+    // builds its own union patterns, symbolic analysis and nominal reference
+    // factorization (the price of batch/loop bit-identity for one-shot runs).
+    t.reset();
+    std::vector<analysis::TransientResult> rebuild;
+    rebuild.reserve(corners.size());
+    for (const auto& p : corners) rebuild.push_back(analysis::simulate(sys, p, input, topts));
+    const double ms_rebuild = t.milliseconds();
+
+    // Batched engine: one runner for the whole batch, refactorize per
+    // corner. Runner construction is timed INSIDE both measurements so the
+    // serial and parallel rows compare equal work.
+    t.reset();
+    const analysis::TransientBatchRunner serial_runner(sys, topts);
+    const auto serial = serial_runner.run_batch(corners, input, 1);
+    const double ms_serial = t.milliseconds();
+
+    t.reset();
+    const analysis::TransientBatchRunner parallel_runner(sys, topts);
+    const auto parallel = parallel_runner.run_batch(corners, input, 0);
+    const double ms_parallel = t.milliseconds();
+
+    const double speedup_legacy = ms_legacy / ms_serial;
+    const double speedup_serial = ms_rebuild / ms_serial;
+    const double speedup_parallel = ms_rebuild / ms_parallel;
+    util::Table table({"transient path (64 corners)", "time [ms]", "speedup"});
+    table.add_row({"pre-batching path (fresh analysis per corner)",
+                   util::Table::num(ms_legacy, 4), util::Table::num(ms_legacy / ms_rebuild, 3)});
+    table.add_row({"per-corner rebuild (looped simulate)", util::Table::num(ms_rebuild, 4),
+                   "1.0"});
+    table.add_row({"batched engine, 1 thread", util::Table::num(ms_serial, 4),
+                   util::Table::num(speedup_serial, 3)});
+    table.add_row({"batched engine, " + std::to_string(util::ThreadPool::default_threads()) +
+                       " threads", util::Table::num(ms_parallel, 4),
+                   util::Table::num(speedup_parallel, 3)});
+    table.print(std::cout);
+    std::printf("\n");
+
+    checks.expect(speedup_serial >= 2.0,
+                  "batched engine is >= 2x faster than per-corner rebuilds "
+                  "(single-threaded)");
+    checks.expect(speedup_legacy >= 2.0,
+                  "batched engine is >= 2x faster than the pre-batching "
+                  "per-corner re-analysis path (single-threaded)");
+    checks.expect(max_abs_deviation(serial, parallel) == 0.0,
+                  "parallel batch is bit-identical to the serial batch");
+    checks.expect(max_abs_deviation(serial, rebuild) == 0.0,
+                  "batch is bit-identical to looped single-corner simulate "
+                  "(one trapezoidal code path)");
+    checks.expect(max_abs_deviation(serial, legacy) < 1e-8,
+                  "batch matches the pre-batching path numerically");
+
+    const char* json_path = argc > 1 ? argv[1] : "BENCH_transient_batch.json";
+    std::ofstream json(json_path);
+    json << "{\n"
+         << "  \"bench\": \"transient_batch\",\n"
+         << "  \"unknowns\": " << sys.size() << ",\n"
+         << "  \"corners\": " << corners.size() << ",\n"
+         << "  \"steps_per_corner\": " << steps << ",\n"
+         << "  \"threads\": " << util::ThreadPool::default_threads() << ",\n"
+         << "  \"ms_pre_batching\": " << ms_legacy << ",\n"
+         << "  \"ms_per_corner_rebuild\": " << ms_rebuild << ",\n"
+         << "  \"ms_batched_serial\": " << ms_serial << ",\n"
+         << "  \"ms_batched_parallel\": " << ms_parallel << ",\n"
+         << "  \"speedup_vs_pre_batching\": " << speedup_legacy << ",\n"
+         << "  \"speedup_serial\": " << speedup_serial << ",\n"
+         << "  \"speedup_parallel\": " << speedup_parallel << ",\n"
+         << "  \"shape_failures\": " << checks.failures() << "\n"
+         << "}\n";
+    std::printf("wrote %s\n", json_path);
+
+    return checks.exit_code();
+}

@@ -1,7 +1,8 @@
 // Delay-under-variation: the timing-signoff scenario behind the paper's
 // clock-tree experiments, end to end. A clock tree is (1) exported/imported
 // through the SPICE-style netlist format, (2) reduced once into a parametric
-// ROM, (3) swept over process corners in the TIME domain, comparing the
+// ROM, (3) swept over process corners in the TIME domain on the batched
+// transient engine (one symbolic LU, refactorize per corner), comparing the
 // 50%-crossing delay of the reduced model against the full simulation.
 //
 // Build & run:  cmake --build build && ./build/examples/delay_variation
@@ -11,6 +12,7 @@
 #include <sstream>
 
 #include "analysis/transient.h"
+#include "analysis/transient_batch.h"
 #include "circuit/generators.h"
 #include "circuit/mna.h"
 #include "circuit/netlist_io.h"
@@ -45,21 +47,41 @@ int main() {
     topts.dt = 1e-12;
     const auto input = analysis::step_input(sys.num_ports(), 0);
 
+    const std::vector<std::vector<double>> corners_pct{
+        {0, 0, 0}, {30, 30, 30}, {-30, -30, -30}, {30, -30, 0}, {-30, 0, 30}};
+    std::vector<std::vector<double>> corners;
+    for (const auto& p : corners_pct)
+        corners.push_back({p[0] / 100.0, p[1] / 100.0, p[2] / 100.0});
+
+    // Full-model corners on the batched engine: one union pattern + symbolic
+    // analysis + nominal factorization for all corners, refactorize per
+    // corner.
+    analysis::TransientBatchRunner runner(sys, topts);
+    const std::vector<analysis::TransientResult> full_runs =
+        runner.run_batch(corners, input);
+
     // Nominal final value defines the 50% threshold.
-    analysis::TransientResult nominal = simulate(sys, {0.0, 0.0, 0.0}, input, topts);
-    const double level = 0.5 * nominal.ports[1].back();
+    const double level = 0.5 * full_runs[0].ports[1].back();
 
     util::Table table({"corner (M5,M6,M7) [%]", "delay full [ps]", "delay ROM [ps]",
                        "rel err"});
     double worst = 0;
-    for (const std::vector<double>& p :
-         {std::vector<double>{0, 0, 0}, {30, 30, 30}, {-30, -30, -30}, {30, -30, 0},
-          {-30, 0, 30}}) {
-        const std::vector<double> pn{p[0] / 100.0, p[1] / 100.0, p[2] / 100.0};
-        analysis::TransientResult full = simulate(sys, pn, input, topts);
-        analysis::TransientResult red = simulate(rom.model, pn, input, topts);
-        const double d_full = 1e12 * analysis::crossing_time(full, 1, level);
-        const double d_red = 1e12 * analysis::crossing_time(red, 1, level);
+    bool all_crossed = true;
+    for (std::size_t k = 0; k < corners.size(); ++k) {
+        const std::vector<double>& p = corners_pct[k];
+        analysis::TransientResult red = simulate(rom.model, corners[k], input, topts);
+        const auto t_full = analysis::crossing_time(full_runs[k], 1, level);
+        const auto t_red = analysis::crossing_time(red, 1, level);
+        if (!t_full || !t_red) {
+            all_crossed = false;
+            table.add_row({"(" + util::Table::num(p[0], 2) + "," + util::Table::num(p[1], 2) +
+                               "," + util::Table::num(p[2], 2) + ")",
+                           t_full ? util::Table::num(1e12 * *t_full, 4) : "no cross",
+                           t_red ? util::Table::num(1e12 * *t_red, 4) : "no cross", "-"});
+            continue;
+        }
+        const double d_full = 1e12 * *t_full;
+        const double d_red = 1e12 * *t_red;
         const double err = std::abs(d_full - d_red) / d_full;
         worst = std::max(worst, err);
         table.add_row({"(" + util::Table::num(p[0], 2) + "," + util::Table::num(p[1], 2) +
@@ -69,6 +91,6 @@ int main() {
     }
     table.print(std::cout);
     std::printf("\nworst delay error of the ROM across corners: %.2e -> %s\n", worst,
-                worst < 0.01 ? "PASS" : "FAIL");
-    return worst < 0.01 ? 0 : 1;
+                all_crossed && worst < 0.01 ? "PASS" : "FAIL");
+    return all_crossed && worst < 0.01 ? 0 : 1;
 }

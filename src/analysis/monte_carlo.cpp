@@ -117,6 +117,9 @@ PoleErrorStudy pole_error_study(const circuit::ParametricSystem& sys,
             stamper.g_at(p, g);
             stamper.c_at(p, c);
             const std::vector<la::cplx> full = dominant_poles(g, c, pole_opts, symbolic);
+            // No finite full-model poles at this sample (e.g. a purely
+            // resistive instance): nothing to match, record no errors.
+            if (full.empty()) continue;
             // Give the matcher more reduced poles than requested so a
             // slightly misordered reduced spectrum still pairs correctly.
             const std::vector<la::cplx> red =
@@ -134,7 +137,10 @@ PoleErrorStudy pole_error_study(const circuit::ParametricSystem& sys,
         study.max_error = std::max(study.max_error, e);
         study.mean_error += e;
     }
-    study.mean_error /= static_cast<double>(study.flattened.size());
+    // Guard the empty case: with no matched poles at all the division would
+    // return mean_error = NaN; keep the zero-initialized statistics instead.
+    if (!study.flattened.empty())
+        study.mean_error /= static_cast<double>(study.flattened.size());
     return study;
 }
 

@@ -35,10 +35,12 @@ std::vector<std::vector<double>> sample_parameters_lhs(int num_params,
 /// Per-instance comparison of reduced vs full dominant poles over a set of
 /// parameter samples (the Fig. 5 / Fig. 6 left-plot study).
 struct PoleErrorStudy {
-    /// errors[sample][pole] = relative error of that dominant pole.
+    /// errors[sample][pole] = relative error of that dominant pole. Empty for
+    /// a sample whose full model has no finite poles (nothing to match).
     std::vector<std::vector<double>> errors;
     /// All errors flattened (feeds the histogram).
     std::vector<double> flattened;
+    /// Zero (not NaN) when no poles matched at any sample.
     double max_error = 0.0;
     double mean_error = 0.0;
 };

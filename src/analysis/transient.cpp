@@ -1,8 +1,11 @@
 #include "analysis/transient.h"
 
+#include <cmath>
+#include <limits>
+
+#include "analysis/transient_batch.h"
 #include "la/lu_dense.h"
 #include "la/ops.h"
-#include "sparse/splu.h"
 #include "util/check.h"
 
 namespace varmor::analysis {
@@ -19,11 +22,19 @@ InputFn step_input(int num_ports, int port, double amplitude) {
     };
 }
 
-namespace {
+namespace detail {
 
-/// Shared trapezoidal loop over an abstract "solve M x = rhs" callback with
-/// M = C/h + G/2 and the explicit part applied via callbacks too — keeps the
-/// sparse and dense paths identical.
+int transient_steps(const TransientOptions& opts) {
+    check(opts.dt > 0 && opts.t_stop > 0, "transient: invalid time grid");
+    const double ratio = opts.t_stop / opts.dt;
+    check(ratio <= static_cast<double>(std::numeric_limits<int>::max()),
+          "transient: step count t_stop / dt overflows int");
+    const int steps = static_cast<int>(std::llround(ratio));
+    check(steps >= 1 && ratio >= 1.0 - 1e-9,
+          "transient: t_stop must cover at least one step of dt");
+    return steps;
+}
+
 TransientResult trapezoidal(int num_ports, const TransientOptions& opts,
                             const InputFn& input,
                             const std::function<Vector(const Vector&)>& solve_m,
@@ -31,8 +42,7 @@ TransientResult trapezoidal(int num_ports, const TransientOptions& opts,
                             const std::function<Vector(const Vector&)>& apply_b,
                             const std::function<Vector(const Vector&)>& apply_lt,
                             int state_size) {
-    check(opts.dt > 0 && opts.t_stop > opts.dt, "transient: invalid time grid");
-    const int steps = static_cast<int>(opts.t_stop / opts.dt);
+    const int steps = transient_steps(opts);
 
     TransientResult out;
     out.ports.assign(static_cast<std::size_t>(num_ports), {});
@@ -59,23 +69,11 @@ TransientResult trapezoidal(int num_ports, const TransientOptions& opts,
     return out;
 }
 
-}  // namespace
+}  // namespace detail
 
 TransientResult simulate(const circuit::ParametricSystem& sys, const std::vector<double>& p,
                          const InputFn& input, const TransientOptions& opts) {
-    sys.validate();
-    const sparse::Csc g = sys.g_at(p);
-    const sparse::Csc c = sys.c_at(p);
-    const double inv_h = 1.0 / opts.dt;
-    const sparse::Csc lhs = sparse::add(inv_h, c, 0.5, g);
-    const sparse::Csc rhs_m = sparse::add(inv_h, c, -0.5, g);
-    const sparse::SparseLu lu(lhs);
-
-    return trapezoidal(
-        sys.num_ports(), opts, input, [&](const Vector& r) { return lu.solve(r); },
-        [&](const Vector& x) { return rhs_m.apply(x); },
-        [&](const Vector& u) { return la::matvec(sys.b, u); },
-        [&](const Vector& x) { return la::matvec_transpose(sys.l, x); }, sys.size());
+    return TransientBatchRunner(sys, opts).run(p, input);
 }
 
 TransientResult simulate(const mor::ReducedModel& model, const std::vector<double>& p,
@@ -90,14 +88,14 @@ TransientResult simulate(const mor::ReducedModel& model, const std::vector<doubl
     }
     const la::DenseLu<double> lu(lhs);
 
-    return trapezoidal(
+    return detail::trapezoidal(
         model.num_ports(), opts, input, [&](const Vector& r) { return lu.solve(r); },
         [&](const Vector& x) { return la::matvec(rhs_m, x); },
         [&](const Vector& u) { return la::matvec(model.b, u); },
         [&](const Vector& x) { return la::matvec_transpose(model.l, x); }, model.size());
 }
 
-double crossing_time(const TransientResult& result, int port, double level) {
+std::optional<double> crossing_time(const TransientResult& result, int port, double level) {
     check(port >= 0 && port < static_cast<int>(result.ports.size()),
           "crossing_time: port out of range");
     const auto& w = result.ports[static_cast<std::size_t>(port)];
@@ -108,7 +106,7 @@ double crossing_time(const TransientResult& result, int port, double level) {
         const double frac = (level - w[i - 1]) / (w[i] - w[i - 1]);
         return result.time[i - 1] + frac * (result.time[i] - result.time[i - 1]);
     }
-    return -1.0;
+    return std::nullopt;
 }
 
 }  // namespace varmor::analysis

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "circuit/parametric_system.h"
@@ -29,7 +30,10 @@ using InputFn = std::function<la::Vector(double)>;
 /// Unit step on one port, zero elsewhere.
 InputFn step_input(int num_ports, int port, double amplitude = 1.0);
 
-/// Full-system transient from zero initial state.
+/// Full-system transient from zero initial state. Implemented as the
+/// single-corner case of the batched engine (analysis::TransientBatchRunner),
+/// so a loop of simulate() calls and a corner batch run the SAME trapezoidal
+/// code path and produce bit-identical waveforms.
 TransientResult simulate(const circuit::ParametricSystem& sys,
                          const std::vector<double>& p, const InputFn& input,
                          const TransientOptions& opts = {});
@@ -39,8 +43,33 @@ TransientResult simulate(const mor::ReducedModel& model, const std::vector<doubl
                          const InputFn& input, const TransientOptions& opts = {});
 
 /// First time the waveform crosses `level` (linear interpolation between
-/// steps); returns -1 if never crossed. The 50% crossing of a step response
-/// is the standard interconnect delay metric.
-double crossing_time(const TransientResult& result, int port, double level);
+/// steps); std::nullopt if the waveform never crosses inside the simulated
+/// window. The 50% crossing of a step response is the standard interconnect
+/// delay metric.
+std::optional<double> crossing_time(const TransientResult& result, int port,
+                                    double level);
+
+namespace detail {
+
+/// Validates the time grid and returns the number of trapezoidal steps,
+/// rounding t_stop / dt to the NEAREST integer: truncation would silently
+/// drop the final time point whenever the ratio lands just below an integer
+/// under FP error (e.g. 0.3 / 0.1 = 2.9999...). A single-step run
+/// (t_stop == dt) is legal; t_stop materially shorter than dt is not.
+int transient_steps(const TransientOptions& opts);
+
+/// Shared trapezoidal loop over an abstract "solve M x = rhs" callback with
+/// M = C/h + G/2 and the explicit part applied via callbacks too — the ONE
+/// time-stepping code path under the sparse single-corner, dense
+/// reduced-model and batched-corner drivers.
+TransientResult trapezoidal(int num_ports, const TransientOptions& opts,
+                            const InputFn& input,
+                            const std::function<la::Vector(const la::Vector&)>& solve_m,
+                            const std::function<la::Vector(const la::Vector&)>& apply_rhs_matrix,
+                            const std::function<la::Vector(const la::Vector&)>& apply_b,
+                            const std::function<la::Vector(const la::Vector&)>& apply_lt,
+                            int state_size);
+
+}  // namespace detail
 
 }  // namespace varmor::analysis

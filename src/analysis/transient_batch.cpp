@@ -1,0 +1,159 @@
+#include "analysis/transient_batch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/ops.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace varmor::analysis {
+
+using la::Vector;
+
+namespace {
+
+/// The two affine pencils of the trapezoidal rule, C/h +- G/2, built from the
+/// system's nominal matrices and sensitivities. Affine in p with coefficient
+/// matrices c0/h +- g0/2 and dc_i/h +- dg_i/2, so one AffineAssembler union
+/// pattern serves every corner.
+sparse::AffineAssembler trapezoid_pencil(const circuit::ParametricSystem& sys,
+                                         double inv_h, double g_sign) {
+    const sparse::Csc base = sparse::add(inv_h, sys.c0, g_sign * 0.5, sys.g0);
+    std::vector<sparse::Csc> terms;
+    terms.reserve(sys.dg.size());
+    for (std::size_t i = 0; i < sys.dg.size(); ++i)
+        terms.push_back(sparse::add(inv_h, sys.dc[i], g_sign * 0.5, sys.dg[i]));
+    return sparse::AffineAssembler(base, terms);
+}
+
+}  // namespace
+
+TransientBatchRunner::TransientBatchRunner(const circuit::ParametricSystem& sys,
+                                           const TransientOptions& opts)
+    : opts_(opts) {
+    sys.validate();
+    detail::transient_steps(opts_);  // fail fast on a bad grid, before factoring
+    size_ = sys.size();
+    num_ports_ = sys.num_ports();
+    num_params_ = sys.num_params();
+    b_ = sys.b;
+    l_ = sys.l;
+
+    const double inv_h = 1.0 / opts_.dt;
+    lhs_ = trapezoid_pencil(sys, inv_h, +1.0);
+    rhs_ = trapezoid_pencil(sys, inv_h, -1.0);
+    symbolic_ = sparse::SpluSymbolic::analyze(lhs_.skeleton());
+
+    // Nominal reference factorization: the fixed pivot sequence every corner
+    // replays, independent of the batch composition — which is what makes a
+    // batch bit-identical to looped single-corner runs.
+    const std::vector<double> p0(static_cast<std::size_t>(num_params_), 0.0);
+    reference_.emplace(lhs_.combine(p0), symbolic_);
+}
+
+TransientBatchRunner::Scratch TransientBatchRunner::make_scratch() const {
+    return Scratch{lhs_.skeleton(), rhs_.skeleton(), *reference_, sparse::SpluWorkspace{}};
+}
+
+TransientResult TransientBatchRunner::run(const std::vector<double>& p,
+                                          const InputFn& input, Scratch& scratch) const {
+    check(static_cast<int>(p.size()) == num_params_,
+          "TransientBatchRunner: parameter vector length mismatch");
+    rhs_.combine(p, scratch.rhs);
+
+    const sparse::SparseLu* solver = &scratch.lu;
+    std::optional<sparse::SparseLu> corner_lu;
+    if (std::all_of(p.begin(), p.end(), [](double v) { return v == 0.0; })) {
+        // Nominal corner: M(0) is exactly what reference_ factored; copy its
+        // value arrays (shares the symbolic data) instead of refactorizing.
+        // A corner-local copy, not *reference_ itself, because solve() keeps
+        // per-instance bookkeeping that must not be shared across threads.
+        corner_lu.emplace(*reference_);
+        solver = &*corner_lu;
+    } else {
+        lhs_.combine(p, scratch.lhs);
+        try {
+            scratch.lu.refactorize(scratch.lhs, scratch.ws);
+        } catch (const sparse::RefactorError&) {
+            // Corner-local fallback; scratch.lu keeps the reference pivot
+            // sequence so later corners in the chunk stay batch-independent.
+            sparse::SparseLu::Options lo;
+            lo.symbolic = &symbolic_;
+            corner_lu.emplace(scratch.lhs, lo, scratch.ws);
+            solver = &*corner_lu;
+        }
+    }
+
+    const sparse::Csc& rhs_m = scratch.rhs;
+    return detail::trapezoidal(
+        num_ports_, opts_, input, [&](const Vector& r) { return solver->solve(r); },
+        [&](const Vector& x) { return rhs_m.apply(x); },
+        [&](const Vector& u) { return la::matvec(b_, u); },
+        [&](const Vector& x) { return la::matvec_transpose(l_, x); }, size_);
+}
+
+TransientResult TransientBatchRunner::run(const std::vector<double>& p,
+                                          const InputFn& input) const {
+    Scratch scratch = make_scratch();
+    return run(p, input, scratch);
+}
+
+std::vector<TransientResult> TransientBatchRunner::run_batch(
+    const std::vector<std::vector<double>>& corners, const InputFn& input,
+    int threads) const {
+    std::vector<TransientResult> out(corners.size());
+    util::ThreadPool::run_chunks(
+        threads, 0, static_cast<int>(corners.size()),
+        [&](int, int chunk_begin, int chunk_end) {
+            Scratch scratch = make_scratch();
+            for (int i = chunk_begin; i < chunk_end; ++i)
+                out[static_cast<std::size_t>(i)] =
+                    run(corners[static_cast<std::size_t>(i)], input, scratch);
+        });
+    return out;
+}
+
+TransientStudy transient_study(const circuit::ParametricSystem& sys,
+                               const std::vector<std::vector<double>>& corners,
+                               const TransientStudyOptions& opts) {
+    check(!corners.empty(), "transient_study: no corners");
+    const TransientBatchRunner runner(sys, opts.transient);
+    const int observe =
+        opts.observe_port < 0 ? runner.num_ports() - 1 : opts.observe_port;
+    check(observe >= 0 && observe < runner.num_ports(),
+          "transient_study: observe_port out of range");
+    const InputFn input =
+        step_input(runner.num_ports(), opts.input_port, opts.amplitude);
+
+    TransientStudy study;
+    study.level = opts.level;
+    if (std::isnan(study.level)) {
+        // Derive the threshold from the nominal corner's settled response.
+        const std::vector<double> p0(static_cast<std::size_t>(runner.num_params()), 0.0);
+        const TransientResult nominal = runner.run(p0, input);
+        study.level =
+            opts.level_fraction * nominal.ports[static_cast<std::size_t>(observe)].back();
+    }
+
+    study.waveforms = runner.run_batch(corners, input, opts.threads);
+    study.delays.reserve(corners.size());
+    for (const TransientResult& w : study.waveforms) {
+        const std::optional<double> d = crossing_time(w, observe, study.level);
+        study.delays.push_back(d);
+        if (d) study.delay_samples.push_back(*d);
+    }
+    study.num_crossed = static_cast<int>(study.delay_samples.size());
+    if (!study.delay_samples.empty()) {
+        for (double d : study.delay_samples) study.mean_delay += d;
+        study.mean_delay /= static_cast<double>(study.delay_samples.size());
+        for (double d : study.delay_samples)
+            study.sigma_delay += (d - study.mean_delay) * (d - study.mean_delay);
+        study.sigma_delay =
+            std::sqrt(study.sigma_delay / static_cast<double>(study.delay_samples.size()));
+        study.histogram = make_histogram(study.delay_samples, opts.histogram_bins);
+    }
+    return study;
+}
+
+}  // namespace varmor::analysis

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "analysis/monte_carlo.h"
+#include "analysis/transient.h"
+#include "circuit/parametric_system.h"
+#include "la/dense.h"
+#include "sparse/assemble.h"
+#include "sparse/splu.h"
+
+namespace varmor::analysis {
+
+/// Batched time-domain engine over Monte-Carlo / corner batches.
+///
+/// The trapezoidal rule solves (C(p)/h + G(p)/2) x1 = (C(p)/h - G(p)/2) x0 +
+/// B (u0+u1)/2 at every step, so each corner needs ONE factorization of the
+/// left-hand pencil M(p) = C(p)/h + G(p)/2. Both M(p) and the explicit
+/// right-hand matrix N(p) = C(p)/h - G(p)/2 are affine in p, so the runner
+/// precomputes their union sparsity patterns (sparse::AffineAssembler), runs
+/// ONE symbolic LU analysis of M, factors the nominal M(0) once as the
+/// reference, and evaluates every corner by a value scatter plus a
+/// numeric-only refactorize() on per-thread SpluWorkspaceT scratch — the
+/// transient counterpart of analysis::sweep_full's batched solve engine.
+///
+/// Determinism: every corner is refactorized from the SAME nominal reference
+/// factorization (falling back to a fresh, corner-local factorization on
+/// RefactorError), so a parallel batch is bit-identical to a serial batch and
+/// to a loop of single-corner simulate() calls, which route through this
+/// engine as a batch of one.
+class TransientBatchRunner {
+public:
+    /// Builds the union patterns, the symbolic analysis and the nominal
+    /// reference factorization. Throws varmor::Error on an invalid system or
+    /// time grid.
+    TransientBatchRunner(const circuit::ParametricSystem& sys,
+                         const TransientOptions& opts = {});
+
+    int size() const { return size_; }
+    int num_ports() const { return num_ports_; }
+    int num_params() const { return num_params_; }
+    const TransientOptions& options() const { return opts_; }
+
+    /// Per-worker scratch: assembly targets carrying the union patterns, a
+    /// copy of the reference factorization (shares the immutable symbolic
+    /// data) and LU workspace. One per thread in run_batch(); reusable across
+    /// corners with zero steady-state allocation.
+    struct Scratch {
+        sparse::Csc lhs;          ///< M(p) = C(p)/h + G(p)/2 on the union pattern
+        sparse::Csc rhs;          ///< N(p) = C(p)/h - G(p)/2 on the union pattern
+        sparse::SparseLu lu;      ///< reference copy, refactorized per corner
+        sparse::SpluWorkspace ws;
+    };
+    Scratch make_scratch() const;
+
+    /// One corner on caller-owned scratch (the batch hot path).
+    TransientResult run(const std::vector<double>& p, const InputFn& input,
+                        Scratch& scratch) const;
+
+    /// One corner, allocating its own scratch.
+    TransientResult run(const std::vector<double>& p, const InputFn& input) const;
+
+    /// Whole batch fanned across the thread pool with deterministic
+    /// contiguous chunking. `threads` follows the SweepOptions convention:
+    /// 0 = process-wide pool, 1 = serial, n > 1 = dedicated pool of n.
+    /// Results are bit-identical at any thread count.
+    std::vector<TransientResult> run_batch(const std::vector<std::vector<double>>& corners,
+                                           const InputFn& input, int threads = 0) const;
+
+private:
+    TransientOptions opts_;
+    int size_ = 0, num_ports_ = 0, num_params_ = 0;
+    la::Matrix b_, l_;
+    sparse::AffineAssembler lhs_, rhs_;
+    sparse::SpluSymbolic symbolic_;
+    std::optional<sparse::SparseLu> reference_;  // factorization of nominal M(0)
+};
+
+/// The paper's delay-variation experiment as a first-class API: drive one
+/// port with a step, run a corner batch on the batched engine, and collect
+/// the level-crossing time (interconnect delay) of an observed port per
+/// corner, plus distribution statistics.
+struct TransientStudyOptions {
+    TransientOptions transient;
+    int input_port = 0;      ///< port driven with the step
+    double amplitude = 1.0;  ///< step height
+    int observe_port = -1;   ///< port whose delay is measured; -1 = last port
+    /// Absolute crossing threshold. NaN (default) derives it as
+    /// level_fraction times the nominal-corner (p = 0) final value of the
+    /// observed port — the standard "50% of the settled step" delay metric.
+    double level = std::numeric_limits<double>::quiet_NaN();
+    double level_fraction = 0.5;
+    int histogram_bins = 12;
+    int threads = 0;         ///< SweepOptions convention (0 = global pool)
+};
+
+struct TransientStudy {
+    std::vector<TransientResult> waveforms;     ///< per corner
+    std::vector<std::optional<double>> delays;  ///< per corner; nullopt = never crossed
+    std::vector<double> delay_samples;          ///< delays of the corners that crossed
+    double level = 0.0;                         ///< threshold actually used
+    Histogram histogram;                        ///< of delay_samples (empty if none crossed)
+    double mean_delay = 0.0;
+    double sigma_delay = 0.0;
+    int num_crossed = 0;
+};
+
+TransientStudy transient_study(const circuit::ParametricSystem& sys,
+                               const std::vector<std::vector<double>>& corners,
+                               const TransientStudyOptions& opts = {});
+
+}  // namespace varmor::analysis

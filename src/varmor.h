@@ -16,6 +16,7 @@
 #include "analysis/monte_carlo.h"
 #include "analysis/poles.h"
 #include "analysis/transient.h"
+#include "analysis/transient_batch.h"
 #include "circuit/extraction.h"
 #include "circuit/generators.h"
 #include "circuit/mna.h"

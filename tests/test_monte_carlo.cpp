@@ -1,3 +1,4 @@
+#include <cmath>
 #include <gtest/gtest.h>
 
 #include "analysis/monte_carlo.h"
@@ -67,6 +68,43 @@ TEST(Histogram, ConstantValuesHandled) {
 TEST(Histogram, InvalidInputsThrow) {
     EXPECT_THROW(make_histogram({}, 3), Error);
     EXPECT_THROW(make_histogram({1.0}, 0), Error);
+}
+
+TEST(PoleErrorStudy, NoFinitePolesIsGuardedNotNaN) {
+    // Purely resistive divider: C(p) = 0, so the full model has no finite
+    // poles at any sample. The seed implementation divided by
+    // flattened.size() unconditionally and returned mean_error = NaN here;
+    // the study must instead record empty per-sample error lists and keep
+    // the zero-initialized statistics.
+    circuit::Netlist net(1);
+    const int a = net.add_node();
+    const int b = net.add_node();
+    net.add_resistor(a, 0, 1.0, {0.2});
+    net.add_resistor(a, b, 2.0, {0.1});
+    net.add_resistor(b, 0, 3.0);
+    net.add_port(a);
+    circuit::ParametricSystem sys = assemble_mna(net);
+
+    // Any dimensionally consistent 1-parameter reduced model: it is never
+    // consulted because there are no full poles to match against.
+    mor::ReducedModel rm;
+    rm.g0 = la::Matrix{{1.0}};
+    rm.c0 = la::Matrix{{1.0}};
+    rm.dg = {la::Matrix(1, 1)};
+    rm.dc = {la::Matrix(1, 1)};
+    rm.b = la::Matrix{{1.0}};
+    rm.l = la::Matrix{{1.0}};
+
+    MonteCarloOptions mc;
+    mc.samples = 4;
+    const auto samples = sample_parameters(1, mc);
+    const PoleErrorStudy study = pole_error_study(sys, rm, samples);
+    ASSERT_EQ(study.errors.size(), samples.size());
+    for (const auto& e : study.errors) EXPECT_TRUE(e.empty());
+    EXPECT_TRUE(study.flattened.empty());
+    EXPECT_FALSE(std::isnan(study.mean_error));
+    EXPECT_EQ(study.mean_error, 0.0);
+    EXPECT_EQ(study.max_error, 0.0);
 }
 
 TEST(PoleErrorStudy, SmallClockTreeStudyProducesTinyErrors) {

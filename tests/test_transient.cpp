@@ -103,19 +103,24 @@ TEST(Transient, DelayShiftsWithParameters) {
     TransientResult nominal = simulate(sys, {0.0, 0.0}, step_input(2, 0), topts);
     TransientResult slow = simulate(sys, {-0.9, 0.9}, step_input(2, 0), topts);
     const double level = 0.5 * nominal.ports[1].back();
-    const double d_nom = crossing_time(nominal, 1, level);
-    const double d_slow = crossing_time(slow, 1, level);
-    ASSERT_GT(d_nom, 0.0);
-    ASSERT_GT(d_slow, 0.0);
-    EXPECT_GT(d_slow, 1.3 * d_nom);
+    const auto d_nom = crossing_time(nominal, 1, level);
+    const auto d_slow = crossing_time(slow, 1, level);
+    ASSERT_TRUE(d_nom.has_value());
+    ASSERT_TRUE(d_slow.has_value());
+    EXPECT_GT(*d_nom, 0.0);
+    EXPECT_GT(*d_slow, 1.3 * *d_nom);
 }
 
 TEST(Transient, CrossingTimeInterpolatesAndHandlesMiss) {
     TransientResult r;
     r.time = {0.0, 1.0, 2.0};
     r.ports = {{0.0, 1.0, 1.5}};
-    EXPECT_NEAR(crossing_time(r, 0, 0.5), 0.5, 1e-12);
-    EXPECT_EQ(crossing_time(r, 0, 5.0), -1.0);
+    const auto hit = crossing_time(r, 0, 0.5);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_NEAR(*hit, 0.5, 1e-12);
+    // No crossing is distinguishable from any real time: nullopt, not a
+    // sentinel that could collide with a pre-window crossing.
+    EXPECT_FALSE(crossing_time(r, 0, 5.0).has_value());
     EXPECT_THROW(crossing_time(r, 2, 0.5), Error);
 }
 
@@ -127,6 +132,43 @@ TEST(Transient, InvalidGridThrows) {
     bad.dt = 2.0;
     bad.t_stop = 1.0;
     EXPECT_THROW(simulate(sys, {}, step_input(1, 0), bad), Error);
+    bad.t_stop = 0.0;
+    EXPECT_THROW(simulate(sys, {}, step_input(1, 0), bad), Error);
+    bad.t_stop = 1.0;
+    bad.dt = 1e-10;  // 1e10 steps would wrap a 32-bit step counter
+    EXPECT_THROW(simulate(sys, {}, step_input(1, 0), bad), Error);
+}
+
+TEST(Transient, StepCountRoundsUnderFpError) {
+    // 0.3 / 0.1 = 2.9999999999999996 in doubles: the seed implementation's
+    // static_cast<int> truncated to 2 steps and silently dropped the final
+    // time point. The grid must round to the nearest step count.
+    circuit::ParametricSystem sys = single_rc(1.0, 1.0);
+    TransientOptions opts;
+    opts.t_stop = 0.3;
+    opts.dt = 0.1;
+    TransientResult res = simulate(sys, {}, step_input(1, 0), opts);
+    ASSERT_EQ(res.time.size(), 4u);  // t = 0 plus 3 steps
+    EXPECT_NEAR(res.time.back(), 0.3, 1e-12);
+
+    // The t_stop = 1e-9, dt = 1e-11 grid of the delay experiments: exactly
+    // 100 steps, final point at t_stop.
+    opts.t_stop = 1e-9;
+    opts.dt = 1e-11;
+    res = simulate(sys, {}, step_input(1, 0), opts);
+    ASSERT_EQ(res.time.size(), 101u);
+    EXPECT_NEAR(res.time.back(), 1e-9, 1e-20);
+}
+
+TEST(Transient, SingleStepRunIsLegal) {
+    // t_stop == dt is a valid one-step grid (the seed required t_stop > dt).
+    circuit::ParametricSystem sys = single_rc(1.0, 1.0);
+    TransientOptions opts;
+    opts.t_stop = 0.5;
+    opts.dt = 0.5;
+    TransientResult res = simulate(sys, {}, step_input(1, 0), opts);
+    ASSERT_EQ(res.time.size(), 2u);
+    EXPECT_DOUBLE_EQ(res.time.back(), 0.5);
 }
 
 }  // namespace

@@ -1,0 +1,182 @@
+// Batched transient engine: corner batches must be bit-identical to looped
+// single-corner simulate() calls at any thread count (both route through the
+// same trapezoidal code path and refactorize from the same nominal reference
+// factorization), including corners that collapse the frozen pivot sequence
+// and take the RefactorError fallback.
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "analysis/monte_carlo.h"
+#include "analysis/transient.h"
+#include "analysis/transient_batch.h"
+#include "circuit/mna.h"
+#include "mor_test_utils.h"
+#include "sparse/splu.h"
+
+namespace varmor::analysis {
+namespace {
+
+void expect_bit_identical(const TransientResult& a, const TransientResult& b) {
+    ASSERT_EQ(a.time.size(), b.time.size());
+    for (std::size_t i = 0; i < a.time.size(); ++i) EXPECT_EQ(a.time[i], b.time[i]);
+    ASSERT_EQ(a.ports.size(), b.ports.size());
+    for (std::size_t k = 0; k < a.ports.size(); ++k) {
+        ASSERT_EQ(a.ports[k].size(), b.ports[k].size());
+        for (std::size_t i = 0; i < a.ports[k].size(); ++i)
+            EXPECT_EQ(a.ports[k][i], b.ports[k][i]) << "port " << k << " step " << i;
+    }
+}
+
+/// Deterministic RC line whose two parameters scale wire conductance and
+/// capacitance (same construction as the transient delay test).
+circuit::ParametricSystem rc_line(int n) {
+    circuit::Netlist net(2);
+    net.ensure_nodes(n);
+    net.add_resistor(1, 0, 1.0);
+    for (int k = 2; k <= n; ++k) {
+        net.add_resistor(k - 1, k, 1.0, {0.4, 0.0});
+        net.add_capacitor(k, 0, 1.0, {0.0, 0.4});
+    }
+    net.add_port(1);
+    net.add_port(n);
+    return assemble_mna(net);
+}
+
+TEST(TransientBatch, StudyWaveformsBitIdenticalToLoopedSimulate) {
+    const circuit::ParametricSystem sys = rc_line(25);
+    MonteCarloOptions mc;
+    mc.samples = 9;
+    mc.sigma = 0.25;
+    const auto corners = sample_parameters(2, mc);
+
+    TransientStudyOptions opts;
+    opts.transient.t_stop = 800.0;
+    opts.transient.dt = 2.0;
+    const InputFn input = step_input(2, 0);
+
+    for (int threads : {1, 8}) {
+        opts.threads = threads;
+        const TransientStudy study = transient_study(sys, corners, opts);
+        ASSERT_EQ(study.waveforms.size(), corners.size());
+        ASSERT_EQ(study.delays.size(), corners.size());
+        for (std::size_t k = 0; k < corners.size(); ++k) {
+            const TransientResult single = simulate(sys, corners[k], input, opts.transient);
+            expect_bit_identical(study.waveforms[k], single);
+        }
+    }
+}
+
+TEST(TransientBatch, RunBatchBitIdenticalAcrossThreadCounts) {
+    const circuit::ParametricSystem sys = varmor::testing::small_parametric_rc(30, 2, 97);
+    MonteCarloOptions mc;
+    mc.samples = 7;
+    mc.sigma = 0.2;
+    const auto corners = sample_parameters(2, mc);
+
+    TransientOptions topts;
+    topts.t_stop = 20.0;
+    topts.dt = 0.1;
+    const TransientBatchRunner runner(sys, topts);
+    const InputFn input = step_input(runner.num_ports(), 0);
+
+    const auto serial = runner.run_batch(corners, input, 1);
+    ASSERT_EQ(serial.size(), corners.size());
+    for (int threads : {2, 5, 8}) {
+        const auto parallel = runner.run_batch(corners, input, threads);
+        ASSERT_EQ(parallel.size(), corners.size());
+        for (std::size_t k = 0; k < corners.size(); ++k)
+            expect_bit_identical(serial[k], parallel[k]);
+    }
+}
+
+/// Hand-built 2-state system engineered so the corner p = 1 drives the (0,0)
+/// entry of the trapezoidal pencil M(p) = C(p)/h + G(p)/2 to exactly zero
+/// while M stays nonsingular: the frozen nominal pivot collapses and the
+/// engine must take the fresh-factorization fallback for that corner only.
+circuit::ParametricSystem pivot_collapse_system() {
+    circuit::ParametricSystem sys;
+    sys.g0 = sparse::from_dense(la::Matrix{{0.0, 1.0}, {1.0, 0.0}});
+    sys.c0 = sparse::from_dense(la::Matrix{{1.0, 0.0}, {0.0, 1.0}});
+    sys.dg = {sparse::from_dense(la::Matrix(2, 2))};
+    sys.dc = {sparse::from_dense(la::Matrix{{-1.0, 0.0}, {0.0, 0.0}})};
+    // from_dense drops exact zeros; dg[0] must still be a valid 2x2 empty
+    // matrix, which the Triplets-based constructor produces.
+    sys.b = la::Matrix{{1.0}, {0.0}};
+    sys.l = sys.b;
+    return sys;
+}
+
+TEST(TransientBatch, RefactorFallbackCornerStaysBitIdentical) {
+    const circuit::ParametricSystem sys = pivot_collapse_system();
+    TransientOptions topts;
+    topts.dt = 1.0;    // h = 1: M(p) = C(p) + G/2 = [[1-p, 0.5], [0.5, 1]]
+    topts.t_stop = 3.0;
+
+    // The collapsing corner really does collapse the frozen pivot: the
+    // nominal reference factorization of M(0) refuses to refactorize M(1).
+    {
+        const sparse::Csc m0 = sparse::from_dense(la::Matrix{{1.0, 0.5}, {0.5, 1.0}});
+        const sparse::Csc m1 = sparse::from_dense(la::Matrix{{0.0, 0.5}, {0.5, 1.0}});
+        // Same pattern required by refactorize: keep the zero entry explicit.
+        sparse::Csc m1_patterned = m0;
+        m1_patterned.values() = {0.0, 0.5, 0.5, 1.0};
+        sparse::SparseLu lu(m0);
+        EXPECT_THROW(lu.refactorize(m1_patterned), sparse::RefactorError);
+        // ... while a fresh factorization handles it (nonsingular matrix).
+        EXPECT_NO_THROW(sparse::SparseLu{m1});
+    }
+
+    const std::vector<std::vector<double>> corners{{0.0}, {1.0}, {0.3}, {-0.5}};
+    const TransientBatchRunner runner(sys, topts);
+    const InputFn input = step_input(1, 0);
+
+    const auto serial = runner.run_batch(corners, input, 1);
+    for (std::size_t k = 0; k < corners.size(); ++k) {
+        for (double v : serial[k].ports[0]) EXPECT_TRUE(std::isfinite(v));
+        // Looped single-corner path takes the identical refactorize-or-
+        // fallback decision, so waveforms match bitwise.
+        expect_bit_identical(serial[k], simulate(sys, corners[k], input, topts));
+    }
+    for (int threads : {2, 4}) {
+        const auto parallel = runner.run_batch(corners, input, threads);
+        for (std::size_t k = 0; k < corners.size(); ++k)
+            expect_bit_identical(serial[k], parallel[k]);
+    }
+}
+
+TEST(TransientBatch, StudyMeasuresDelayShiftAndHistogram) {
+    const circuit::ParametricSystem sys = rc_line(30);
+    // Nominal plus slow (R up, C up) and fast (R down, C down) corners.
+    const std::vector<std::vector<double>> corners{
+        {0.0, 0.0}, {-0.9, 0.9}, {0.9, -0.9}, {0.4, 0.4}, {-0.4, -0.4}};
+
+    TransientStudyOptions opts;
+    opts.transient.t_stop = 2000.0;
+    opts.transient.dt = 0.5;
+    opts.histogram_bins = 4;
+    const TransientStudy study = transient_study(sys, corners, opts);
+
+    ASSERT_EQ(study.delays.size(), corners.size());
+    EXPECT_EQ(study.num_crossed, static_cast<int>(corners.size()));
+    for (const auto& d : study.delays) ASSERT_TRUE(d.has_value());
+    // Conductance down + capacitance up slows the line; the opposite corner
+    // speeds it up.
+    EXPECT_GT(*study.delays[1], 1.3 * *study.delays[0]);
+    EXPECT_LT(*study.delays[2], 0.8 * *study.delays[0]);
+    // Statistics are over the crossed corners.
+    int total = 0;
+    for (int c : study.histogram.counts) total += c;
+    EXPECT_EQ(total, study.num_crossed);
+    EXPECT_GT(study.mean_delay, 0.0);
+    EXPECT_GT(study.sigma_delay, 0.0);
+    ASSERT_EQ(study.histogram.counts.size(), 4u);
+}
+
+TEST(TransientBatch, EmptyCornerListThrows) {
+    const circuit::ParametricSystem sys = rc_line(5);
+    EXPECT_THROW(transient_study(sys, {}, {}), Error);
+}
+
+}  // namespace
+}  // namespace varmor::analysis
