@@ -81,11 +81,13 @@ int main(int argc, char** argv) {
         const sparse::Csc lhs = sparse::add(inv_h, c, 0.5, g);
         const sparse::Csc rhs_m = sparse::add(inv_h, c, -0.5, g);
         const sparse::SparseLu lu(lhs);
+        // Pre-batching behavior recomputed the input series per corner.
+        const auto forcing = analysis::detail::forcing_series(
+            topts, input, [&](const la::Vector& u) { return la::matvec(sys.b, u); });
         legacy.push_back(analysis::detail::trapezoidal(
-            sys.num_ports(), topts, input,
+            sys.num_ports(), topts, forcing,
             [&](const la::Vector& r) { return lu.solve(r); },
             [&](const la::Vector& x) { return rhs_m.apply(x); },
-            [&](const la::Vector& u) { return la::matvec(sys.b, u); },
             [&](const la::Vector& x) { return la::matvec_transpose(sys.l, x); },
             sys.size()));
     }

@@ -5,6 +5,7 @@
 
 #include "la/lu_dense.h"
 #include "la/ops.h"
+#include "mor/rom_eval.h"
 #include "sparse/assemble.h"
 #include "sparse/splu.h"
 #include "util/check.h"
@@ -82,11 +83,14 @@ std::vector<ZMatrix> sweep_full(const circuit::ParametricSystem& sys,
 
 std::vector<ZMatrix> sweep_reduced(const mor::ReducedModel& model,
                                    const std::vector<double>& p,
-                                   const std::vector<double>& freqs) {
-    std::vector<ZMatrix> out;
-    out.reserve(freqs.size());
-    for (double f : freqs) out.push_back(model.transfer(cplx(0.0, util::two_pi_f(f)), p));
-    return out;
+                                   const std::vector<double>& freqs, int threads) {
+    if (freqs.empty()) return {};
+    std::vector<cplx> s_points;
+    s_points.reserve(freqs.size());
+    for (double f : freqs) s_points.emplace_back(0.0, util::two_pi_f(f));
+    const mor::RomEvalEngine engine(model);
+    auto grid = engine.transfer_grid({p}, s_points, threads);
+    return std::move(grid.front());
 }
 
 std::vector<double> magnitude_series(const std::vector<ZMatrix>& sweep, int row, int col) {

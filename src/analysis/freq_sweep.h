@@ -36,10 +36,16 @@ std::vector<la::ZMatrix> sweep_full(const circuit::ParametricSystem& sys,
                                     const std::vector<double>& freqs,
                                     const SweepOptions& opts = {});
 
-/// Frequency response of a reduced parametric model (dense solves).
+/// Frequency response of a reduced parametric model, evaluated on the
+/// batched ROM engine (mor::RomEvalEngine): G~(p)/C~(p) are accumulated once
+/// for the whole sweep, each frequency stamps the pencil into a reusable
+/// dense LU workspace, and points fan out across the thread pool (`threads`
+/// follows the SweepOptions convention). Bit-identical to a serial loop of
+/// model.transfer() calls at any thread count.
 std::vector<la::ZMatrix> sweep_reduced(const mor::ReducedModel& model,
                                        const std::vector<double>& p,
-                                       const std::vector<double>& freqs);
+                                       const std::vector<double>& freqs,
+                                       int threads = 0);
 
 /// |H[row, col]| series from a sweep result.
 std::vector<double> magnitude_series(const std::vector<la::ZMatrix>& sweep, int row,

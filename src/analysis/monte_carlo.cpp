@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mor/rom_eval.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -104,14 +105,17 @@ PoleErrorStudy pole_error_study(const circuit::ParametricSystem& sys,
     check(!samples.empty(), "pole_error_study: no samples");
 
     // Shared read-only batch state: union patterns for G(p)/C(p) and one
-    // symbolic LU analysis serving every sample's factorization.
+    // symbolic LU analysis serving every sample's factorization on the full
+    // side; a packed-affine ROM evaluation engine on the reduced side.
     const circuit::ParametricStamper stamper(sys);
     const sparse::SpluSymbolic symbolic = sparse::SpluSymbolic::analyze(stamper.g_skeleton());
+    const mor::RomEvalEngine rom_engine(model);
 
     std::vector<std::vector<double>> errors(samples.size());
     auto run = [&](int, int chunk_begin, int chunk_end) {
         sparse::Csc g = stamper.g_skeleton();
         sparse::Csc c = stamper.c_skeleton();
+        mor::RomEvalWorkspace rom_ws;
         for (int i = chunk_begin; i < chunk_end; ++i) {
             const std::vector<double>& p = samples[static_cast<std::size_t>(i)];
             stamper.g_at(p, g);
@@ -122,8 +126,12 @@ PoleErrorStudy pole_error_study(const circuit::ParametricSystem& sys,
             if (full.empty()) continue;
             // Give the matcher more reduced poles than requested so a
             // slightly misordered reduced spectrum still pairs correctly.
-            const std::vector<la::cplx> red =
-                dominant_poles_reduced(model, p, pole_opts.count * 2 + 4);
+            // Engine poles are bit-identical to ReducedModel::poles(), but
+            // the reduced pencils are stamped/factored on reused scratch.
+            rom_engine.stamp_parameters(p, rom_ws);
+            std::vector<la::cplx> red = rom_engine.poles(rom_ws);
+            const std::size_t want = static_cast<std::size_t>(pole_opts.count) * 2 + 4;
+            if (red.size() > want) red.resize(want);
             errors[static_cast<std::size_t>(i)] = pole_match_errors(full, red);
         }
     };

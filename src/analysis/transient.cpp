@@ -35,14 +35,30 @@ int transient_steps(const TransientOptions& opts) {
     return steps;
 }
 
+std::vector<Vector> forcing_series(const TransientOptions& opts, const InputFn& input,
+                                   const std::function<Vector(const Vector&)>& apply_b) {
+    const int steps = transient_steps(opts);
+    std::vector<Vector> series;
+    series.reserve(static_cast<std::size_t>(steps));
+    for (int s = 1; s <= steps; ++s) {
+        const double t0 = (s - 1) * opts.dt;
+        const double t1 = s * opts.dt;
+        Vector umid = input(t0) + input(t1);
+        la::scale(umid, 0.5);
+        series.push_back(apply_b(umid));
+    }
+    return series;
+}
+
 TransientResult trapezoidal(int num_ports, const TransientOptions& opts,
-                            const InputFn& input,
+                            const std::vector<Vector>& forcing_mid,
                             const std::function<Vector(const Vector&)>& solve_m,
                             const std::function<Vector(const Vector&)>& apply_rhs_matrix,
-                            const std::function<Vector(const Vector&)>& apply_b,
                             const std::function<Vector(const Vector&)>& apply_lt,
                             int state_size) {
     const int steps = transient_steps(opts);
+    check(static_cast<int>(forcing_mid.size()) == steps,
+          "trapezoidal: forcing series length mismatch");
 
     TransientResult out;
     out.ports.assign(static_cast<std::size_t>(num_ports), {});
@@ -56,15 +72,11 @@ TransientResult trapezoidal(int num_ports, const TransientOptions& opts,
     };
     record(0.0);
     for (int s = 1; s <= steps; ++s) {
-        const double t0 = (s - 1) * opts.dt;
-        const double t1 = s * opts.dt;
         // (C/h + G/2) x1 = (C/h - G/2) x0 + B (u0 + u1)/2.
         Vector rhs = apply_rhs_matrix(x);
-        Vector umid = input(t0) + input(t1);
-        la::scale(umid, 0.5);
-        la::axpy(1.0, apply_b(umid), rhs);
+        la::axpy(1.0, forcing_mid[static_cast<std::size_t>(s) - 1], rhs);
         x = solve_m(rhs);
-        record(t1);
+        record(s * opts.dt);
     }
     return out;
 }
@@ -88,10 +100,11 @@ TransientResult simulate(const mor::ReducedModel& model, const std::vector<doubl
     }
     const la::DenseLu<double> lu(lhs);
 
+    const std::vector<Vector> forcing = detail::forcing_series(
+        opts, input, [&](const Vector& u) { return la::matvec(model.b, u); });
     return detail::trapezoidal(
-        model.num_ports(), opts, input, [&](const Vector& r) { return lu.solve(r); },
+        model.num_ports(), opts, forcing, [&](const Vector& r) { return lu.solve(r); },
         [&](const Vector& x) { return la::matvec(rhs_m, x); },
-        [&](const Vector& u) { return la::matvec(model.b, u); },
         [&](const Vector& x) { return la::matvec_transpose(model.l, x); }, model.size());
 }
 

@@ -58,15 +58,22 @@ namespace detail {
 /// (t_stop == dt) is legal; t_stop materially shorter than dt is not.
 int transient_steps(const TransientOptions& opts);
 
+/// The trapezoidal forcing series B (u(t0) + u(t1))/2, one state-size vector
+/// per step. The input u(t) does not depend on the corner, so batch drivers
+/// compute this once per batch instead of re-evaluating u(t) and the B
+/// product for every corner.
+std::vector<la::Vector> forcing_series(
+    const TransientOptions& opts, const InputFn& input,
+    const std::function<la::Vector(const la::Vector&)>& apply_b);
+
 /// Shared trapezoidal loop over an abstract "solve M x = rhs" callback with
-/// M = C/h + G/2 and the explicit part applied via callbacks too — the ONE
-/// time-stepping code path under the sparse single-corner, dense
-/// reduced-model and batched-corner drivers.
+/// M = C/h + G/2, the explicit part applied via a callback and the forcing
+/// precomputed by forcing_series() — the ONE time-stepping code path under
+/// the sparse single-corner, dense reduced-model and batched-corner drivers.
 TransientResult trapezoidal(int num_ports, const TransientOptions& opts,
-                            const InputFn& input,
+                            const std::vector<la::Vector>& forcing_mid,
                             const std::function<la::Vector(const la::Vector&)>& solve_m,
                             const std::function<la::Vector(const la::Vector&)>& apply_rhs_matrix,
-                            const std::function<la::Vector(const la::Vector&)>& apply_b,
                             const std::function<la::Vector(const la::Vector&)>& apply_lt,
                             int state_size);
 

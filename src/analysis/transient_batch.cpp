@@ -58,6 +58,14 @@ TransientBatchRunner::Scratch TransientBatchRunner::make_scratch() const {
 
 TransientResult TransientBatchRunner::run(const std::vector<double>& p,
                                           const InputFn& input, Scratch& scratch) const {
+    const std::vector<Vector> forcing = detail::forcing_series(
+        opts_, input, [&](const Vector& u) { return la::matvec(b_, u); });
+    return run_with_forcing(p, forcing, scratch);
+}
+
+TransientResult TransientBatchRunner::run_with_forcing(
+    const std::vector<double>& p, const std::vector<Vector>& forcing,
+    Scratch& scratch) const {
     check(static_cast<int>(p.size()) == num_params_,
           "TransientBatchRunner: parameter vector length mismatch");
     rhs_.combine(p, scratch.rhs);
@@ -87,9 +95,8 @@ TransientResult TransientBatchRunner::run(const std::vector<double>& p,
 
     const sparse::Csc& rhs_m = scratch.rhs;
     return detail::trapezoidal(
-        num_ports_, opts_, input, [&](const Vector& r) { return solver->solve(r); },
+        num_ports_, opts_, forcing, [&](const Vector& r) { return solver->solve(r); },
         [&](const Vector& x) { return rhs_m.apply(x); },
-        [&](const Vector& u) { return la::matvec(b_, u); },
         [&](const Vector& x) { return la::matvec_transpose(l_, x); }, size_);
 }
 
@@ -102,14 +109,19 @@ TransientResult TransientBatchRunner::run(const std::vector<double>& p,
 std::vector<TransientResult> TransientBatchRunner::run_batch(
     const std::vector<std::vector<double>>& corners, const InputFn& input,
     int threads) const {
+    // The input series is corner-independent: evaluate u(t) and the B
+    // product once for the whole batch instead of once per corner, and share
+    // the series read-only across workers.
+    const std::vector<Vector> forcing = detail::forcing_series(
+        opts_, input, [&](const Vector& u) { return la::matvec(b_, u); });
     std::vector<TransientResult> out(corners.size());
     util::ThreadPool::run_chunks(
         threads, 0, static_cast<int>(corners.size()),
         [&](int, int chunk_begin, int chunk_end) {
             Scratch scratch = make_scratch();
             for (int i = chunk_begin; i < chunk_end; ++i)
-                out[static_cast<std::size_t>(i)] =
-                    run(corners[static_cast<std::size_t>(i)], input, scratch);
+                out[static_cast<std::size_t>(i)] = run_with_forcing(
+                    corners[static_cast<std::size_t>(i)], forcing, scratch);
         });
     return out;
 }
@@ -128,15 +140,29 @@ TransientStudy transient_study(const circuit::ParametricSystem& sys,
 
     TransientStudy study;
     study.level = opts.level;
+    study.waveforms = runner.run_batch(corners, input, opts.threads);
     if (std::isnan(study.level)) {
         // Derive the threshold from the nominal corner's settled response.
-        const std::vector<double> p0(static_cast<std::size_t>(runner.num_params()), 0.0);
-        const TransientResult nominal = runner.run(p0, input);
+        // If p = 0 is already in the batch its waveform IS the nominal run
+        // (bit-identical by the engine's batch/loop contract), so reuse it
+        // instead of simulating the corner a second time.
+        const TransientResult* nominal = nullptr;
+        for (std::size_t i = 0; i < corners.size(); ++i) {
+            const std::vector<double>& p = corners[i];
+            if (std::all_of(p.begin(), p.end(), [](double v) { return v == 0.0; })) {
+                nominal = &study.waveforms[i];
+                break;
+            }
+        }
+        std::optional<TransientResult> computed;
+        if (!nominal) {
+            const std::vector<double> p0(static_cast<std::size_t>(runner.num_params()), 0.0);
+            computed = runner.run(p0, input);
+            nominal = &*computed;
+        }
         study.level =
-            opts.level_fraction * nominal.ports[static_cast<std::size_t>(observe)].back();
+            opts.level_fraction * nominal->ports[static_cast<std::size_t>(observe)].back();
     }
-
-    study.waveforms = runner.run_batch(corners, input, opts.threads);
     study.delays.reserve(corners.size());
     for (const TransientResult& w : study.waveforms) {
         const std::optional<double> d = crossing_time(w, observe, study.level);

@@ -65,11 +65,20 @@ public:
     /// Whole batch fanned across the thread pool with deterministic
     /// contiguous chunking. `threads` follows the SweepOptions convention:
     /// 0 = process-wide pool, 1 = serial, n > 1 = dedicated pool of n.
-    /// Results are bit-identical at any thread count.
+    /// The forcing series B (u0+u1)/2 is corner-independent, so it is
+    /// evaluated ONCE for the whole batch and shared read-only across
+    /// workers. Results are bit-identical at any thread count.
     std::vector<TransientResult> run_batch(const std::vector<std::vector<double>>& corners,
                                            const InputFn& input, int threads = 0) const;
 
 private:
+    /// Shared corner core: factorization reuse + trapezoidal loop on a
+    /// precomputed forcing series (the single code path under run() and
+    /// run_batch()).
+    TransientResult run_with_forcing(const std::vector<double>& p,
+                                     const std::vector<la::Vector>& forcing,
+                                     Scratch& scratch) const;
+
     TransientOptions opts_;
     int size_ = 0, num_ports_ = 0, num_params_ = 0;
     la::Matrix b_, l_;

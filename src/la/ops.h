@@ -99,10 +99,158 @@ VectorT<T> matvec_transpose(const MatrixT<T>& a, const VectorT<T>& x) {
     return y;
 }
 
-/// A * B.
+namespace detail {
+
+/// C += A * B, register-blocked: four columns of B/C per pass over A and two
+/// columns of A per pass over C, so every value loaded from memory feeds
+/// several fused multiply-adds from registers instead of one. Column-major
+/// all the way down — the i loops stream contiguous columns. The block
+/// widths are a compromise between double (wider would still fit registers)
+/// and complex (each scalar is two doubles).
+template <class T>
+void gemm_acc(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>& c) {
+    const int m = a.rows();
+    const int kn = a.cols();
+    const int n = b.cols();
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+        const T* b0 = b.col_data(j);
+        const T* b1 = b.col_data(j + 1);
+        const T* b2 = b.col_data(j + 2);
+        const T* b3 = b.col_data(j + 3);
+        T* c0 = c.col_data(j);
+        T* c1 = c.col_data(j + 1);
+        T* c2 = c.col_data(j + 2);
+        T* c3 = c.col_data(j + 3);
+        int k = 0;
+        for (; k + 2 <= kn; k += 2) {
+            const T* a0 = a.col_data(k);
+            const T* a1 = a.col_data(k + 1);
+            const T b00 = b0[k], b01 = b1[k], b02 = b2[k], b03 = b3[k];
+            const T b10 = b0[k + 1], b11 = b1[k + 1], b12 = b2[k + 1], b13 = b3[k + 1];
+            for (int i = 0; i < m; ++i) {
+                const T a0i = a0[i], a1i = a1[i];
+                c0[i] += a0i * b00 + a1i * b10;
+                c1[i] += a0i * b01 + a1i * b11;
+                c2[i] += a0i * b02 + a1i * b12;
+                c3[i] += a0i * b03 + a1i * b13;
+            }
+        }
+        for (; k < kn; ++k) {
+            const T* ak = a.col_data(k);
+            const T b0k = b0[k], b1k = b1[k], b2k = b2[k], b3k = b3[k];
+            for (int i = 0; i < m; ++i) {
+                const T aki = ak[i];
+                c0[i] += aki * b0k;
+                c1[i] += aki * b1k;
+                c2[i] += aki * b2k;
+                c3[i] += aki * b3k;
+            }
+        }
+    }
+    for (; j < n; ++j) {
+        const T* bj = b.col_data(j);
+        T* cj = c.col_data(j);
+        for (int k = 0; k < kn; ++k) {
+            const T bkj = bj[k];
+            if (bkj == T{}) continue;
+            const T* ak = a.col_data(k);
+            for (int i = 0; i < m; ++i) cj[i] += ak[i] * bkj;
+        }
+    }
+}
+
+/// C = A^T * B, register-blocked: a 4x4 tile of C accumulates sixteen
+/// independent dot products per sweep over the shared rows, so the columns
+/// of A and B stream through cache once per tile instead of once per entry.
+template <class T>
+void gemm_transA(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>& c) {
+    const int rows = a.rows();
+    const int ma = a.cols();
+    const int n = b.cols();
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+        const T* b0 = b.col_data(j);
+        const T* b1 = b.col_data(j + 1);
+        const T* b2 = b.col_data(j + 2);
+        const T* b3 = b.col_data(j + 3);
+        int i = 0;
+        for (; i + 4 <= ma; i += 4) {
+            const T* a0 = a.col_data(i);
+            const T* a1 = a.col_data(i + 1);
+            const T* a2 = a.col_data(i + 2);
+            const T* a3 = a.col_data(i + 3);
+            T s00{}, s01{}, s02{}, s03{};
+            T s10{}, s11{}, s12{}, s13{};
+            T s20{}, s21{}, s22{}, s23{};
+            T s30{}, s31{}, s32{}, s33{};
+            for (int r = 0; r < rows; ++r) {
+                const T a0r = a0[r], a1r = a1[r], a2r = a2[r], a3r = a3[r];
+                const T b0r = b0[r], b1r = b1[r], b2r = b2[r], b3r = b3[r];
+                s00 += a0r * b0r; s01 += a0r * b1r; s02 += a0r * b2r; s03 += a0r * b3r;
+                s10 += a1r * b0r; s11 += a1r * b1r; s12 += a1r * b2r; s13 += a1r * b3r;
+                s20 += a2r * b0r; s21 += a2r * b1r; s22 += a2r * b2r; s23 += a2r * b3r;
+                s30 += a3r * b0r; s31 += a3r * b1r; s32 += a3r * b2r; s33 += a3r * b3r;
+            }
+            c(i, j) = s00; c(i, j + 1) = s01; c(i, j + 2) = s02; c(i, j + 3) = s03;
+            c(i + 1, j) = s10; c(i + 1, j + 1) = s11; c(i + 1, j + 2) = s12; c(i + 1, j + 3) = s13;
+            c(i + 2, j) = s20; c(i + 2, j + 1) = s21; c(i + 2, j + 2) = s22; c(i + 2, j + 3) = s23;
+            c(i + 3, j) = s30; c(i + 3, j + 1) = s31; c(i + 3, j + 2) = s32; c(i + 3, j + 3) = s33;
+        }
+        for (; i < ma; ++i) {
+            const T* ai = a.col_data(i);
+            T s0{}, s1{}, s2{}, s3{};
+            for (int r = 0; r < rows; ++r) {
+                const T air = ai[r];
+                s0 += air * b0[r];
+                s1 += air * b1[r];
+                s2 += air * b2[r];
+                s3 += air * b3[r];
+            }
+            c(i, j) = s0; c(i, j + 1) = s1; c(i, j + 2) = s2; c(i, j + 3) = s3;
+        }
+    }
+    for (; j < n; ++j) {
+        const T* bj = b.col_data(j);
+        for (int i = 0; i < ma; ++i) {
+            const T* ai = a.col_data(i);
+            T acc{};
+            for (int r = 0; r < rows; ++r) acc += ai[r] * bj[r];
+            c(i, j) = acc;
+        }
+    }
+}
+
+}  // namespace detail
+
+/// A * B (blocked kernel; see matmul_naive for the reference triple loop).
 template <class T>
 MatrixT<T> matmul(const MatrixT<T>& a, const MatrixT<T>& b) {
     check(a.cols() == b.rows(), "matmul: dimension mismatch");
+    MatrixT<T> c(a.rows(), b.cols());
+    detail::gemm_acc(a, b, c);
+    return c;
+}
+
+/// C = A * B into caller storage (resized on shape mismatch) — the
+/// allocation-free product under the batched ROM evaluation loops. Same
+/// kernel as matmul(), so results are bit-identical to it.
+template <class T>
+void matmul_into(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>& c) {
+    check(a.cols() == b.rows(), "matmul_into: dimension mismatch");
+    if (c.rows() != a.rows() || c.cols() != b.cols())
+        c = MatrixT<T>(a.rows(), b.cols());
+    else
+        c.fill(T{});
+    detail::gemm_acc(a, b, c);
+}
+
+/// Reference A * B: the unblocked triple loop the blocked kernel is tested
+/// against. Kept for tests and for reconstructing pre-blocking baselines in
+/// benches; not used on hot paths.
+template <class T>
+MatrixT<T> matmul_naive(const MatrixT<T>& a, const MatrixT<T>& b) {
+    check(a.cols() == b.rows(), "matmul_naive: dimension mismatch");
     MatrixT<T> c(a.rows(), b.cols());
     for (int j = 0; j < b.cols(); ++j) {
         const T* bj = b.col_data(j);
@@ -118,9 +266,19 @@ MatrixT<T> matmul(const MatrixT<T>& a, const MatrixT<T>& b) {
 }
 
 /// A^T * B (plain transpose, the congruence-transform workhorse V^T G V).
+/// Blocked kernel; see matmul_transA_naive for the reference loop.
 template <class T>
 MatrixT<T> matmul_transA(const MatrixT<T>& a, const MatrixT<T>& b) {
     check(a.rows() == b.rows(), "matmul_transA: dimension mismatch");
+    MatrixT<T> c(a.cols(), b.cols());
+    detail::gemm_transA(a, b, c);
+    return c;
+}
+
+/// Reference A^T * B (unblocked dot products), kept for tests and baselines.
+template <class T>
+MatrixT<T> matmul_transA_naive(const MatrixT<T>& a, const MatrixT<T>& b) {
+    check(a.rows() == b.rows(), "matmul_transA_naive: dimension mismatch");
     MatrixT<T> c(a.cols(), b.cols());
     for (int j = 0; j < b.cols(); ++j) {
         const T* bj = b.col_data(j);

@@ -15,13 +15,30 @@ MultiPointResult multi_point_basis(const circuit::ParametricSystem& sys,
     prima_opts.blocks = opts.blocks_per_sample;
     prima_opts.orth = opts.orth;
 
+    // Every G(p) carries the stamper's union sparsity pattern, so ONE
+    // symbolic analysis (fill-reducing ordering) serves every expansion
+    // point; each point pays only its numeric factorization, assembled by
+    // value scatter into per-call fixed-pattern targets.
+    const circuit::ParametricStamper stamper(sys);
+    const sparse::SpluSymbolic symbolic =
+        sparse::SpluSymbolic::analyze(stamper.g_skeleton());
+    sparse::SparseLu::Options lu_opts;
+    lu_opts.symbolic = &symbolic;
+
+    sparse::Csc g = stamper.g_skeleton();
+    sparse::Csc c = stamper.c_skeleton();
+    sparse::SpluWorkspace ws;
+
     MultiPointResult out;
     out.basis = la::Matrix(sys.size(), 0);
     for (const std::vector<double>& p : samples) {
         check(static_cast<int>(p.size()) == sys.num_params(),
               "multi_point_basis: sample dimension mismatch");
-        const la::Matrix vi = prima_basis_at(sys, p, prima_opts);
+        stamper.g_at(p, g);
+        stamper.c_at(p, c);
+        const sparse::SparseLu lu(g, lu_opts, ws);
         ++out.factorizations;
+        const la::Matrix vi = prima_basis(lu, c, sys.b, prima_opts);
         out.basis = la::extend_basis(out.basis, vi, opts.orth);
     }
     return out;

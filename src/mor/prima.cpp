@@ -11,16 +11,28 @@ using la::Vector;
 
 Matrix prima_basis(const sparse::Csc& g, const sparse::Csc& c, const Matrix& b,
                    const PrimaOptions& opts) {
+    // Cheap argument validation first — the factorization below is the
+    // dominant cost and must not run on arguments the overload would reject.
     check(opts.blocks >= 1, "prima_basis: blocks must be positive");
     check(g.rows() == g.cols(), "prima_basis: G must be square");
     check(c.rows() == g.rows() && c.cols() == g.cols(), "prima_basis: C shape mismatch");
     check(b.rows() == g.rows(), "prima_basis: B row mismatch");
     check(b.cols() >= 1, "prima_basis: need at least one port");
-
     const sparse::SparseLu lu(g);
-    const Matrix r0 = lu.solve(b);
+    return prima_basis(lu, c, b, opts);
+}
+
+Matrix prima_basis(const sparse::SparseLu& g_lu, const sparse::Csc& c, const Matrix& b,
+                   const PrimaOptions& opts) {
+    check(opts.blocks >= 1, "prima_basis: blocks must be positive");
+    check(c.rows() == g_lu.size() && c.cols() == g_lu.size(),
+          "prima_basis: C shape mismatch");
+    check(b.rows() == g_lu.size(), "prima_basis: B row mismatch");
+    check(b.cols() >= 1, "prima_basis: need at least one port");
+
+    const Matrix r0 = g_lu.solve(b);  // blocked multi-RHS solve
     auto apply_a = [&](const Vector& x) {
-        Vector y = lu.solve(c.apply(x));
+        Vector y = g_lu.solve(c.apply(x));
         la::scale(y, -1.0);
         return y;
     };

@@ -22,6 +22,14 @@ struct PrimaOptions {
 la::Matrix prima_basis(const sparse::Csc& g, const sparse::Csc& c, const la::Matrix& b,
                        const PrimaOptions& opts = {});
 
+/// Same, from a pre-built factorization of G — the batch path of
+/// multi_point_basis, where every expansion point shares one symbolic
+/// analysis of the stamper's union pattern and hands its numeric
+/// factorization in. The initial block solve G^-1 B runs as one blocked
+/// multi-RHS pass.
+la::Matrix prima_basis(const sparse::SparseLu& g_lu, const sparse::Csc& c,
+                       const la::Matrix& b, const PrimaOptions& opts = {});
+
 /// PRIMA basis of a parametric system evaluated at a parameter point
 /// (used by the multi-point expansion and by the "nominal projection"
 /// baseline of Figs. 3 and 4 at p = 0).

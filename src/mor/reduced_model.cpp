@@ -5,6 +5,7 @@
 #include "la/eig.h"
 #include "la/lu_dense.h"
 #include "la/ops.h"
+#include "mor/rom_eval.h"
 #include "util/check.h"
 
 namespace varmor::mor {
@@ -34,24 +35,26 @@ Matrix ReducedModel::g_at(const std::vector<double>& p) const { return affine(g0
 Matrix ReducedModel::c_at(const std::vector<double>& p) const { return affine(c0, dc, p); }
 
 ZMatrix ReducedModel::transfer(cplx s, const std::vector<double>& p) const {
-    const ZMatrix pencil = la::pencil(g_at(p), c_at(p), s);
-    const ZMatrix x = la::solve_dense(pencil, la::to_complex(b));
-    return la::matmul(la::transpose(la::to_complex(l)), x);
+    // One-shot case of the batched evaluator: routing through RomEvalEngine
+    // keeps a SINGLE transfer code path, so a loop of transfer() calls is
+    // bit-identical to an engine grid by construction (the same contract the
+    // transient engine gives simulate()). Batch drivers should hold the
+    // engine themselves to amortize the packing and per-sample reduction.
+    RomEvalEngine engine(*this);
+    RomEvalWorkspace ws;
+    engine.stamp_parameters(p, ws);
+    return engine.transfer(s, ws);
 }
 
 ZMatrix ReducedModel::transfer_sensitivity(cplx s, const std::vector<double>& p,
                                            int param) const {
     check(param >= 0 && param < num_params(),
           "ReducedModel::transfer_sensitivity: parameter index out of range");
-    const la::DenseLu<cplx> k(la::pencil(g_at(p), c_at(p), s));
-    const ZMatrix x = k.solve(la::to_complex(b));  // K^-1 B
-    // dK/dp_i * x
-    const ZMatrix dk = la::pencil(dg[static_cast<std::size_t>(param)],
-                                  dc[static_cast<std::size_t>(param)], s);
-    const ZMatrix y = k.solve(la::matmul(dk, x));  // K^-1 dK K^-1 B
-    ZMatrix out = la::matmul(la::transpose(la::to_complex(l)), y);
-    for (cplx& v : out.raw()) v = -v;
-    return out;
+    // Batch-of-one on the engine (see transfer() above).
+    RomEvalEngine engine(*this);
+    RomEvalWorkspace ws;
+    engine.stamp_parameters(p, ws);
+    return engine.transfer_sensitivity(s, param, ws);
 }
 
 std::vector<cplx> ReducedModel::poles(const std::vector<double>& p) const {

@@ -34,6 +34,12 @@ struct ReducedModel {
     la::Matrix c_at(const std::vector<double>& p) const;
 
     /// Transfer function H(s, p) = L~^T (G~(p) + s C~(p))^-1 B~  (m x m).
+    ///
+    /// One-shot convenience: allocates fresh matrices per call. Batch
+    /// drivers (MC studies, sweeps) should evaluate through RomEvalEngine
+    /// (mor/rom_eval.h), which shares these exact kernels — engine results
+    /// are bit-identical to a loop of transfer() calls — but amortizes the
+    /// parameter stamping per sample and reuses all scratch.
     la::ZMatrix transfer(la::cplx s, const std::vector<double>& p) const;
 
     /// Analytic parameter sensitivity of the transfer function,

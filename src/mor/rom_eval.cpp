@@ -1,0 +1,342 @@
+#include "mor/rom_eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/eig.h"
+#include "la/ops.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace varmor::mor {
+
+using la::cplx;
+using la::Matrix;
+using la::ZMatrix;
+
+namespace {
+
+/// Packs base + sensitivity matrices into one contiguous buffer of
+/// (1 + num_params) blocks of q*q values (column-major within each block).
+std::vector<double> pack_terms(const Matrix& base, const std::vector<Matrix>& terms,
+                               int q) {
+    check(base.rows() == q && base.cols() == q, "RomEvalEngine: matrix shape mismatch");
+    const std::size_t block = static_cast<std::size_t>(q) * static_cast<std::size_t>(q);
+    std::vector<double> packed;
+    packed.reserve(block * (terms.size() + 1));
+    packed.insert(packed.end(), base.raw().begin(), base.raw().end());
+    for (const Matrix& t : terms) {
+        check(t.rows() == q && t.cols() == q, "RomEvalEngine: sensitivity shape mismatch");
+        packed.insert(packed.end(), t.raw().begin(), t.raw().end());
+    }
+    return packed;
+}
+
+/// out = block0 + sum_i p_i * block_{i+1}, same accumulation order (and the
+/// same skip of exact-zero parameters) as ReducedModel::g_at/c_at.
+void stamp_affine(const std::vector<double>& packed, const std::vector<double>& p,
+                  int q, Matrix& out) {
+    const std::size_t block = static_cast<std::size_t>(q) * static_cast<std::size_t>(q);
+    if (out.rows() != q || out.cols() != q) out = Matrix(q, q);
+    std::copy(packed.begin(), packed.begin() + static_cast<std::ptrdiff_t>(block),
+              out.raw().begin());
+    double* acc = out.raw().data();
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        if (p[i] == 0.0) continue;
+        const double pi = p[i];
+        const double* term = packed.data() + block * (i + 1);
+        for (std::size_t e = 0; e < block; ++e) acc[e] += pi * term[e];
+    }
+}
+
+/// In-place Householder reduction of `h` to upper Hessenberg form with the
+/// orthogonal transform accumulated into `q`: on return h is upper
+/// Hessenberg, q orthogonal, and  a_input = q * h * q^T. Column-oriented
+/// throughout (left transforms touch contiguous column tails, right
+/// transforms are two axpy sweeps over columns); `v` is reflector scratch.
+void hessenberg_with_q(Matrix& h, Matrix& q, std::vector<double>& v) {
+    const int n = h.rows();
+    if (q.rows() != n || q.cols() != n) q = Matrix(n, n);
+    q.fill(0.0);
+    for (int i = 0; i < n; ++i) q(i, i) = 1.0;
+    v.resize(static_cast<std::size_t>(n));
+    std::vector<double> w;
+
+    for (int k = 0; k + 2 < n; ++k) {
+        // Reflector annihilating h(k+2.., k): v spans rows k+1..n-1.
+        const int len = n - k - 1;
+        double* hk = h.col_data(k) + (k + 1);
+        double xnorm2 = 0.0;
+        for (int i = 0; i < len; ++i) xnorm2 += hk[i] * hk[i];
+        const double xnorm = std::sqrt(xnorm2);
+        if (xnorm == 0.0) continue;  // column already reduced
+        const double alpha = hk[0] >= 0.0 ? -xnorm : xnorm;
+        v[0] = hk[0] - alpha;
+        for (int i = 1; i < len; ++i) v[static_cast<std::size_t>(i)] = hk[i];
+        double vnorm2 = 0.0;
+        for (int i = 0; i < len; ++i)
+            vnorm2 += v[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
+        if (vnorm2 == 0.0) continue;
+        const double beta = 2.0 / vnorm2;
+
+        // Column k maps to (.., alpha, 0, ..) exactly; store that directly.
+        hk[0] = alpha;
+        for (int i = 1; i < len; ++i) hk[i] = 0.0;
+
+        // Left transform: rows k+1..n-1 of columns k+1..n-1.
+        for (int j = k + 1; j < n; ++j) {
+            double* cj = h.col_data(j) + (k + 1);
+            double dot = 0.0;
+            for (int i = 0; i < len; ++i) dot += v[static_cast<std::size_t>(i)] * cj[i];
+            const double f = beta * dot;
+            if (f == 0.0) continue;
+            for (int i = 0; i < len; ++i) cj[i] -= f * v[static_cast<std::size_t>(i)];
+        }
+
+        // Right transform on h and accumulation into q: M <- M (I - beta v v^T)
+        // over columns k+1..n-1, as two axpy sweeps through contiguous columns.
+        auto right_apply = [&](Matrix& m) {
+            w.assign(static_cast<std::size_t>(n), 0.0);
+            for (int c = 0; c < len; ++c) {
+                const double vc = v[static_cast<std::size_t>(c)];
+                if (vc == 0.0) continue;
+                const double* col = m.col_data(k + 1 + c);
+                for (int i = 0; i < n; ++i) w[static_cast<std::size_t>(i)] += vc * col[i];
+            }
+            for (int c = 0; c < len; ++c) {
+                const double f = beta * v[static_cast<std::size_t>(c)];
+                if (f == 0.0) continue;
+                double* col = m.col_data(k + 1 + c);
+                for (int i = 0; i < n; ++i) col[i] -= f * w[static_cast<std::size_t>(i)];
+            }
+        };
+        right_apply(h);
+        right_apply(q);
+    }
+}
+
+/// Solves (I + sH) X = R in place: Gaussian elimination with adjacent-row
+/// partial pivoting on the upper Hessenberg matrix (one subdiagonal, so each
+/// step eliminates a single entry and updates one row), right-hand sides
+/// carried along, then column-oriented back substitution. O(q^2 (1 + nrhs)).
+void hessenberg_solve(ZMatrix& m, ZMatrix& x) {
+    const int n = m.rows();
+    const int nrhs = x.cols();
+    for (int k = 0; k + 1 < n; ++k) {
+        if (std::abs(m(k + 1, k)) > std::abs(m(k, k))) {
+            for (int j = k; j < n; ++j) std::swap(m(k, j), m(k + 1, j));
+            for (int r = 0; r < nrhs; ++r) std::swap(x(k, r), x(k + 1, r));
+        }
+        check(std::abs(m(k, k)) > 0.0,
+              "RomEvalEngine: reduced pencil is numerically singular");
+        const cplx mult = m(k + 1, k) / m(k, k);
+        if (mult != cplx{}) {
+            for (int j = k + 1; j < n; ++j) m(k + 1, j) -= mult * m(k, j);
+            for (int r = 0; r < nrhs; ++r) x(k + 1, r) -= mult * x(k, r);
+        }
+    }
+    check(std::abs(m(n - 1, n - 1)) > 0.0,
+          "RomEvalEngine: reduced pencil is numerically singular");
+    for (int j = n - 1; j >= 0; --j) {
+        const cplx* cj = m.col_data(j);
+        for (int r = 0; r < nrhs; ++r) {
+            cplx* xr = x.col_data(r);
+            xr[j] /= cj[j];
+            const cplx xj = xr[j];
+            if (xj == cplx{}) continue;
+            for (int i = 0; i < j; ++i) xr[i] -= cj[i] * xj;
+        }
+    }
+}
+
+}  // namespace
+
+RomEvalEngine::RomEvalEngine(const ReducedModel& model)
+    : q_(model.size()), np_(model.num_params()), m_(model.num_ports()) {
+    check(q_ >= 1, "RomEvalEngine: empty reduced model");
+    check(model.c0.rows() == q_ && model.c0.cols() == q_,
+          "RomEvalEngine: C~0 shape mismatch");
+    check(model.b.rows() == q_ && model.l.rows() == q_,
+          "RomEvalEngine: port matrix row mismatch");
+    check(model.l.cols() == m_, "RomEvalEngine: L~ column mismatch");
+    check(model.dg.size() == model.dc.size(),
+          "RomEvalEngine: sensitivity family size mismatch");
+    g_terms_ = pack_terms(model.g0, model.dg, q_);
+    c_terms_ = pack_terms(model.c0, model.dc, q_);
+    b_ = model.b;
+    l_ = model.l;
+    bz_ = la::to_complex(model.b);
+    lzt_ = la::transpose(la::to_complex(model.l));
+}
+
+void RomEvalEngine::stamp_parameters(const std::vector<double>& p,
+                                     RomEvalWorkspace& ws) const {
+    check(static_cast<int>(p.size()) == np_,
+          "RomEvalEngine: parameter vector length mismatch");
+    stamp_affine(g_terms_, p, q_, ws.gp);
+    stamp_affine(c_terms_, p, q_, ws.cp);
+    ws.stamped = true;
+    ws.transfer_ready = false;
+}
+
+void RomEvalEngine::prepare_transfer(RomEvalWorkspace& ws) const {
+    // Per-sample stage, all real arithmetic: factor G~(p), form
+    // A = G~^-1 C~, reduce to Hessenberg H = Q^T A Q, and push the ports
+    // through the transform: R = Q^T G~^-1 B~ and L~^T Q.
+    //
+    // The Hessenberg split needs G~(p) itself to be invertible — a stronger
+    // requirement than the old direct path, which only needed the pencil
+    // G~ + sC~ at the evaluated s. When G~(p) is singular (e.g. an affine
+    // term cancels a conductance at this corner), fall back to a direct
+    // per-frequency pencil factorization for this SAMPLE. The choice depends
+    // only on the stamped values, so looped and batched evaluation take the
+    // same branch and stay bit-identical.
+    try {
+        ws.glu.factor(ws.gp);
+        ws.direct_fallback = false;
+    } catch (const Error&) {
+        ws.direct_fallback = true;
+        ws.transfer_ready = true;
+        return;
+    }
+    if (ws.hh.rows() != q_ || ws.hh.cols() != q_) ws.hh = Matrix(q_, q_);
+    ws.hh.raw() = ws.cp.raw();
+    ws.glu.solve_inplace(ws.hh);  // A = G^-1 C
+    hessenberg_with_q(ws.hh, ws.qh, ws.hv);
+
+    Matrix r0 = b_;
+    ws.glu.solve_inplace(r0);                    // G^-1 B
+    ws.rh = la::matmul_transA(ws.qh, r0);        // Q^T G^-1 B
+    ws.lqz = la::to_complex(la::matmul_transA(l_, ws.qh));  // L^T Q
+    ws.transfer_ready = true;
+}
+
+ZMatrix RomEvalEngine::transfer(cplx s, RomEvalWorkspace& ws) const {
+    check(ws.stamped, "RomEvalEngine::transfer: stamp_parameters first");
+    if (!ws.transfer_ready) prepare_transfer(ws);
+
+    if (ws.direct_fallback) {
+        // Singular-G~ sample: factor the complex pencil at this frequency
+        // directly (the pencil is typically invertible at s != 0 even when
+        // G~ alone is not).
+        ZMatrix& k = ws.klu.stamp(q_);
+        const double* g = ws.gp.raw().data();
+        const double* c = ws.cp.raw().data();
+        cplx* out = k.raw().data();
+        for (std::size_t e = 0; e < k.raw().size(); ++e) out[e] = g[e] + s * c[e];
+        ws.klu.factor_stamped();
+        if (ws.x.rows() != q_ || ws.x.cols() != m_) ws.x = ZMatrix(q_, m_);
+        ws.x.raw() = bz_.raw();
+        ws.klu.solve_inplace(ws.x);
+        return la::matmul(lzt_, ws.x);
+    }
+
+    // Per-frequency stage: K^-1 B~ = Q (I + sH)^-1 Q^T G~^-1 B~, one complex
+    // Hessenberg solve. Only the Hessenberg band of I + sH is stamped (the
+    // solve never reads below the first subdiagonal).
+    if (ws.ms.rows() != q_ || ws.ms.cols() != q_) ws.ms = ZMatrix(q_, q_);
+    for (int j = 0; j < q_; ++j) {
+        const double* hj = ws.hh.col_data(j);
+        cplx* mj = ws.ms.col_data(j);
+        const int imax = std::min(j + 1, q_ - 1);
+        for (int i = 0; i <= imax; ++i) mj[i] = s * hj[i];
+        mj[j] += 1.0;
+    }
+    if (ws.xs.rows() != q_ || ws.xs.cols() != m_) ws.xs = ZMatrix(q_, m_);
+    for (std::size_t e = 0; e < ws.xs.raw().size(); ++e)
+        ws.xs.raw()[e] = ws.rh.raw()[e];
+    hessenberg_solve(ws.ms, ws.xs);
+    return la::matmul(ws.lqz, ws.xs);  // L~^T Q (I+sH)^-1 Q^T G^-1 B~
+}
+
+ZMatrix RomEvalEngine::transfer_sensitivity(cplx s, int param,
+                                            RomEvalWorkspace& ws) const {
+    check(ws.stamped, "RomEvalEngine::transfer_sensitivity: stamp_parameters first");
+    check(param >= 0 && param < np_,
+          "RomEvalEngine::transfer_sensitivity: parameter index out of range");
+    // Direct path: factor K = G~(p) + sC~(p) once into the workspace and
+    // apply it twice — the sensitivity chain needs K^-1 against an arbitrary
+    // complex right-hand side, which the real Hessenberg data cannot serve.
+    ZMatrix& k = ws.klu.stamp(q_);
+    {
+        const double* g = ws.gp.raw().data();
+        const double* c = ws.cp.raw().data();
+        cplx* out = k.raw().data();
+        const std::size_t total = k.raw().size();
+        for (std::size_t e = 0; e < total; ++e) out[e] = g[e] + s * c[e];
+    }
+    ws.klu.factor_stamped();
+    if (ws.x.rows() != q_ || ws.x.cols() != m_) ws.x = ZMatrix(q_, m_);
+    ws.x.raw() = bz_.raw();
+    ws.klu.solve_inplace(ws.x);  // K^-1 B~
+
+    // dK = G~_i + s C~_i from the packed terms.
+    if (ws.dk.rows() != q_ || ws.dk.cols() != q_) ws.dk = ZMatrix(q_, q_);
+    const std::size_t block = static_cast<std::size_t>(q_) * static_cast<std::size_t>(q_);
+    const double* dg = g_terms_.data() + block * static_cast<std::size_t>(param + 1);
+    const double* dc = c_terms_.data() + block * static_cast<std::size_t>(param + 1);
+    cplx* dk = ws.dk.raw().data();
+    for (std::size_t e = 0; e < block; ++e) dk[e] = dg[e] + s * dc[e];
+
+    la::matmul_into(ws.dk, ws.x, ws.dkx);  // dK K^-1 B~
+    ws.klu.solve_inplace(ws.dkx);          // K^-1 dK K^-1 B~
+    ZMatrix out = la::matmul(lzt_, ws.dkx);
+    for (cplx& v : out.raw()) v = -v;
+    return out;
+}
+
+std::vector<cplx> RomEvalEngine::poles(RomEvalWorkspace& ws) const {
+    check(ws.stamped, "RomEvalEngine::poles: stamp_parameters first");
+    // mu-eigenvalues of A = -G^-1 C; finite poles are s = -1/mu, mu != 0 —
+    // the same computation (and cutoff) as ReducedModel::poles().
+    ws.glu.factor(ws.gp);
+    if (ws.ac.rows() != q_ || ws.ac.cols() != q_) ws.ac = Matrix(q_, q_);
+    ws.ac.raw() = ws.cp.raw();
+    ws.glu.solve_inplace(ws.ac);  // G^-1 C (sign folded below)
+    std::vector<cplx> mus = la::eig_values(ws.ac);
+    std::vector<cplx> poles;
+    const double cutoff = 1e-14 * (1.0 + la::norm_fro(ws.ac));
+    for (const cplx& mu : mus) {
+        if (std::abs(mu) <= cutoff) continue;  // pole at infinity
+        poles.push_back(-1.0 / mu);            // s = -1/mu with mu from +G^-1 C
+    }
+    std::sort(poles.begin(), poles.end(),
+              [](cplx x, cplx y) { return std::abs(x) < std::abs(y); });
+    return poles;
+}
+
+std::vector<std::vector<ZMatrix>> RomEvalEngine::transfer_grid(
+    const std::vector<std::vector<double>>& samples, const std::vector<cplx>& s_points,
+    int threads) const {
+    const int ns = static_cast<int>(samples.size());
+    const int nf = static_cast<int>(s_points.size());
+    std::vector<std::vector<ZMatrix>> out(samples.size());
+    for (auto& row : out) row.resize(s_points.size());
+    if (ns == 0 || nf == 0) return out;
+
+    // Flatten (sample, frequency) into one index space so chunks stay
+    // balanced when either dimension is small. Chunks are contiguous, so a
+    // worker's frequencies for one sample are consecutive and the sample is
+    // stamped (and Hessenberg-reduced) exactly once per (chunk, sample)
+    // pair. The per-sample preparation is deterministic, so a sample split
+    // across chunks still yields identical values — bit-identical results at
+    // any thread count.
+    util::ThreadPool::run_chunks(
+        threads, 0, ns * nf, [&](int, int chunk_begin, int chunk_end) {
+            RomEvalWorkspace ws;
+            int current_sample = -1;
+            for (int idx = chunk_begin; idx < chunk_end; ++idx) {
+                const int i = idx / nf;
+                const int j = idx % nf;
+                if (i != current_sample) {
+                    stamp_parameters(samples[static_cast<std::size_t>(i)], ws);
+                    current_sample = i;
+                }
+                out[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+                    transfer(s_points[static_cast<std::size_t>(j)], ws);
+            }
+        });
+    return out;
+}
+
+}  // namespace varmor::mor

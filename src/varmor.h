@@ -42,6 +42,7 @@
 #include "mor/passivity.h"
 #include "mor/prima.h"
 #include "mor/reduced_model.h"
+#include "mor/rom_eval.h"
 #include "mor/single_point.h"
 #include "mor/tbr.h"
 #include "sparse/arnoldi.h"

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "la/dense.h"
 #include "la/ops.h"
 #include "test_helpers.h"
@@ -9,6 +11,7 @@ namespace {
 
 using testing::expect_near;
 using testing::random_matrix;
+using testing::random_zmatrix;
 
 TEST(Dense, ConstructionAndAccess) {
     Matrix a(2, 3);
@@ -108,6 +111,59 @@ TEST(Ops, MatMulTransAEqualsExplicitTranspose) {
     Matrix a = random_matrix(6, 3, rng);
     Matrix b = random_matrix(6, 4, rng);
     expect_near(matmul_transA(a, b), matmul(transpose(a), b), 1e-13);
+}
+
+/// The blocked kernels must agree with the unblocked reference loops on
+/// every remainder path: sizes straddling the 4-wide j/i blocks and the
+/// 2-wide k block, including degenerate 1-row/1-column shapes.
+class BlockedMatmulShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BlockedMatmulShapes, MatchesNaiveReference) {
+    const auto [m, k, n] = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(m * 1000 + k * 100 + n));
+    const Matrix a = random_matrix(m, k, rng);
+    const Matrix b = random_matrix(k, n, rng);
+    const double scale = 1.0 + norm_max(matmul_naive(a, b));
+    expect_near(matmul(a, b), matmul_naive(a, b), 1e-13 * scale, "matmul");
+
+    const Matrix at = random_matrix(k, m, rng);  // shared rows with bt below
+    const Matrix bt = random_matrix(k, n, rng);
+    const double tscale = 1.0 + norm_max(matmul_transA_naive(at, bt));
+    expect_near(matmul_transA(at, bt), matmul_transA_naive(at, bt), 1e-13 * tscale,
+                "matmul_transA");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RectangularAndOdd, BlockedMatmulShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 7),
+                      std::make_tuple(4, 4, 4), std::make_tuple(5, 4, 3),
+                      std::make_tuple(8, 2, 9), std::make_tuple(13, 17, 11),
+                      std::make_tuple(1, 12, 4), std::make_tuple(12, 1, 5),
+                      std::make_tuple(6, 9, 1), std::make_tuple(33, 47, 29)));
+
+TEST(Ops, BlockedMatmulComplexMatchesNaive) {
+    util::Rng rng(44);
+    const ZMatrix a = random_zmatrix(9, 13, rng);
+    const ZMatrix b = random_zmatrix(13, 6, rng);
+    EXPECT_LE(norm_max(matmul(a, b) - matmul_naive(a, b)),
+              1e-13 * (1.0 + norm_max(matmul_naive(a, b))));
+    const ZMatrix at = random_zmatrix(13, 9, rng);
+    EXPECT_LE(norm_max(matmul_transA(at, b) - matmul_transA_naive(at, b)),
+              1e-13 * (1.0 + norm_max(matmul_transA_naive(at, b))));
+}
+
+TEST(Ops, MatmulIntoReusesStorageAndMatchesMatmul) {
+    util::Rng rng(45);
+    const Matrix a = random_matrix(7, 5, rng);
+    const Matrix b = random_matrix(5, 6, rng);
+    Matrix c(7, 6, 99.0);  // stale contents must be overwritten, not added to
+    matmul_into(a, b, c);
+    expect_near(c, matmul(a, b), 0.0);
+    // Shape mismatch: resized, then exact again.
+    Matrix d(2, 2);
+    matmul_into(a, b, d);
+    expect_near(d, matmul(a, b), 0.0);
 }
 
 TEST(Ops, TransposeInvolution) {

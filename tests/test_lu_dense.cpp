@@ -96,5 +96,77 @@ TEST(DenseLu, MultipleRhs) {
     expect_near(matmul(a, x), b, 1e-10);
 }
 
+TEST(DenseLu, MatrixSolveBitIdenticalToColumnwiseVectorSolves) {
+    util::Rng rng(34);
+    Matrix a = random_dd_matrix(9, rng);
+    Matrix b = random_matrix(9, 7, rng);  // odd count exercises the rhs-block tail
+    DenseLu<double> lu(a);
+    const Matrix x = lu.solve(b);
+    for (int j = 0; j < b.cols(); ++j) {
+        const Vector xj = lu.solve(b.col(j));
+        for (int i = 0; i < 9; ++i) EXPECT_EQ(x(i, j), xj[i]) << i << "," << j;
+    }
+}
+
+TEST(DenseLuWorkspace, RealPencilBitIdenticalToDenseLu) {
+    util::Rng rng(51);
+    DenseLuWorkspace<double> ws;
+    for (int n : {1, 3, 8, 20}) {
+        Matrix a = random_dd_matrix(n, rng);
+        Matrix b = random_matrix(n, 3, rng);
+        ws.factor(a);  // one workspace reused across sizes
+        Matrix x = b;
+        ws.solve_inplace(x);
+        const Matrix x_ref = DenseLu<double>(a).solve(b);
+        EXPECT_EQ(norm_max(x - x_ref), 0.0) << "n=" << n;
+    }
+}
+
+TEST(DenseLuWorkspace, ComplexPencilBitIdenticalToDenseLu) {
+    util::Rng rng(52);
+    DenseLuWorkspace<cplx> ws;
+    for (int n : {2, 5, 13}) {
+        ZMatrix a = random_zmatrix(n, n, rng);
+        for (int i = 0; i < n; ++i) a(i, i) += cplx(n, n);
+        ZMatrix b = random_zmatrix(n, 2, rng);
+        ws.factor(a);
+        ZMatrix x = b;
+        ws.solve_inplace(x);
+        const ZMatrix x_ref = DenseLu<cplx>(a).solve(b);
+        EXPECT_EQ(norm_max(x - x_ref), 0.0) << "n=" << n;
+        // Vector path shares the kernels too.
+        ZVector v = b.col(0);
+        ws.solve_inplace(v);
+        for (int i = 0; i < n; ++i) EXPECT_EQ(v[i], x_ref(i, 0));
+    }
+}
+
+TEST(DenseLuWorkspace, StampThenFactorMatchesFactorCopy) {
+    util::Rng rng(53);
+    const Matrix a = random_dd_matrix(7, rng);
+    const Matrix b = random_matrix(7, 2, rng);
+
+    DenseLuWorkspace<double> by_copy;
+    by_copy.factor(a);
+    Matrix x1 = b;
+    by_copy.solve_inplace(x1);
+
+    DenseLuWorkspace<double> by_stamp;
+    by_stamp.stamp(7).raw() = a.raw();
+    by_stamp.factor_stamped();
+    Matrix x2 = b;
+    by_stamp.solve_inplace(x2);
+
+    EXPECT_EQ(norm_max(x1 - x2), 0.0);
+}
+
+TEST(DenseLuWorkspace, SingularThrowsAndGuardsSolve) {
+    DenseLuWorkspace<double> ws;
+    Matrix singular{{1.0, 2.0}, {2.0, 4.0}};
+    EXPECT_THROW(ws.factor(singular), Error);
+    Vector b{1.0, 1.0};
+    EXPECT_THROW(ws.solve_inplace(b), Error);  // no valid factorization held
+}
+
 }  // namespace
 }  // namespace varmor::la

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "analysis/freq_sweep.h"
+#include "la/ops.h"
+#include "mor/prima.h"
+#include "mor/reduced_model.h"
+#include "mor/rom_eval.h"
+#include "mor_test_utils.h"
+#include "util/constants.h"
+
+namespace varmor::mor {
+namespace {
+
+using la::cplx;
+using la::ZMatrix;
+
+/// A reduced parametric model of a small random RC tree (q = blocks * ports).
+ReducedModel make_model(int nodes = 40, int num_params = 3, std::uint64_t seed = 7,
+                        int blocks = 6) {
+    const circuit::ParametricSystem sys =
+        testing::small_parametric_rc(nodes, num_params, seed);
+    PrimaOptions popts;
+    popts.blocks = blocks;
+    const la::Matrix v =
+        prima_basis_at(sys, std::vector<double>(static_cast<std::size_t>(num_params), 0.0),
+                       popts);
+    return project(sys, v);
+}
+
+std::vector<std::vector<double>> make_samples(int count, int num_params,
+                                              std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<std::vector<double>> samples;
+    for (int k = 0; k < count; ++k) {
+        std::vector<double> p(static_cast<std::size_t>(num_params));
+        for (double& x : p) x = rng.uniform(-0.2, 0.2);
+        samples.push_back(std::move(p));
+    }
+    // Include the nominal point: its skip-zero stamping path must agree too.
+    samples.push_back(std::vector<double>(static_cast<std::size_t>(num_params), 0.0));
+    return samples;
+}
+
+std::vector<cplx> make_s_points(int count) {
+    std::vector<cplx> s;
+    for (double f : analysis::log_frequencies(1e6, 1e10, count))
+        s.emplace_back(0.0, util::two_pi_f(f));
+    return s;
+}
+
+double max_grid_deviation(const std::vector<std::vector<ZMatrix>>& a,
+                          const std::vector<std::vector<ZMatrix>>& b) {
+    double dev = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        for (std::size_t j = 0; j < a[i].size(); ++j)
+            dev = std::max(dev, la::norm_max(a[i][j] - b[i][j]));
+    return dev;
+}
+
+TEST(RomEvalEngine, GridBitIdenticalToLoopedTransfer) {
+    const ReducedModel model = make_model();
+    const RomEvalEngine engine(model);
+    const auto samples = make_samples(5, model.num_params(), 11);
+    const auto s_points = make_s_points(7);
+
+    std::vector<std::vector<ZMatrix>> looped;
+    for (const auto& p : samples) {
+        std::vector<ZMatrix> row;
+        for (const cplx& s : s_points) row.push_back(model.transfer(s, p));
+        looped.push_back(std::move(row));
+    }
+
+    for (int threads : {1, 8}) {
+        const auto grid = engine.transfer_grid(samples, s_points, threads);
+        EXPECT_EQ(max_grid_deviation(grid, looped), 0.0)
+            << "engine grid deviates from looped transfer() at threads=" << threads;
+    }
+}
+
+TEST(RomEvalEngine, SensitivityBitIdenticalToLooped) {
+    const ReducedModel model = make_model();
+    const RomEvalEngine engine(model);
+    const auto samples = make_samples(3, model.num_params(), 13);
+    const cplx s(0.0, util::two_pi_f(3e8));
+
+    RomEvalWorkspace ws;
+    for (const auto& p : samples) {
+        engine.stamp_parameters(p, ws);
+        for (int i = 0; i < model.num_params(); ++i) {
+            const ZMatrix looped = model.transfer_sensitivity(s, p, i);
+            const ZMatrix batched = engine.transfer_sensitivity(s, i, ws);
+            EXPECT_EQ(la::norm_max(batched - looped), 0.0) << "param " << i;
+        }
+    }
+}
+
+TEST(RomEvalEngine, PolesBitIdenticalToModelPoles) {
+    const ReducedModel model = make_model();
+    const RomEvalEngine engine(model);
+    RomEvalWorkspace ws;
+    for (const auto& p : make_samples(4, model.num_params(), 17)) {
+        engine.stamp_parameters(p, ws);
+        const auto batched = engine.poles(ws);
+        const auto looped = model.poles(p);
+        ASSERT_EQ(batched.size(), looped.size());
+        for (std::size_t k = 0; k < batched.size(); ++k)
+            EXPECT_EQ(batched[k], looped[k]) << "pole " << k;
+    }
+}
+
+TEST(RomEvalEngine, WorkspaceReuseIsDeterministic) {
+    // One workspace across samples of different character (zero / nonzero
+    // parameters) must give the same answers as a fresh workspace per call.
+    const ReducedModel model = make_model();
+    const RomEvalEngine engine(model);
+    const auto samples = make_samples(4, model.num_params(), 19);
+    const cplx s(0.0, util::two_pi_f(1e9));
+
+    RomEvalWorkspace reused;
+    for (const auto& p : samples) {
+        RomEvalWorkspace fresh;
+        engine.stamp_parameters(p, reused);
+        engine.stamp_parameters(p, fresh);
+        EXPECT_EQ(la::norm_max(engine.transfer(s, reused) - engine.transfer(s, fresh)),
+                  0.0);
+    }
+}
+
+TEST(RomEvalEngine, TransferRequiresStamp) {
+    const ReducedModel model = make_model(20, 2, 3, 4);
+    const RomEvalEngine engine(model);
+    RomEvalWorkspace ws;
+    EXPECT_THROW(engine.transfer(cplx(0, 1), ws), Error);
+    engine.stamp_parameters({0.1, -0.1}, ws);
+    EXPECT_NO_THROW(engine.transfer(cplx(0, 1), ws));
+    EXPECT_THROW(engine.transfer_sensitivity(cplx(0, 1), 2, ws), Error);
+    EXPECT_THROW(engine.stamp_parameters({0.1}, ws), Error);
+}
+
+TEST(RomEvalEngine, SweepReducedMatchesLoopAtAnyThreadCount) {
+    const ReducedModel model = make_model();
+    const std::vector<double> p{0.05, -0.1, 0.15};
+    const auto freqs = analysis::log_frequencies(1e6, 1e10, 12);
+
+    std::vector<ZMatrix> looped;
+    for (double f : freqs)
+        looped.push_back(model.transfer(cplx(0.0, util::two_pi_f(f)), p));
+
+    for (int threads : {1, 8}) {
+        const auto swept = analysis::sweep_reduced(model, p, freqs, threads);
+        ASSERT_EQ(swept.size(), looped.size());
+        for (std::size_t i = 0; i < swept.size(); ++i)
+            EXPECT_EQ(la::norm_max(swept[i] - looped[i]), 0.0)
+                << "frequency " << i << " at threads=" << threads;
+    }
+}
+
+TEST(RomEvalEngine, SingularGFallsBackToDirectPencil) {
+    // G~ singular but the pencil G~ + sC~ invertible at s != 0: a pure
+    // capacitor. The Hessenberg split cannot form G~^-1 C~, so the engine
+    // must fall back to per-frequency pencil factorization — and stay
+    // bit-identical to the looped transfer() path (same branch, same values).
+    ReducedModel m;
+    m.g0 = la::Matrix{{0.0}};
+    m.c0 = la::Matrix{{1.0}};
+    m.b = la::Matrix{{1.0}};
+    m.l = la::Matrix{{1.0}};
+    const cplx s(0.0, 2.0);
+    const RomEvalEngine engine(m);
+    RomEvalWorkspace ws;
+    engine.stamp_parameters({}, ws);
+    const ZMatrix h = engine.transfer(s, ws);
+    EXPECT_LE(std::abs(h(0, 0) - cplx(0.0, -0.5)), 1e-14);  // 1/(2i)
+    EXPECT_EQ(h(0, 0), m.transfer(s, {})(0, 0));
+}
+
+TEST(RomEvalEngine, EmptyGridDimensions) {
+    const ReducedModel model = make_model(20, 2, 5, 4);
+    const RomEvalEngine engine(model);
+    EXPECT_TRUE(engine.transfer_grid({}, make_s_points(3)).empty());
+    const auto grid = engine.transfer_grid({{0.0, 0.0}}, {});
+    ASSERT_EQ(grid.size(), 1u);
+    EXPECT_TRUE(grid[0].empty());
+}
+
+}  // namespace
+}  // namespace varmor::mor

@@ -175,6 +175,20 @@ TEST(SparseLu, MultipleRhsMatrixSolve) {
     varmor::testing::expect_near(a.apply(x), b, 1e-9);
 }
 
+TEST(SparseLu, BlockedMatrixSolveBitIdenticalToVectorSolves) {
+    // The blocked multi-RHS path must run the identical operation sequence
+    // per column as solo solves — including past the 8-wide block boundary.
+    util::Rng rng(7);
+    Csc a = random_sparse(30, 0.15, rng, 4.0);
+    SparseLu lu(a);
+    Matrix b = random_matrix(30, 11, rng);
+    Matrix x = lu.solve(b);
+    for (int j = 0; j < b.cols(); ++j) {
+        const Vector xj = lu.solve(b.col(j));
+        for (int i = 0; i < 30; ++i) EXPECT_EQ(x(i, j), xj[i]) << i << "," << j;
+    }
+}
+
 TEST(SparseLu, NonSquareThrows) {
     Triplets t(2, 3);
     t.add(0, 0, 1.0);
