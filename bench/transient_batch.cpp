@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
     // did before the engine existed.
     util::Timer t;
     const double inv_h = 1.0 / topts.dt;
+    const analysis::detail::StepGrid grid = analysis::detail::make_grid(topts);
     std::vector<analysis::TransientResult> legacy;
     legacy.reserve(corners.size());
     for (const auto& p : corners) {
@@ -83,11 +84,11 @@ int main(int argc, char** argv) {
         const sparse::SparseLu lu(lhs);
         // Pre-batching behavior recomputed the input series per corner.
         const auto forcing = analysis::detail::forcing_series(
-            topts, input, [&](const la::Vector& u) { return la::matvec(sys.b, u); });
+            grid, input, [&](const la::Vector& u) { return la::matvec(sys.b, u); });
         legacy.push_back(analysis::detail::trapezoidal(
-            sys.num_ports(), topts, forcing,
-            [&](const la::Vector& r) { return lu.solve(r); },
-            [&](const la::Vector& x) { return rhs_m.apply(x); },
+            sys.num_ports(), grid, forcing,
+            [&](int, const la::Vector& r) { return lu.solve(r); },
+            [&](int, const la::Vector& x) { return rhs_m.apply(x); },
             [&](const la::Vector& x) { return la::matvec_transpose(sys.l, x); },
             sys.size()));
     }

@@ -11,7 +11,7 @@
 #include <iostream>
 
 #include "analysis/monte_carlo.h"
-#include "analysis/transient_batch.h"
+#include "analysis/variability_study.h"
 #include "circuit/generators.h"
 #include "circuit/mna.h"
 #include "mor/lowrank_pmor.h"
@@ -48,12 +48,15 @@ int main() {
         assemble_mna(circuit::clock_tree(circuit::rcnet_b_options()));
     std::printf("RCNetB-class tree: %d nodes, width params for M5/M6/M7\n", sys.size());
 
+    // The session facade: one solve context + one cached ROM shared by every
+    // study below (pole MC, transient delay study).
+    analysis::VariabilityStudy study(sys);
     mor::LowRankPmorOptions opts;
     opts.s_order = 3;
     opts.param_order = 3;
     opts.rank = 2;
-    mor::LowRankPmorResult rom = mor::lowrank_pmor(sys, opts);
-    std::printf("parametric ROM: %d states\n\n", rom.model.size());
+    const mor::ReducedModel& rom = study.rom(opts);
+    std::printf("parametric ROM: %d states\n\n", rom.size());
 
     // 2000 samples of +-3 sigma (30%) width variation per layer.
     analysis::MonteCarloOptions mc;
@@ -65,7 +68,7 @@ int main() {
     std::vector<double> time_constants;  // -1/Re(dominant pole), in ps
     time_constants.reserve(samples.size());
     for (const auto& p : samples) {
-        const auto poles = analysis::dominant_poles_reduced(rom.model, p, 1);
+        const auto poles = analysis::dominant_poles_reduced(rom, p, 1);
         time_constants.push_back(-1e12 / poles.front().real());
     }
     const double rom_ms = timer.milliseconds();
@@ -85,39 +88,43 @@ int main() {
     // Histogram of the delay-proxy distribution.
     print_histogram(analysis::make_histogram(time_constants, 12), "tau bin [ps]");
 
-    // Time-domain cross-check on the batched transient engine: the measured
-    // 50%-crossing delay distribution of the full system over a corner batch
-    // (one union pattern + symbolic LU, numeric refactorize per corner).
+    // Time-domain cross-check on the batched transient engine (through the
+    // facade, so it reuses the context's symbolic analysis): the measured
+    // 50%-crossing delay distribution over a corner batch, on a variable-
+    // step grid — a fine-dt edge window, then a coarse settling tail with
+    // one extra refactorization per corner at the dt change.
     const std::vector<std::vector<double>> corners(samples.begin(), samples.begin() + 128);
     analysis::TransientStudyOptions sopts;
-    sopts.transient.t_stop = 12e-12 * mean;  // ~12 dominant time constants
-    sopts.transient.dt = sopts.transient.t_stop / 240.0;
+    const double t_stop = 12e-12 * mean;  // ~12 dominant time constants
+    sopts.transient.schedule = {
+        {t_stop / 3.0, t_stop / 480.0},        // edge window: fine steps
+        {2.0 * t_stop / 3.0, t_stop / 120.0},  // settling tail: 4x coarser
+    };
     timer.reset();
-    const analysis::TransientStudy study = analysis::transient_study(sys, corners, sopts);
+    const analysis::TransientStudy delay = study.transient(corners, sopts);
     const double study_ms = timer.milliseconds();
-    std::printf("\nfull-system delay study (batched transient engine): "
-                "%zu corners in %.0f ms\n", corners.size(), study_ms);
+    std::printf("\nfull-system delay study (batched transient engine, "
+                "variable-step grid): %zu corners in %.0f ms\n", corners.size(), study_ms);
     std::printf("50%% crossing delay: mean %.2f ps, sigma %.2f ps (%.1f%%), "
-                "%d/%zu corners crossed\n", 1e12 * study.mean_delay,
-                1e12 * study.sigma_delay,
-                100.0 * study.sigma_delay / study.mean_delay, study.num_crossed,
+                "%d/%zu corners crossed\n", 1e12 * delay.mean_delay,
+                1e12 * delay.sigma_delay,
+                100.0 * delay.sigma_delay / delay.mean_delay, delay.num_crossed,
                 corners.size());
-    print_histogram(study.histogram, "delay bin [ps]", 1e12);
-    const bool delay_ok = study.num_crossed == static_cast<int>(corners.size()) &&
-                          study.sigma_delay > 0.0 &&
-                          study.sigma_delay < 0.5 * study.mean_delay;
+    print_histogram(delay.histogram, "delay bin [ps]", 1e12);
+    const bool delay_ok = delay.num_crossed == static_cast<int>(corners.size()) &&
+                          delay.sigma_delay > 0.0 &&
+                          delay.sigma_delay < 0.5 * delay.mean_delay;
     std::printf("delay distribution sane (all corners crossed, 0 < sigma < 50%% of "
                 "mean) -> %s\n", delay_ok ? "PASS" : "FAIL");
 
-    // Spot-check a handful of samples against the full model.
-    double worst = 0;
+    // Spot-check a handful of samples against the full model, on the shared
+    // context + cached ROM engine (one symbolic analysis for the whole MC).
     analysis::PoleOptions popts;
     popts.count = 1;
-    for (std::size_t k = 0; k < samples.size(); k += 400) {
-        const auto full = analysis::dominant_poles_at(sys, samples[k], popts);
-        const auto red = analysis::dominant_poles_reduced(rom.model, samples[k], 3);
-        worst = std::max(worst, analysis::pole_match_errors(full, red).front());
-    }
+    std::vector<std::vector<double>> spot;
+    for (std::size_t k = 0; k < samples.size(); k += 400) spot.push_back(samples[k]);
+    const analysis::PoleErrorStudy spot_study = study.pole_errors(spot, popts);
+    const double worst = spot_study.max_error;
     std::printf("\nspot-check vs full model (every 400th sample): worst rel err %.2e -> %s\n",
                 worst, worst < 1e-2 ? "PASS" : "FAIL");
     return worst < 1e-2 && delay_ok ? 0 : 1;

@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "analysis/freq_sweep.h"
+#include "analysis/variability_study.h"
 #include "circuit/generators.h"
 #include "circuit/mna.h"
 #include "mor/lowrank_pmor.h"
@@ -23,9 +23,12 @@ using namespace varmor;
 
 namespace {
 
-double corner_error(const circuit::ParametricSystem& sys, const mor::ReducedModel& model,
-                    const std::vector<double>& p, const std::vector<double>& freqs) {
-    const auto full = analysis::sweep_full(sys, p, freqs);
+double corner_error(const analysis::VariabilityStudy& study,
+                    const mor::ReducedModel& model, const std::vector<double>& p,
+                    const std::vector<double>& freqs) {
+    // Full-system sweeps route through the study's shared solve context: the
+    // symbolic pencil analysis is paid once for ALL corners and models.
+    const auto full = study.sweep(p, freqs);
     const auto red = analysis::sweep_reduced(model, p, freqs);
     const auto mf = analysis::magnitude_series(full, 1, 0);
     const auto mr = analysis::magnitude_series(red, 1, 0);
@@ -41,6 +44,10 @@ int main() {
     net_opts.unknowns = 400;
     circuit::ParametricSystem sys = assemble_mna(circuit::random_rc_net(net_opts));
 
+    // One facade for the whole session: every full-system sweep below shares
+    // its solve context, and the low-rank ROM is cached for the batched grid.
+    analysis::VariabilityStudy study(sys);
+
     util::Timer t;
     mor::PrimaOptions prima_opts;
     prima_opts.blocks = 6;
@@ -51,8 +58,10 @@ int main() {
     t.reset();
     mor::MultiPointOptions mp_opts;
     mp_opts.blocks_per_sample = 6;
-    mor::MultiPointResult mp =
-        mor::multi_point_basis(sys, mor::grid_samples(2, {-1.0, 0.0, 1.0}), mp_opts);
+    // The multi-point expansion shares the study's context too: one symbolic
+    // analysis serves all 9 expansion-point factorizations.
+    mor::MultiPointResult mp = mor::multi_point_basis(
+        study.context(), mor::grid_samples(2, {-1.0, 0.0, 1.0}), mp_opts);
     mor::ReducedModel multi = mor::project(sys, mp.basis);
     const double t_multi = t.milliseconds();
 
@@ -78,9 +87,9 @@ int main() {
         for (double p1 : {-1.0, 0.0, 1.0}) {
             const std::vector<double> p{p0, p1};
             corners.push_back(p);
-            const double e_nom = corner_error(sys, nominal, p, freqs);
-            const double e_mp = corner_error(sys, multi, p, freqs);
-            const double e_lr = corner_error(sys, lr.model, p, freqs);
+            const double e_nom = corner_error(study, nominal, p, freqs);
+            const double e_mp = corner_error(study, multi, p, freqs);
+            const double e_lr = corner_error(study, lr.model, p, freqs);
             worst_lr = std::max(worst_lr, e_lr);
             table.add_row({"(" + util::Table::num(p0, 2) + "," + util::Table::num(p1, 2) + ")",
                            util::Table::num(e_nom, 3), util::Table::num(e_mp, 3),
@@ -93,16 +102,17 @@ int main() {
     // corner pays one real Hessenberg reduction, each frequency point one
     // O(q^2) Hessenberg solve — this is how "all corners, all frequencies"
     // studies should evaluate the ROM (bit-identical to per-corner sweeps).
+    // The engine is the study's cached one, shared by any later ROM study.
+    study.set_rom(lr.model);
     std::vector<la::cplx> s_points;
     for (double f : freqs) s_points.emplace_back(0.0, util::two_pi_f(f));
     t.reset();
-    const mor::RomEvalEngine engine(lr.model);
-    const auto grid = engine.transfer_grid(corners, s_points);
+    const auto grid = study.rom_engine().transfer_grid(corners, s_points);
     std::printf("\nbatched ROM engine: %zu corners x %zu frequencies in %.1f ms\n",
                 corners.size(), s_points.size(), t.milliseconds());
     double grid_dev = 0.0;
     for (std::size_t i = 0; i < corners.size(); ++i) {
-        const auto sweep = analysis::sweep_reduced(lr.model, corners[i], freqs, 1);
+        const auto sweep = study.sweep_rom(corners[i], freqs, 1);
         for (std::size_t j = 0; j < sweep.size(); ++j)
             grid_dev = std::max(grid_dev, la::norm_max(grid[i][j] - sweep[j]));
     }

@@ -1,13 +1,9 @@
 #include "analysis/freq_sweep.h"
 
 #include <cmath>
-#include <memory>
 
-#include "la/lu_dense.h"
 #include "la/ops.h"
 #include "mor/rom_eval.h"
-#include "sparse/assemble.h"
-#include "sparse/splu.h"
 #include "util/check.h"
 #include "util/constants.h"
 #include "util/thread_pool.h"
@@ -34,51 +30,44 @@ std::vector<double> linear_frequencies(double lo, double hi, int count) {
     return f;
 }
 
-std::vector<ZMatrix> sweep_full(const circuit::ParametricSystem& sys,
+std::vector<ZMatrix> sweep_full(const solve::ParametricSolveContext& ctx,
                                 const std::vector<double>& p,
                                 const std::vector<double>& freqs,
                                 const SweepOptions& opts) {
-    sys.validate();
     std::vector<ZMatrix> out(freqs.size());
     if (freqs.empty()) return out;
 
-    const sparse::Csc g = sys.g_at(p);
-    const sparse::Csc c = sys.c_at(p);
-    const la::ZMatrix bz = la::to_complex(sys.b);
-    const la::ZMatrix lzt = la::transpose(la::to_complex(sys.l));
+    const la::ZMatrix bz = la::to_complex(ctx.system().b);
+    const la::ZMatrix lzt = la::transpose(la::to_complex(ctx.system().l));
 
-    // One symbolic analysis + pivot sequence for the whole sweep: the pencil
-    // pattern is frequency-independent, so the factorization at the first
-    // point is the reference every other point refactorizes from. Falling
-    // back to a fresh factorization when a frozen pivot collapses depends
-    // only on that point's values, which keeps results independent of the
-    // thread count.
-    const sparse::PencilAssembler pencil(g, c);
+    // The batched-pencil scaffold lives in the context: one shared symbolic
+    // analysis of the union(G, C) pattern, a reference factorization at the
+    // first frequency, and the refactorize-or-fallback policy per point
+    // (solve::RefactorBatchT). Each point's result depends only on its own
+    // values, so parallel sweeps are bit-identical to serial ones.
     auto s_of = [&](double f) { return cplx(0.0, util::two_pi_f(f)); };
-    const sparse::ZSparseLu reference(pencil.assemble(s_of(freqs[0])));
-    out[0] = la::matmul(lzt, reference.solve(bz));
+    const solve::PencilBatch pencil(ctx, p, s_of(freqs[0]));
+    out[0] = la::matmul(lzt, pencil.reference().solve(bz));
 
     auto run = [&](int, int chunk_begin, int chunk_end) {
-        sparse::ZCsc a = pencil.skeleton();
-        sparse::ZSparseLu lu = reference;  // shares the symbolic data
-        sparse::ZSpluWorkspace ws;
+        solve::PencilBatch::Scratch scratch = pencil.make_scratch();
         for (int i = chunk_begin; i < chunk_end; ++i) {
-            pencil.assemble(s_of(freqs[static_cast<std::size_t>(i)]), a);
-            ZMatrix x;
-            try {
-                lu.refactorize(a, ws);
-                x = lu.solve(bz);
-            } catch (const sparse::RefactorError&) {
-                // Point-local fallback; `lu` keeps the reference pivot
-                // sequence so later points stay chunk-independent.
-                x = sparse::ZSparseLu(a, {}, ws).solve(bz);
-            }
-            out[static_cast<std::size_t>(i)] = la::matmul(lzt, x);
+            const sparse::ZSparseLu& lu =
+                pencil.factor(s_of(freqs[static_cast<std::size_t>(i)]), scratch);
+            out[static_cast<std::size_t>(i)] = la::matmul(lzt, lu.solve(bz));
         }
     };
 
     util::ThreadPool::run_chunks(opts.threads, 1, static_cast<int>(freqs.size()), run);
     return out;
+}
+
+std::vector<ZMatrix> sweep_full(const circuit::ParametricSystem& sys,
+                                const std::vector<double>& p,
+                                const std::vector<double>& freqs,
+                                const SweepOptions& opts) {
+    const solve::ParametricSolveContext ctx(sys);
+    return sweep_full(ctx, p, freqs, opts);
 }
 
 std::vector<ZMatrix> sweep_reduced(const mor::ReducedModel& model,

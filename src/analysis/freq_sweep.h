@@ -5,6 +5,7 @@
 #include "circuit/parametric_system.h"
 #include "la/dense.h"
 #include "mor/reduced_model.h"
+#include "solve/parametric_context.h"
 
 namespace varmor::analysis {
 
@@ -26,11 +27,18 @@ struct SweepOptions {
 /// Frequency response of the FULL parametric system at parameter point p:
 /// H(j 2 pi f) = L^T (G(p) + j 2 pi f C(p))^-1 B for every f.
 ///
-/// Batched solve engine: the pencil G + sC keeps one sparsity pattern across
-/// the sweep, so the symbolic LU analysis (ordering + elimination
-/// reachability + pivot sequence) is computed once at the first frequency
-/// and every other point performs a numeric-only refactorization — and the
-/// points fan out across a thread pool with per-thread workspaces.
+/// Batched solve engine (solve::ParametricSolveContext): the pencil G + sC
+/// carries the context's p-independent union(G, C) sparsity pattern, so ONE
+/// symbolic LU analysis serves every sweep on the context; the reference is
+/// factored at the first frequency and every other point performs a
+/// numeric-only refactorization — and the points fan out across a thread
+/// pool with per-thread workspaces (solve::PencilBatch).
+std::vector<la::ZMatrix> sweep_full(const solve::ParametricSolveContext& ctx,
+                                    const std::vector<double>& p,
+                                    const std::vector<double>& freqs,
+                                    const SweepOptions& opts = {});
+
+/// One-shot convenience: builds a private solve context for this call.
 std::vector<la::ZMatrix> sweep_full(const circuit::ParametricSystem& sys,
                                     const std::vector<double>& p,
                                     const std::vector<double>& freqs,

@@ -97,30 +97,25 @@ std::vector<std::vector<double>> sample_parameters_lhs(int num_params,
     return samples;
 }
 
-PoleErrorStudy pole_error_study(const circuit::ParametricSystem& sys,
-                                const mor::ReducedModel& model,
+PoleErrorStudy pole_error_study(const solve::ParametricSolveContext& ctx,
+                                const mor::RomEvalEngine& rom_engine,
                                 const std::vector<std::vector<double>>& samples,
                                 const PoleOptions& pole_opts, int threads) {
-    sys.validate();
     check(!samples.empty(), "pole_error_study: no samples");
 
-    // Shared read-only batch state: union patterns for G(p)/C(p) and one
-    // symbolic LU analysis serving every sample's factorization on the full
-    // side; a packed-affine ROM evaluation engine on the reduced side.
-    const circuit::ParametricStamper stamper(sys);
-    const sparse::SpluSymbolic symbolic = sparse::SpluSymbolic::analyze(stamper.g_skeleton());
-    const mor::RomEvalEngine rom_engine(model);
-
+    // Shared read-only batch state lives in the context: union patterns for
+    // G(p)/C(p) and one symbolic LU analysis serving every sample's
+    // factorization on the full side; the packed-affine ROM evaluation
+    // engine on the reduced side.
     std::vector<std::vector<double>> errors(samples.size());
     auto run = [&](int, int chunk_begin, int chunk_end) {
-        sparse::Csc g = stamper.g_skeleton();
-        sparse::Csc c = stamper.c_skeleton();
+        solve::ParametricSolveContext::GcScratch gc = ctx.make_gc_scratch();
         mor::RomEvalWorkspace rom_ws;
         for (int i = chunk_begin; i < chunk_end; ++i) {
             const std::vector<double>& p = samples[static_cast<std::size_t>(i)];
-            stamper.g_at(p, g);
-            stamper.c_at(p, c);
-            const std::vector<la::cplx> full = dominant_poles(g, c, pole_opts, symbolic);
+            ctx.stamper().c_at(p, gc.c);
+            const sparse::SparseLu glu = ctx.factor_g(p, gc);
+            const std::vector<la::cplx> full = dominant_poles(glu, gc.c, pole_opts);
             // No finite full-model poles at this sample (e.g. a purely
             // resistive instance): nothing to match, record no errors.
             if (full.empty()) continue;
@@ -150,6 +145,15 @@ PoleErrorStudy pole_error_study(const circuit::ParametricSystem& sys,
     if (!study.flattened.empty())
         study.mean_error /= static_cast<double>(study.flattened.size());
     return study;
+}
+
+PoleErrorStudy pole_error_study(const circuit::ParametricSystem& sys,
+                                const mor::ReducedModel& model,
+                                const std::vector<std::vector<double>>& samples,
+                                const PoleOptions& pole_opts, int threads) {
+    const solve::ParametricSolveContext ctx(sys);
+    const mor::RomEvalEngine rom_engine(model);
+    return pole_error_study(ctx, rom_engine, samples, pole_opts, threads);
 }
 
 Histogram make_histogram(const std::vector<double>& values, int bins) {

@@ -5,6 +5,8 @@
 #include "analysis/poles.h"
 #include "circuit/parametric_system.h"
 #include "mor/reduced_model.h"
+#include "mor/rom_eval.h"
+#include "solve/parametric_context.h"
 #include "util/rng.h"
 
 namespace varmor::analysis {
@@ -45,12 +47,20 @@ struct PoleErrorStudy {
     double mean_error = 0.0;
 };
 
-/// Runs the study on the batched solve engine: all samples share one union
-/// sparsity pattern (ParametricStamper) and one symbolic LU analysis, and
-/// fan out across a thread pool with per-thread assembly buffers. `threads`
-/// follows the SweepOptions convention — 0 = process-wide pool, 1 = serial,
-/// n = dedicated pool. Each sample's computation is independent of the
-/// thread count, so results are bit-identical to a serial run.
+/// Runs the study on the shared batched-solve scaffold: all samples carry
+/// the context's union sparsity pattern and one symbolic LU analysis
+/// (solve::ParametricSolveContext::factor_g), the reduced side evaluates on
+/// the given ROM engine, and samples fan out across a thread pool with
+/// per-thread assembly buffers. `threads` follows the SweepOptions
+/// convention — 0 = process-wide pool, 1 = serial, n = dedicated pool. Each
+/// sample's computation is independent of the thread count, so results are
+/// bit-identical to a serial run. Context and engine must outlive the call.
+PoleErrorStudy pole_error_study(const solve::ParametricSolveContext& ctx,
+                                const mor::RomEvalEngine& rom_engine,
+                                const std::vector<std::vector<double>>& samples,
+                                const PoleOptions& pole_opts = {}, int threads = 0);
+
+/// One-shot convenience: builds a private solve context and ROM engine.
 PoleErrorStudy pole_error_study(const circuit::ParametricSystem& sys,
                                 const mor::ReducedModel& model,
                                 const std::vector<std::vector<double>>& samples,

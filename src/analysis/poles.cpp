@@ -38,13 +38,22 @@ namespace {
 std::vector<cplx> dominant_poles_with(const sparse::Csc& g, const sparse::Csc& c,
                                       const PoleOptions& opts,
                                       const sparse::SpluSymbolic* symbolic) {
-    check(opts.count >= 1, "dominant_poles: count must be positive");
     const int n = g.rows();
     check(n == g.cols() && n == c.rows() && n == c.cols(), "dominant_poles: shape mismatch");
-
     sparse::SparseLu::Options lu_opts;
     lu_opts.symbolic = symbolic;
-    const sparse::SparseLu lu(g, lu_opts);
+    return dominant_poles(sparse::SparseLu(g, lu_opts), c, opts);
+}
+
+}  // namespace
+
+std::vector<cplx> dominant_poles(const sparse::SparseLu& g_factor, const sparse::Csc& c,
+                                 const PoleOptions& opts) {
+    check(opts.count >= 1, "dominant_poles: count must be positive");
+    const int n = g_factor.size();
+    check(n == c.rows() && n == c.cols(), "dominant_poles: shape mismatch");
+
+    const sparse::SparseLu& lu = g_factor;
     if (opts.use_dense || n <= std::max(2 * opts.subspace, 40)) {
         // Small system: dense eigenvalues of G^-1 C are cheap and exact.
         const la::Matrix a = lu.solve(c.to_dense());
@@ -63,8 +72,6 @@ std::vector<cplx> dominant_poles_with(const sparse::Csc& g, const sparse::Csc& c
     double scale = r.ritz_values.empty() ? 1.0 : std::abs(r.ritz_values.front());
     return nus_to_poles(r.ritz_values, opts.count, scale);
 }
-
-}  // namespace
 
 std::vector<cplx> dominant_poles(const sparse::Csc& g, const sparse::Csc& c,
                                  const PoleOptions& opts) {

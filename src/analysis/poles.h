@@ -30,6 +30,12 @@ std::vector<la::cplx> dominant_poles(const sparse::Csc& g, const sparse::Csc& c,
                                      const PoleOptions& opts,
                                      const sparse::SpluSymbolic& symbolic);
 
+/// Same, on a caller-provided factorization of G (the batch drivers factor
+/// through solve::ParametricSolveContext and hand the result in). `c` must
+/// match the factored G's dimensions.
+std::vector<la::cplx> dominant_poles(const sparse::SparseLu& g_factor,
+                                     const sparse::Csc& c, const PoleOptions& opts);
+
 /// Dominant poles of the full parametric system at a parameter point.
 std::vector<la::cplx> dominant_poles_at(const circuit::ParametricSystem& sys,
                                         const std::vector<double>& p,

@@ -24,25 +24,54 @@ InputFn step_input(int num_ports, int port, double amplitude) {
 
 namespace detail {
 
-int transient_steps(const TransientOptions& opts) {
-    check(opts.dt > 0 && opts.t_stop > 0, "transient: invalid time grid");
-    const double ratio = opts.t_stop / opts.dt;
+int segment_steps(double t_len, double dt) {
+    check(dt > 0 && t_len > 0, "transient: invalid time grid");
+    const double ratio = t_len / dt;
     check(ratio <= static_cast<double>(std::numeric_limits<int>::max()),
-          "transient: step count t_stop / dt overflows int");
+          "transient: step count t_len / dt overflows int");
     const int steps = static_cast<int>(std::llround(ratio));
     check(steps >= 1 && ratio >= 1.0 - 1e-9,
-          "transient: t_stop must cover at least one step of dt");
+          "transient: segment must cover at least one step of dt");
     return steps;
 }
 
-std::vector<Vector> forcing_series(const TransientOptions& opts, const InputFn& input,
+int transient_steps(const TransientOptions& opts) {
+    return segment_steps(opts.t_stop, opts.dt);
+}
+
+StepGrid make_grid(const TransientOptions& opts) {
+    StepGrid grid;
+    grid.times.push_back(0.0);
+    if (opts.schedule.empty()) {
+        const int steps = segment_steps(opts.t_stop, opts.dt);
+        grid.segment_dt.push_back(opts.dt);
+        for (int s = 1; s <= steps; ++s) {
+            grid.times.push_back(s * opts.dt);
+            grid.seg.push_back(0);
+        }
+        return grid;
+    }
+    for (std::size_t k = 0; k < opts.schedule.size(); ++k) {
+        const TransientSegment& segment = opts.schedule[k];
+        const int steps = segment_steps(segment.t_len, segment.dt);
+        const double t0 = grid.times.back();
+        grid.segment_dt.push_back(segment.dt);
+        for (int s = 1; s <= steps; ++s) {
+            grid.times.push_back(t0 + s * segment.dt);
+            grid.seg.push_back(static_cast<int>(k));
+        }
+    }
+    return grid;
+}
+
+std::vector<Vector> forcing_series(const StepGrid& grid, const InputFn& input,
                                    const std::function<Vector(const Vector&)>& apply_b) {
-    const int steps = transient_steps(opts);
+    const int steps = grid.steps();
     std::vector<Vector> series;
     series.reserve(static_cast<std::size_t>(steps));
     for (int s = 1; s <= steps; ++s) {
-        const double t0 = (s - 1) * opts.dt;
-        const double t1 = s * opts.dt;
+        const double t0 = grid.times[static_cast<std::size_t>(s) - 1];
+        const double t1 = grid.times[static_cast<std::size_t>(s)];
         Vector umid = input(t0) + input(t1);
         la::scale(umid, 0.5);
         series.push_back(apply_b(umid));
@@ -50,13 +79,12 @@ std::vector<Vector> forcing_series(const TransientOptions& opts, const InputFn& 
     return series;
 }
 
-TransientResult trapezoidal(int num_ports, const TransientOptions& opts,
-                            const std::vector<Vector>& forcing_mid,
-                            const std::function<Vector(const Vector&)>& solve_m,
-                            const std::function<Vector(const Vector&)>& apply_rhs_matrix,
-                            const std::function<Vector(const Vector&)>& apply_lt,
-                            int state_size) {
-    const int steps = transient_steps(opts);
+TransientResult trapezoidal(
+    int num_ports, const StepGrid& grid, const std::vector<Vector>& forcing_mid,
+    const std::function<Vector(int, const Vector&)>& solve_m,
+    const std::function<Vector(int, const Vector&)>& apply_rhs_matrix,
+    const std::function<Vector(const Vector&)>& apply_lt, int state_size) {
+    const int steps = grid.steps();
     check(static_cast<int>(forcing_mid.size()) == steps,
           "trapezoidal: forcing series length mismatch");
 
@@ -72,11 +100,13 @@ TransientResult trapezoidal(int num_ports, const TransientOptions& opts,
     };
     record(0.0);
     for (int s = 1; s <= steps; ++s) {
-        // (C/h + G/2) x1 = (C/h - G/2) x0 + B (u0 + u1)/2.
-        Vector rhs = apply_rhs_matrix(x);
+        // (C/h + G/2) x1 = (C/h - G/2) x0 + B (u0 + u1)/2, with h the step's
+        // segment dt.
+        const int seg = grid.seg[static_cast<std::size_t>(s) - 1];
+        Vector rhs = apply_rhs_matrix(seg, x);
         la::axpy(1.0, forcing_mid[static_cast<std::size_t>(s) - 1], rhs);
-        x = solve_m(rhs);
-        record(s * opts.dt);
+        x = solve_m(seg, rhs);
+        record(grid.times[static_cast<std::size_t>(s)]);
     }
     return out;
 }
@@ -90,21 +120,34 @@ TransientResult simulate(const circuit::ParametricSystem& sys, const std::vector
 
 TransientResult simulate(const mor::ReducedModel& model, const std::vector<double>& p,
                          const InputFn& input, const TransientOptions& opts) {
+    const detail::StepGrid grid = detail::make_grid(opts);
     const Matrix g = model.g_at(p);
     const Matrix c = model.c_at(p);
-    const double inv_h = 1.0 / opts.dt;
-    Matrix lhs = c, rhs_m = c;
-    for (std::size_t e = 0; e < lhs.raw().size(); ++e) {
-        lhs.raw()[e] = inv_h * c.raw()[e] + 0.5 * g.raw()[e];
-        rhs_m.raw()[e] = inv_h * c.raw()[e] - 0.5 * g.raw()[e];
+
+    // One dense factorization (and one explicit right-hand matrix) per
+    // schedule segment; a flat grid is the one-segment case.
+    const std::size_t nseg = grid.segment_dt.size();
+    std::vector<Matrix> rhs_m(nseg, c);
+    std::vector<la::DenseLu<double>> lus;
+    lus.reserve(nseg);
+    Matrix lhs = c;
+    for (std::size_t k = 0; k < nseg; ++k) {
+        const double inv_h = 1.0 / grid.segment_dt[k];
+        for (std::size_t e = 0; e < lhs.raw().size(); ++e) {
+            lhs.raw()[e] = inv_h * c.raw()[e] + 0.5 * g.raw()[e];
+            rhs_m[k].raw()[e] = inv_h * c.raw()[e] - 0.5 * g.raw()[e];
+        }
+        lus.emplace_back(lhs);
     }
-    const la::DenseLu<double> lu(lhs);
 
     const std::vector<Vector> forcing = detail::forcing_series(
-        opts, input, [&](const Vector& u) { return la::matvec(model.b, u); });
+        grid, input, [&](const Vector& u) { return la::matvec(model.b, u); });
     return detail::trapezoidal(
-        model.num_ports(), opts, forcing, [&](const Vector& r) { return lu.solve(r); },
-        [&](const Vector& x) { return la::matvec(rhs_m, x); },
+        model.num_ports(), grid, forcing,
+        [&](int seg, const Vector& r) { return lus[static_cast<std::size_t>(seg)].solve(r); },
+        [&](int seg, const Vector& x) {
+            return la::matvec(rhs_m[static_cast<std::size_t>(seg)], x);
+        },
         [&](const Vector& x) { return la::matvec_transpose(model.l, x); }, model.size());
 }
 

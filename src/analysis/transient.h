@@ -9,14 +9,30 @@
 
 namespace varmor::analysis {
 
-/// Time-domain simulation of C x' = -G x + B u(t), y = L^T x by the
-/// trapezoidal rule (the SPICE default): one sparse LU of (C/h + G/2) then
-/// two triangular solves per step. The reduced-model overload uses dense
-/// factors. Used to study delay under process variation (clock skew is the
-/// paper's motivating application for the clock-tree experiments).
+// Time-domain simulation of C x' = -G x + B u(t), y = L^T x by the
+// trapezoidal rule (the SPICE default): one sparse LU of (C/h + G/2) per
+// step size, then two triangular solves per step. The reduced-model overload
+// uses dense factors. Used to study delay under process variation (clock
+// skew is the paper's motivating application for the clock-tree
+// experiments).
+
+/// One piece of a piecewise-constant step schedule: `steps = t_len / dt`
+/// trapezoidal steps of size dt (same nearest-integer rounding as the flat
+/// grid).
+struct TransientSegment {
+    double t_len = 0.0;  ///< segment duration
+    double dt = 0.0;     ///< step size inside the segment
+};
+
 struct TransientOptions {
     double t_stop = 1e-9;
     double dt = 1e-12;
+    /// Optional variable-step grid: when non-empty, the segments run
+    /// back-to-back (overriding t_stop/dt), each with its own step size —
+    /// e.g. a fine-dt edge window followed by a coarse settling tail. The
+    /// batched engine factors ONE pencil per distinct dt and refactorizes
+    /// per dt change, not per step.
+    std::vector<TransientSegment> schedule;
 };
 
 struct TransientResult {
@@ -51,31 +67,52 @@ std::optional<double> crossing_time(const TransientResult& result, int port,
 
 namespace detail {
 
-/// Validates the time grid and returns the number of trapezoidal steps,
-/// rounding t_stop / dt to the NEAREST integer: truncation would silently
-/// drop the final time point whenever the ratio lands just below an integer
-/// under FP error (e.g. 0.3 / 0.1 = 2.9999...). A single-step run
-/// (t_stop == dt) is legal; t_stop materially shorter than dt is not.
+/// Validates one (t_len, dt) pair and returns its number of trapezoidal
+/// steps, rounding t_len / dt to the NEAREST integer: truncation would
+/// silently drop the final time point whenever the ratio lands just below an
+/// integer under FP error (e.g. 0.3 / 0.1 = 2.9999...). A single-step run
+/// (t_len == dt) is legal; t_len materially shorter than dt is not.
+int segment_steps(double t_len, double dt);
+
+/// Flat-grid convenience: segment_steps(opts.t_stop, opts.dt). Fails fast on
+/// a bad grid (ignores any schedule).
 int transient_steps(const TransientOptions& opts);
 
+/// The resolved time grid: step times plus, per step, the index of the
+/// schedule segment it belongs to (always 0 for a flat grid). Batch engines
+/// key factorizations on segment_dt, refactorizing once per dt change.
+struct StepGrid {
+    std::vector<double> times;       ///< steps + 1 entries, times[0] = 0
+    std::vector<int> seg;            ///< per step: segment index
+    std::vector<double> segment_dt;  ///< per segment: its step size
+
+    int steps() const { return static_cast<int>(seg.size()); }
+};
+
+/// Resolves (and validates) the options into a StepGrid. A flat grid keeps
+/// the exact historical time values times[s] = s * dt; a schedule accumulates
+/// segment start times.
+StepGrid make_grid(const TransientOptions& opts);
+
 /// The trapezoidal forcing series B (u(t0) + u(t1))/2, one state-size vector
-/// per step. The input u(t) does not depend on the corner, so batch drivers
-/// compute this once per batch instead of re-evaluating u(t) and the B
-/// product for every corner.
+/// per step of the grid. The input u(t) does not depend on the corner, so
+/// batch drivers compute this once per batch instead of re-evaluating u(t)
+/// and the B product for every corner.
 std::vector<la::Vector> forcing_series(
-    const TransientOptions& opts, const InputFn& input,
+    const StepGrid& grid, const InputFn& input,
     const std::function<la::Vector(const la::Vector&)>& apply_b);
 
 /// Shared trapezoidal loop over an abstract "solve M x = rhs" callback with
 /// M = C/h + G/2, the explicit part applied via a callback and the forcing
 /// precomputed by forcing_series() — the ONE time-stepping code path under
 /// the sparse single-corner, dense reduced-model and batched-corner drivers.
-TransientResult trapezoidal(int num_ports, const TransientOptions& opts,
-                            const std::vector<la::Vector>& forcing_mid,
-                            const std::function<la::Vector(const la::Vector&)>& solve_m,
-                            const std::function<la::Vector(const la::Vector&)>& apply_rhs_matrix,
-                            const std::function<la::Vector(const la::Vector&)>& apply_lt,
-                            int state_size);
+/// The solve/apply callbacks receive the step's segment index so
+/// variable-step drivers can switch pencils at dt changes.
+TransientResult trapezoidal(
+    int num_ports, const StepGrid& grid, const std::vector<la::Vector>& forcing_mid,
+    const std::function<la::Vector(int seg, const la::Vector&)>& solve_m,
+    const std::function<la::Vector(int seg, const la::Vector&)>& apply_rhs_matrix,
+    const std::function<la::Vector(const la::Vector&)>& apply_lt, int state_size);
 
 }  // namespace detail
 

@@ -11,93 +11,88 @@ namespace varmor::analysis {
 
 using la::Vector;
 
-namespace {
-
-/// The two affine pencils of the trapezoidal rule, C/h +- G/2, built from the
-/// system's nominal matrices and sensitivities. Affine in p with coefficient
-/// matrices c0/h +- g0/2 and dc_i/h +- dg_i/2, so one AffineAssembler union
-/// pattern serves every corner.
-sparse::AffineAssembler trapezoid_pencil(const circuit::ParametricSystem& sys,
-                                         double inv_h, double g_sign) {
-    const sparse::Csc base = sparse::add(inv_h, sys.c0, g_sign * 0.5, sys.g0);
-    std::vector<sparse::Csc> terms;
-    terms.reserve(sys.dg.size());
-    for (std::size_t i = 0; i < sys.dg.size(); ++i)
-        terms.push_back(sparse::add(inv_h, sys.dc[i], g_sign * 0.5, sys.dg[i]));
-    return sparse::AffineAssembler(base, terms);
-}
-
-}  // namespace
-
 TransientBatchRunner::TransientBatchRunner(const circuit::ParametricSystem& sys,
                                            const TransientOptions& opts)
-    : opts_(opts) {
-    sys.validate();
-    detail::transient_steps(opts_);  // fail fast on a bad grid, before factoring
-    size_ = sys.size();
-    num_ports_ = sys.num_ports();
-    num_params_ = sys.num_params();
-    b_ = sys.b;
-    l_ = sys.l;
+    : opts_(opts), owned_ctx_(std::make_unique<solve::ParametricSolveContext>(sys)) {
+    ctx_ = owned_ctx_.get();
+    build_pencils();
+}
 
-    const double inv_h = 1.0 / opts_.dt;
-    lhs_ = trapezoid_pencil(sys, inv_h, +1.0);
-    rhs_ = trapezoid_pencil(sys, inv_h, -1.0);
-    symbolic_ = sparse::SpluSymbolic::analyze(lhs_.skeleton());
+TransientBatchRunner::TransientBatchRunner(const solve::ParametricSolveContext& ctx,
+                                           const TransientOptions& opts)
+    : opts_(opts), ctx_(&ctx) {
+    build_pencils();
+}
 
-    // Nominal reference factorization: the fixed pivot sequence every corner
-    // replays, independent of the batch composition — which is what makes a
-    // batch bit-identical to looped single-corner runs.
-    const std::vector<double> p0(static_cast<std::size_t>(num_params_), 0.0);
-    reference_.emplace(lhs_.combine(p0), symbolic_);
+void TransientBatchRunner::build_pencils() {
+    grid_ = detail::make_grid(opts_);  // fail fast on a bad grid, before factoring
+
+    // One TrapezoidBatch per DISTINCT dt: schedule segments that repeat a
+    // step size share its pencil (and a corner refactorizes it only once).
+    seg_pencil_.reserve(grid_.segment_dt.size());
+    for (double dt : grid_.segment_dt) {
+        int idx = -1;
+        for (std::size_t k = 0; k < pencils_.size(); ++k)
+            if (pencils_[k].dt() == dt) {
+                idx = static_cast<int>(k);
+                break;
+            }
+        if (idx < 0) {
+            pencils_.emplace_back(*ctx_, dt);
+            idx = static_cast<int>(pencils_.size()) - 1;
+        }
+        seg_pencil_.push_back(idx);
+    }
 }
 
 TransientBatchRunner::Scratch TransientBatchRunner::make_scratch() const {
-    return Scratch{lhs_.skeleton(), rhs_.skeleton(), *reference_, sparse::SpluWorkspace{}};
+    Scratch scratch;
+    scratch.pencil.reserve(pencils_.size());
+    for (const solve::TrapezoidBatch& pencil : pencils_)
+        scratch.pencil.push_back(pencil.make_scratch());
+    return scratch;
 }
 
 TransientResult TransientBatchRunner::run(const std::vector<double>& p,
                                           const InputFn& input, Scratch& scratch) const {
     const std::vector<Vector> forcing = detail::forcing_series(
-        opts_, input, [&](const Vector& u) { return la::matvec(b_, u); });
+        grid_, input, [&](const Vector& u) { return la::matvec(ctx_->system().b, u); });
     return run_with_forcing(p, forcing, scratch);
 }
 
 TransientResult TransientBatchRunner::run_with_forcing(
     const std::vector<double>& p, const std::vector<Vector>& forcing,
     Scratch& scratch) const {
-    check(static_cast<int>(p.size()) == num_params_,
+    check(static_cast<int>(p.size()) == num_params(),
           "TransientBatchRunner: parameter vector length mismatch");
-    rhs_.combine(p, scratch.rhs);
 
-    const sparse::SparseLu* solver = &scratch.lu;
-    std::optional<sparse::SparseLu> corner_lu;
-    if (std::all_of(p.begin(), p.end(), [](double v) { return v == 0.0; })) {
-        // Nominal corner: M(0) is exactly what reference_ factored; copy its
-        // value arrays (shares the symbolic data) instead of refactorizing.
-        // A corner-local copy, not *reference_ itself, because solve() keeps
-        // per-instance bookkeeping that must not be shared across threads.
-        corner_lu.emplace(*reference_);
-        solver = &*corner_lu;
-    } else {
-        lhs_.combine(p, scratch.lhs);
-        try {
-            scratch.lu.refactorize(scratch.lhs, scratch.ws);
-        } catch (const sparse::RefactorError&) {
-            // Corner-local fallback; scratch.lu keeps the reference pivot
-            // sequence so later corners in the chunk stay batch-independent.
-            sparse::SparseLu::Options lo;
-            lo.symbolic = &symbolic_;
-            corner_lu.emplace(scratch.lhs, lo, scratch.ws);
-            solver = &*corner_lu;
-        }
-    }
+    // Per-corner pencil state, filled lazily on the first step that uses a
+    // given dt: stamp N(p), then M(p) under the shared refactorize-or-
+    // fallback policy (solve::TrapezoidBatch). A flat grid touches exactly
+    // one pencil; a schedule refactorizes once per distinct dt.
+    std::vector<const sparse::SparseLu*> solver(pencils_.size(), nullptr);
+    auto ensure = [&](int pencil_idx) {
+        if (solver[static_cast<std::size_t>(pencil_idx)]) return;
+        const solve::TrapezoidBatch& pencil = pencils_[static_cast<std::size_t>(pencil_idx)];
+        solve::TrapezoidBatch::Scratch& s = scratch.pencil[static_cast<std::size_t>(pencil_idx)];
+        pencil.stamp_rhs(p, s);
+        solver[static_cast<std::size_t>(pencil_idx)] = &pencil.factor_lhs(p, s);
+    };
 
-    const sparse::Csc& rhs_m = scratch.rhs;
     return detail::trapezoidal(
-        num_ports_, opts_, forcing, [&](const Vector& r) { return solver->solve(r); },
-        [&](const Vector& x) { return rhs_m.apply(x); },
-        [&](const Vector& x) { return la::matvec_transpose(l_, x); }, size_);
+        num_ports(), grid_, forcing,
+        [&](int seg, const Vector& r) {
+            const int k = seg_pencil_[static_cast<std::size_t>(seg)];
+            ensure(k);
+            return solver[static_cast<std::size_t>(k)]->solve(r);
+        },
+        [&](int seg, const Vector& x) {
+            const int k = seg_pencil_[static_cast<std::size_t>(seg)];
+            ensure(k);
+            return scratch.pencil[static_cast<std::size_t>(k)].rhs.apply(x);
+        },
+        [&](const Vector& x) { return la::matvec_transpose(ctx_->system().l, x); },
+        size());
 }
 
 TransientResult TransientBatchRunner::run(const std::vector<double>& p,
@@ -113,7 +108,7 @@ std::vector<TransientResult> TransientBatchRunner::run_batch(
     // product once for the whole batch instead of once per corner, and share
     // the series read-only across workers.
     const std::vector<Vector> forcing = detail::forcing_series(
-        opts_, input, [&](const Vector& u) { return la::matvec(b_, u); });
+        grid_, input, [&](const Vector& u) { return la::matvec(ctx_->system().b, u); });
     std::vector<TransientResult> out(corners.size());
     util::ThreadPool::run_chunks(
         threads, 0, static_cast<int>(corners.size()),
@@ -126,11 +121,12 @@ std::vector<TransientResult> TransientBatchRunner::run_batch(
     return out;
 }
 
-TransientStudy transient_study(const circuit::ParametricSystem& sys,
-                               const std::vector<std::vector<double>>& corners,
-                               const TransientStudyOptions& opts) {
+namespace {
+
+TransientStudy run_transient_study(const TransientBatchRunner& runner,
+                                   const std::vector<std::vector<double>>& corners,
+                                   const TransientStudyOptions& opts) {
     check(!corners.empty(), "transient_study: no corners");
-    const TransientBatchRunner runner(sys, opts.transient);
     const int observe =
         opts.observe_port < 0 ? runner.num_ports() - 1 : opts.observe_port;
     check(observe >= 0 && observe < runner.num_ports(),
@@ -180,6 +176,24 @@ TransientStudy transient_study(const circuit::ParametricSystem& sys,
         study.histogram = make_histogram(study.delay_samples, opts.histogram_bins);
     }
     return study;
+}
+
+}  // namespace
+
+TransientStudy transient_study(const circuit::ParametricSystem& sys,
+                               const std::vector<std::vector<double>>& corners,
+                               const TransientStudyOptions& opts) {
+    check(!corners.empty(), "transient_study: no corners");
+    const TransientBatchRunner runner(sys, opts.transient);
+    return run_transient_study(runner, corners, opts);
+}
+
+TransientStudy transient_study(const solve::ParametricSolveContext& ctx,
+                               const std::vector<std::vector<double>>& corners,
+                               const TransientStudyOptions& opts) {
+    check(!corners.empty(), "transient_study: no corners");
+    const TransientBatchRunner runner(ctx, opts.transient);
+    return run_transient_study(runner, corners, opts);
 }
 
 }  // namespace varmor::analysis

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -8,22 +9,23 @@
 #include "analysis/transient.h"
 #include "circuit/parametric_system.h"
 #include "la/dense.h"
-#include "sparse/assemble.h"
-#include "sparse/splu.h"
+#include "solve/parametric_context.h"
 
 namespace varmor::analysis {
 
-/// Batched time-domain engine over Monte-Carlo / corner batches.
+/// Batched time-domain engine over Monte-Carlo / corner batches, built on
+/// the shared batched-pencil scaffold (solve::ParametricSolveContext).
 ///
 /// The trapezoidal rule solves (C(p)/h + G(p)/2) x1 = (C(p)/h - G(p)/2) x0 +
 /// B (u0+u1)/2 at every step, so each corner needs ONE factorization of the
-/// left-hand pencil M(p) = C(p)/h + G(p)/2. Both M(p) and the explicit
-/// right-hand matrix N(p) = C(p)/h - G(p)/2 are affine in p, so the runner
-/// precomputes their union sparsity patterns (sparse::AffineAssembler), runs
-/// ONE symbolic LU analysis of M, factors the nominal M(0) once as the
-/// reference, and evaluates every corner by a value scatter plus a
-/// numeric-only refactorize() on per-thread SpluWorkspaceT scratch — the
-/// transient counterpart of analysis::sweep_full's batched solve engine.
+/// left-hand pencil M(p) = C(p)/h + G(p)/2 per distinct step size h. The
+/// runner holds one solve::TrapezoidBatch per distinct dt of the grid
+/// (exactly one for a flat grid): union sparsity patterns, the context's
+/// shared symbolic LU analysis, a nominal reference factorization, and
+/// per-corner numeric-only refactorize() on per-thread scratch. With a
+/// variable-step schedule, a corner refactorizes once per DISTINCT dt — not
+/// per step, and not per schedule segment (segments repeating a dt share the
+/// pencil).
 ///
 /// Determinism: every corner is refactorized from the SAME nominal reference
 /// factorization (falling back to a fresh, corner-local factorization on
@@ -32,26 +34,31 @@ namespace varmor::analysis {
 /// engine as a batch of one.
 class TransientBatchRunner {
 public:
-    /// Builds the union patterns, the symbolic analysis and the nominal
-    /// reference factorization. Throws varmor::Error on an invalid system or
-    /// time grid.
+    /// Builds a private solve context plus the per-dt pencil batches. Throws
+    /// varmor::Error on an invalid system or time grid.
     TransientBatchRunner(const circuit::ParametricSystem& sys,
                          const TransientOptions& opts = {});
 
-    int size() const { return size_; }
-    int num_ports() const { return num_ports_; }
-    int num_params() const { return num_params_; }
+    /// Shares an existing solve context (the facade path: its symbolic
+    /// analysis is reused instead of recomputed). `ctx` must outlive the
+    /// runner.
+    TransientBatchRunner(const solve::ParametricSolveContext& ctx,
+                         const TransientOptions& opts = {});
+
+    int size() const { return ctx_->size(); }
+    int num_ports() const { return ctx_->num_ports(); }
+    int num_params() const { return ctx_->num_params(); }
     const TransientOptions& options() const { return opts_; }
 
-    /// Per-worker scratch: assembly targets carrying the union patterns, a
-    /// copy of the reference factorization (shares the immutable symbolic
-    /// data) and LU workspace. One per thread in run_batch(); reusable across
-    /// corners with zero steady-state allocation.
+    /// Number of distinct trapezoidal pencils (== distinct dt values in the
+    /// grid); the factorization count per corner.
+    int num_pencils() const { return static_cast<int>(pencils_.size()); }
+
+    /// Per-worker scratch: one assembly/factorization slot per distinct dt.
+    /// One per thread in run_batch(); reusable across corners with zero
+    /// steady-state allocation.
     struct Scratch {
-        sparse::Csc lhs;          ///< M(p) = C(p)/h + G(p)/2 on the union pattern
-        sparse::Csc rhs;          ///< N(p) = C(p)/h - G(p)/2 on the union pattern
-        sparse::SparseLu lu;      ///< reference copy, refactorized per corner
-        sparse::SpluWorkspace ws;
+        std::vector<solve::TrapezoidBatch::Scratch> pencil;
     };
     Scratch make_scratch() const;
 
@@ -79,12 +86,14 @@ private:
                                      const std::vector<la::Vector>& forcing,
                                      Scratch& scratch) const;
 
+    void build_pencils();
+
     TransientOptions opts_;
-    int size_ = 0, num_ports_ = 0, num_params_ = 0;
-    la::Matrix b_, l_;
-    sparse::AffineAssembler lhs_, rhs_;
-    sparse::SpluSymbolic symbolic_;
-    std::optional<sparse::SparseLu> reference_;  // factorization of nominal M(0)
+    std::unique_ptr<solve::ParametricSolveContext> owned_ctx_;
+    const solve::ParametricSolveContext* ctx_ = nullptr;
+    detail::StepGrid grid_;
+    std::vector<solve::TrapezoidBatch> pencils_;  ///< one per distinct dt
+    std::vector<int> seg_pencil_;                 ///< schedule segment -> pencil index
 };
 
 /// The paper's delay-variation experiment as a first-class API: drive one
@@ -117,6 +126,12 @@ struct TransientStudy {
 };
 
 TransientStudy transient_study(const circuit::ParametricSystem& sys,
+                               const std::vector<std::vector<double>>& corners,
+                               const TransientStudyOptions& opts = {});
+
+/// Facade path: runs the study's corner batch on a shared solve context
+/// (one symbolic analysis across every study on that context).
+TransientStudy transient_study(const solve::ParametricSolveContext& ctx,
                                const std::vector<std::vector<double>>& corners,
                                const TransientStudyOptions& opts = {});
 

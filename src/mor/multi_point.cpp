@@ -5,43 +5,41 @@
 
 namespace varmor::mor {
 
-MultiPointResult multi_point_basis(const circuit::ParametricSystem& sys,
+MultiPointResult multi_point_basis(const solve::ParametricSolveContext& ctx,
                                    const std::vector<std::vector<double>>& samples,
                                    const MultiPointOptions& opts) {
-    sys.validate();
     check(!samples.empty(), "multi_point_basis: need at least one sample point");
 
     PrimaOptions prima_opts;
     prima_opts.blocks = opts.blocks_per_sample;
     prima_opts.orth = opts.orth;
 
-    // Every G(p) carries the stamper's union sparsity pattern, so ONE
-    // symbolic analysis (fill-reducing ordering) serves every expansion
-    // point; each point pays only its numeric factorization, assembled by
-    // value scatter into per-call fixed-pattern targets.
-    const circuit::ParametricStamper stamper(sys);
-    const sparse::SpluSymbolic symbolic =
-        sparse::SpluSymbolic::analyze(stamper.g_skeleton());
-    sparse::SparseLu::Options lu_opts;
-    lu_opts.symbolic = &symbolic;
-
-    sparse::Csc g = stamper.g_skeleton();
-    sparse::Csc c = stamper.c_skeleton();
-    sparse::SpluWorkspace ws;
+    // Every G(p) carries the context's union sparsity pattern, so ONE
+    // symbolic analysis (fill-reducing ordering, shared with every other
+    // study on the context) serves every expansion point; each point pays
+    // only its numeric factorization, assembled by value scatter into
+    // fixed-pattern targets (ParametricSolveContext::factor_g).
+    solve::ParametricSolveContext::GcScratch gc = ctx.make_gc_scratch();
 
     MultiPointResult out;
-    out.basis = la::Matrix(sys.size(), 0);
+    out.basis = la::Matrix(ctx.size(), 0);
     for (const std::vector<double>& p : samples) {
-        check(static_cast<int>(p.size()) == sys.num_params(),
+        check(static_cast<int>(p.size()) == ctx.num_params(),
               "multi_point_basis: sample dimension mismatch");
-        stamper.g_at(p, g);
-        stamper.c_at(p, c);
-        const sparse::SparseLu lu(g, lu_opts, ws);
+        ctx.stamper().c_at(p, gc.c);
+        const sparse::SparseLu lu = ctx.factor_g(p, gc);
         ++out.factorizations;
-        const la::Matrix vi = prima_basis(lu, c, sys.b, prima_opts);
+        const la::Matrix vi = prima_basis(lu, gc.c, ctx.system().b, prima_opts);
         out.basis = la::extend_basis(out.basis, vi, opts.orth);
     }
     return out;
+}
+
+MultiPointResult multi_point_basis(const circuit::ParametricSystem& sys,
+                                   const std::vector<std::vector<double>>& samples,
+                                   const MultiPointOptions& opts) {
+    const solve::ParametricSolveContext ctx(sys);
+    return multi_point_basis(ctx, samples, opts);
 }
 
 std::vector<std::vector<double>> grid_samples(int num_params,

@@ -2,6 +2,7 @@
 
 #include "circuit/parametric_system.h"
 #include "mor/prima.h"
+#include "solve/parametric_context.h"
 
 namespace varmor::mor {
 
@@ -24,6 +25,13 @@ struct MultiPointResult {
 /// direct fitting of Liu et al. [6] when the projection matrix is sensitive
 /// to the parameters). Cost: one matrix factorization per sample.
 MultiPointResult multi_point_basis(const circuit::ParametricSystem& sys,
+                                   const std::vector<std::vector<double>>& samples,
+                                   const MultiPointOptions& opts = {});
+
+/// Same, on a shared solve context: every expansion point's G(p) carries the
+/// context's union pattern and reuses its symbolic analysis (paid once per
+/// SYSTEM, not once per basis construction).
+MultiPointResult multi_point_basis(const solve::ParametricSolveContext& ctx,
                                    const std::vector<std::vector<double>>& samples,
                                    const MultiPointOptions& opts = {});
 

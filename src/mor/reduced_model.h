@@ -39,7 +39,9 @@ struct ReducedModel {
     /// drivers (MC studies, sweeps) should evaluate through RomEvalEngine
     /// (mor/rom_eval.h), which shares these exact kernels — engine results
     /// are bit-identical to a loop of transfer() calls — but amortizes the
-    /// parameter stamping per sample and reuses all scratch.
+    /// parameter stamping per sample and reuses all scratch. Below
+    /// RomEvalEngine::kDirectPathOrder the call takes the direct dense-
+    /// pencil fast lane and pays no per-sample Hessenberg preparation.
     la::ZMatrix transfer(la::cplx s, const std::vector<double>& p) const;
 
     /// Analytic parameter sensitivity of the transfer function,

@@ -180,22 +180,32 @@ void RomEvalEngine::stamp_parameters(const std::vector<double>& p,
 }
 
 void RomEvalEngine::prepare_transfer(RomEvalWorkspace& ws) const {
+    // Small-q fast lane: below kDirectPathOrder the direct dense-pencil
+    // kernel beats the Hessenberg split per frequency AND skips the O(q^3)
+    // per-sample preparation — the one-shot ReducedModel::transfer() path
+    // stops paying for machinery it never amortizes. The threshold depends
+    // only on q, so grids and loops take the same branch.
+    if (q_ < kDirectPathOrder) {
+        ws.direct_path = true;
+        ws.transfer_ready = true;
+        return;
+    }
     // Per-sample stage, all real arithmetic: factor G~(p), form
     // A = G~^-1 C~, reduce to Hessenberg H = Q^T A Q, and push the ports
     // through the transform: R = Q^T G~^-1 B~ and L~^T Q.
     //
     // The Hessenberg split needs G~(p) itself to be invertible — a stronger
-    // requirement than the old direct path, which only needed the pencil
+    // requirement than the direct path, which only needs the pencil
     // G~ + sC~ at the evaluated s. When G~(p) is singular (e.g. an affine
-    // term cancels a conductance at this corner), fall back to a direct
-    // per-frequency pencil factorization for this SAMPLE. The choice depends
+    // term cancels a conductance at this corner), fall back to the direct
+    // per-frequency pencil kernel for this SAMPLE. The choice depends
     // only on the stamped values, so looped and batched evaluation take the
     // same branch and stay bit-identical.
     try {
         ws.glu.factor(ws.gp);
-        ws.direct_fallback = false;
+        ws.direct_path = false;
     } catch (const Error&) {
-        ws.direct_fallback = true;
+        ws.direct_path = true;
         ws.transfer_ready = true;
         return;
     }
@@ -215,10 +225,9 @@ ZMatrix RomEvalEngine::transfer(cplx s, RomEvalWorkspace& ws) const {
     check(ws.stamped, "RomEvalEngine::transfer: stamp_parameters first");
     if (!ws.transfer_ready) prepare_transfer(ws);
 
-    if (ws.direct_fallback) {
-        // Singular-G~ sample: factor the complex pencil at this frequency
-        // directly (the pencil is typically invertible at s != 0 even when
-        // G~ alone is not).
+    if (ws.direct_path) {
+        // The shared direct kernel (small-q fast lane and singular-G~
+        // fallback): factor the complex pencil at this frequency directly.
         ZMatrix& k = ws.klu.stamp(q_);
         const double* g = ws.gp.raw().data();
         const double* c = ws.cp.raw().data();

@@ -35,10 +35,14 @@ struct RomEvalWorkspace {
     std::vector<double> hv;  ///< Householder scratch
     bool stamped = false;        ///< gp/cp hold a valid sample
     bool transfer_ready = false; ///< hh/qh/rh/lqz match the stamped sample
-    /// Singular-G~(p) sample: transfer() factors the complex pencil per
-    /// frequency directly instead of using the Hessenberg split (value-
-    /// dependent only, so looped and batched evaluation agree bitwise).
-    bool direct_fallback = false;
+    /// transfer() uses the direct dense-pencil kernel instead of the
+    /// Hessenberg split — either because the model is small (q below
+    /// RomEvalEngine::kDirectPathOrder, where the per-sample Hessenberg
+    /// preparation costs more than it saves) or because G~(p) is singular at
+    /// this sample. Both the small-q fast lane and the singular-G fallback
+    /// route through the SAME kernel, and the choice depends only on (q, the
+    /// stamped values), so looped and batched evaluation agree bitwise.
+    bool direct_path = false;
 };
 
 /// Batched evaluator of a fixed ReducedModel — the reduced-side counterpart
@@ -63,6 +67,19 @@ struct RomEvalWorkspace {
 /// serial loop of transfer() calls at any thread count.
 class RomEvalEngine {
 public:
+    /// Reduced orders below this evaluate transfer() through the direct
+    /// dense-pencil kernel (one O(q^3) factorization per frequency) instead
+    /// of the Hessenberg split: at q ~ 20 the O(q^3)-per-sample Hessenberg
+    /// preparation stops paying for itself, and one-shot single-frequency
+    /// calls (ReducedModel::transfer, the engine's batch-of-one) skip the
+    /// preparation entirely. Both paths share one kernel, so batch grids
+    /// stay bit-identical to looped calls on either side of the threshold.
+    /// Trade-off: a many-frequency grid on a q just under the threshold
+    /// pays O(q^3) per point where the Hessenberg path would pay O(q^2) —
+    /// bounded by the tiny absolute cost at q < 20, and required to keep
+    /// the branch a function of q alone (the bit-identity contract).
+    static constexpr int kDirectPathOrder = 20;
+
     explicit RomEvalEngine(const ReducedModel& model);
 
     int size() const { return q_; }

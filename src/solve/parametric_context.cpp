@@ -1,0 +1,147 @@
+#include "solve/parametric_context.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace varmor::solve {
+
+ParametricSolveContext::ParametricSolveContext(const circuit::ParametricSystem& sys)
+    // Validate BEFORE the stamper builds union patterns, so a malformed
+    // system fails with the contract message, not an assembler error.
+    : sys_((sys.validate(), sys)), stamper_(sys_) {
+    // The full union(G, C) pattern: what the sweep pencil G + sC and the
+    // trapezoid pencils C/h ± G/2 both carry, so one symbolic analysis
+    // serves every frequency-domain and time-domain study on this system.
+    const sparse::Csc gs = stamper_.g_skeleton();
+    const sparse::Csc cs = stamper_.c_skeleton();
+    pencil_pattern_ = sparse::detail::union_pattern(
+        {&gs.col_ptr(), &cs.col_ptr()}, {&gs.row_idx(), &cs.row_idx()}, sys_.size(),
+        sys_.size());
+}
+
+const sparse::SpluSymbolic& ParametricSolveContext::g_symbolic() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!g_ready_) {
+        const sparse::Csc gs = stamper_.g_skeleton();
+        g_symbolic_ = sparse::SpluSymbolic::analyze(gs);
+        ++symbolic_analyses_;
+        g_ready_ = true;
+    }
+    return g_symbolic_;
+}
+
+const sparse::SpluSymbolic& ParametricSolveContext::pencil_symbolic() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!pencil_ready_) {
+        pencil_symbolic_ = sparse::SpluSymbolic::analyze(
+            sys_.size(), pencil_pattern_.col_ptr, pencil_pattern_.row_idx);
+        ++symbolic_analyses_;
+        pencil_ready_ = true;
+    }
+    return pencil_symbolic_;
+}
+
+long ParametricSolveContext::symbolic_analyses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return symbolic_analyses_;
+}
+
+sparse::SparseLu ParametricSolveContext::factor_g(const std::vector<double>& p,
+                                                  GcScratch& s) const {
+    stamper_.g_at(p, s.g);
+    sparse::SparseLu::Options opts;
+    opts.symbolic = &g_symbolic();
+    return sparse::SparseLu(s.g, opts, s.ws);
+}
+
+namespace {
+
+/// Both batch classes must carry exactly the context's full union pattern —
+/// that identity is what makes sharing pencil_symbolic() legal.
+void check_pencil_pattern(const ParametricSolveContext& ctx,
+                          const std::vector<int>& col_ptr,
+                          const std::vector<int>& row_idx, const char* who) {
+    check(col_ptr == ctx.pencil_col_ptr() && row_idx == ctx.pencil_row_idx(),
+          std::string(who) + ": assembler pattern differs from the context's "
+                             "union(G, C) pattern");
+}
+
+}  // namespace
+
+PencilBatch::PencilBatch(const ParametricSolveContext& ctx, const std::vector<double>& p,
+                         sparse::cplx s_ref)
+    // G(p)/C(p) stamped on the stamper's union patterns (NOT the possibly
+    // smaller patterns of the values at this particular p): the pencil union
+    // is then p-independent, so every sweep on this context shares one
+    // symbolic analysis and one pattern contract.
+    : assembler_(ctx.stamper().g_at(p), ctx.stamper().c_at(p)) {
+    {
+        const sparse::ZCsc skel = assembler_.skeleton();
+        check_pencil_pattern(ctx, skel.col_ptr(), skel.row_idx(), "PencilBatch");
+    }
+    batch_ = ZRefactorBatch(assembler_.assemble(s_ref), ctx.pencil_symbolic());
+}
+
+namespace {
+
+/// alpha * a + beta * b on the STRUCTURAL union of the two patterns.
+/// sparse::add would drop an entry whose sum cancels to exactly zero, which
+/// would make the trapezoid pencil's pattern value- and dt-dependent and
+/// break the shared-symbolic contract below; entries here are kept as
+/// explicit zeros instead. Values of surviving entries are bit-identical to
+/// sparse::add (same a-then-b accumulation order).
+sparse::Csc add_on_union(double alpha, const sparse::Csc& a, double beta,
+                         const sparse::Csc& b) {
+    const sparse::detail::UnionPattern u = sparse::detail::union_pattern(
+        {&a.col_ptr(), &b.col_ptr()}, {&a.row_idx(), &b.row_idx()}, a.rows(), a.cols());
+    std::vector<double> vals(u.row_idx.size(), 0.0);
+    auto scatter = [&](double coeff, const sparse::Csc& m) {
+        const std::vector<int> map = sparse::detail::scatter_map(u, m.col_ptr(), m.row_idx());
+        for (std::size_t k = 0; k < map.size(); ++k)
+            vals[static_cast<std::size_t>(map[k])] += coeff * m.values()[k];
+    };
+    scatter(alpha, a);
+    scatter(beta, b);
+    return sparse::Csc(a.rows(), a.cols(), u.col_ptr, u.row_idx, std::move(vals));
+}
+
+/// One trapezoidal affine family C/h ± G/2: base c0/h ± g0/2 and terms
+/// dc_i/h ± dg_i/2, all on the union pattern of every ingredient.
+sparse::AffineAssembler trapezoid_pencil(const circuit::ParametricSystem& sys,
+                                         double inv_h, double g_sign) {
+    const sparse::Csc base = add_on_union(inv_h, sys.c0, g_sign * 0.5, sys.g0);
+    std::vector<sparse::Csc> terms;
+    terms.reserve(sys.dg.size());
+    for (std::size_t i = 0; i < sys.dg.size(); ++i)
+        terms.push_back(add_on_union(inv_h, sys.dc[i], g_sign * 0.5, sys.dg[i]));
+    return sparse::AffineAssembler(base, terms);
+}
+
+}  // namespace
+
+TrapezoidBatch::TrapezoidBatch(const ParametricSolveContext& ctx, double dt) : dt_(dt) {
+    check(dt > 0.0, "TrapezoidBatch: dt must be positive");
+    const double inv_h = 1.0 / dt;
+    lhs_ = trapezoid_pencil(ctx.system(), inv_h, +1.0);
+    rhs_ = trapezoid_pencil(ctx.system(), inv_h, -1.0);
+    {
+        const sparse::Csc skel = lhs_.skeleton();
+        check_pencil_pattern(ctx, skel.col_ptr(), skel.row_idx(), "TrapezoidBatch");
+    }
+    // Nominal reference factorization: the fixed pivot sequence every corner
+    // replays, independent of the batch composition — which is what makes a
+    // batch bit-identical to looped single-corner runs.
+    const std::vector<double> p0(static_cast<std::size_t>(ctx.num_params()), 0.0);
+    batch_ = RefactorBatch(lhs_.combine(p0), ctx.pencil_symbolic());
+}
+
+const sparse::SparseLu& TrapezoidBatch::factor_lhs(const std::vector<double>& p,
+                                                   Scratch& s) const {
+    if (std::all_of(p.begin(), p.end(), [](double v) { return v == 0.0; }))
+        return batch_.use_reference(s.lhs);
+    lhs_.combine(p, s.lhs.a);
+    return batch_.factor(s.lhs);
+}
+
+}  // namespace varmor::solve

@@ -1,0 +1,171 @@
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "circuit/parametric_system.h"
+#include "la/dense.h"
+#include "solve/refactor_batch.h"
+#include "sparse/assemble.h"
+#include "sparse/csc.h"
+#include "sparse/splu.h"
+
+namespace varmor::solve {
+
+/// Session-level batched-pencil solve context for one parametric system.
+///
+/// Every variational analysis bottoms out in the same operation — solve the
+/// parametrized pencil G(p) + sC(p) over a batch of (sample, point) pairs —
+/// and therefore in the same scaffold: union sparsity patterns pinned across
+/// the batch (circuit::ParametricStamper), ONE symbolic LU analysis per
+/// pattern, a reference factorization whose frozen pivot sequence every
+/// point replays, per-thread workspace scratch, and the RefactorError
+/// fallback policy (solve::RefactorBatchT). This class owns that scaffold in
+/// one place; the analysis engines (frequency sweeps, transient corner
+/// batches, Monte-Carlo pole studies, multi-point bases) borrow it instead
+/// of rebuilding it, so multiple studies on one system share symbolic state.
+///
+/// Two pattern classes are cached, each with a lazily-computed symbolic
+/// analysis (built on first use, then shared by every subsequent study):
+///
+///   g pattern      union of { G0, dG_i }            — G(p) factorizations
+///                                                     (pole studies,
+///                                                     multi-point bases)
+///   pencil pattern union of all G and C patterns    — the complex pencil
+///                                                     G + sC AND the real
+///                                                     trapezoid pencils
+///                                                     C/h ± G/2 (identical
+///                                                     union pattern), so a
+///                                                     sweep study and a
+///                                                     transient study pay
+///                                                     ONE analysis total
+///
+/// Thread-safety: the lazy symbolic getters are internally synchronized;
+/// everything else is immutable after construction, so a const context is
+/// safe to share across worker threads and across concurrent studies.
+class ParametricSolveContext {
+public:
+    /// Validates and copies the system (the context outlives any particular
+    /// caller and is safe to share by const reference).
+    explicit ParametricSolveContext(const circuit::ParametricSystem& sys);
+
+    ParametricSolveContext(const ParametricSolveContext&) = delete;
+    ParametricSolveContext& operator=(const ParametricSolveContext&) = delete;
+
+    const circuit::ParametricSystem& system() const { return sys_; }
+    const circuit::ParametricStamper& stamper() const { return stamper_; }
+    int size() const { return sys_.size(); }
+    int num_ports() const { return sys_.num_ports(); }
+    int num_params() const { return sys_.num_params(); }
+
+    /// Symbolic analysis of the G(p) union pattern (lazily built, cached).
+    const sparse::SpluSymbolic& g_symbolic() const;
+
+    /// Symbolic analysis of the full union(G, C) pattern; serves the complex
+    /// sweep pencil and the real trapezoid pencils (lazily built, cached).
+    const sparse::SpluSymbolic& pencil_symbolic() const;
+
+    /// Number of symbolic analyses this context has run so far — the test
+    /// hook behind the facade's "N studies, one analysis" contract.
+    long symbolic_analyses() const;
+
+    /// The full union(G, C) pattern (sorted CSC arrays) that pencil_symbolic
+    /// analyzes; trapezoid and sweep-pencil assemblers must carry exactly
+    /// this pattern to share the analysis.
+    const std::vector<int>& pencil_col_ptr() const { return pencil_pattern_.col_ptr; }
+    const std::vector<int>& pencil_row_idx() const { return pencil_pattern_.row_idx; }
+
+    // -----------------------------------------------------------------
+    // Fresh-factorization path: per-sample G(p) with the shared symbolic
+    // (Monte-Carlo pole studies, multi-point expansion bases).
+    // -----------------------------------------------------------------
+
+    /// Per-worker assembly targets for G(p) / C(p) plus LU workspace.
+    struct GcScratch {
+        sparse::Csc g, c;
+        sparse::SpluWorkspace ws;
+    };
+    GcScratch make_gc_scratch() const {
+        return GcScratch{stamper_.g_skeleton(), stamper_.c_skeleton(), {}};
+    }
+
+    /// Stamps G(p) into `s.g` and factors it numerically with the shared
+    /// g_symbolic() analysis (no ordering recomputation).
+    sparse::SparseLu factor_g(const std::vector<double>& p, GcScratch& s) const;
+
+private:
+    circuit::ParametricSystem sys_;
+    circuit::ParametricStamper stamper_;
+    sparse::detail::UnionPattern pencil_pattern_;
+
+    mutable std::mutex mutex_;
+    mutable sparse::SpluSymbolic g_symbolic_, pencil_symbolic_;
+    mutable bool g_ready_ = false, pencil_ready_ = false;
+    mutable long symbolic_analyses_ = 0;
+};
+
+/// Frequency-sweep batch at a fixed parameter point p: the complex pencil
+/// G(p) + sC(p) assembled on the context's full union pattern, a reference
+/// factorization at s_ref sharing the context's pencil symbolic, and the
+/// refactorize-or-fallback policy for every other frequency point.
+class PencilBatch {
+public:
+    /// Stamps G(p)/C(p) on the union patterns and factors the reference at
+    /// s_ref. The context must outlive this object.
+    PencilBatch(const ParametricSolveContext& ctx, const std::vector<double>& p,
+                sparse::cplx s_ref);
+
+    const sparse::PencilAssembler& assembler() const { return assembler_; }
+    const sparse::ZSparseLu& reference() const { return batch_.reference(); }
+
+    using Scratch = ZRefactorBatch::Scratch;
+    Scratch make_scratch() const { return batch_.make_scratch(assembler_.skeleton()); }
+
+    /// Assembles G + sC into the scratch and returns its solver under the
+    /// shared fallback policy.
+    const sparse::ZSparseLu& factor(sparse::cplx s, Scratch& scratch) const {
+        assembler_.assemble(s, scratch.a);
+        return batch_.factor(scratch);
+    }
+
+private:
+    sparse::PencilAssembler assembler_;
+    ZRefactorBatch batch_;
+};
+
+/// Corner-batch trapezoidal pencils for one fixed step size h = dt: the
+/// affine families M(p) = C(p)/h + G(p)/2 (factored) and N(p) = C(p)/h -
+/// G(p)/2 (applied explicitly) on the context's full union pattern, the
+/// nominal reference factorization of M(0) sharing the context's pencil
+/// symbolic, and the refactorize-or-fallback policy per corner.
+class TrapezoidBatch {
+public:
+    /// Builds the assemblers and the nominal reference. The context must
+    /// outlive this object.
+    TrapezoidBatch(const ParametricSolveContext& ctx, double dt);
+
+    double dt() const { return dt_; }
+
+    struct Scratch {
+        RefactorBatch::Scratch lhs;  ///< M(p) target + factor + workspace
+        sparse::Csc rhs;             ///< N(p) target on the union pattern
+    };
+    Scratch make_scratch() const {
+        return Scratch{batch_.make_scratch(lhs_.skeleton()), rhs_.skeleton()};
+    }
+
+    /// Stamps N(p) into `s.rhs` (the explicit right-hand-side matrix).
+    void stamp_rhs(const std::vector<double>& p, Scratch& s) const { rhs_.combine(p, s.rhs); }
+
+    /// Stamps M(p) and returns its solver: the nominal corner short-circuits
+    /// to a copy of the reference factorization, every other corner takes
+    /// the shared refactorize-or-fallback policy.
+    const sparse::SparseLu& factor_lhs(const std::vector<double>& p, Scratch& s) const;
+
+private:
+    double dt_ = 0.0;
+    sparse::AffineAssembler lhs_, rhs_;
+    RefactorBatch batch_;
+};
+
+}  // namespace varmor::solve

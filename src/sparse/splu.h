@@ -78,12 +78,22 @@ using SpluWorkspace = SpluWorkspaceT<double>;
 using ZSpluWorkspace = SpluWorkspaceT<cplx>;
 
 /// Thrown by SparseLuT::refactorize when the frozen pivot sequence collapses
-/// numerically on the new values; callers fall back to a fresh factorization
-/// for that matrix.
+/// numerically on the new values — either outright (a pivot at roundoff
+/// scale) or through excessive element growth during the replay (the pivot
+/// is formally nonzero but frozen pivoting has become unstable). Callers
+/// fall back to a fresh factorization for that matrix.
 class RefactorError : public Error {
 public:
     using Error::Error;
 };
+
+/// Element-growth ceiling for refactorize(): replaying the frozen pivot
+/// sequence is abandoned (RefactorError) once any factor entry exceeds this
+/// multiple of max|A|. Partial pivoting keeps growth near O(1); a frozen
+/// sequence on an ill-conditioned pencil can amplify without bound, silently
+/// eroding accuracy long before a pivot collapses outright — 1e8 triggers
+/// the fresh-factorization fallback while ~half the significand is intact.
+inline constexpr double kRefactorGrowthLimit = 1e8;
 
 /// Sparse LU factorization (Gilbert-Peierls left-looking algorithm with
 /// partial pivoting, CSparse lineage), templated on scalar so the same code
@@ -237,6 +247,11 @@ int lu_reach(int n, const std::vector<int>& l_colptr, const std::vector<int>& l_
              std::vector<int>& stack, std::vector<int>& work_stack,
              std::vector<int>& position, std::vector<bool>& marked);
 
+/// Squared magnitude, generic over the factor scalar: the growth monitor in
+/// refactorize() compares squared values to avoid a sqrt/hypot per entry.
+inline double mag2(double v) { return v * v; }
+inline double mag2(cplx v) { return std::norm(v); }
+
 }  // namespace detail
 
 template <class T>
@@ -367,6 +382,13 @@ void SparseLuT<T>::refactorize(const CscT<T>& a, SpluWorkspaceT<T>& ws) {
     for (const T& v : a.values()) amax_all = std::max(amax_all, std::abs(v));
     if (!(amax_all > 0.0)) throw RefactorError("SparseLu::refactorize: zero matrix");
     const double singular_tol = 1e-13 * amax_all;
+    // Pivot-growth ceiling (squared, see detail::mag2): once any working
+    // value exceeds kRefactorGrowthLimit * max|A|, the frozen pivot sequence
+    // has become unstable on these values and the fallback is triggered
+    // BEFORE the inaccurate factors are used.
+    const double growth_tol2 =
+        (kRefactorGrowthLimit * amax_all) * (kRefactorGrowthLimit * amax_all);
+    double gmax2 = 0.0;
 
     if (static_cast<int>(ws.x.size()) != n) ws.resize(n);
     std::vector<T>& x = ws.x;  // invariant: all-zero outside the active column
@@ -391,6 +413,7 @@ void SparseLuT<T>::refactorize(const CscT<T>& a, SpluWorkspaceT<T>& ws) {
             const int j = s.u_rowidx[static_cast<std::size_t>(p)];
             const T xj = x[static_cast<std::size_t>(j)];
             u_values_[static_cast<std::size_t>(p)] = xj;
+            gmax2 = std::max(gmax2, detail::mag2(xj));
             if (xj == T{}) continue;
             for (int pp = s.l_colptr[static_cast<std::size_t>(j)] + 1;
                  pp < s.l_colptr[static_cast<std::size_t>(j) + 1]; ++pp)
@@ -421,9 +444,20 @@ void SparseLuT<T>::refactorize(const CscT<T>& a, SpluWorkspaceT<T>& ws) {
         l_values_[static_cast<std::size_t>(l_start)] = T(1);
         for (int p = l_start + 1; p < l_end; ++p) {
             const int i = s.l_rowidx[static_cast<std::size_t>(p)];
-            l_values_[static_cast<std::size_t>(p)] = x[static_cast<std::size_t>(i)] / pivot;
+            const T xi = x[static_cast<std::size_t>(i)];
+            gmax2 = std::max(gmax2, detail::mag2(xi));
+            l_values_[static_cast<std::size_t>(p)] = xi / pivot;
             x[static_cast<std::size_t>(i)] = T{};
         }
+
+        // Growth check once per column, after the column's entries cleared x
+        // back to all-zero (so the workspace is reusable for the fallback
+        // factorization the caller will run).
+        gmax2 = std::max(gmax2, detail::mag2(pivot));
+        if (gmax2 > growth_tol2)
+            throw RefactorError(
+                "SparseLu::refactorize: pivot growth exceeded limit; frozen pivot "
+                "sequence is unstable on these values, factor from scratch");
     }
 }
 

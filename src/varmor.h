@@ -10,13 +10,17 @@
 ///   mor::lowrank_pmor                  the paper's Algorithm 1
 ///   mor::prima / single_point / multi_point / fit_projection / tbr / awe
 ///                                      every baseline it is compared with
+///   solve::ParametricSolveContext      shared batched-pencil solve scaffold
 ///   analysis::*                        sweeps, poles, Monte Carlo, transient
+///   analysis::VariabilityStudy         session facade: one context + cached
+///                                      ROM shared across studies
 
 #include "analysis/freq_sweep.h"
 #include "analysis/monte_carlo.h"
 #include "analysis/poles.h"
 #include "analysis/transient.h"
 #include "analysis/transient_batch.h"
+#include "analysis/variability_study.h"
 #include "circuit/extraction.h"
 #include "circuit/generators.h"
 #include "circuit/mna.h"
@@ -45,6 +49,8 @@
 #include "mor/rom_eval.h"
 #include "mor/single_point.h"
 #include "mor/tbr.h"
+#include "solve/parametric_context.h"
+#include "solve/refactor_batch.h"
 #include "sparse/arnoldi.h"
 #include "sparse/csc.h"
 #include "sparse/linear_operator.h"

@@ -21,7 +21,10 @@ TEST(Extraction, UpperLayersAreThickerAndLessResistive) {
 }
 
 TEST(Extraction, ResistanceScalesWithGeometry) {
-    const Layer& m5 = default_tech().layer(0);
+    // Keep the Technology alive: layer() returns a reference into it, so
+    // binding it off a default_tech() temporary dangles (caught by ASan).
+    const Technology tech = default_tech();
+    const Layer& m5 = tech.layer(0);
     WireRc rc1 = extract_wire(m5, 100e-6, 0.0);
     WireRc rc2 = extract_wire(m5, 200e-6, 0.0);
     EXPECT_NEAR(rc2.resistance, 2.0 * rc1.resistance, 1e-9);
@@ -33,7 +36,8 @@ TEST(Extraction, ResistanceScalesWithGeometry) {
 }
 
 TEST(Extraction, CouplingGrowsWhenSpacingShrinks) {
-    const Layer& m6 = default_tech().layer(1);
+    const Technology tech = default_tech();
+    const Layer& m6 = tech.layer(1);
     WireRc nom = extract_wire(m6, 100e-6, 0.0, true);
     WireRc wide = extract_wire(m6, 100e-6, 0.1 * m6.nominal_width, true);
     EXPECT_GT(nom.cap_coupling, 0.0);
@@ -42,7 +46,8 @@ TEST(Extraction, CouplingGrowsWhenSpacingShrinks) {
 }
 
 TEST(Extraction, InvalidGeometryThrows) {
-    const Layer& m5 = default_tech().layer(0);
+    const Technology tech = default_tech();
+    const Layer& m5 = tech.layer(0);
     EXPECT_THROW(extract_wire(m5, 0.0, 0.0), Error);
     EXPECT_THROW(extract_wire(m5, 100e-6, -2.0 * m5.nominal_width), Error);
     // Width so large the spacing collapses.
@@ -55,7 +60,8 @@ TEST(Extraction, InvalidGeometryThrows) {
 class ExtractionFdProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(ExtractionFdProperty, AnalyticDerivativesMatchFiniteDifference) {
-    const Layer& layer = default_tech().layer(GetParam());
+    const Technology tech = default_tech();
+    const Layer& layer = tech.layer(GetParam());
     const double len = 120e-6;
     const double h = 1e-4 * layer.nominal_width;
 

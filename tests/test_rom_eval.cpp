@@ -158,6 +158,70 @@ TEST(RomEvalEngine, SweepReducedMatchesLoopAtAnyThreadCount) {
     }
 }
 
+TEST(RomEvalEngine, SmallModelsTakeTheDirectFastLane) {
+    // Below kDirectPathOrder the one-shot path must skip the per-sample
+    // Hessenberg preparation and use the direct dense-pencil kernel — while
+    // staying bit-identical between looped transfer() and engine grids (the
+    // threshold depends only on q, so both sides take the same branch).
+    const ReducedModel model = make_model(30, 2, 23, 4);  // q = 8 < 20
+    ASSERT_LT(model.size(), RomEvalEngine::kDirectPathOrder);
+    const RomEvalEngine engine(model);
+    RomEvalWorkspace ws;
+    engine.stamp_parameters({0.1, -0.05}, ws);
+    const cplx s(0.0, util::two_pi_f(1e9));
+    const ZMatrix h = engine.transfer(s, ws);
+    EXPECT_TRUE(ws.direct_path);
+
+    // The fast lane computes the same transfer function: compare against an
+    // explicit dense pencil solve L~^T (G~ + sC~)^-1 B~.
+    const la::Matrix gp = model.g_at({0.1, -0.05});
+    const la::Matrix cp = model.c_at({0.1, -0.05});
+    la::ZMatrix k(gp.rows(), gp.cols());
+    for (std::size_t e = 0; e < k.raw().size(); ++e)
+        k.raw()[e] = gp.raw()[e] + s * cp.raw()[e];
+    const ZMatrix ref = la::matmul(la::transpose(la::to_complex(model.l)),
+                                   la::DenseLu<cplx>(k).solve(la::to_complex(model.b)));
+    EXPECT_LE(la::norm_max(h - ref), 1e-12 * (1.0 + la::norm_max(ref)));
+
+    // Grid == loop stays bitwise on the fast lane.
+    const auto samples = make_samples(3, model.num_params(), 29);
+    const auto s_points = make_s_points(5);
+    std::vector<std::vector<ZMatrix>> looped;
+    for (const auto& p : samples) {
+        std::vector<ZMatrix> row;
+        for (const cplx& sp : s_points) row.push_back(model.transfer(sp, p));
+        looped.push_back(std::move(row));
+    }
+    for (int threads : {1, 8})
+        EXPECT_EQ(max_grid_deviation(engine.transfer_grid(samples, s_points, threads),
+                                     looped), 0.0);
+}
+
+TEST(RomEvalEngine, LargeModelsKeepTheHessenbergPath) {
+    // Above the threshold the per-sample Hessenberg reduction stays in play
+    // (the batched O(q^2)-per-frequency claim), and grids remain bitwise
+    // equal to looped transfer() calls.
+    const ReducedModel model = make_model(80, 3, 7, 12);  // q = 24 >= 20
+    ASSERT_GE(model.size(), RomEvalEngine::kDirectPathOrder);
+    const RomEvalEngine engine(model);
+    RomEvalWorkspace ws;
+    engine.stamp_parameters({0.05, -0.1, 0.0}, ws);
+    (void)engine.transfer(cplx(0.0, util::two_pi_f(1e9)), ws);
+    EXPECT_FALSE(ws.direct_path);
+
+    const auto samples = make_samples(3, model.num_params(), 37);
+    const auto s_points = make_s_points(5);
+    std::vector<std::vector<ZMatrix>> looped;
+    for (const auto& p : samples) {
+        std::vector<ZMatrix> row;
+        for (const cplx& sp : s_points) row.push_back(model.transfer(sp, p));
+        looped.push_back(std::move(row));
+    }
+    for (int threads : {1, 8})
+        EXPECT_EQ(max_grid_deviation(engine.transfer_grid(samples, s_points, threads),
+                                     looped), 0.0);
+}
+
 TEST(RomEvalEngine, SingularGFallsBackToDirectPencil) {
     // G~ singular but the pencil G~ + sC~ invertible at s != 0: a pure
     // capacitor. The Hessenberg split cannot form G~^-1 C~, so the engine

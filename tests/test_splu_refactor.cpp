@@ -103,6 +103,43 @@ TEST(SpluRefactor, PatternMismatchThrows) {
     EXPECT_THROW(lu.refactorize(other), Error);
 }
 
+TEST(SpluRefactor, PivotGrowthTriggersRefactorError) {
+    // Ill-conditioned refactorization values: the frozen (1,1) pivot stays
+    // far above the absolute singularity tolerance (1e-9 vs 1e-13 * max|A|),
+    // but replaying it amplifies the (2,2) entry to ~1e9 — past the growth
+    // limit — so accuracy would silently degrade. The monitor must trigger
+    // the RefactorError fallback instead of returning unstable factors.
+    Triplets t(2, 2);
+    t.add(0, 0, 4.0);
+    t.add(0, 1, 1.0);
+    t.add(1, 0, 1.0);
+    t.add(1, 1, 3.0);
+    const Csc a(t);
+    // Natural ordering pins the elimination order (and hence the frozen
+    // pivot sequence) so the growth scenario below is deterministic.
+    SparseLu::Options opts;
+    opts.ordering = SpluSymbolic::Ordering::natural;
+    SparseLu lu(a, opts);
+
+    Csc hard = a;
+    hard.values() = {1e-9, 1.0, 1.0, 1.0};  // column-major: a11, a21, a12, a22
+    EXPECT_THROW(lu.refactorize(hard), RefactorError);
+
+    // A fresh factorization (what the fallback runs) handles the same values
+    // fine: partial pivoting swaps rows and solves accurately.
+    const SparseLu fresh(hard);
+    const Vector x = fresh.solve(Vector{1.0, 0.0});
+    EXPECT_LE(la::norm2(hard.apply(x) - Vector{1.0, 0.0}), 1e-12);
+
+    // Moderate growth (well below the limit) must NOT trigger: the replay
+    // path stays the hot path for benign value changes.
+    Csc mild = a;
+    mild.values() = {0.05, 1.0, 1.0, 1.0};  // growth ~ 20
+    EXPECT_NO_THROW(lu.refactorize(mild));
+    const Vector y = lu.solve(Vector{1.0, 0.0});
+    EXPECT_LE(la::norm2(mild.apply(y) - Vector{1.0, 0.0}), 1e-9);
+}
+
 TEST(SpluRefactor, CollapsedPivotThrowsRefactorError) {
     Triplets t(2, 2);
     t.add(0, 0, 2.0);

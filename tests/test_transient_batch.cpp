@@ -178,5 +178,121 @@ TEST(TransientBatch, EmptyCornerListThrows) {
     EXPECT_THROW(transient_study(sys, {}, {}), Error);
 }
 
+TEST(TransientBatch, SingleSegmentScheduleMatchesFlatGrid) {
+    const circuit::ParametricSystem sys = rc_line(20);
+    const InputFn input = step_input(2, 0);
+    const std::vector<std::vector<double>> corners{{0.1, -0.2}, {0.0, 0.0}};
+
+    TransientOptions flat;
+    flat.t_stop = 40.0;
+    flat.dt = 0.5;
+    TransientOptions scheduled;
+    scheduled.schedule = {{40.0, 0.5}};
+
+    const TransientBatchRunner flat_runner(sys, flat);
+    const TransientBatchRunner sched_runner(sys, scheduled);
+    EXPECT_EQ(flat_runner.num_pencils(), 1);
+    EXPECT_EQ(sched_runner.num_pencils(), 1);
+    const auto a = flat_runner.run_batch(corners, input, 1);
+    const auto b = sched_runner.run_batch(corners, input, 1);
+    for (std::size_t k = 0; k < corners.size(); ++k) expect_bit_identical(a[k], b[k]);
+}
+
+TEST(TransientBatch, VariableStepBatchBitIdenticalToLoopedSimulate) {
+    const circuit::ParametricSystem sys = varmor::testing::small_parametric_rc(25, 2, 31);
+    MonteCarloOptions mc;
+    mc.samples = 5;
+    mc.sigma = 0.2;
+    auto corners = sample_parameters(2, mc);
+    corners.push_back({0.0, 0.0});
+
+    // Fine edge window, coarse tail, then a fine window again: three
+    // segments but only TWO distinct dt values, hence two pencils (one
+    // refactorization per distinct dt per corner, not per segment).
+    TransientOptions topts;
+    topts.schedule = {{5.0, 0.1}, {20.0, 1.0}, {5.0, 0.1}};
+    const TransientBatchRunner runner(sys, topts);
+    EXPECT_EQ(runner.num_pencils(), 2);
+    const InputFn input = step_input(runner.num_ports(), 0);
+
+    // Time grid: 50 + 20 + 50 steps covering [0, 30].
+    const auto serial = runner.run_batch(corners, input, 1);
+    ASSERT_EQ(serial.front().time.size(), 121u);
+    EXPECT_DOUBLE_EQ(serial.front().time.back(), 30.0);
+
+    // Batch == loop of single-corner runs == parallel batch, bitwise.
+    for (std::size_t k = 0; k < corners.size(); ++k)
+        expect_bit_identical(serial[k], simulate(sys, corners[k], input, topts));
+    for (int threads : {2, 4, 8}) {
+        const auto parallel = runner.run_batch(corners, input, threads);
+        for (std::size_t k = 0; k < corners.size(); ++k)
+            expect_bit_identical(serial[k], parallel[k]);
+    }
+}
+
+TEST(TransientBatch, VariableStepMatchesPiecewiseFlatRuns) {
+    // A two-segment schedule must produce exactly the union of two flat
+    // runs: the first segment is a flat run, and the second continues from
+    // its final state (checked against physical sanity: monotone step
+    // response through the dt change, no restart transient).
+    const circuit::ParametricSystem sys = rc_line(15);
+    const InputFn input = step_input(2, 0);
+
+    TransientOptions topts;
+    topts.schedule = {{10.0, 0.25}, {40.0, 1.0}};
+    const TransientResult r = simulate(sys, {0.0, 0.0}, input, topts);
+
+    // Flat reference over the first segment only: identical prefix.
+    TransientOptions head;
+    head.t_stop = 10.0;
+    head.dt = 0.25;
+    const TransientResult prefix = simulate(sys, {0.0, 0.0}, input, head);
+    ASSERT_GE(r.time.size(), prefix.time.size());
+    for (std::size_t i = 0; i < prefix.time.size(); ++i) {
+        EXPECT_EQ(r.time[i], prefix.time[i]);
+        EXPECT_EQ(r.ports[1][i], prefix.ports[1][i]);
+    }
+    // The tail keeps charging monotonically toward the settled value (no
+    // discontinuity introduced by the refactorization at the dt change).
+    for (std::size_t i = prefix.time.size(); i < r.time.size(); ++i)
+        EXPECT_GE(r.ports[1][i] + 1e-12, r.ports[1][i - 1]);
+}
+
+TEST(TransientBatch, ExactlyCancellingPencilEntryKeepsThePatternContract) {
+    // dt chosen so the (0,1)/(1,0) entries of M = C/dt + G/2 cancel to
+    // EXACTLY zero (c01/dt == -g01/2). A value-level sparse add would drop
+    // them, making the trapezoid pattern dt-dependent and breaking the
+    // context's shared-symbolic contract; the engine must keep them as
+    // explicit zeros and run the study normally.
+    circuit::ParametricSystem sys;
+    sys.g0 = sparse::from_dense(la::Matrix{{2.0, -1.0}, {-1.0, 2.0}});
+    sys.c0 = sparse::from_dense(la::Matrix{{1.0, 0.5}, {0.5, 1.0}});
+    sys.dg = {sparse::from_dense(la::Matrix{{0.2, 0.0}, {0.0, 0.2}})};
+    sys.dc = {sparse::from_dense(la::Matrix{{0.1, 0.0}, {0.0, 0.1}})};
+    sys.b = la::Matrix{{1.0}, {0.0}};
+    sys.l = sys.b;
+
+    TransientOptions topts;
+    topts.dt = 1.0;  // c01/dt + g01/2 = 0.5 - 0.5 = 0 exactly
+    topts.t_stop = 4.0;
+    const TransientBatchRunner runner(sys, topts);  // must not throw
+    const InputFn input = step_input(1, 0);
+    const std::vector<std::vector<double>> corners{{0.0}, {0.5}, {-0.5}};
+    const auto batch = runner.run_batch(corners, input, 1);
+    for (std::size_t k = 0; k < corners.size(); ++k) {
+        for (double v : batch[k].ports[0]) EXPECT_TRUE(std::isfinite(v));
+        expect_bit_identical(batch[k], simulate(sys, corners[k], input, topts));
+    }
+}
+
+TEST(TransientBatch, InvalidScheduleThrows) {
+    const circuit::ParametricSystem sys = rc_line(5);
+    TransientOptions bad;
+    bad.schedule = {{1.0, 0.1}, {0.05, 0.1}};  // second segment shorter than dt
+    EXPECT_THROW(TransientBatchRunner(sys, bad), Error);
+    bad.schedule = {{1.0, -0.1}};
+    EXPECT_THROW(TransientBatchRunner(sys, bad), Error);
+}
+
 }  // namespace
 }  // namespace varmor::analysis

@@ -1,0 +1,146 @@
+// VariabilityStudy facade: studies sharing one solve context (and one cached
+// ROM) must equal fresh free-function runs bitwise, and a sweep study plus a
+// transient study on one facade must pay exactly ONE symbolic LU analysis.
+
+#include <gtest/gtest.h>
+
+#include "analysis/freq_sweep.h"
+#include "analysis/monte_carlo.h"
+#include "analysis/transient_batch.h"
+#include "analysis/variability_study.h"
+#include "circuit/mna.h"
+#include "la/ops.h"
+#include "mor/lowrank_pmor.h"
+#include "mor_test_utils.h"
+
+namespace varmor::analysis {
+namespace {
+
+using la::ZMatrix;
+
+void expect_bit_identical(const std::vector<ZMatrix>& a, const std::vector<ZMatrix>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].rows(), b[i].rows());
+        ASSERT_EQ(a[i].cols(), b[i].cols());
+        for (std::size_t k = 0; k < a[i].raw().size(); ++k) {
+            EXPECT_EQ(a[i].raw()[k].real(), b[i].raw()[k].real()) << "point " << i;
+            EXPECT_EQ(a[i].raw()[k].imag(), b[i].raw()[k].imag()) << "point " << i;
+        }
+    }
+}
+
+void expect_bit_identical(const TransientResult& a, const TransientResult& b) {
+    ASSERT_EQ(a.time.size(), b.time.size());
+    for (std::size_t i = 0; i < a.time.size(); ++i) EXPECT_EQ(a.time[i], b.time[i]);
+    ASSERT_EQ(a.ports.size(), b.ports.size());
+    for (std::size_t k = 0; k < a.ports.size(); ++k) {
+        ASSERT_EQ(a.ports[k].size(), b.ports[k].size());
+        for (std::size_t i = 0; i < a.ports[k].size(); ++i)
+            EXPECT_EQ(a.ports[k][i], b.ports[k][i]) << "port " << k << " step " << i;
+    }
+}
+
+circuit::ParametricSystem test_system() {
+    return varmor::testing::small_parametric_rc(30, 2, 77);
+}
+
+TEST(VariabilityStudy, SweepPlusTransientPayOneSymbolicAnalysis) {
+    VariabilityStudy study(test_system());
+    EXPECT_EQ(study.context().symbolic_analyses(), 0);
+
+    const auto freqs = log_frequencies(1e-3, 1.0, 7);
+    (void)study.sweep({0.1, -0.1}, freqs);
+    EXPECT_EQ(study.context().symbolic_analyses(), 1);
+
+    TransientStudyOptions topts;
+    topts.transient.t_stop = 10.0;
+    topts.transient.dt = 0.5;
+    (void)study.transient({{0.0, 0.0}, {0.2, -0.1}}, topts);
+    // The trapezoid pencils carry the same union(G, C) pattern as the sweep
+    // pencil, so the transient study reuses the sweep's analysis.
+    EXPECT_EQ(study.context().symbolic_analyses(), 1);
+
+    // More studies, same analysis.
+    (void)study.sweep({0.0, 0.0}, freqs);
+    (void)study.transient({{0.1, 0.1}}, topts);
+    EXPECT_EQ(study.context().symbolic_analyses(), 1);
+}
+
+TEST(VariabilityStudy, RepeatedStudiesOnOneContextMatchFreshRuns) {
+    const circuit::ParametricSystem sys = test_system();
+    VariabilityStudy study(sys);
+    const auto freqs = log_frequencies(1e-3, 1.0, 9);
+    const std::vector<double> p{0.15, -0.2};
+
+    // Two sweeps on the shared context == two fresh one-shot runs.
+    const auto fresh = sweep_full(sys, p, freqs);
+    expect_bit_identical(fresh, study.sweep(p, freqs));
+    expect_bit_identical(fresh, study.sweep(p, freqs));
+
+    // Transient study after the sweeps (warm context) == a fresh study.
+    TransientStudyOptions topts;
+    topts.transient.t_stop = 12.0;
+    topts.transient.dt = 0.25;
+    const std::vector<std::vector<double>> corners{{0.0, 0.0}, {0.2, -0.1}, {-0.3, 0.3}};
+    const TransientStudy fresh_study = transient_study(sys, corners, topts);
+    const TransientStudy shared_study = study.transient(corners, topts);
+    ASSERT_EQ(shared_study.waveforms.size(), fresh_study.waveforms.size());
+    for (std::size_t k = 0; k < corners.size(); ++k)
+        expect_bit_identical(fresh_study.waveforms[k], shared_study.waveforms[k]);
+    EXPECT_EQ(shared_study.level, fresh_study.level);
+    EXPECT_EQ(shared_study.mean_delay, fresh_study.mean_delay);
+    EXPECT_EQ(shared_study.sigma_delay, fresh_study.sigma_delay);
+}
+
+TEST(VariabilityStudy, CachedRomSharedAcrossStudies) {
+    const circuit::ParametricSystem sys = test_system();
+    VariabilityStudy study(sys);
+    EXPECT_FALSE(study.has_rom());
+    EXPECT_THROW(study.rom_engine(), Error);
+
+    mor::LowRankPmorOptions ropts;
+    ropts.s_order = 3;
+    ropts.param_order = 2;
+    const mor::ReducedModel& rom = study.rom(ropts);
+    EXPECT_TRUE(study.has_rom());
+    // Second call returns the SAME cached model (no rebuild).
+    EXPECT_EQ(&rom, &study.rom(ropts));
+
+    // Reduced sweep through the cached engine == free-function sweep.
+    const auto freqs = log_frequencies(1e-3, 1.0, 8);
+    const std::vector<double> p{0.1, 0.1};
+    expect_bit_identical(sweep_reduced(rom, p, freqs), study.sweep_rom(p, freqs));
+
+    // Pole study on the shared context + cached engine == fresh run.
+    MonteCarloOptions mc;
+    mc.samples = 5;
+    const auto samples = sample_parameters(2, mc);
+    PoleOptions popts;
+    popts.count = 3;
+    const PoleErrorStudy fresh = pole_error_study(sys, rom, samples, popts);
+    const PoleErrorStudy shared = study.pole_errors(samples, popts);
+    ASSERT_EQ(shared.flattened.size(), fresh.flattened.size());
+    for (std::size_t i = 0; i < shared.flattened.size(); ++i)
+        EXPECT_EQ(shared.flattened[i], fresh.flattened[i]);
+    EXPECT_EQ(shared.max_error, fresh.max_error);
+    EXPECT_EQ(shared.mean_error, fresh.mean_error);
+}
+
+TEST(VariabilityStudy, SetRomInstallsExternalModel) {
+    const circuit::ParametricSystem sys = test_system();
+    VariabilityStudy study(sys);
+
+    mor::LowRankPmorOptions ropts;
+    ropts.s_order = 2;
+    ropts.param_order = 2;
+    mor::ReducedModel external = mor::lowrank_pmor(sys, ropts).model;
+    const int q = external.size();
+    study.set_rom(std::move(external));
+    ASSERT_TRUE(study.has_rom());
+    EXPECT_EQ(study.rom().size(), q);
+    EXPECT_EQ(study.rom_engine().size(), q);
+}
+
+}  // namespace
+}  // namespace varmor::analysis
