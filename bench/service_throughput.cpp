@@ -1,0 +1,246 @@
+// Serving-subsystem throughput gate: a mixed point-query workload (transfer
+// sweeps + transient delays + pole requests) served two ways on one session:
+//
+//   unbatched  every query alone, serially — fresh workspace, per-query
+//              stamp + Hessenberg preparation, per-query transient run
+//              (the pre-service behavior of a naive caller);
+//   batched    8 concurrent clients through StudyService futures — the
+//              QueryBatcher coalesces queries into RomEvalEngine groups and
+//              TransientBatchRunner corner batches under the size/deadline
+//              flush policy.
+//
+// Gates: batched serving >= 2x queries/sec over unbatched, results BITWISE
+// identical to unbatched serving, and a warm ModelCache hit opening the
+// session with zero reduction work. Writes BENCH_service_throughput.json
+// (or argv[1]) for the CI artifact.
+
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "analysis/freq_sweep.h"
+#include "bench_util.h"
+#include "circuit/generators.h"
+#include "circuit/mna.h"
+#include "la/ops.h"
+#include "mor/rom_eval.h"
+#include "service/study_service.h"
+#include "util/constants.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace varmor;
+using la::cplx;
+using la::ZMatrix;
+
+namespace {
+
+struct Workload {
+    std::vector<std::vector<double>> corners;
+    std::vector<cplx> s_points;
+    int delay_corners = 0;  ///< first N corners also get a delay query
+    int pole_corners = 0;   ///< first N corners also get a pole query
+
+    int transfer_queries() const {
+        return static_cast<int>(corners.size() * s_points.size());
+    }
+    int total_queries() const {
+        return transfer_queries() + delay_corners + pole_corners;
+    }
+};
+
+struct Results {
+    std::vector<std::vector<ZMatrix>> transfer;  ///< [corner][freq]
+    std::vector<service::DelayResult> delay;
+    std::vector<std::vector<cplx>> poles;
+};
+
+double max_deviation(const Results& a, const Results& b) {
+    double dev = 0.0;
+    for (std::size_t i = 0; i < a.transfer.size(); ++i)
+        for (std::size_t j = 0; j < a.transfer[i].size(); ++j)
+            dev = std::max(dev, la::norm_max(a.transfer[i][j] - b.transfer[i][j]));
+    for (std::size_t i = 0; i < a.delay.size(); ++i) {
+        if (a.delay[i].delay.has_value() != b.delay[i].delay.has_value()) return 1.0;
+        if (a.delay[i].delay)
+            dev = std::max(dev, std::abs(*a.delay[i].delay - *b.delay[i].delay));
+    }
+    for (std::size_t i = 0; i < a.poles.size(); ++i) {
+        if (a.poles[i].size() != b.poles[i].size()) return 1.0;
+        for (std::size_t k = 0; k < a.poles[i].size(); ++k)
+            dev = std::max(dev, std::abs(a.poles[i][k] - b.poles[i][k]));
+    }
+    return dev;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::banner("service_throughput: coalesced serving vs per-query serving",
+                  "the serving premise on top of sections 4-5: one warm "
+                  "reduced model answering heavy mixed traffic");
+    bench::ShapeChecks checks;
+
+    circuit::RandomRcOptions net_opts;
+    net_opts.unknowns = 500;
+    net_opts.num_params = 3;
+    const circuit::ParametricSystem sys = assemble_mna(circuit::random_rc_net(net_opts));
+
+    service::ModelCache cache;
+    service::StudyServiceOptions opts;
+    // A production-sized served model (q ~ 70): per-query evaluation cost is
+    // what coalescing amortizes, so the gate must run in the regime where
+    // the model — not the future/queue machinery — dominates a query.
+    opts.reduction.s_order = 6;
+    opts.reduction.param_order = 4;
+    opts.reduction.rank = 2;
+    opts.transient.transient.t_stop = 4e-9;
+    opts.transient.transient.dt = 2e-11;
+    opts.batcher.max_batch = 64;
+    opts.batcher.max_wait_ms = 2.0;
+    opts.batcher.threads = 0;  // process-wide pool
+    service::StudyService service(cache, opts);
+
+    util::Timer t;
+    service::StudySession& session = service.open(sys);
+    const double ms_open = t.milliseconds();
+    const int q = session.study().cached_rom().size();
+    std::printf("session open (cache miss, one reduction): %.1f ms; q = %d\n", ms_open, q);
+    checks.expect(q >= mor::RomEvalEngine::kDirectPathOrder,
+                  "served ROM is large enough to exercise the Hessenberg path");
+
+    // Mixed workload: 16 corners x 32 frequencies of transfer queries
+    // (serving traffic is dominated by point evaluations of the warm model —
+    // the paper's "millions of scenarios"), plus a delay and a pole query on
+    // every corner.
+    Workload w;
+    for (int c = 0; c < 16; ++c)
+        w.corners.push_back({0.03 * c - 0.2, 0.12 - 0.02 * c, 0.01 * c - 0.08});
+    for (double f : analysis::log_frequencies(1e6, 1e10, 32))
+        w.s_points.emplace_back(0.0, util::two_pi_f(f));
+    w.delay_corners = static_cast<int>(w.corners.size());
+    w.pole_corners = static_cast<int>(w.corners.size());
+    std::printf("workload: %d transfer + %d delay + %d pole queries\n\n",
+                w.transfer_queries(), w.delay_corners, w.pole_corners);
+
+    // ---- unbatched baseline: every query served alone, serially. ---------
+    t.reset();
+    Results alone;
+    alone.transfer.resize(w.corners.size());
+    for (std::size_t i = 0; i < w.corners.size(); ++i)
+        for (const cplx& s : w.s_points)
+            alone.transfer[i].push_back(session.transfer_now(w.corners[i], s));
+    const double ms_alone_transfer = t.milliseconds();
+    for (int i = 0; i < w.delay_corners; ++i)
+        alone.delay.push_back(session.delay_now(w.corners[static_cast<std::size_t>(i)]));
+    for (int i = 0; i < w.pole_corners; ++i)
+        alone.poles.push_back(session.poles_now(w.corners[static_cast<std::size_t>(i)]));
+    const double ms_alone = t.milliseconds();
+    std::printf("unbatched lane split: transfer %.1f ms, delay+pole %.1f ms\n",
+                ms_alone_transfer, ms_alone - ms_alone_transfer);
+
+    // ---- batched: 8 clients submit the same workload concurrently. -------
+    const int kClients = 8;
+    t.reset();
+    Results batched;
+    batched.transfer.resize(w.corners.size());
+    batched.delay.resize(static_cast<std::size_t>(w.delay_corners));
+    batched.poles.resize(static_cast<std::size_t>(w.pole_corners));
+    {
+        std::vector<std::thread> clients;
+        for (int cidx = 0; cidx < kClients; ++cidx)
+            clients.emplace_back([&, cidx] {
+                // Client cidx owns every kClients-th corner. Fire all of its
+                // queries first, then collect — clients that block mid-sweep
+                // would starve the batcher of coalescing opportunities (and
+                // leave the flusher idling on deadline waits).
+                std::vector<std::pair<std::size_t, std::vector<std::future<ZMatrix>>>> tf;
+                std::vector<std::pair<std::size_t, std::future<service::DelayResult>>> df;
+                std::vector<std::pair<std::size_t, std::future<std::vector<cplx>>>> pf;
+                for (std::size_t i = static_cast<std::size_t>(cidx);
+                     i < w.corners.size(); i += kClients) {
+                    tf.emplace_back(i, std::vector<std::future<ZMatrix>>());
+                    tf.back().second.reserve(w.s_points.size());
+                    for (const cplx& s : w.s_points)
+                        tf.back().second.push_back(session.transfer(w.corners[i], s));
+                    if (static_cast<int>(i) < w.delay_corners)
+                        df.emplace_back(i, session.delay(w.corners[i]));
+                    if (static_cast<int>(i) < w.pole_corners)
+                        pf.emplace_back(i, session.poles(w.corners[i]));
+                }
+                for (auto& [i, fs] : tf)
+                    for (auto& f : fs) batched.transfer[i].push_back(f.get());
+                for (auto& [i, f] : df) batched.delay[i] = f.get();
+                for (auto& [i, f] : pf) batched.poles[i] = f.get();
+            });
+        for (std::thread& th : clients) th.join();
+    }
+    const double ms_batched = t.milliseconds();
+
+    const int nq = w.total_queries();
+    const double qps_alone = 1e3 * nq / ms_alone;
+    const double qps_batched = 1e3 * nq / ms_batched;
+    const double speedup = qps_batched / qps_alone;
+    const service::QueryBatcherStats qs = session.batcher().stats();
+
+    util::Table table({"serving path (" + std::to_string(nq) + " queries)",
+                       "time [ms]", "queries/sec", "speedup"});
+    table.add_row({"unbatched (each query alone, serial)",
+                   util::Table::num(ms_alone, 4), util::Table::num(qps_alone, 1), "1.0"});
+    table.add_row({"service (8 clients, coalesced, " +
+                       std::to_string(util::ThreadPool::default_threads()) + " threads)",
+                   util::Table::num(ms_batched, 4), util::Table::num(qps_batched, 1),
+                   util::Table::num(speedup, 3)});
+    table.print(std::cout);
+    std::printf("coalescing: %ld transfer stamps for %ld transfer queries; "
+                "%ld batches, largest %d\n\n",
+                qs.transfer_groups, qs.transfer_queries, qs.batches, qs.largest_batch);
+
+    checks.expect(speedup >= 2.0,
+                  "coalesced serving is >= 2x queries/sec over the per-query "
+                  "unbatched path");
+    checks.expect(max_deviation(alone, batched) == 0.0,
+                  "batched serving is bit-identical to unbatched single-client "
+                  "serving");
+    checks.expect(qs.transfer_groups < qs.transfer_queries,
+                  "the batcher actually coalesced transfer queries (groups < "
+                  "queries)");
+
+    // ---- warm-cache serving: a second service, zero reduction work. ------
+    t.reset();
+    service::StudyService warm_service(cache, opts);
+    service::StudySession& warm = warm_service.open(sys);
+    const double ms_warm_open = t.milliseconds();
+    std::printf("warm open: %.1f ms (cold was %.1f ms)\n", ms_warm_open, ms_open);
+    checks.expect(cache.stats().builds == 1,
+                  "warm ModelCache hit performs zero reduction work (builds "
+                  "stayed at 1)");
+    checks.expect(la::norm_max(warm.transfer_now(w.corners[0], w.s_points[0]) -
+                               alone.transfer[0][0]) == 0.0,
+                  "warm session serves bit-identical answers");
+
+    const char* json_path = argc > 1 ? argv[1] : "BENCH_service_throughput.json";
+    std::ofstream json(json_path);
+    json << "{\n"
+         << "  \"bench\": \"service_throughput\",\n"
+         << "  \"rom_size\": " << q << ",\n"
+         << "  \"queries\": " << nq << ",\n"
+         << "  \"clients\": " << kClients << ",\n"
+         << "  \"threads\": " << util::ThreadPool::default_threads() << ",\n"
+         << "  \"ms_unbatched\": " << ms_alone << ",\n"
+         << "  \"ms_batched\": " << ms_batched << ",\n"
+         << "  \"qps_unbatched\": " << qps_alone << ",\n"
+         << "  \"qps_batched\": " << qps_batched << ",\n"
+         << "  \"speedup\": " << speedup << ",\n"
+         << "  \"transfer_queries\": " << qs.transfer_queries << ",\n"
+         << "  \"transfer_groups\": " << qs.transfer_groups << ",\n"
+         << "  \"ms_open_cold\": " << ms_open << ",\n"
+         << "  \"ms_open_warm\": " << ms_warm_open << ",\n"
+         << "  \"shape_failures\": " << checks.failures() << "\n"
+         << "}\n";
+    std::printf("wrote %s\n", json_path);
+
+    return checks.exit_code();
+}

@@ -15,30 +15,39 @@ TransientBatchRunner::TransientBatchRunner(const circuit::ParametricSystem& sys,
                                            const TransientOptions& opts)
     : opts_(opts), owned_ctx_(std::make_unique<solve::ParametricSolveContext>(sys)) {
     ctx_ = owned_ctx_.get();
-    build_pencils();
+    build_pencils(nullptr);
 }
 
 TransientBatchRunner::TransientBatchRunner(const solve::ParametricSolveContext& ctx,
                                            const TransientOptions& opts)
     : opts_(opts), ctx_(&ctx) {
-    build_pencils();
+    build_pencils(nullptr);
 }
 
-void TransientBatchRunner::build_pencils() {
+TransientBatchRunner::TransientBatchRunner(solve::TrapezoidBatchCache& cache,
+                                           const TransientOptions& opts)
+    : opts_(opts), ctx_(&cache.context()) {
+    build_pencils(&cache);
+}
+
+void TransientBatchRunner::build_pencils(solve::TrapezoidBatchCache* cache) {
     grid_ = detail::make_grid(opts_);  // fail fast on a bad grid, before factoring
 
     // One TrapezoidBatch per DISTINCT dt: schedule segments that repeat a
     // step size share its pencil (and a corner refactorizes it only once).
+    // With a session cache the pencil may predate this runner entirely.
     seg_pencil_.reserve(grid_.segment_dt.size());
     for (double dt : grid_.segment_dt) {
         int idx = -1;
         for (std::size_t k = 0; k < pencils_.size(); ++k)
-            if (pencils_[k].dt() == dt) {
+            if (pencils_[k]->dt() == dt) {
                 idx = static_cast<int>(k);
                 break;
             }
         if (idx < 0) {
-            pencils_.emplace_back(*ctx_, dt);
+            pencils_.push_back(cache ? cache->get(dt)
+                                     : std::make_shared<const solve::TrapezoidBatch>(
+                                           *ctx_, dt));
             idx = static_cast<int>(pencils_.size()) - 1;
         }
         seg_pencil_.push_back(idx);
@@ -48,8 +57,8 @@ void TransientBatchRunner::build_pencils() {
 TransientBatchRunner::Scratch TransientBatchRunner::make_scratch() const {
     Scratch scratch;
     scratch.pencil.reserve(pencils_.size());
-    for (const solve::TrapezoidBatch& pencil : pencils_)
-        scratch.pencil.push_back(pencil.make_scratch());
+    for (const auto& pencil : pencils_)
+        scratch.pencil.push_back(pencil->make_scratch());
     return scratch;
 }
 
@@ -73,7 +82,7 @@ TransientResult TransientBatchRunner::run_with_forcing(
     std::vector<const sparse::SparseLu*> solver(pencils_.size(), nullptr);
     auto ensure = [&](int pencil_idx) {
         if (solver[static_cast<std::size_t>(pencil_idx)]) return;
-        const solve::TrapezoidBatch& pencil = pencils_[static_cast<std::size_t>(pencil_idx)];
+        const solve::TrapezoidBatch& pencil = *pencils_[static_cast<std::size_t>(pencil_idx)];
         solve::TrapezoidBatch::Scratch& s = scratch.pencil[static_cast<std::size_t>(pencil_idx)];
         pencil.stamp_rhs(p, s);
         solver[static_cast<std::size_t>(pencil_idx)] = &pencil.factor_lhs(p, s);
@@ -193,6 +202,13 @@ TransientStudy transient_study(const solve::ParametricSolveContext& ctx,
                                const TransientStudyOptions& opts) {
     check(!corners.empty(), "transient_study: no corners");
     const TransientBatchRunner runner(ctx, opts.transient);
+    return run_transient_study(runner, corners, opts);
+}
+
+TransientStudy transient_study(const TransientBatchRunner& runner,
+                               const std::vector<std::vector<double>>& corners,
+                               const TransientStudyOptions& opts) {
+    check(!corners.empty(), "transient_study: no corners");
     return run_transient_study(runner, corners, opts);
 }
 

@@ -45,6 +45,14 @@ public:
     TransientBatchRunner(const solve::ParametricSolveContext& ctx,
                          const TransientOptions& opts = {});
 
+    /// Shares a context AND a session-level pencil cache: every distinct dt
+    /// of the grid is fetched from (or built into) `cache`, so repeated
+    /// delay studies whose schedules share step sizes skip even the nominal
+    /// reference factorization. Cached and freshly built pencils are
+    /// bit-identical. `cache` (and its context) must outlive the runner.
+    TransientBatchRunner(solve::TrapezoidBatchCache& cache,
+                         const TransientOptions& opts = {});
+
     int size() const { return ctx_->size(); }
     int num_ports() const { return ctx_->num_ports(); }
     int num_params() const { return ctx_->num_params(); }
@@ -86,13 +94,15 @@ private:
                                      const std::vector<la::Vector>& forcing,
                                      Scratch& scratch) const;
 
-    void build_pencils();
+    void build_pencils(solve::TrapezoidBatchCache* cache);
 
     TransientOptions opts_;
     std::unique_ptr<solve::ParametricSolveContext> owned_ctx_;
     const solve::ParametricSolveContext* ctx_ = nullptr;
     detail::StepGrid grid_;
-    std::vector<solve::TrapezoidBatch> pencils_;  ///< one per distinct dt
+    /// One per distinct dt; shared const so a session-level cache can hand
+    /// the same factored pencil to many runners.
+    std::vector<std::shared_ptr<const solve::TrapezoidBatch>> pencils_;
     std::vector<int> seg_pencil_;                 ///< schedule segment -> pencil index
 };
 
@@ -132,6 +142,14 @@ TransientStudy transient_study(const circuit::ParametricSystem& sys,
 /// Facade path: runs the study's corner batch on a shared solve context
 /// (one symbolic analysis across every study on that context).
 TransientStudy transient_study(const solve::ParametricSolveContext& ctx,
+                               const std::vector<std::vector<double>>& corners,
+                               const TransientStudyOptions& opts = {});
+
+/// Session path: runs the study on an EXISTING batch runner (e.g. one whose
+/// pencils come from a solve::TrapezoidBatchCache), so repeated studies skip
+/// pencil construction entirely. `opts.transient` is ignored — the runner's
+/// own grid is authoritative.
+TransientStudy transient_study(const TransientBatchRunner& runner,
                                const std::vector<std::vector<double>>& corners,
                                const TransientStudyOptions& opts = {});
 

@@ -6,7 +6,8 @@
 namespace varmor::analysis {
 
 VariabilityStudy::VariabilityStudy(const circuit::ParametricSystem& sys)
-    : ctx_(std::make_unique<solve::ParametricSolveContext>(sys)) {}
+    : ctx_(std::make_unique<solve::ParametricSolveContext>(sys)),
+      trap_cache_(std::make_unique<solve::TrapezoidBatchCache>(*ctx_)) {}
 
 std::vector<la::ZMatrix> VariabilityStudy::sweep(const std::vector<double>& p,
                                                  const std::vector<double>& freqs,
@@ -16,17 +17,34 @@ std::vector<la::ZMatrix> VariabilityStudy::sweep(const std::vector<double>& p,
 
 TransientStudy VariabilityStudy::transient(const std::vector<std::vector<double>>& corners,
                                            const TransientStudyOptions& opts) const {
-    return transient_study(*ctx_, corners, opts);
+    // The runner pulls its pencils from the session cache: a repeated study
+    // with the same step sizes skips even the nominal factorization.
+    const TransientBatchRunner runner(*trap_cache_, opts.transient);
+    return transient_study(runner, corners, opts);
 }
 
 const mor::ReducedModel& VariabilityStudy::rom(const mor::LowRankPmorOptions& opts) {
-    if (!rom_) set_rom(mor::lowrank_pmor(ctx_->system(), opts).model);
+    if (!rom_) {
+        // Feed the context's cached g0-pattern symbolic into the reduction so
+        // repeated ROM builds on one session (e.g. model-cache misses in the
+        // serving layer) skip the redundant ordering analysis. g0's own
+        // pattern — NOT the union pattern, whose ordering would change bits.
+        mor::LowRankPmorOptions build_opts = opts;
+        if (!build_opts.g0_factor && !build_opts.g0_symbolic)
+            build_opts.g0_symbolic = &ctx_->g0_symbolic();
+        set_rom(mor::lowrank_pmor(ctx_->system(), build_opts).model);
+    }
     return *rom_;
 }
 
 void VariabilityStudy::set_rom(mor::ReducedModel model) {
     rom_.emplace(std::move(model));
     rom_engine_.emplace(*rom_);
+}
+
+const mor::ReducedModel& VariabilityStudy::cached_rom() const {
+    check(rom_.has_value(), "VariabilityStudy: no cached ROM — call rom() or set_rom() first");
+    return *rom_;
 }
 
 const mor::RomEvalEngine& VariabilityStudy::rom_engine() const {

@@ -42,6 +42,11 @@ public:
     const circuit::ParametricSystem& system() const { return ctx_->system(); }
     const solve::ParametricSolveContext& context() const { return *ctx_; }
 
+    /// Session-level trapezoidal-pencil cache (one factored pencil per
+    /// distinct dt, shared by every transient study on this facade and by
+    /// external runners such as the serving layer's per-session batchers).
+    solve::TrapezoidBatchCache& trapezoid_cache() const { return *trap_cache_; }
+
     // -----------------------------------------------------------------
     // Full-system studies (shared solve context).
     // -----------------------------------------------------------------
@@ -54,7 +59,10 @@ public:
 
     /// Corner-batch transient delay study (waveforms, 50%-crossing delays,
     /// histogram/mean/sigma) — analysis::transient_study on the shared
-    /// context.
+    /// context. Repeated studies whose grids share step sizes reuse the
+    /// session's trapezoid_cache(): the nominal pencils are stamped and
+    /// factored once per distinct dt across ALL studies, bit-identical to
+    /// fresh runs.
     TransientStudy transient(const std::vector<std::vector<double>>& corners,
                              const TransientStudyOptions& opts = {}) const;
 
@@ -72,6 +80,10 @@ public:
     void set_rom(mor::ReducedModel model);
 
     bool has_rom() const { return rom_.has_value(); }
+
+    /// The cached model itself (const access for sessions that installed it
+    /// via set_rom). Throws if no ROM is cached yet.
+    const mor::ReducedModel& cached_rom() const;
 
     /// The cached ROM's batched evaluation engine. Throws if no ROM is
     /// cached yet.
@@ -95,6 +107,7 @@ public:
 
 private:
     std::unique_ptr<solve::ParametricSolveContext> ctx_;
+    std::unique_ptr<solve::TrapezoidBatchCache> trap_cache_;  ///< internally synchronized
     std::optional<mor::ReducedModel> rom_;
     std::optional<mor::RomEvalEngine> rom_engine_;
 };

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "util/hash.h"
 
 namespace varmor::mor {
 
@@ -29,10 +30,36 @@ la::Matrix read_matrix(std::istream& is, const std::string& expected_tag, int ro
 
 }  // namespace
 
-void write_model(const ReducedModel& model, std::ostream& os) {
+std::uint64_t model_content_hash(const ReducedModel& model) {
+    util::Fnv1a64 h;
+    h.str("varmor-rom-content");
+    h.i32(model.size()).i32(model.num_ports()).i32(model.num_params());
+    h.f64_span(model.g0.raw()).f64_span(model.c0.raw());
+    h.f64_span(model.b.raw()).f64_span(model.l.raw());
+    for (int i = 0; i < model.num_params(); ++i) {
+        h.f64_span(model.dg[static_cast<std::size_t>(i)].raw());
+        h.f64_span(model.dc[static_cast<std::size_t>(i)].raw());
+    }
+    return h.digest();
+}
+
+void write_model(const ReducedModel& model, std::ostream& os, const ModelMeta* meta) {
     check(model.size() >= 1, "write_model: empty model");
     os.precision(17);
-    os << "varmor-rom 1\n";
+    os << "varmor-rom 2\n";
+    {
+        // The meta line always carries the RECOMPUTED content hash — a
+        // caller-supplied stale hash must never be persisted as truth.
+        const std::uint64_t hash = model_content_hash(model);
+        const std::string key =
+            (meta && !meta->cache_key.empty()) ? meta->cache_key : "-";
+        // The format is whitespace-delimited; a key containing whitespace
+        // would write a file that every later read_model rejects.
+        check(key.find_first_of(" \t\n\r") == std::string::npos,
+              "write_model: cache key must not contain whitespace");
+        os << "meta key " << key << " content " << std::hex << hash << std::dec
+           << "\n";
+    }
     os << "size " << model.size() << " ports " << model.num_ports() << " params "
        << model.num_params() << "\n";
     write_matrix(os, "G0", model.g0);
@@ -45,18 +72,36 @@ void write_model(const ReducedModel& model, std::ostream& os) {
     }
 }
 
-void write_model_file(const ReducedModel& model, const std::string& path) {
+void write_model_file(const ReducedModel& model, const std::string& path,
+                      const ModelMeta* meta) {
     std::ofstream f(path);
     check(f.good(), "write_model_file: cannot open " + path);
-    write_model(model, f);
+    write_model(model, f, meta);
+    f.flush();
+    // A torn write (disk full, quota) must be an error, not a file that
+    // silently fails its content-hash check on every later load.
+    check(f.good(), "write_model_file: write failed for " + path);
 }
 
-ReducedModel read_model(std::istream& is) {
+ReducedModel read_model(std::istream& is, ModelMeta* meta) {
     std::string magic;
     int version = 0;
     check(static_cast<bool>(is >> magic >> version), "read_model: missing header");
     check(magic == "varmor-rom", "read_model: bad magic '" + magic + "'");
-    check(version == 1, "read_model: unsupported version " + std::to_string(version));
+    check(version == 1 || version == 2,
+          "read_model: unsupported version " + std::to_string(version));
+
+    ModelMeta parsed;
+    if (version == 2) {
+        std::string k0, k1, k2, key;
+        check(static_cast<bool>(is >> k0 >> k1 >> key >> k2) && k0 == "meta" &&
+                  k1 == "key" && k2 == "content",
+              "read_model: malformed meta line");
+        check(static_cast<bool>(is >> std::hex >> parsed.content_hash >> std::dec),
+              "read_model: malformed meta content hash");
+        if (key != "-") parsed.cache_key = key;
+    }
+    if (meta) *meta = parsed;
 
     std::string k1, k2, k3;
     int q = 0, m = 0, np = 0;
@@ -77,10 +122,10 @@ ReducedModel read_model(std::istream& is) {
     return model;
 }
 
-ReducedModel read_model_file(const std::string& path) {
+ReducedModel read_model_file(const std::string& path, ModelMeta* meta) {
     std::ifstream f(path);
     check(f.good(), "read_model_file: cannot open " + path);
-    return read_model(f);
+    return read_model(f, meta);
 }
 
 }  // namespace varmor::mor

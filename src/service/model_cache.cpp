@@ -1,0 +1,205 @@
+#include "service/model_cache.h"
+
+#include <atomic>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include <unistd.h>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace varmor::service {
+
+namespace fs = std::filesystem;
+
+std::string CacheKey::hex() const { return util::hex64(value); }
+
+namespace {
+
+void hash_sparse(util::Fnv1a64& h, const sparse::Csc& m) {
+    h.i32(m.rows()).i32(m.cols());
+    h.i32_span(m.col_ptr()).i32_span(m.row_idx());
+    h.f64_span(m.values());
+}
+
+}  // namespace
+
+CacheKey cache_key(const circuit::ParametricSystem& sys,
+                   const mor::LowRankPmorOptions& opts) {
+    util::Fnv1a64 h;
+    h.str("varmor-cache-key-v1");
+
+    // The system: dimensions, every sparsity pattern, every value bit.
+    h.i32(sys.size()).i32(sys.num_ports()).i32(sys.num_params());
+    hash_sparse(h, sys.g0);
+    hash_sparse(h, sys.c0);
+    for (int i = 0; i < sys.num_params(); ++i) {
+        hash_sparse(h, sys.dg[static_cast<std::size_t>(i)]);
+        hash_sparse(h, sys.dc[static_cast<std::size_t>(i)]);
+    }
+    h.f64_span(sys.b.raw()).f64_span(sys.l.raw());
+
+    // The reduction config: every option that shapes the resulting model.
+    h.i32(opts.s_order).i32(opts.param_order).i32(opts.rank);
+    h.i32(opts.include_adjoint ? 1 : 0);
+    h.i32(static_cast<int>(opts.space)).i32(static_cast<int>(opts.engine));
+    h.f64(opts.orth.drop_tol).i32(opts.orth.reorth_passes);
+
+    return CacheKey{h.digest()};
+}
+
+ModelCache::ModelCache(const ModelCacheOptions& opts) : opts_(opts) {
+    check(opts_.memory_capacity >= 1, "ModelCache: memory_capacity must be >= 1");
+    if (!opts_.disk_dir.empty()) fs::create_directories(opts_.disk_dir);
+}
+
+std::string ModelCache::disk_path(const CacheKey& key) const {
+    if (opts_.disk_dir.empty()) return {};
+    return (fs::path(opts_.disk_dir) / (key.hex() + ".rom")).string();
+}
+
+ModelCache::ModelPtr ModelCache::memory_lookup_locked(const CacheKey& key) {
+    auto it = index_.find(key.value);
+    if (it == index_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second);  // bump to most recent
+    ++stats_.memory_hits;
+    return it->second->model;
+}
+
+ModelCache::ModelPtr ModelCache::disk_lookup(const CacheKey& key) {
+    const std::string path = disk_path(key);
+    if (path.empty() || !fs::exists(path)) return nullptr;
+    try {
+        mor::ModelMeta meta;
+        auto model = std::make_shared<mor::ReducedModel>(
+            mor::read_model_file(path, &meta));
+        // Integrity gate: serve only what hashes to what the writer recorded.
+        // A corrupted / truncated / hand-edited file falls through to a
+        // rebuild rather than poisoning every study on this model.
+        if (meta.content_hash != mor::model_content_hash(*model)) return nullptr;
+        return model;
+    } catch (const std::exception&) {
+        // Unreadable file == miss; the builder will replace it. std::exception
+        // (not just varmor::Error): a corrupted dimension line can surface as
+        // bad_alloc/length_error from the matrix allocation, and that must
+        // also fall through to a rebuild, never crash the serving path.
+        return nullptr;
+    }
+}
+
+void ModelCache::insert_locked(const CacheKey& key, ModelPtr model) {
+    auto it = index_.find(key.value);
+    if (it != index_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        it->second->model = std::move(model);
+        return;
+    }
+    lru_.push_front(Entry{key, std::move(model)});
+    index_[key.value] = lru_.begin();
+    while (static_cast<int>(lru_.size()) > opts_.memory_capacity) {
+        index_.erase(lru_.back().key.value);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+ModelCache::ModelPtr ModelCache::lookup(const CacheKey& key) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (ModelPtr m = memory_lookup_locked(key)) return m;
+    }
+    ModelPtr m = disk_lookup(key);
+    if (m) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.disk_hits;
+        insert_locked(key, m);
+    }
+    return m;
+}
+
+ModelCache::ModelPtr ModelCache::get_or_build(const CacheKey& key, const Builder& build) {
+    std::shared_future<ModelPtr> wait_on;
+    std::promise<ModelPtr> promise;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (ModelPtr m = memory_lookup_locked(key)) return m;
+        auto fl = inflight_.find(key.value);
+        if (fl != inflight_.end()) {
+            wait_on = fl->second;
+        } else {
+            // This thread owns the miss: later requests for the key wait on
+            // our future instead of re-reading disk / re-running the builder.
+            inflight_[key.value] = promise.get_future().share();
+        }
+    }
+    if (wait_on.valid()) return wait_on.get();  // rethrows a failed build
+
+    ModelPtr model;
+    try {
+        model = disk_lookup(key);
+        const bool from_disk = model != nullptr;
+        if (!model) {
+            model = std::make_shared<const mor::ReducedModel>(build());
+            const std::string path = disk_path(key);
+            if (!path.empty()) {
+                // Write-through, atomically: temp file + rename, so readers
+                // (and other processes sharing the disk tier) never observe
+                // a torn model file, and a failed write is an error rather
+                // than a file that re-misses forever. The temp name is
+                // writer-unique (pid + counter): two processes building one
+                // key concurrently each rename their own complete file —
+                // last writer wins with identical bytes, no interleaving.
+                static std::atomic<unsigned> tmp_seq{0};
+                const std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
+                                        "." + std::to_string(tmp_seq++);
+                mor::ModelMeta meta;
+                meta.cache_key = key.hex();
+                try {
+                    mor::write_model_file(*model, tmp, &meta);
+                    fs::rename(tmp, path);
+                } catch (...) {
+                    std::error_code ec;
+                    fs::remove(tmp, ec);  // best-effort cleanup
+                    throw;
+                }
+            }
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (from_disk)
+            ++stats_.disk_hits;
+        else
+            ++stats_.builds;
+        insert_locked(key, model);
+        inflight_.erase(key.value);
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            inflight_.erase(key.value);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+    promise.set_value(model);
+    return model;
+}
+
+void ModelCache::evict_memory() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.evictions += static_cast<long>(lru_.size());
+    lru_.clear();
+    index_.clear();
+}
+
+int ModelCache::memory_size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int>(lru_.size());
+}
+
+ModelCacheStats ModelCache::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+}  // namespace varmor::service

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "circuit/parametric_system.h"
+#include "mor/lowrank_pmor.h"
+#include "mor/model_io.h"
+#include "mor/reduced_model.h"
+
+namespace varmor::service {
+
+/// Content-addressed identity of a reduced model: a stable 64-bit hash of
+/// everything that determines the reduction's RESULT — the parametric system
+/// (sparsity patterns and IEEE bit patterns of every matrix entry, i.e. the
+/// netlist after MNA assembly plus its parameter configuration) and the
+/// value-affecting reduction options. Pointer-valued options (g0_factor,
+/// g0_symbolic) are deliberately excluded: they change where the work
+/// happens, not what model comes out.
+struct CacheKey {
+    std::uint64_t value = 0;
+
+    /// 16-char lowercase hex form — the disk tier's file stem.
+    std::string hex() const;
+
+    bool operator==(const CacheKey& o) const { return value == o.value; }
+    bool operator!=(const CacheKey& o) const { return value != o.value; }
+};
+
+/// The key of (system, reduction options).
+CacheKey cache_key(const circuit::ParametricSystem& sys,
+                   const mor::LowRankPmorOptions& opts);
+
+struct ModelCacheOptions {
+    /// Capacity of the in-memory LRU tier (number of models). Least
+    /// recently used entries are dropped from memory past this; with a disk
+    /// tier configured they remain reloadable bit-identically.
+    int memory_capacity = 8;
+    /// Directory of the disk tier (created on demand). Empty = memory-only.
+    /// Models are persisted write-through on build as `<key-hex>.rom` via
+    /// mor::model_io, so a later process (or a post-eviction request) reloads
+    /// instead of re-reducing.
+    std::string disk_dir;
+};
+
+struct ModelCacheStats {
+    long memory_hits = 0;
+    long disk_hits = 0;   ///< loaded + hash-verified from the disk tier
+    long builds = 0;      ///< builder invocations — the "zero reduction work
+                          ///< on a warm hit" assertion counts THIS
+    long evictions = 0;   ///< memory-tier drops (disk copies persist)
+};
+
+/// Content-addressed registry of reduced models — the serving layer's answer
+/// to "a parametric ROM is built once and then evaluated cheaply forever".
+///
+/// Lookup order: in-memory LRU tier → disk tier (content-hash-verified
+/// reload; a corrupted file is rebuilt, never served) → the caller's builder
+/// (counted; write-through persisted). Concurrent requests for one key
+/// coalesce onto a single build: losers block on the winner's future instead
+/// of duplicating a PRIMA/low-rank reduction.
+///
+/// Entries are handed out as shared_ptr<const ReducedModel>, so a model
+/// stays valid for clients holding it across an eviction.
+///
+/// Thread-safety: all public methods are safe to call concurrently; builders
+/// run OUTSIDE the cache lock (other keys proceed during a build).
+class ModelCache {
+public:
+    using ModelPtr = std::shared_ptr<const mor::ReducedModel>;
+    using Builder = std::function<mor::ReducedModel()>;
+
+    explicit ModelCache(const ModelCacheOptions& opts = {});
+
+    ModelCache(const ModelCache&) = delete;
+    ModelCache& operator=(const ModelCache&) = delete;
+
+    const ModelCacheOptions& options() const { return opts_; }
+
+    /// The model for `key`, from memory, disk, or — as a last resort —
+    /// `build` (whose exception propagates to every coalesced waiter).
+    ModelPtr get_or_build(const CacheKey& key, const Builder& build);
+
+    /// Probe without building: memory then disk; nullptr on a true miss.
+    ModelPtr lookup(const CacheKey& key);
+
+    /// Drops the whole memory tier (the disk tier keeps every built model).
+    /// Test/ops hook for exercising eviction + reload paths.
+    void evict_memory();
+
+    /// Path a model with this key is (or would be) persisted under; empty
+    /// when no disk tier is configured.
+    std::string disk_path(const CacheKey& key) const;
+
+    int memory_size() const;
+    ModelCacheStats stats() const;
+
+private:
+    struct Entry {
+        CacheKey key;
+        ModelPtr model;
+    };
+
+    /// Memory-tier probe + LRU bump. Caller holds mutex_.
+    ModelPtr memory_lookup_locked(const CacheKey& key);
+
+    /// Disk-tier probe (read + verify). Caller must NOT hold mutex_.
+    ModelPtr disk_lookup(const CacheKey& key);
+
+    /// Insert at the LRU front, evicting past capacity. Caller holds mutex_.
+    void insert_locked(const CacheKey& key, ModelPtr model);
+
+    ModelCacheOptions opts_;
+    mutable std::mutex mutex_;
+    std::list<Entry> lru_;  ///< front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+    std::unordered_map<std::uint64_t, std::shared_future<ModelPtr>> inflight_;
+    ModelCacheStats stats_;
+};
+
+}  // namespace varmor::service

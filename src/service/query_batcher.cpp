@@ -1,0 +1,270 @@
+#include "service/query_batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace varmor::service {
+
+namespace {
+
+/// Pending queries sharing one parameter point: the engines amortize the
+/// per-sample work (stamp + Hessenberg preparation) across the group.
+template <class ItemT>
+struct Group {
+    const std::vector<double>* p = nullptr;
+    std::vector<ItemT*> items;  ///< arrival order within the group
+};
+
+/// Groups items by EXACT parameter vector, first-seen order. Exact equality
+/// is deliberate: near-equal points must not alias (their answers differ),
+/// and grouping affects only amortization, never results.
+template <class ItemT>
+std::vector<Group<ItemT>> group_by_point(std::vector<ItemT>& items) {
+    std::vector<Group<ItemT>> groups;
+    for (ItemT& item : items) {
+        Group<ItemT>* hit = nullptr;
+        for (Group<ItemT>& g : groups)
+            if (*g.p == item.p) {
+                hit = &g;
+                break;
+            }
+        if (!hit) {
+            groups.push_back(Group<ItemT>{&item.p, {}});
+            hit = &groups.back();
+        }
+        hit->items.push_back(&item);
+    }
+    return groups;
+}
+
+}  // namespace
+
+QueryBatcher::QueryBatcher(const mor::RomEvalEngine& engine,
+                           const analysis::TransientBatchRunner* transient,
+                           analysis::InputFn input, double delay_level,
+                           int observe_port, const QueryBatcherOptions& opts)
+    : engine_(engine),
+      transient_(transient),
+      input_(std::move(input)),
+      level_(delay_level),
+      opts_(opts) {
+    check(opts_.max_batch >= 1, "QueryBatcher: max_batch must be >= 1");
+    check(opts_.max_wait_ms >= 0.0, "QueryBatcher: max_wait_ms must be >= 0");
+    if (transient_) {
+        observe_ = observe_port < 0 ? transient_->num_ports() - 1 : observe_port;
+        check(observe_ >= 0 && observe_ < transient_->num_ports(),
+              "QueryBatcher: observe_port out of range");
+        check(static_cast<bool>(input_), "QueryBatcher: delay serving needs an input");
+    }
+    flusher_ = std::thread([this] { flusher_loop(); });
+}
+
+QueryBatcher::~QueryBatcher() {
+    queue_.close();   // flusher drains the tail, then exits
+    flusher_.join();
+}
+
+std::future<la::ZMatrix> QueryBatcher::submit_transfer(std::vector<double> p,
+                                                       la::cplx s) {
+    TransferItem item{std::move(p), s, {}};
+    std::future<la::ZMatrix> out = item.result.get_future();
+    queue_.push(Item(std::move(item)));
+    return out;
+}
+
+std::future<DelayResult> QueryBatcher::submit_delay(std::vector<double> p) {
+    check(transient_ != nullptr, "QueryBatcher: no transient runner configured");
+    DelayItem item{std::move(p), {}};
+    std::future<DelayResult> out = item.result.get_future();
+    queue_.push(Item(std::move(item)));
+    return out;
+}
+
+std::future<std::vector<la::cplx>> QueryBatcher::submit_poles(std::vector<double> p) {
+    PoleItem item{std::move(p), {}};
+    std::future<std::vector<la::cplx>> out = item.result.get_future();
+    queue_.push(Item(std::move(item)));
+    return out;
+}
+
+void QueryBatcher::flush() {
+    FlushItem marker;
+    std::future<void> done = marker.done.get_future();
+    queue_.push(Item(std::move(marker)));
+    done.get();
+}
+
+QueryBatcherStats QueryBatcher::stats() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+}
+
+void QueryBatcher::flusher_loop() {
+    using clock = std::chrono::steady_clock;
+    while (true) {
+        std::optional<Item> first = queue_.pop();
+        if (!first) break;  // closed and drained
+
+        std::vector<TransferItem> transfers;
+        std::vector<DelayItem> delays;
+        std::vector<PoleItem> poles;
+        std::vector<FlushItem> acks;
+        int nqueries = 0;
+        // Sorts one popped item into its lane; true = flush marker (stop
+        // collecting so the marker's "everything before me" promise holds).
+        auto take = [&](Item&& item) -> bool {
+            if (std::holds_alternative<FlushItem>(item)) {
+                acks.push_back(std::get<FlushItem>(std::move(item)));
+                return true;
+            }
+            ++nqueries;
+            if (std::holds_alternative<TransferItem>(item))
+                transfers.push_back(std::get<TransferItem>(std::move(item)));
+            else if (std::holds_alternative<DelayItem>(item))
+                delays.push_back(std::get<DelayItem>(std::move(item)));
+            else
+                poles.push_back(std::get<PoleItem>(std::move(item)));
+            return false;
+        };
+
+        bool stop = take(std::move(*first));
+        if (!stop && nqueries > 0) {
+            // The deadline half of the policy: collect until max_wait_ms
+            // after the batch's FIRST query, or until the size trigger / a
+            // flush marker / queue teardown — whichever comes first.
+            const auto deadline =
+                clock::now() + std::chrono::duration_cast<clock::duration>(
+                                   std::chrono::duration<double, std::milli>(
+                                       opts_.max_wait_ms));
+            while (nqueries < opts_.max_batch) {
+                std::optional<Item> item = queue_.pop_until(deadline);
+                if (!item) break;  // deadline passed, or closed and drained
+                if (take(std::move(*item))) break;
+            }
+        }
+
+        // Publish the batch's stats BEFORE execution: the first set_value
+        // below releases a waiting client, and a stats() read right after a
+        // future resolves (or after flush() returns) must already see the
+        // batch that produced it.
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            stats_.queries += nqueries;
+            ++stats_.batches;
+            stats_.largest_batch = std::max(stats_.largest_batch, nqueries);
+        }
+
+        execute(transfers, delays, poles);
+        for (FlushItem& ack : acks) ack.done.set_value();
+    }
+}
+
+void QueryBatcher::execute(std::vector<TransferItem>& transfers,
+                           std::vector<DelayItem>& delays,
+                           std::vector<PoleItem>& poles) {
+    // Failure isolation contract across all three lanes: a query's outcome —
+    // value or exception — must depend on ITS OWN arguments only, never on
+    // what else happened to be coalesced with it (the serve-alone purity the
+    // header promises). Stamp failures fail a whole point group (stamping
+    // depends only on p, so every query at that point fails alone too);
+    // everything past the stamp is caught per item.
+
+    // --- transfer lane: group by parameter point, fan groups over the pool.
+    // Each worker stamps (and the engine Hessenberg-prepares) a point once,
+    // then answers every coalesced frequency with one O(q^2) solve.
+    if (!transfers.empty()) {
+        auto groups = group_by_point(transfers);
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            stats_.transfer_queries += static_cast<long>(transfers.size());
+            stats_.transfer_groups += static_cast<long>(groups.size());
+        }
+        util::ThreadPool::run_chunks(
+            opts_.threads, 0, static_cast<int>(groups.size()),
+            [&](int, int chunk_begin, int chunk_end) {
+                mor::RomEvalWorkspace ws;
+                for (int g = chunk_begin; g < chunk_end; ++g) {
+                    auto& group = groups[static_cast<std::size_t>(g)];
+                    try {
+                        engine_.stamp_parameters(*group.p, ws);
+                    } catch (...) {
+                        for (TransferItem* item : group.items)
+                            item->result.set_exception(std::current_exception());
+                        continue;
+                    }
+                    for (TransferItem* item : group.items) {
+                        try {
+                            item->result.set_value(engine_.transfer(item->s, ws));
+                        } catch (...) {
+                            // e.g. the pencil singular at exactly this s:
+                            // fails THIS query only, like serve-alone would.
+                            item->result.set_exception(std::current_exception());
+                        }
+                    }
+                }
+            });
+    }
+
+    // --- pole lane: same grouping; the pole kernel is per-sample only.
+    if (!poles.empty()) {
+        auto groups = group_by_point(poles);
+        util::ThreadPool::run_chunks(
+            opts_.threads, 0, static_cast<int>(groups.size()),
+            [&](int, int chunk_begin, int chunk_end) {
+                mor::RomEvalWorkspace ws;
+                for (int g = chunk_begin; g < chunk_end; ++g) {
+                    auto& group = groups[static_cast<std::size_t>(g)];
+                    try {
+                        engine_.stamp_parameters(*group.p, ws);
+                    } catch (...) {
+                        for (PoleItem* item : group.items)
+                            item->result.set_exception(std::current_exception());
+                        continue;
+                    }
+                    for (PoleItem* item : group.items) {
+                        try {
+                            item->result.set_value(engine_.poles(ws));
+                        } catch (...) {
+                            item->result.set_exception(std::current_exception());
+                        }
+                    }
+                }
+            });
+    }
+
+    // --- delay lane: the pending corners ARE a TransientBatchRunner corner
+    // batch (one refactorization per corner, forcing series evaluated once).
+    // run_batch rethrows the FIRST corner's failure for the whole batch, so
+    // on failure fall back to serving every corner alone — the slow path,
+    // but it restores per-query isolation (only the actually-bad corners
+    // fail) exactly when something already went wrong.
+    if (!delays.empty()) {
+        try {
+            std::vector<std::vector<double>> corners;
+            corners.reserve(delays.size());
+            for (const DelayItem& item : delays) corners.push_back(item.p);
+            const std::vector<analysis::TransientResult> waves =
+                transient_->run_batch(corners, input_, opts_.threads);
+            for (std::size_t i = 0; i < delays.size(); ++i)
+                delays[i].result.set_value(DelayResult{
+                    analysis::crossing_time(waves[i], observe_, level_), level_});
+        } catch (...) {
+            for (DelayItem& item : delays) {
+                try {
+                    item.result.set_value(DelayResult{
+                        analysis::crossing_time(transient_->run(item.p, input_),
+                                                observe_, level_),
+                        level_});
+                } catch (...) {
+                    item.result.set_exception(std::current_exception());
+                }
+            }
+        }
+    }
+}
+
+}  // namespace varmor::service

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "analysis/transient.h"
+#include "analysis/transient_batch.h"
+#include "la/dense.h"
+#include "mor/rom_eval.h"
+#include "util/mpmc_queue.h"
+
+namespace varmor::service {
+
+/// Answer to a delay query: the 50%-crossing time of the observed port
+/// (nullopt if the waveform never crosses inside the simulated window) and
+/// the absolute threshold the session used.
+struct DelayResult {
+    std::optional<double> delay;
+    double level = 0.0;
+};
+
+struct QueryBatcherOptions {
+    /// Flush once this many queries are pending (the size half of the
+    /// policy). Batches may exceed coalescing opportunity — correctness
+    /// never depends on composition, only throughput does.
+    int max_batch = 64;
+    /// Flush deadline: at most this long after the first query of a batch
+    /// arrives (the latency half of the policy). 0 = flush immediately.
+    double max_wait_ms = 2.0;
+    /// Fan-out of batch EXECUTION, SweepOptions convention: 0 = the
+    /// process-wide pool, 1 = serial, n > 1 = a dedicated pool of n.
+    int threads = 0;
+};
+
+struct QueryBatcherStats {
+    long queries = 0;          ///< accepted point queries
+    long batches = 0;          ///< flushes executed (including empty flush() acks)
+    int largest_batch = 0;     ///< max queries coalesced into one flush
+    long transfer_queries = 0;
+    long transfer_groups = 0;  ///< distinct parameter points across transfer
+                               ///< batches — the coalescing win is
+                               ///< transfer_queries / transfer_groups
+};
+
+/// Coalesces concurrent point queries from many logical clients into the
+/// batched engines — the middle piece of the serving subsystem.
+///
+/// Three query classes are accepted, matching the batched execution lanes
+/// underneath:
+///
+///   transfer(p, s)  ROM transfer value        -> mor::RomEvalEngine, queries
+///                                                grouped by parameter point
+///                                                (one stamp + Hessenberg
+///                                                preparation per group, one
+///                                                O(q^2) solve per query)
+///   delay(p)        full-system 50%-crossing  -> TransientBatchRunner corner
+///                   delay at a corner            batch (one refactorization
+///                                                per corner, forcing series
+///                                                shared across the batch)
+///   poles(p)        ROM poles at a corner     -> engine pole kernel, grouped
+///                                                by parameter point
+///
+/// Queries are enqueued on a util::MpmcQueue and drained by one flusher
+/// thread under a size/deadline policy: a batch flushes when `max_batch`
+/// queries are pending or `max_wait_ms` after its first query arrived,
+/// whichever comes first. flush() forces a drain of everything already
+/// submitted.
+///
+/// Determinism contract (the reason coalescing is safe to hide behind
+/// futures): every query's answer is a pure function of its own arguments —
+/// each engine computes a batch item independently of batch composition and
+/// thread count — so a coalesced batch is BIT-IDENTICAL to serving each
+/// query alone, no matter how traffic happens to interleave.
+class QueryBatcher {
+public:
+    /// Serves transfer/pole queries on `engine` and (when `transient` is
+    /// non-null) delay queries on `transient` with the given step input and
+    /// absolute crossing threshold. All referenced objects must outlive the
+    /// batcher. `observe_port` follows TransientStudyOptions (-1 = last).
+    QueryBatcher(const mor::RomEvalEngine& engine,
+                 const analysis::TransientBatchRunner* transient,
+                 analysis::InputFn input, double delay_level, int observe_port,
+                 const QueryBatcherOptions& opts = {});
+
+    /// Drains everything pending, then joins the flusher.
+    ~QueryBatcher();
+
+    QueryBatcher(const QueryBatcher&) = delete;
+    QueryBatcher& operator=(const QueryBatcher&) = delete;
+
+    // -----------------------------------------------------------------
+    // Point queries (safe from any thread; results via future).
+    // -----------------------------------------------------------------
+
+    std::future<la::ZMatrix> submit_transfer(std::vector<double> p, la::cplx s);
+    std::future<DelayResult> submit_delay(std::vector<double> p);
+    std::future<std::vector<la::cplx>> submit_poles(std::vector<double> p);
+
+    /// Blocks until every query submitted before this call has executed.
+    void flush();
+
+    const QueryBatcherOptions& options() const { return opts_; }
+    QueryBatcherStats stats() const;
+
+private:
+    struct TransferItem {
+        std::vector<double> p;
+        la::cplx s;
+        std::promise<la::ZMatrix> result;
+    };
+    struct DelayItem {
+        std::vector<double> p;
+        std::promise<DelayResult> result;
+    };
+    struct PoleItem {
+        std::vector<double> p;
+        std::promise<std::vector<la::cplx>> result;
+    };
+    struct FlushItem {
+        std::promise<void> done;
+    };
+    using Item = std::variant<TransferItem, DelayItem, PoleItem, FlushItem>;
+
+    void flusher_loop();
+    void execute(std::vector<TransferItem>& transfers, std::vector<DelayItem>& delays,
+                 std::vector<PoleItem>& poles);
+
+    const mor::RomEvalEngine& engine_;
+    const analysis::TransientBatchRunner* transient_;
+    analysis::InputFn input_;
+    double level_ = 0.0;
+    int observe_ = 0;
+    QueryBatcherOptions opts_;
+
+    util::MpmcQueue<Item> queue_;
+    mutable std::mutex stats_mutex_;
+    QueryBatcherStats stats_;
+    std::thread flusher_;  ///< last member: joins before the rest tears down
+};
+
+}  // namespace varmor::service

@@ -1,0 +1,128 @@
+#include "service/study_service.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace varmor::service {
+
+StudySession::StudySession(const circuit::ParametricSystem& sys, CacheKey key,
+                           ModelCache& cache, const StudyServiceOptions& opts)
+    : key_(key),
+      study_(sys),
+      runner_(study_.trapezoid_cache(), opts.transient.transient) {
+    // The served model: memory tier, disk tier, or — on a true miss — one
+    // low-rank reduction through the session context's cached g0 symbolic.
+    // A warm cache performs ZERO reduction work here (ModelCacheStats::builds
+    // is the counter that proves it).
+    ModelCache::ModelPtr model = cache.get_or_build(key_, [&] {
+        mor::LowRankPmorOptions build = opts.reduction;
+        if (!build.g0_factor && !build.g0_symbolic)
+            build.g0_symbolic = &study_.context().g0_symbolic();
+        return mor::lowrank_pmor(sys, build).model;
+    });
+    study_.set_rom(*model);
+
+    input_ = analysis::step_input(runner_.num_ports(), opts.transient.input_port,
+                                  opts.transient.amplitude);
+    observe_ = opts.transient.observe_port < 0 ? runner_.num_ports() - 1
+                                               : opts.transient.observe_port;
+    check(observe_ >= 0 && observe_ < runner_.num_ports(),
+          "StudySession: observe_port out of range");
+    // Fix the crossing threshold ONCE per session (same derivation as
+    // transient_study: the nominal corner's settled response), so every
+    // delay query — batched or alone — measures against the same level.
+    level_ = opts.transient.level;
+    if (std::isnan(level_)) {
+        const std::vector<double> p0(
+            static_cast<std::size_t>(runner_.num_params()), 0.0);
+        const analysis::TransientResult nominal = runner_.run(p0, input_);
+        level_ = opts.transient.level_fraction *
+                 nominal.ports[static_cast<std::size_t>(observe_)].back();
+    }
+    batcher_ = std::make_unique<QueryBatcher>(study_.rom_engine(), &runner_, input_,
+                                              level_, observe_, opts.batcher);
+}
+
+la::ZMatrix StudySession::transfer_now(const std::vector<double>& p,
+                                       la::cplx s) const {
+    mor::RomEvalWorkspace ws;
+    study_.rom_engine().stamp_parameters(p, ws);
+    return study_.rom_engine().transfer(s, ws);
+}
+
+DelayResult StudySession::delay_now(const std::vector<double>& p) const {
+    const analysis::TransientResult wave = runner_.run(p, input_);
+    return DelayResult{analysis::crossing_time(wave, observe_, level_), level_};
+}
+
+std::vector<la::cplx> StudySession::poles_now(const std::vector<double>& p) const {
+    mor::RomEvalWorkspace ws;
+    study_.rom_engine().stamp_parameters(p, ws);
+    return study_.rom_engine().poles(ws);
+}
+
+StudyService::StudyService(ModelCache& cache, const StudyServiceOptions& opts)
+    : cache_(&cache), opts_(opts) {}
+
+StudyService::~StudyService() = default;
+
+StudySession& StudyService::open(const circuit::ParametricSystem& sys) {
+    const CacheKey key = cache_key(sys, opts_.reduction);
+    std::shared_future<void> wait_on;
+    std::promise<void> promise;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = sessions_.find(key.value);
+        if (it != sessions_.end()) return *it->second;
+        auto fl = opening_.find(key.value);
+        if (fl != opening_.end()) {
+            wait_on = fl->second;
+        } else {
+            // This thread owns the construction; later open()s of the SAME
+            // system wait on its future while opens of other systems (and
+            // num_sessions/flush_all) proceed — session construction can be
+            // seconds of reduction on a cache miss and must not hold the
+            // service lock (the same rule ModelCache applies to builders).
+            opening_[key.value] = promise.get_future().share();
+        }
+    }
+    if (wait_on.valid()) {
+        wait_on.get();  // rethrows a failed construction
+        std::lock_guard<std::mutex> lock(mutex_);
+        return *sessions_.at(key.value);
+    }
+
+    std::unique_ptr<StudySession> session;
+    try {
+        session.reset(new StudySession(sys, key, *cache_, opts_));
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            opening_.erase(key.value);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+    StudySession& ref = *session;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sessions_.emplace(key.value, std::move(session));
+        opening_.erase(key.value);
+    }
+    promise.set_value();
+    return ref;
+}
+
+int StudyService::num_sessions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int>(sessions_.size());
+}
+
+void StudyService::flush_all() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& entry : sessions_) entry.second->flush();
+}
+
+}  // namespace varmor::service

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/transient_batch.h"
+#include "analysis/variability_study.h"
+#include "circuit/parametric_system.h"
+#include "service/model_cache.h"
+#include "service/query_batcher.h"
+
+namespace varmor::service {
+
+/// Per-service configuration shared by every session it opens.
+struct StudyServiceOptions {
+    /// Reduction used when a model is NOT in the cache (the cache key covers
+    /// these options, so two services with different reductions never alias).
+    mor::LowRankPmorOptions reduction;
+    /// Delay-query semantics: time grid, driven/observed ports, threshold
+    /// derivation — TransientStudyOptions reused so a service session and a
+    /// standalone transient_study() agree on what "delay at corner p" means.
+    /// (`threads`/`histogram_bins` are not used by point serving.)
+    analysis::TransientStudyOptions transient;
+    /// Coalescing policy of each session's QueryBatcher.
+    QueryBatcherOptions batcher;
+};
+
+/// One served model: the session facade (shared solve context + cached ROM +
+/// engine), the corner-batch transient runner fed from the session's
+/// trapezoid-pencil cache, and the query batcher coalescing this model's
+/// traffic. Obtained from StudyService::open(); owned by the service.
+class StudySession {
+public:
+    StudySession(const StudySession&) = delete;
+    StudySession& operator=(const StudySession&) = delete;
+
+    // -----------------------------------------------------------------
+    // Async point queries (any thread; coalesced by the batcher).
+    // -----------------------------------------------------------------
+
+    /// ROM transfer value H(s, p).
+    std::future<la::ZMatrix> transfer(std::vector<double> p, la::cplx s) {
+        return batcher_->submit_transfer(std::move(p), s);
+    }
+
+    /// Full-system 50%-crossing delay at corner p (level fixed per session).
+    std::future<DelayResult> delay(std::vector<double> p) {
+        return batcher_->submit_delay(std::move(p));
+    }
+
+    /// ROM poles at corner p.
+    std::future<std::vector<la::cplx>> poles(std::vector<double> p) {
+        return batcher_->submit_poles(std::move(p));
+    }
+
+    /// Blocks until everything submitted to this session has executed.
+    void flush() { batcher_->flush(); }
+
+    // -----------------------------------------------------------------
+    // Unbatched single-query serving: each call serves its query ALONE on
+    // fresh per-call scratch — no coalescing, no shared batch state. This is
+    // the reference the batched path must match bitwise, and the baseline
+    // bench/service_throughput measures against.
+    // -----------------------------------------------------------------
+
+    la::ZMatrix transfer_now(const std::vector<double>& p, la::cplx s) const;
+    DelayResult delay_now(const std::vector<double>& p) const;
+    std::vector<la::cplx> poles_now(const std::vector<double>& p) const;
+
+    const CacheKey& key() const { return key_; }
+    const analysis::VariabilityStudy& study() const { return study_; }
+    const QueryBatcher& batcher() const { return *batcher_; }
+    /// Absolute crossing threshold delay queries use (derived once from the
+    /// nominal corner when the options left it NaN).
+    double delay_level() const { return level_; }
+
+private:
+    friend class StudyService;
+    StudySession(const circuit::ParametricSystem& sys, CacheKey key,
+                 ModelCache& cache, const StudyServiceOptions& opts);
+
+    CacheKey key_;
+    analysis::VariabilityStudy study_;
+    analysis::TransientBatchRunner runner_;  ///< pencils from study_'s cache
+    analysis::InputFn input_;
+    int observe_ = 0;
+    double level_ = 0.0;
+    std::unique_ptr<QueryBatcher> batcher_;
+};
+
+/// The in-process ROM-serving front door: an async facade that keeps reduced
+/// models warm in a content-addressed ModelCache and feeds each model's
+/// concurrent query traffic through a coalescing QueryBatcher into the
+/// batched evaluation engines.
+///
+///   client threads ──▶ StudySession futures ──▶ QueryBatcher (size/deadline
+///   coalescing) ──▶ RomEvalEngine / TransientBatchRunner over
+///   util::ThreadPool ──▶ promises resolve
+///
+/// open() is keyed by cache_key(system, reduction options): reopening a
+/// served system — in this process or a later one via the disk tier — skips
+/// PRIMA/low-rank construction entirely (ModelCacheStats::builds stays
+/// flat), which is the paper's build-once/evaluate-forever premise turned
+/// into a serving guarantee.
+class StudyService {
+public:
+    /// `cache` must outlive the service (it is typically shared by several
+    /// services and processes via its disk tier).
+    explicit StudyService(ModelCache& cache, const StudyServiceOptions& opts = {});
+    ~StudyService();
+
+    StudyService(const StudyService&) = delete;
+    StudyService& operator=(const StudyService&) = delete;
+
+    /// The session serving `sys`, creating it on first open (model from the
+    /// cache, reduction only on a true miss). Concurrent opens of ONE system
+    /// coalesce onto a single construction; opens of other systems proceed
+    /// in parallel (construction runs outside the service lock). The
+    /// returned session is valid for the service's lifetime and its query
+    /// methods are safe from any thread.
+    StudySession& open(const circuit::ParametricSystem& sys);
+
+    ModelCache& cache() { return *cache_; }
+    const ModelCache& cache() const { return *cache_; }
+    const StudyServiceOptions& options() const { return opts_; }
+
+    int num_sessions() const;
+
+    /// Flushes every session's pending queries.
+    void flush_all();
+
+private:
+    ModelCache* cache_;
+    StudyServiceOptions opts_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<StudySession>> sessions_;
+    /// In-flight session constructions (same pattern as ModelCache's build
+    /// coalescing): key -> future the non-owning openers wait on.
+    std::unordered_map<std::uint64_t, std::shared_future<void>> opening_;
+};
+
+}  // namespace varmor::service

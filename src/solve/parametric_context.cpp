@@ -31,6 +31,16 @@ const sparse::SpluSymbolic& ParametricSolveContext::g_symbolic() const {
     return g_symbolic_;
 }
 
+const sparse::SpluSymbolic& ParametricSolveContext::g0_symbolic() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!g0_ready_) {
+        g0_symbolic_ = sparse::SpluSymbolic::analyze(sys_.g0);
+        ++symbolic_analyses_;
+        g0_ready_ = true;
+    }
+    return g0_symbolic_;
+}
+
 const sparse::SpluSymbolic& ParametricSolveContext::pencil_symbolic() const {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!pencil_ready_) {
@@ -142,6 +152,32 @@ const sparse::SparseLu& TrapezoidBatch::factor_lhs(const std::vector<double>& p,
         return batch_.use_reference(s.lhs);
     lhs_.combine(p, s.lhs.a);
     return batch_.factor(s.lhs);
+}
+
+std::shared_ptr<const TrapezoidBatch> TrapezoidBatchCache::get(double dt) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t k = 0; k < entries_.size(); ++k)
+        if (entries_[k].first == dt) {
+            // Hit: rotate to the back (most recently used).
+            auto entry = std::move(entries_[k]);
+            entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(k));
+            entries_.push_back(std::move(entry));
+            return entries_.back().second;
+        }
+    // Miss: build under the lock so concurrent first requests for one dt
+    // construct (and factor the nominal reference) exactly once; drop the
+    // least recently used pencil past capacity (existing runners keep their
+    // shared_ptr, so eviction never invalidates in-flight studies).
+    auto batch = std::make_shared<const TrapezoidBatch>(*ctx_, dt);
+    ++builds_;
+    entries_.emplace_back(dt, batch);
+    if (static_cast<int>(entries_.size()) > capacity_) entries_.erase(entries_.begin());
+    return batch;
+}
+
+long TrapezoidBatchCache::builds() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return builds_;
 }
 
 }  // namespace varmor::solve

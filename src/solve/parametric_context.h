@@ -1,6 +1,8 @@
 #pragma once
 
+#include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "circuit/parametric_system.h"
@@ -9,6 +11,7 @@
 #include "sparse/assemble.h"
 #include "sparse/csc.h"
 #include "sparse/splu.h"
+#include "util/check.h"
 
 namespace varmor::solve {
 
@@ -61,6 +64,15 @@ public:
     /// Symbolic analysis of the G(p) union pattern (lazily built, cached).
     const sparse::SpluSymbolic& g_symbolic() const;
 
+    /// Symbolic analysis of the NOMINAL matrix g0's own pattern (lazily
+    /// built, cached). This differs from g_symbolic(): g0's pattern excludes
+    /// entries contributed only by sensitivities, and the nominal ordering is
+    /// what ROM construction (mor::lowrank_pmor's one factorization of g0)
+    /// uses — sharing it keeps repeated ROM builds on one context (e.g.
+    /// model-cache misses in the serving layer) from re-running the
+    /// analysis, bit-identical to an uncached build.
+    const sparse::SpluSymbolic& g0_symbolic() const;
+
     /// Symbolic analysis of the full union(G, C) pattern; serves the complex
     /// sweep pencil and the real trapezoid pencils (lazily built, cached).
     const sparse::SpluSymbolic& pencil_symbolic() const;
@@ -99,8 +111,8 @@ private:
     sparse::detail::UnionPattern pencil_pattern_;
 
     mutable std::mutex mutex_;
-    mutable sparse::SpluSymbolic g_symbolic_, pencil_symbolic_;
-    mutable bool g_ready_ = false, pencil_ready_ = false;
+    mutable sparse::SpluSymbolic g_symbolic_, g0_symbolic_, pencil_symbolic_;
+    mutable bool g_ready_ = false, g0_ready_ = false, pencil_ready_ = false;
     mutable long symbolic_analyses_ = 0;
 };
 
@@ -166,6 +178,56 @@ private:
     double dt_ = 0.0;
     sparse::AffineAssembler lhs_, rhs_;
     RefactorBatch batch_;
+};
+
+/// Session-level cache of TrapezoidBatch pencils for one context, keyed per
+/// distinct step size dt (equivalently: the dt multiset of any transient
+/// schedule maps to one cached pencil per distinct value). Building a
+/// TrapezoidBatch factors the nominal reference pencil, so repeated delay
+/// studies on one session — same flat dt or schedules sharing step sizes —
+/// skip the nominal stamping + factorization entirely. A cached pencil is a
+/// pure function of (context, dt), so cached and freshly built batches are
+/// bit-identical.
+///
+/// The cache is LRU-bounded (`capacity` pencils): a session whose callers
+/// sweep dt — a convergence study halving the step each run — replaces the
+/// least recently used pencil instead of accumulating one factored pencil
+/// per distinct dt forever. Runners hold shared_ptrs, so an evicted pencil
+/// stays valid for the runners already built on it.
+///
+/// Thread-safety: get() is internally synchronized (a miss builds under the
+/// lock — concurrent first requests for one dt build once); returned batches
+/// are immutable and safe to share across studies and threads.
+class TrapezoidBatchCache {
+public:
+    static constexpr int kDefaultCapacity = 8;
+
+    /// `ctx` must outlive the cache and every batch it hands out.
+    explicit TrapezoidBatchCache(const ParametricSolveContext& ctx,
+                                 int capacity = kDefaultCapacity)
+        : ctx_(&ctx), capacity_(capacity) {
+        check(capacity_ >= 1, "TrapezoidBatchCache: capacity must be >= 1");
+    }
+
+    TrapezoidBatchCache(const TrapezoidBatchCache&) = delete;
+    TrapezoidBatchCache& operator=(const TrapezoidBatchCache&) = delete;
+
+    const ParametricSolveContext& context() const { return *ctx_; }
+
+    /// The cached pencil for this exact dt, building it on first request.
+    std::shared_ptr<const TrapezoidBatch> get(double dt);
+
+    /// Number of pencils actually constructed (the cache-effectiveness test
+    /// hook: repeated studies with shared step sizes keep this flat).
+    long builds() const;
+
+private:
+    const ParametricSolveContext* ctx_;
+    int capacity_ = kDefaultCapacity;
+    mutable std::mutex mutex_;
+    /// Most recently used last; evicted from the front past capacity.
+    std::vector<std::pair<double, std::shared_ptr<const TrapezoidBatch>>> entries_;
+    long builds_ = 0;
 };
 
 }  // namespace varmor::solve

@@ -87,12 +87,14 @@ public:
     using Error::Error;
 };
 
-/// Element-growth ceiling for refactorize(): replaying the frozen pivot
-/// sequence is abandoned (RefactorError) once any factor entry exceeds this
-/// multiple of max|A|. Partial pivoting keeps growth near O(1); a frozen
+/// Default element-growth ceiling for refactorize(): replaying the frozen
+/// pivot sequence is abandoned (RefactorError) once any factor entry exceeds
+/// this multiple of max|A|. Partial pivoting keeps growth near O(1); a frozen
 /// sequence on an ill-conditioned pencil can amplify without bound, silently
 /// eroding accuracy long before a pivot collapses outright — 1e8 triggers
 /// the fresh-factorization fallback while ~half the significand is intact.
+/// Tunable per factorization via SparseLuT::Options::growth_limit (RLC
+/// workloads may want a tighter or looser threshold).
 inline constexpr double kRefactorGrowthLimit = 1e8;
 
 /// Sparse LU factorization (Gilbert-Peierls left-looking algorithm with
@@ -126,6 +128,12 @@ public:
         Ordering ordering = Ordering::min_degree;
         /// Pivot threshold in (0,1]; 1.0 = classic partial pivoting.
         double pivot_tol = 1.0;
+        /// Element-growth ceiling for refactorize() on this factorization:
+        /// the frozen pivot replay throws RefactorError once any factor
+        /// entry exceeds growth_limit * max|A|. Captured at factor time and
+        /// kept by copies (the batch drivers' per-thread reference copies
+        /// inherit the reference's limit).
+        double growth_limit = kRefactorGrowthLimit;
         /// Optional pre-computed symbolic analysis for A's pattern (must be
         /// for a matrix of the same size). Overrides `ordering` when set.
         const SpluSymbolic* symbolic = nullptr;
@@ -225,6 +233,7 @@ private:
     std::shared_ptr<const Symbolic> sym_;
     std::vector<T> l_values_;
     std::vector<T> u_values_;
+    double growth_limit_ = kRefactorGrowthLimit;  ///< Options::growth_limit
     mutable long solve_count_ = 0;
 };
 
@@ -258,6 +267,8 @@ template <class T>
 void SparseLuT<T>::factor(const CscT<T>& a, const Options& opts, SpluWorkspaceT<T>& ws) {
     check(a.rows() == a.cols(), "SparseLu: square matrix required");
     check(opts.pivot_tol > 0 && opts.pivot_tol <= 1.0, "SparseLu: pivot_tol in (0,1]");
+    check(opts.growth_limit > 0.0, "SparseLu: growth_limit must be positive");
+    growth_limit_ = opts.growth_limit;
     const int n = a.rows();
 
     auto sym = std::make_shared<Symbolic>();
@@ -383,11 +394,11 @@ void SparseLuT<T>::refactorize(const CscT<T>& a, SpluWorkspaceT<T>& ws) {
     if (!(amax_all > 0.0)) throw RefactorError("SparseLu::refactorize: zero matrix");
     const double singular_tol = 1e-13 * amax_all;
     // Pivot-growth ceiling (squared, see detail::mag2): once any working
-    // value exceeds kRefactorGrowthLimit * max|A|, the frozen pivot sequence
-    // has become unstable on these values and the fallback is triggered
-    // BEFORE the inaccurate factors are used.
+    // value exceeds growth_limit_ * max|A|, the frozen pivot sequence has
+    // become unstable on these values and the fallback is triggered BEFORE
+    // the inaccurate factors are used.
     const double growth_tol2 =
-        (kRefactorGrowthLimit * amax_all) * (kRefactorGrowthLimit * amax_all);
+        (growth_limit_ * amax_all) * (growth_limit_ * amax_all);
     double gmax2 = 0.0;
 
     if (static_cast<int>(ws.x.size()) != n) ws.resize(n);

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace varmor::util {
+
+/// Streaming FNV-1a 64-bit hasher — the stable content hash behind the
+/// serving layer's content-addressed caches. Deliberately NOT std::hash
+/// (implementation-defined, process-local): cache keys must be identical
+/// across processes and library versions, because the disk tier persists
+/// models under their key.
+///
+/// Doubles are hashed by IEEE-754 bit pattern (memcpy, no arithmetic), so a
+/// key distinguishes every representable value — including -0.0 vs +0.0 and
+/// distinct NaN payloads. That is the conservative direction for a cache:
+/// values that could possibly evaluate differently never alias one key.
+class Fnv1a64 {
+public:
+    Fnv1a64& bytes(const void* data, std::size_t n) {
+        const unsigned char* p = static_cast<const unsigned char*>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h_ ^= static_cast<std::uint64_t>(p[i]);
+            h_ *= kPrime;
+        }
+        return *this;
+    }
+
+    Fnv1a64& u64(std::uint64_t v) { return bytes(&v, sizeof v); }
+    Fnv1a64& i32(std::int32_t v) { return bytes(&v, sizeof v); }
+
+    Fnv1a64& f64(double v) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof bits);
+        return u64(bits);
+    }
+
+    Fnv1a64& str(const std::string& s) {
+        u64(s.size());  // length-prefix: "ab","c" must not alias "a","bc"
+        return bytes(s.data(), s.size());
+    }
+
+    Fnv1a64& i32_span(const std::vector<int>& v) {
+        u64(v.size());
+        for (int x : v) i32(x);
+        return *this;
+    }
+
+    Fnv1a64& f64_span(const std::vector<double>& v) {
+        u64(v.size());
+        for (double x : v) f64(x);
+        return *this;
+    }
+
+    std::uint64_t digest() const { return h_; }
+
+private:
+    static constexpr std::uint64_t kOffset = 14695981039346656037ull;
+    static constexpr std::uint64_t kPrime = 1099511628211ull;
+    std::uint64_t h_ = kOffset;
+};
+
+/// Fixed-width (16-char) lowercase hex rendering of a 64-bit digest — the
+/// canonical textual form of cache keys and content hashes.
+inline std::string hex64(std::uint64_t v) {
+    const char* kDigits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+        v >>= 4;
+    }
+    return out;
+}
+
+}  // namespace varmor::util

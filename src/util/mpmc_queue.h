@@ -1,0 +1,105 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+
+namespace varmor::util {
+
+/// Bounded-complexity multi-producer/multi-consumer blocking queue: the
+/// ingress lane of the serving layer. Many logical clients push queries
+/// concurrently; the batcher's flusher drains them in arrival order (the
+/// lock serializes pushes, so "arrival order" is well defined) and applies
+/// its size/deadline coalescing policy via pop_until().
+///
+/// close() ends the stream: pending items remain poppable (consumers drain
+/// the tail), further pushes throw, and once the queue is empty every
+/// blocked pop returns std::nullopt. Destruction does not require close();
+/// the owner is responsible for joining its consumers first.
+template <class T>
+class MpmcQueue {
+public:
+    MpmcQueue() = default;
+    MpmcQueue(const MpmcQueue&) = delete;
+    MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+    /// Enqueues an item; throws varmor::Error on a closed queue (a service
+    /// being torn down must not silently swallow queries).
+    void push(T item) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            check(!closed_, "MpmcQueue: push on closed queue");
+            items_.push_back(std::move(item));
+        }
+        ready_.notify_one();
+    }
+
+    /// Blocks until an item is available (returns it) or the queue is closed
+    /// AND drained (returns std::nullopt).
+    std::optional<T> pop() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait(lock, [&] { return !items_.empty() || closed_; });
+        return take_locked();
+    }
+
+    /// Non-blocking pop.
+    std::optional<T> try_pop() {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (items_.empty()) return std::nullopt;
+        return take_unchecked();
+    }
+
+    /// Blocks until an item is available, the deadline passes, or the queue
+    /// is closed and drained. std::nullopt means "no item by the deadline" —
+    /// the batcher's cue to flush what it has collected so far.
+    template <class Clock, class Duration>
+    std::optional<T> pop_until(const std::chrono::time_point<Clock, Duration>& deadline) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait_until(lock, deadline, [&] { return !items_.empty() || closed_; });
+        return take_locked();
+    }
+
+    /// Ends the stream (idempotent); wakes every blocked consumer.
+    void close() {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        ready_.notify_all();
+    }
+
+    bool closed() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    std::size_t size() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+private:
+    // Callers hold mutex_.
+    std::optional<T> take_locked() {
+        if (items_.empty()) return std::nullopt;  // woken by close()
+        return take_unchecked();
+    }
+
+    std::optional<T> take_unchecked() {
+        std::optional<T> out(std::move(items_.front()));
+        items_.pop_front();
+        return out;
+    }
+
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+}  // namespace varmor::util

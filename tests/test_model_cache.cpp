@@ -1,0 +1,264 @@
+// service::ModelCache — the content-addressed registry under the serving
+// layer. The contracts pinned here: cache keys are stable and sensitive to
+// every value-affecting input; a warm hit performs ZERO reduction work
+// (builds counter); the disk tier round-trips models bit-identically
+// (eviction + reload); corruption is detected and repaired by rebuild;
+// concurrent misses coalesce onto one build.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "mor/lowrank_pmor.h"
+#include "mor/model_io.h"
+#include "mor_test_utils.h"
+#include "service/model_cache.h"
+
+namespace varmor::service {
+namespace {
+
+using varmor::testing::small_parametric_rc;
+
+circuit::ParametricSystem test_system() { return small_parametric_rc(30, 2, 91); }
+
+mor::LowRankPmorOptions small_reduction() {
+    mor::LowRankPmorOptions opts;
+    opts.s_order = 3;
+    opts.param_order = 2;
+    return opts;
+}
+
+/// A disk-tier directory that is empty at test start (the cache persists
+/// across processes BY DESIGN, so a rerun would otherwise see the previous
+/// run's models and skew the build counters).
+std::string fresh_disk_dir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "/" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/// Bitwise model equality via the stable content hash plus a direct raw
+/// comparison of the nominal blocks (hash equality alone could in principle
+/// collide; together they pin the bit-identity contract).
+void expect_bit_identical(const mor::ReducedModel& a, const mor::ReducedModel& b) {
+    EXPECT_EQ(mor::model_content_hash(a), mor::model_content_hash(b));
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(a.g0.raw() == b.g0.raw());
+    EXPECT_TRUE(a.c0.raw() == b.c0.raw());
+    EXPECT_TRUE(a.b.raw() == b.b.raw());
+    EXPECT_TRUE(a.l.raw() == b.l.raw());
+}
+
+TEST(CacheKey, StableAndSensitive) {
+    const circuit::ParametricSystem sys = test_system();
+    const mor::LowRankPmorOptions opts = small_reduction();
+
+    // Deterministic: the same inputs always produce the same key (this is
+    // what makes the disk tier shareable across processes).
+    EXPECT_EQ(cache_key(sys, opts).value, cache_key(sys, opts).value);
+    EXPECT_EQ(cache_key(sys, opts).hex().size(), 16u);
+
+    // Every value-affecting reduction option changes the key.
+    mor::LowRankPmorOptions o2 = opts;
+    o2.s_order += 1;
+    EXPECT_NE(cache_key(sys, opts).value, cache_key(sys, o2).value);
+    o2 = opts;
+    o2.rank += 1;
+    EXPECT_NE(cache_key(sys, opts).value, cache_key(sys, o2).value);
+    o2 = opts;
+    o2.include_adjoint = !o2.include_adjoint;
+    EXPECT_NE(cache_key(sys, opts).value, cache_key(sys, o2).value);
+    o2 = opts;
+    o2.orth.drop_tol *= 10.0;
+    EXPECT_NE(cache_key(sys, opts).value, cache_key(sys, o2).value);
+
+    // Pointer-valued options do NOT change the key: they move work around
+    // without changing the resulting model.
+    o2 = opts;
+    const sparse::SpluSymbolic sym = sparse::SpluSymbolic::analyze(sys.g0);
+    o2.g0_symbolic = &sym;
+    EXPECT_EQ(cache_key(sys, opts).value, cache_key(sys, o2).value);
+
+    // One ulp in one matrix entry changes the key.
+    circuit::ParametricSystem tweaked = sys;
+    tweaked.g0.values()[0] = std::nextafter(tweaked.g0.values()[0], 1e300);
+    EXPECT_NE(cache_key(sys, opts).value, cache_key(tweaked, opts).value);
+
+    // A different system changes the key.
+    EXPECT_NE(cache_key(sys, opts).value,
+              cache_key(small_parametric_rc(31, 2, 91), opts).value);
+}
+
+TEST(ModelCache, WarmHitPerformsZeroReductionWork) {
+    const circuit::ParametricSystem sys = test_system();
+    const mor::LowRankPmorOptions ropts = small_reduction();
+    const CacheKey key = cache_key(sys, ropts);
+
+    ModelCache cache;
+    std::atomic<int> built{0};
+    auto builder = [&] {
+        ++built;
+        return mor::lowrank_pmor(sys, ropts).model;
+    };
+
+    const ModelCache::ModelPtr first = cache.get_or_build(key, builder);
+    EXPECT_EQ(built.load(), 1);
+    EXPECT_EQ(cache.stats().builds, 1);
+
+    // Warm hit: same pointer, no builder invocation.
+    const ModelCache::ModelPtr second = cache.get_or_build(key, builder);
+    EXPECT_EQ(built.load(), 1);
+    EXPECT_EQ(second.get(), first.get());
+    EXPECT_EQ(cache.stats().memory_hits, 1);
+
+    // A different key builds its own model.
+    mor::LowRankPmorOptions other = ropts;
+    other.s_order += 1;
+    (void)cache.get_or_build(cache_key(sys, other),
+                             [&] { return mor::lowrank_pmor(sys, other).model; });
+    EXPECT_EQ(cache.stats().builds, 2);
+}
+
+TEST(ModelCache, DiskTierEvictionAndReloadBitIdentity) {
+    const circuit::ParametricSystem sys = test_system();
+    const mor::LowRankPmorOptions ropts = small_reduction();
+    const CacheKey key = cache_key(sys, ropts);
+
+    ModelCacheOptions copts;
+    copts.disk_dir = fresh_disk_dir("varmor_cache_evict");
+    ModelCache cache(copts);
+
+    const mor::ReducedModel reference = mor::lowrank_pmor(sys, ropts).model;
+    const ModelCache::ModelPtr built = cache.get_or_build(
+        key, [&] { return mor::lowrank_pmor(sys, ropts).model; });
+    expect_bit_identical(*built, reference);
+
+    // The write-through copy landed on disk under the key's hex stem, with
+    // the key recorded in its metadata.
+    mor::ModelMeta meta;
+    const mor::ReducedModel on_disk = mor::read_model_file(cache.disk_path(key), &meta);
+    EXPECT_EQ(meta.cache_key, key.hex());
+    expect_bit_identical(on_disk, reference);
+
+    // Evict the memory tier; the next request must come back from disk —
+    // bit-identical, with zero reduction work.
+    cache.evict_memory();
+    EXPECT_EQ(cache.memory_size(), 0);
+    const ModelCache::ModelPtr reloaded = cache.get_or_build(
+        key, [&]() -> mor::ReducedModel {
+            ADD_FAILURE() << "builder must not run on a disk hit";
+            return mor::lowrank_pmor(sys, ropts).model;
+        });
+    expect_bit_identical(*reloaded, reference);
+    EXPECT_EQ(cache.stats().builds, 1);
+    EXPECT_EQ(cache.stats().disk_hits, 1);
+}
+
+TEST(ModelCache, LruEvictsLeastRecentlyUsed) {
+    const circuit::ParametricSystem sys = test_system();
+    ModelCacheOptions copts;
+    copts.memory_capacity = 2;
+    ModelCache cache(copts);
+
+    mor::LowRankPmorOptions o1 = small_reduction();
+    mor::LowRankPmorOptions o2 = small_reduction();
+    o2.s_order = 4;
+    mor::LowRankPmorOptions o3 = small_reduction();
+    o3.s_order = 2;
+    const CacheKey k1 = cache_key(sys, o1), k2 = cache_key(sys, o2),
+                   k3 = cache_key(sys, o3);
+
+    auto build = [&](const mor::LowRankPmorOptions& o) {
+        return [&sys, o] { return mor::lowrank_pmor(sys, o).model; };
+    };
+    (void)cache.get_or_build(k1, build(o1));
+    (void)cache.get_or_build(k2, build(o2));
+    (void)cache.get_or_build(k1, build(o1));  // bump k1 to most-recent
+    (void)cache.get_or_build(k3, build(o3));  // evicts k2 (the LRU entry)
+
+    EXPECT_EQ(cache.memory_size(), 2);
+    EXPECT_EQ(cache.stats().evictions, 1);
+    EXPECT_EQ(cache.stats().builds, 3);
+
+    // k1 survived the eviction (it was bumped); k2 did not (memory-only
+    // cache, so it re-builds).
+    (void)cache.get_or_build(k1, build(o1));
+    EXPECT_EQ(cache.stats().builds, 3);
+    (void)cache.get_or_build(k2, build(o2));
+    EXPECT_EQ(cache.stats().builds, 4);
+}
+
+TEST(ModelCache, CorruptDiskFileIsRebuiltNotServed) {
+    const circuit::ParametricSystem sys = test_system();
+    const mor::LowRankPmorOptions ropts = small_reduction();
+    const CacheKey key = cache_key(sys, ropts);
+
+    ModelCacheOptions copts;
+    copts.disk_dir = fresh_disk_dir("varmor_cache_corrupt");
+    ModelCache cache(copts);
+    (void)cache.get_or_build(key, [&] { return mor::lowrank_pmor(sys, ropts).model; });
+    EXPECT_EQ(cache.stats().builds, 1);
+
+    // Corrupt one payload digit: the file still parses, but its recorded
+    // content hash no longer matches — the integrity gate must reject it.
+    {
+        std::ifstream in(cache.disk_path(key));
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        const std::size_t pos = text.find("G0\n");
+        ASSERT_NE(pos, std::string::npos);
+        text[pos + 3] = text[pos + 3] == '1' ? '2' : '1';
+        std::ofstream out(cache.disk_path(key));
+        out << text;
+    }
+    cache.evict_memory();
+    (void)cache.get_or_build(key, [&] { return mor::lowrank_pmor(sys, ropts).model; });
+    EXPECT_EQ(cache.stats().builds, 2);
+    EXPECT_EQ(cache.stats().disk_hits, 0);
+}
+
+TEST(ModelCache, ConcurrentMissesCoalesceOntoOneBuild) {
+    const circuit::ParametricSystem sys = test_system();
+    const mor::LowRankPmorOptions ropts = small_reduction();
+    const CacheKey key = cache_key(sys, ropts);
+
+    ModelCache cache;
+    std::atomic<int> built{0};
+    std::vector<ModelCache::ModelPtr> results(6);
+    std::vector<std::thread> clients;
+    for (std::size_t t = 0; t < results.size(); ++t)
+        clients.emplace_back([&, t] {
+            results[t] = cache.get_or_build(key, [&] {
+                ++built;
+                return mor::lowrank_pmor(sys, ropts).model;
+            });
+        });
+    for (std::thread& c : clients) c.join();
+
+    EXPECT_EQ(built.load(), 1);
+    EXPECT_EQ(cache.stats().builds, 1);
+    for (const auto& r : results) {
+        ASSERT_TRUE(r != nullptr);
+        EXPECT_EQ(r.get(), results[0].get());
+    }
+}
+
+TEST(ModelCache, LookupProbesWithoutBuilding) {
+    const circuit::ParametricSystem sys = test_system();
+    const mor::LowRankPmorOptions ropts = small_reduction();
+    const CacheKey key = cache_key(sys, ropts);
+
+    ModelCache cache;
+    EXPECT_EQ(cache.lookup(key), nullptr);
+    (void)cache.get_or_build(key, [&] { return mor::lowrank_pmor(sys, ropts).model; });
+    EXPECT_NE(cache.lookup(key), nullptr);
+    EXPECT_TRUE(cache.disk_path(key).empty());  // memory-only configuration
+}
+
+}  // namespace
+}  // namespace varmor::service

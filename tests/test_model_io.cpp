@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "la/ops.h"
@@ -64,11 +65,53 @@ TEST(ModelIo, MalformedInputsThrow) {
     };
     EXPECT_THROW(parse(""), Error);
     EXPECT_THROW(parse("wrong-magic 1\n"), Error);
-    EXPECT_THROW(parse("varmor-rom 2\nsize 1 ports 1 params 0\n"), Error);  // version
+    EXPECT_THROW(parse("varmor-rom 3\nsize 1 ports 1 params 0\n"), Error);  // version
+    EXPECT_THROW(parse("varmor-rom 2\nsize 1 ports 1 params 0\n"), Error);  // missing meta
     EXPECT_THROW(parse("varmor-rom 1\nsize 0 ports 1 params 0\n"), Error);  // dims
     EXPECT_THROW(parse("varmor-rom 1\nsize 1 ports 1 params 0\nG0 1.0\n"), Error);  // truncated
     // Wrong section order.
     EXPECT_THROW(parse("varmor-rom 1\nsize 1 ports 1 params 0\nC0 1.0\n"), Error);
+}
+
+TEST(ModelIo, Version1FilesStillReadable) {
+    // A pre-metadata file (no meta line): parses, and reports empty meta.
+    const std::string v1 =
+        "varmor-rom 1\nsize 1 ports 1 params 0\nG0 2.0\nC0 1.0\nB 1.0\nL 1.0\n";
+    std::istringstream is(v1);
+    ModelMeta meta;
+    meta.cache_key = "stale";
+    meta.content_hash = 7;
+    const ReducedModel m = read_model(is, &meta);
+    EXPECT_EQ(m.size(), 1);
+    EXPECT_TRUE(meta.cache_key.empty());
+    EXPECT_EQ(meta.content_hash, 0u);
+}
+
+TEST(ModelIo, MetaAndContentHashRoundTrip) {
+    const ReducedModel original = make_model();
+    const std::uint64_t hash = model_content_hash(original);
+    EXPECT_NE(hash, 0u);
+
+    ModelMeta meta;
+    meta.cache_key = "deadbeefdeadbeef";
+    std::ostringstream os;
+    write_model(original, os, &meta);
+    std::istringstream is(os.str());
+    ModelMeta loaded_meta;
+    const ReducedModel loaded = read_model(is, &loaded_meta);
+
+    // The persisted hash is recomputed at write time, and the 17-digit text
+    // format round-trips doubles exactly — so the hash of the LOADED model
+    // equals both the original's hash and the recorded meta hash. This is
+    // the invariant the disk cache tier's integrity check relies on.
+    EXPECT_EQ(loaded_meta.cache_key, "deadbeefdeadbeef");
+    EXPECT_EQ(loaded_meta.content_hash, hash);
+    EXPECT_EQ(model_content_hash(loaded), hash);
+
+    // Bitwise sensitivity: one ulp in one entry changes the hash.
+    ReducedModel tweaked = original;
+    tweaked.g0(0, 0) = std::nextafter(tweaked.g0(0, 0), 1e300);
+    EXPECT_NE(model_content_hash(tweaked), hash);
 }
 
 TEST(ModelIo, ZeroParameterModelSupported) {

@@ -140,6 +140,47 @@ TEST(SpluRefactor, PivotGrowthTriggersRefactorError) {
     EXPECT_LE(la::norm2(mild.apply(y) - Vector{1.0, 0.0}), 1e-9);
 }
 
+TEST(SpluRefactor, GrowthLimitIsTunableViaOptions) {
+    // Same ill-conditioned replay as PivotGrowthTriggersRefactorError, but
+    // with the ceiling plumbed through Options instead of the compile-time
+    // default.
+    Triplets t(2, 2);
+    t.add(0, 0, 4.0);
+    t.add(0, 1, 1.0);
+    t.add(1, 0, 1.0);
+    t.add(1, 1, 3.0);
+    const Csc a(t);
+
+    Csc hard = a;
+    hard.values() = {1e-9, 1.0, 1.0, 1.0};  // replay growth ~1e9
+    Csc mild = a;
+    mild.values() = {0.05, 1.0, 1.0, 1.0};  // replay growth ~20
+
+    // A permissive limit accepts the ~1e9 growth the default rejects.
+    SparseLu::Options loose;
+    loose.ordering = SpluSymbolic::Ordering::natural;
+    loose.growth_limit = 1e12;
+    SparseLu lu_loose(a, loose);
+    EXPECT_NO_THROW(lu_loose.refactorize(hard));
+
+    // A strict limit rejects the ~20x growth the default accepts.
+    SparseLu::Options strict;
+    strict.ordering = SpluSymbolic::Ordering::natural;
+    strict.growth_limit = 10.0;
+    SparseLu lu_strict(a, strict);
+    EXPECT_THROW(lu_strict.refactorize(mild), RefactorError);
+
+    // The limit survives copying (per-thread reference copies in the batch
+    // drivers must inherit the reference's policy).
+    SparseLu copy = lu_strict;
+    EXPECT_THROW(copy.refactorize(mild), RefactorError);
+
+    // Invalid limits are rejected up front.
+    SparseLu::Options bad;
+    bad.growth_limit = 0.0;
+    EXPECT_THROW(SparseLu(a, bad), Error);
+}
+
 TEST(SpluRefactor, CollapsedPivotThrowsRefactorError) {
     Triplets t(2, 2);
     t.add(0, 0, 2.0);

@@ -127,6 +127,92 @@ TEST(VariabilityStudy, CachedRomSharedAcrossStudies) {
     EXPECT_EQ(shared.mean_error, fresh.mean_error);
 }
 
+TEST(VariabilityStudy, RomBuildUsesContextG0SymbolicBitIdentically) {
+    const circuit::ParametricSystem sys = test_system();
+    mor::LowRankPmorOptions ropts;
+    ropts.s_order = 3;
+    ropts.param_order = 2;
+
+    // The facade's build routes through the context's cached g0-pattern
+    // symbolic; the result must be bitwise the model an uncached
+    // lowrank_pmor produces (same min-degree ordering of g0's own pattern).
+    const mor::ReducedModel reference = mor::lowrank_pmor(sys, ropts).model;
+    VariabilityStudy study(sys);
+    const mor::ReducedModel& built = study.rom(ropts);
+    EXPECT_TRUE(built.g0.raw() == reference.g0.raw());
+    EXPECT_TRUE(built.c0.raw() == reference.c0.raw());
+    EXPECT_TRUE(built.b.raw() == reference.b.raw());
+    EXPECT_TRUE(built.l.raw() == reference.l.raw());
+
+    // The g0 analysis is cached on the context: asking again re-runs nothing.
+    const long after_build = study.context().symbolic_analyses();
+    (void)study.context().g0_symbolic();
+    (void)study.context().g0_symbolic();
+    EXPECT_EQ(study.context().symbolic_analyses(), after_build);
+}
+
+TEST(VariabilityStudy, RepeatedTransientStudiesReuseTrapezoidPencils) {
+    const circuit::ParametricSystem sys = test_system();
+    VariabilityStudy study(sys);
+    EXPECT_EQ(study.trapezoid_cache().builds(), 0);
+
+    TransientStudyOptions topts;
+    topts.transient.t_stop = 10.0;
+    topts.transient.dt = 0.5;
+    const std::vector<std::vector<double>> corners{{0.0, 0.0}, {0.2, -0.1}};
+
+    const TransientStudy first = study.transient(corners, topts);
+    EXPECT_EQ(study.trapezoid_cache().builds(), 1);
+
+    // Same dt again: the nominal pencil is NOT re-stamped/re-factored, and
+    // the study is bitwise identical to the first (and to a fresh run).
+    const TransientStudy second = study.transient(corners, topts);
+    EXPECT_EQ(study.trapezoid_cache().builds(), 1);
+    ASSERT_EQ(second.waveforms.size(), first.waveforms.size());
+    for (std::size_t k = 0; k < corners.size(); ++k)
+        expect_bit_identical(first.waveforms[k], second.waveforms[k]);
+    EXPECT_EQ(first.level, second.level);
+    EXPECT_EQ(first.mean_delay, second.mean_delay);
+
+    const TransientStudy fresh = transient_study(sys, corners, topts);
+    for (std::size_t k = 0; k < corners.size(); ++k)
+        expect_bit_identical(fresh.waveforms[k], second.waveforms[k]);
+
+    // A schedule that repeats the cached dt but adds a coarser tail builds
+    // exactly ONE new pencil (per distinct dt, not per study or segment).
+    TransientStudyOptions sched = topts;
+    sched.transient.schedule = {{5.0, 0.5}, {10.0, 1.0}};
+    (void)study.transient(corners, sched);
+    EXPECT_EQ(study.trapezoid_cache().builds(), 2);
+    (void)study.transient(corners, sched);
+    EXPECT_EQ(study.trapezoid_cache().builds(), 2);
+}
+
+TEST(TrapezoidBatchCache, LruBoundEvictsLeastRecentlyUsedPencil) {
+    const circuit::ParametricSystem sys = test_system();
+    const solve::ParametricSolveContext ctx(sys);
+    solve::TrapezoidBatchCache cache(ctx, 2);
+
+    const auto a = cache.get(0.5);
+    const auto b = cache.get(0.25);
+    EXPECT_EQ(cache.builds(), 2);
+    (void)cache.get(0.5);  // hit bumps 0.5 to most-recent
+    EXPECT_EQ(cache.builds(), 2);
+
+    (void)cache.get(0.125);  // past capacity: evicts 0.25 (the LRU entry)
+    EXPECT_EQ(cache.builds(), 3);
+    (void)cache.get(0.5);  // survived the eviction
+    EXPECT_EQ(cache.builds(), 3);
+    (void)cache.get(0.25);  // was evicted: rebuilt
+    EXPECT_EQ(cache.builds(), 4);
+
+    // Evicted pencils held by callers (runners mid-study) stay valid.
+    EXPECT_EQ(a->dt(), 0.5);
+    EXPECT_EQ(b->dt(), 0.25);
+
+    EXPECT_THROW(solve::TrapezoidBatchCache(ctx, 0), Error);
+}
+
 TEST(VariabilityStudy, SetRomInstallsExternalModel) {
     const circuit::ParametricSystem sys = test_system();
     VariabilityStudy study(sys);
