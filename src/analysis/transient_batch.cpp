@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "la/ops.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/thread_pool.h"
 
 namespace varmor::analysis {
@@ -74,6 +76,8 @@ TransientResult TransientBatchRunner::run_with_forcing(
     Scratch& scratch) const {
     check(static_cast<int>(p.size()) == num_params(),
           "TransientBatchRunner: parameter vector length mismatch");
+    VARMOR_FAULT_POINT_DETAIL("transient.corner",
+                              p.empty() ? std::string() : std::to_string(p[0]));
 
     // Per-corner pencil state, filled lazily on the first step that uses a
     // given dt: stamp N(p), then M(p) under the shared refactorize-or-
@@ -110,7 +114,7 @@ TransientResult TransientBatchRunner::run(const std::vector<double>& p,
     return run(p, input, scratch);
 }
 
-std::vector<TransientResult> TransientBatchRunner::run_batch(
+std::vector<TransientBatchRunner::CornerOutcome> TransientBatchRunner::run_batch_captured(
     const std::vector<std::vector<double>>& corners, const InputFn& input,
     int threads) const {
     // The input series is corner-independent: evaluate u(t) and the B
@@ -118,15 +122,40 @@ std::vector<TransientResult> TransientBatchRunner::run_batch(
     // the series read-only across workers.
     const std::vector<Vector> forcing = detail::forcing_series(
         grid_, input, [&](const Vector& u) { return la::matvec(ctx_->system().b, u); });
-    std::vector<TransientResult> out(corners.size());
+    std::vector<CornerOutcome> out(corners.size());
     util::ThreadPool::run_chunks(
         threads, 0, static_cast<int>(corners.size()),
         [&](int, int chunk_begin, int chunk_end) {
             Scratch scratch = make_scratch();
-            for (int i = chunk_begin; i < chunk_end; ++i)
-                out[static_cast<std::size_t>(i)] = run_with_forcing(
-                    corners[static_cast<std::size_t>(i)], forcing, scratch);
+            for (int i = chunk_begin; i < chunk_end; ++i) {
+                CornerOutcome& slot = out[static_cast<std::size_t>(i)];
+                try {
+                    slot.result = run_with_forcing(
+                        corners[static_cast<std::size_t>(i)], forcing, scratch);
+                } catch (...) {
+                    // The corner's own failure, isolated to its slot. The
+                    // per-corner pencil state is scratch-local and rebuilt
+                    // per corner, so a failed corner leaves nothing behind
+                    // for the next one on this worker.
+                    slot.error = std::current_exception();
+                }
+            }
         });
+    return out;
+}
+
+std::vector<TransientResult> TransientBatchRunner::run_batch(
+    const std::vector<std::vector<double>>& corners, const InputFn& input,
+    int threads) const {
+    std::vector<CornerOutcome> outcomes = run_batch_captured(corners, input, threads);
+    std::vector<TransientResult> out;
+    out.reserve(outcomes.size());
+    for (CornerOutcome& o : outcomes) {
+        // The historical contract: the first failing corner (in corner
+        // order, independent of thread count) fails the whole batch.
+        if (o.error) std::rethrow_exception(o.error);
+        out.push_back(std::move(*o.result));
+    }
     return out;
 }
 

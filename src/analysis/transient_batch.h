@@ -1,5 +1,6 @@
 #pragma once
 
+#include <exception>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -82,9 +83,29 @@ public:
     /// 0 = process-wide pool, 1 = serial, n > 1 = dedicated pool of n.
     /// The forcing series B (u0+u1)/2 is corner-independent, so it is
     /// evaluated ONCE for the whole batch and shared read-only across
-    /// workers. Results are bit-identical at any thread count.
+    /// workers. Results are bit-identical at any thread count. A corner
+    /// failure rethrows the FIRST failing corner (in corner order) for the
+    /// whole call; callers that need per-corner isolation use
+    /// run_batch_captured.
     std::vector<TransientResult> run_batch(const std::vector<std::vector<double>>& corners,
                                            const InputFn& input, int threads = 0) const;
+
+    /// Per-corner outcome of a captured batch: exactly one of `result`
+    /// (success) and `error` (the corner's own failure) is set.
+    struct CornerOutcome {
+        std::optional<TransientResult> result;
+        std::exception_ptr error;
+    };
+
+    /// run_batch with per-corner failure isolation: a corner that throws
+    /// (singular pencil, parameter-length mismatch, injected fault) captures
+    /// its exception into its own slot, and every OTHER corner still runs —
+    /// and produces bits identical to a batch without the failing corner.
+    /// This is the serving layer's batch primitive: one bad query must not
+    /// fail (or re-run) its batchmates.
+    std::vector<CornerOutcome> run_batch_captured(
+        const std::vector<std::vector<double>>& corners, const InputFn& input,
+        int threads = 0) const;
 
 private:
     /// Shared corner core: factorization reuse + trapezoidal loop on a

@@ -1,0 +1,280 @@
+#include "service/disk_store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+#include <unistd.h>
+
+#include "mor/model_io.h"
+#include "util/check.h"
+#include "util/fault_injection.h"
+
+namespace varmor::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestName = "manifest.txt";
+constexpr const char* kStoreLockName = "store.lock";
+
+void backoff_sleep(const RetryPolicy& retry, int attempt) {
+    double ms = retry.backoff_ms;
+    for (int i = 1; i < attempt; ++i) ms *= retry.multiplier;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Writer-unique temp name (pid + process-local counter): concurrent writers
+/// — threads or processes — never collide, and a crashed writer's leftover
+/// is recognizable by the ".tmp." infix for the stale sweep.
+std::string temp_name(const std::string& final_path) {
+    static std::atomic<unsigned> seq{0};
+    return final_path + ".tmp." + std::to_string(::getpid()) + "." +
+           std::to_string(seq++);
+}
+
+bool is_temp_file(const fs::path& p) {
+    return p.filename().string().find(".tmp.") != std::string::npos;
+}
+
+double file_age_seconds(const fs::path& p, std::error_code& ec) {
+    const auto mtime = fs::last_write_time(p, ec);
+    if (ec) return 0.0;
+    return std::chrono::duration<double>(fs::file_time_type::clock::now() - mtime)
+        .count();
+}
+
+}  // namespace
+
+DiskStore::DiskStore(const DiskStoreOptions& opts) : opts_(opts) {
+    check(!opts_.dir.empty(), "DiskStore: empty directory");
+    check(opts_.retry.attempts >= 1, "DiskStore: retry.attempts must be >= 1");
+    fs::create_directories(opts_.dir);
+    // Startup recovery: a server that replaces a crashed one inherits the
+    // dead writer's orphans and a possibly stale manifest — clean both
+    // before serving.
+    sweep();
+}
+
+std::string DiskStore::path(const std::string& key_hex) const {
+    return (fs::path(opts_.dir) / (key_hex + ".rom")).string();
+}
+
+std::string DiskStore::lock_path(const std::string& key_hex) const {
+    return (fs::path(opts_.dir) / (key_hex + ".lock")).string();
+}
+
+util::FileLock DiskStore::lock_key(const std::string& key_hex) {
+    return util::FileLock::acquire(lock_path(key_hex));
+}
+
+std::shared_ptr<const mor::ReducedModel> DiskStore::load(const std::string& key_hex) {
+    const std::string file = path(key_hex);
+    for (int attempt = 1; attempt <= opts_.retry.attempts; ++attempt) {
+        try {
+            VARMOR_FAULT_POINT_DETAIL("model_cache.disk_read", key_hex);
+            if (!fs::exists(file)) return nullptr;  // plain miss, not a failure
+            mor::ModelMeta meta;
+            auto model =
+                std::make_shared<mor::ReducedModel>(mor::read_model_file(file, &meta));
+            VARMOR_FAULT_POINT_DETAIL("model_cache.reload_verify", key_hex);
+            // Integrity gate: serve only what hashes to what the writer
+            // recorded. A corrupted / truncated / hand-edited file reads the
+            // same on every retry, so a verify failure is a MISS (rebuild),
+            // never a retry and never a crash.
+            if (meta.content_hash != mor::model_content_hash(*model)) {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++stats_.load_failures;
+                return nullptr;
+            }
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++stats_.loads;
+            }
+            return model;
+        } catch (const std::exception&) {
+            // Unreadable == transient until the retry budget says otherwise.
+            // std::exception (not just varmor::Error): a corrupted dimension
+            // line can surface as bad_alloc/length_error from the matrix
+            // allocation, and that too must end as a rebuild, never a crash
+            // in the serving path.
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            if (attempt == opts_.retry.attempts) {
+                ++stats_.load_failures;
+                return nullptr;
+            }
+            ++stats_.retries;
+        }
+        backoff_sleep(opts_.retry, attempt);
+    }
+    return nullptr;
+}
+
+bool DiskStore::store(const std::string& key_hex, const mor::ReducedModel& model) {
+    const std::string file = path(key_hex);
+    bool persisted = false;
+    for (int attempt = 1; attempt <= opts_.retry.attempts && !persisted; ++attempt) {
+        const std::string tmp = temp_name(file);
+        try {
+            VARMOR_FAULT_POINT_DETAIL("model_cache.disk_write", key_hex);
+            mor::ModelMeta meta;
+            meta.cache_key = key_hex;
+            // Atomic publication: write the complete artifact under a
+            // writer-unique temp name, then rename. Readers (and other
+            // processes sharing the store) never observe a torn file; two
+            // processes persisting one key each rename their own complete
+            // file — last writer wins with identical bytes.
+            mor::write_model_file(model, tmp, &meta);
+            VARMOR_FAULT_POINT_DETAIL("model_cache.rename", key_hex);
+            fs::rename(tmp, file);
+            persisted = true;
+        } catch (const std::exception&) {
+            std::error_code ec;
+            fs::remove(tmp, ec);  // this attempt's leftovers, best-effort
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            if (attempt == opts_.retry.attempts) {
+                ++stats_.store_failures;
+            } else {
+                ++stats_.retries;
+            }
+        }
+        if (!persisted && attempt < opts_.retry.attempts)
+            backoff_sleep(opts_.retry, attempt);
+    }
+    if (persisted) {
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.stores;
+        }
+        util::FileLock store_lock =
+            util::FileLock::acquire((fs::path(opts_.dir) / kStoreLockName).string());
+        maintain_locked(key_hex);
+    }
+    return persisted;
+}
+
+void DiskStore::sweep() {
+    util::FileLock store_lock =
+        util::FileLock::acquire((fs::path(opts_.dir) / kStoreLockName).string());
+    maintain_locked({});
+}
+
+void DiskStore::maintain_locked(const std::string& just_written_hex) {
+    // 1. Stale-tmp sweep: a crashed writer leaves a complete-or-partial
+    //    .tmp.* file behind; anything older than the TTL cannot belong to a
+    //    live write (writes are seconds at most) and is removed.
+    struct Artifact {
+        fs::path path;
+        std::string key;
+        std::uint64_t bytes = 0;
+        fs::file_time_type mtime;
+    };
+    std::vector<Artifact> artifacts;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(opts_.dir, ec)) {
+        const fs::path& p = entry.path();
+        if (is_temp_file(p)) {
+            std::error_code age_ec;
+            if (file_age_seconds(p, age_ec) >= opts_.tmp_ttl_seconds && !age_ec) {
+                std::error_code rm_ec;
+                if (fs::remove(p, rm_ec)) {
+                    std::lock_guard<std::mutex> lock(stats_mutex_);
+                    ++stats_.tmp_removed;
+                }
+            }
+            continue;
+        }
+        if (p.extension() != ".rom") continue;
+        Artifact a;
+        a.path = p;
+        a.key = p.stem().string();
+        std::error_code sz_ec, mt_ec;
+        a.bytes = static_cast<std::uint64_t>(fs::file_size(p, sz_ec));
+        a.mtime = fs::last_write_time(p, mt_ec);
+        if (!sz_ec && !mt_ec) artifacts.push_back(std::move(a));
+    }
+
+    // 2. Size-bounded GC, oldest-first (mtime, then key for a deterministic
+    //    tie-break). The artifact just persisted by THIS call survives the
+    //    pass unconditionally — storing a model and immediately GCing it
+    //    away would turn every insert into a rebuild for someone.
+    if (opts_.capacity_bytes > 0) {
+        std::uint64_t total = 0;
+        for (const Artifact& a : artifacts) total += a.bytes;
+        std::sort(artifacts.begin(), artifacts.end(),
+                  [](const Artifact& a, const Artifact& b) {
+                      if (a.mtime != b.mtime) return a.mtime < b.mtime;
+                      return a.key < b.key;
+                  });
+        std::vector<Artifact> kept;
+        for (std::size_t i = 0; i < artifacts.size(); ++i) {
+            Artifact& a = artifacts[i];
+            if (total <= opts_.capacity_bytes || a.key == just_written_hex) {
+                kept.push_back(std::move(a));
+                continue;
+            }
+            std::error_code rm_ec;
+            if (fs::remove(a.path, rm_ec)) {
+                total -= a.bytes;
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++stats_.gc_removed;
+            } else {
+                kept.push_back(std::move(a));
+            }
+        }
+        artifacts = std::move(kept);
+    }
+
+    // 3. Manifest rewrite from what actually survived, atomically. Scan-
+    //    then-write under the store lock keeps it consistent with the
+    //    directory no matter which process mutated last.
+    std::sort(artifacts.begin(), artifacts.end(),
+              [](const Artifact& a, const Artifact& b) { return a.key < b.key; });
+    const std::string manifest = (fs::path(opts_.dir) / kManifestName).string();
+    const std::string tmp = temp_name(manifest);
+    {
+        std::ofstream f(tmp);
+        if (!f.good()) return;  // manifest is an index, not truth — skip quietly
+        f << "varmor-manifest 1\n";
+        for (const Artifact& a : artifacts) f << a.key << ' ' << a.bytes << "\n";
+        f.flush();
+        if (!f.good()) {
+            f.close();
+            std::error_code rm_ec;
+            fs::remove(tmp, rm_ec);
+            return;
+        }
+    }
+    std::error_code mv_ec;
+    fs::rename(tmp, manifest, mv_ec);
+    if (mv_ec) {
+        std::error_code rm_ec;
+        fs::remove(tmp, rm_ec);
+    }
+}
+
+std::vector<std::string> DiskStore::manifest_keys() const {
+    std::vector<std::string> keys;
+    std::ifstream f((fs::path(opts_.dir) / kManifestName).string());
+    if (!f.good()) return keys;
+    std::string magic;
+    int version = 0;
+    if (!(f >> magic >> version) || magic != "varmor-manifest") return keys;
+    std::string key;
+    std::uint64_t bytes = 0;
+    while (f >> key >> bytes) keys.push_back(key);
+    return keys;
+}
+
+DiskStoreStats DiskStore::stats() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+}
+
+}  // namespace varmor::service

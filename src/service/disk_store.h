@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mor/reduced_model.h"
+#include "util/file_lock.h"
+
+namespace varmor::service {
+
+/// Retry policy for transient disk-tier failures (NFS hiccups, EBUSY,
+/// momentary quota): each IO operation is attempted up to `attempts` times
+/// with exponential backoff between tries. Corruption is NOT retried — a
+/// corrupt artifact reads the same twice; it is treated as a miss and
+/// rebuilt.
+struct RetryPolicy {
+    int attempts = 3;         ///< total tries per operation (>= 1)
+    double backoff_ms = 0.5;  ///< sleep before the first retry
+    double multiplier = 2.0;  ///< backoff growth per subsequent retry
+};
+
+struct DiskStoreOptions {
+    std::string dir;                   ///< artifact directory (created on demand)
+    std::uint64_t capacity_bytes = 0;  ///< GC bound on Σ .rom sizes; 0 = unbounded
+    double tmp_ttl_seconds = 60.0;     ///< age past which an orphaned .tmp.* file
+                                       ///< (a crashed writer's leftovers) is removed
+    RetryPolicy retry;
+};
+
+struct DiskStoreStats {
+    long loads = 0;           ///< verified reloads served
+    long load_failures = 0;   ///< probes that ended as a miss after read/verify
+                              ///< failure (corrupt or persistently unreadable)
+    long stores = 0;          ///< artifacts persisted
+    long store_failures = 0;  ///< persists abandoned after every retry (the
+                              ///< model is still served from memory)
+    long retries = 0;         ///< extra attempts taken by the retry policy
+    long gc_removed = 0;      ///< artifacts removed by the size-bound GC
+    long tmp_removed = 0;     ///< stale .tmp.* files cleaned up
+};
+
+/// Crash-safe shared artifact store — the ModelCache disk tier as a real
+/// multi-process store rather than a directory of write-through files.
+///
+/// Layout inside `dir`:
+///
+///   <key>.rom       one model artifact, content-hash-verified on load
+///   <key>.lock      per-key flock target: cross-process single-flight for
+///                   builds of that key (writers hold it; crash releases it)
+///   store.lock      store-wide flock target: serializes manifest rewrites,
+///                   GC passes, and stale-tmp sweeps across processes
+///   manifest.txt    the store's index — one "<key> <bytes>" line per
+///                   artifact, key-sorted, rewritten atomically from a
+///                   directory scan under store.lock after every mutation
+///                   (scan-then-write makes it self-healing: it can lag a
+///                   concurrent writer momentarily but never diverge)
+///   *.tmp.*         in-flight writes (writer-unique names); orphans older
+///                   than tmp_ttl_seconds are swept by construction and GC
+///
+/// Writes are atomic (temp + rename) and retried per RetryPolicy; a persist
+/// that still fails is reported, not thrown — the disk tier is an
+/// optimization and must never take down a build that already succeeded.
+///
+/// Thread-safety: all methods are safe to call concurrently; cross-process
+/// safety comes from flock (see util::FileLock for crash semantics).
+class DiskStore {
+public:
+    explicit DiskStore(const DiskStoreOptions& opts);
+
+    DiskStore(const DiskStore&) = delete;
+    DiskStore& operator=(const DiskStore&) = delete;
+
+    const DiskStoreOptions& options() const { return opts_; }
+    std::string path(const std::string& key_hex) const;
+
+    /// Loads and content-hash-verifies the artifact for `key_hex`; nullptr
+    /// on any miss (absent, corrupt, or unreadable after retries).
+    std::shared_ptr<const mor::ReducedModel> load(const std::string& key_hex);
+
+    /// Persists the artifact atomically (temp + rename, retried), then
+    /// refreshes the manifest and runs GC. Returns false when every attempt
+    /// failed — callers keep serving the in-memory model.
+    bool store(const std::string& key_hex, const mor::ReducedModel& model);
+
+    /// Blocks until this process holds the cross-process build lock for the
+    /// key. Callers re-probe load() after acquiring: the previous holder may
+    /// have persisted the model already.
+    util::FileLock lock_key(const std::string& key_hex);
+
+    /// Removes .tmp.* orphans older than tmp_ttl_seconds and refreshes the
+    /// manifest (also run by the constructor and after every store()).
+    void sweep();
+
+    /// Keys currently listed in manifest.txt (sorted). Empty when the
+    /// manifest does not exist yet.
+    std::vector<std::string> manifest_keys() const;
+
+    DiskStoreStats stats() const;
+
+private:
+    std::string lock_path(const std::string& key_hex) const;
+
+    /// Manifest rewrite + size GC + stale-tmp sweep. Caller holds the
+    /// store-wide file lock.
+    void maintain_locked(const std::string& just_written_hex);
+
+    DiskStoreOptions opts_;
+    mutable std::mutex stats_mutex_;
+    DiskStoreStats stats_;
+};
+
+}  // namespace varmor::service

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "util/check.h"
+#include "util/deadline.h"
+
+namespace varmor::service {
+
+/// The serving layer's failure taxonomy. Every error a client can receive
+/// out of a future is one of these (or the underlying varmor::Error of its
+/// OWN query — a singular pencil at exactly its s, say). The guarantees:
+///
+///   OverloadError     the query was shed AT INGRESS by admission control
+///                     (bounded queue full). Nothing was computed; nothing
+///                     else was affected; retrying later is safe and is the
+///                     intended client response.
+///   DeadlineExceeded  the query's deadline passed before its result was
+///                     produced (it waited behind a wedged or slow build, or
+///                     expired in the queue). No result is coming; the query
+///                     had no side effects beyond cache warming.
+///   ServiceClosed     the query raced service shutdown. It was never
+///                     admitted; resubmit against a live service.
+///
+/// All three arrive as FAILED FUTURES — submit() itself never throws for
+/// load, latency, or lifecycle reasons — so client collection loops handle
+/// every outcome in one place.
+class OverloadError : public Error {
+public:
+    using Error::Error;
+};
+
+class ServiceClosed : public Error {
+public:
+    using Error::Error;
+};
+
+/// Deadline expiry is detected by layers below the service too (cache
+/// waiters, single-flight), so the type lives in util; clients should treat
+/// service::DeadlineExceeded as the canonical name.
+using util::DeadlineExceeded;
+
+}  // namespace varmor::service

@@ -1,18 +1,12 @@
 #include "service/model_cache.h"
 
-#include <atomic>
-#include <filesystem>
-#include <system_error>
 #include <utility>
 
-#include <unistd.h>
-
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/hash.h"
 
 namespace varmor::service {
-
-namespace fs = std::filesystem;
 
 std::string CacheKey::hex() const { return util::hex64(value); }
 
@@ -52,12 +46,25 @@ CacheKey cache_key(const circuit::ParametricSystem& sys,
 
 ModelCache::ModelCache(const ModelCacheOptions& opts) : opts_(opts) {
     check(opts_.memory_capacity >= 1, "ModelCache: memory_capacity must be >= 1");
-    if (!opts_.disk_dir.empty()) fs::create_directories(opts_.disk_dir);
+    check(opts_.poison_after >= 1, "ModelCache: poison_after must be >= 1");
+    if (!opts_.disk_dir.empty()) {
+        DiskStoreOptions d;
+        d.dir = opts_.disk_dir;
+        d.capacity_bytes = opts_.disk_capacity_bytes;
+        d.tmp_ttl_seconds = opts_.tmp_ttl_seconds;
+        d.retry = opts_.retry;
+        disk_ = std::make_unique<DiskStore>(d);
+    }
 }
 
 std::string ModelCache::disk_path(const CacheKey& key) const {
-    if (opts_.disk_dir.empty()) return {};
-    return (fs::path(opts_.disk_dir) / (key.hex() + ".rom")).string();
+    if (!disk_) return {};
+    return disk_->path(key.hex());
+}
+
+DiskStoreStats ModelCache::disk_stats() const {
+    if (!disk_) return {};
+    return disk_->stats();
 }
 
 ModelCache::ModelPtr ModelCache::memory_lookup_locked(const CacheKey& key) {
@@ -66,27 +73,6 @@ ModelCache::ModelPtr ModelCache::memory_lookup_locked(const CacheKey& key) {
     lru_.splice(lru_.begin(), lru_, it->second);  // bump to most recent
     ++stats_.memory_hits;
     return it->second->model;
-}
-
-ModelCache::ModelPtr ModelCache::disk_lookup(const CacheKey& key) {
-    const std::string path = disk_path(key);
-    if (path.empty() || !fs::exists(path)) return nullptr;
-    try {
-        mor::ModelMeta meta;
-        auto model = std::make_shared<mor::ReducedModel>(
-            mor::read_model_file(path, &meta));
-        // Integrity gate: serve only what hashes to what the writer recorded.
-        // A corrupted / truncated / hand-edited file falls through to a
-        // rebuild rather than poisoning every study on this model.
-        if (meta.content_hash != mor::model_content_hash(*model)) return nullptr;
-        return model;
-    } catch (const std::exception&) {
-        // Unreadable file == miss; the builder will replace it. std::exception
-        // (not just varmor::Error): a corrupted dimension line can surface as
-        // bad_alloc/length_error from the matrix allocation, and that must
-        // also fall through to a rebuild, never crash the serving path.
-        return nullptr;
-    }
 }
 
 void ModelCache::insert_locked(const CacheKey& key, ModelPtr model) {
@@ -110,7 +96,8 @@ ModelCache::ModelPtr ModelCache::lookup(const CacheKey& key) {
         std::lock_guard<std::mutex> lock(mutex_);
         if (ModelPtr m = memory_lookup_locked(key)) return m;
     }
-    ModelPtr m = disk_lookup(key);
+    if (!disk_) return nullptr;
+    ModelPtr m = disk_->load(key.hex());
     if (m) {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.disk_hits;
@@ -119,70 +106,103 @@ ModelCache::ModelPtr ModelCache::lookup(const CacheKey& key) {
     return m;
 }
 
-ModelCache::ModelPtr ModelCache::get_or_build(const CacheKey& key, const Builder& build) {
-    std::shared_future<ModelPtr> wait_on;
-    std::promise<ModelPtr> promise;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (ModelPtr m = memory_lookup_locked(key)) return m;
-        auto fl = inflight_.find(key.value);
-        if (fl != inflight_.end()) {
-            wait_on = fl->second;
-        } else {
-            // This thread owns the miss: later requests for the key wait on
-            // our future instead of re-reading disk / re-running the builder.
-            inflight_[key.value] = promise.get_future().share();
+bool ModelCache::poisoned(const CacheKey& key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = poisoned_.find(key.value);
+    return it != poisoned_.end() &&
+           util::Deadline::clock::now() < it->second.expiry;
+}
+
+void ModelCache::record_build_failure(const CacheKey& key, std::exception_ptr error) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int failures = ++consecutive_failures_[key.value];
+    if (failures >= opts_.poison_after) {
+        poisoned_[key.value] =
+            Poison{std::move(error),
+                   util::Deadline::clock::now() +
+                       std::chrono::duration_cast<util::Deadline::clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               opts_.poison_ttl_ms))};
+        ++stats_.poisonings;
+    }
+}
+
+ModelCache::ModelPtr ModelCache::build_miss(const CacheKey& key, const Builder& build) {
+    const std::string hex = key.hex();
+
+    // Disk probe first: another thread/process may have persisted the model
+    // since our memory miss.
+    if (disk_) {
+        if (ModelPtr m = disk_->load(hex)) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.disk_hits;
+            consecutive_failures_.erase(key.value);
+            insert_locked(key, m);
+            return m;
         }
     }
-    if (wait_on.valid()) return wait_on.get();  // rethrows a failed build
+
+    // Cross-process single-flight: hold the key's file lock for the build.
+    // If another PROCESS was mid-build we block here until it finishes, then
+    // the re-probe turns its persisted artifact into a disk hit — one build
+    // per key across the whole fleet, not per process.
+    util::FileLock build_lock;
+    if (disk_) {
+        build_lock = disk_->lock_key(hex);
+        if (ModelPtr m = disk_->load(hex)) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.disk_hits;
+            consecutive_failures_.erase(key.value);
+            insert_locked(key, m);
+            return m;
+        }
+    }
 
     ModelPtr model;
     try {
-        model = disk_lookup(key);
-        const bool from_disk = model != nullptr;
-        if (!model) {
-            model = std::make_shared<const mor::ReducedModel>(build());
-            const std::string path = disk_path(key);
-            if (!path.empty()) {
-                // Write-through, atomically: temp file + rename, so readers
-                // (and other processes sharing the disk tier) never observe
-                // a torn model file, and a failed write is an error rather
-                // than a file that re-misses forever. The temp name is
-                // writer-unique (pid + counter): two processes building one
-                // key concurrently each rename their own complete file —
-                // last writer wins with identical bytes, no interleaving.
-                static std::atomic<unsigned> tmp_seq{0};
-                const std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
-                                        "." + std::to_string(tmp_seq++);
-                mor::ModelMeta meta;
-                meta.cache_key = key.hex();
-                try {
-                    mor::write_model_file(*model, tmp, &meta);
-                    fs::rename(tmp, path);
-                } catch (...) {
-                    std::error_code ec;
-                    fs::remove(tmp, ec);  // best-effort cleanup
-                    throw;
-                }
-            }
-        }
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (from_disk)
-            ++stats_.disk_hits;
-        else
-            ++stats_.builds;
-        insert_locked(key, model);
-        inflight_.erase(key.value);
+        VARMOR_FAULT_POINT_DETAIL("model_cache.build", hex);
+        model = std::make_shared<const mor::ReducedModel>(build());
     } catch (...) {
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            inflight_.erase(key.value);
-        }
-        promise.set_exception(std::current_exception());
+        record_build_failure(key, std::current_exception());
         throw;
     }
-    promise.set_value(model);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.builds;
+        consecutive_failures_.erase(key.value);
+        poisoned_.erase(key.value);
+        insert_locked(key, model);
+    }
+    // Write-through persist — retried inside the store; an ultimate failure
+    // is counted there, NOT thrown: the disk tier is an optimization and a
+    // full disk must never fail a build that already succeeded.
+    if (disk_) disk_->store(hex, *model);
     return model;
+}
+
+ModelCache::ModelPtr ModelCache::get_or_build(const CacheKey& key, const Builder& build,
+                                              const util::Deadline& deadline) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (ModelPtr m = memory_lookup_locked(key)) return m;
+        // Negative cache: a key whose builder keeps failing fails FAST (the
+        // stored failure, rethrown) instead of re-running the builder on
+        // every request. Expiry lets transient infrastructure failures heal.
+        auto it = poisoned_.find(key.value);
+        if (it != poisoned_.end()) {
+            if (util::Deadline::clock::now() < it->second.expiry) {
+                ++stats_.poison_hits;
+                std::rethrow_exception(it->second.error);
+            }
+            poisoned_.erase(it);  // expired — try a real build again
+        }
+    }
+    if (deadline.expired())
+        throw util::DeadlineExceeded(
+            "ModelCache: deadline expired before build for key " + key.hex());
+    return flight_.run(
+        key.value, [&] { return build_miss(key, build); }, deadline);
 }
 
 void ModelCache::evict_memory() {

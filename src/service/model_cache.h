@@ -1,8 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <functional>
-#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -11,8 +11,10 @@
 
 #include "circuit/parametric_system.h"
 #include "mor/lowrank_pmor.h"
-#include "mor/model_io.h"
 #include "mor/reduced_model.h"
+#include "service/disk_store.h"
+#include "util/deadline.h"
+#include "util/single_flight.h"
 
 namespace varmor::service {
 
@@ -43,18 +45,35 @@ struct ModelCacheOptions {
     /// tier configured they remain reloadable bit-identically.
     int memory_capacity = 8;
     /// Directory of the disk tier (created on demand). Empty = memory-only.
-    /// Models are persisted write-through on build as `<key-hex>.rom` via
-    /// mor::model_io, so a later process (or a post-eviction request) reloads
-    /// instead of re-reducing.
+    /// Models are persisted write-through on build as `<key-hex>.rom` via a
+    /// DiskStore (manifest, GC, cross-process locking — see disk_store.h), so
+    /// a later process (or a post-eviction request) reloads instead of
+    /// re-reducing.
     std::string disk_dir;
+    /// GC bound on the disk tier (Σ .rom bytes); 0 = unbounded.
+    std::uint64_t disk_capacity_bytes = 0;
+    /// Age past which an orphaned .tmp.* file from a crashed writer is swept.
+    double tmp_ttl_seconds = 60.0;
+    /// Retry policy for transient disk failures (corruption is never
+    /// retried — it is a miss and a rebuild).
+    RetryPolicy retry;
+    /// Consecutive build failures after which the key is POISONED: further
+    /// requests rethrow the stored failure immediately (negative cache)
+    /// instead of re-running a builder that keeps failing.
+    int poison_after = 2;
+    /// How long a poisoned key stays poisoned. After expiry the next request
+    /// tries a real build again — transient infrastructure failures heal.
+    double poison_ttl_ms = 250.0;
 };
 
 struct ModelCacheStats {
     long memory_hits = 0;
-    long disk_hits = 0;   ///< loaded + hash-verified from the disk tier
-    long builds = 0;      ///< builder invocations — the "zero reduction work
-                          ///< on a warm hit" assertion counts THIS
-    long evictions = 0;   ///< memory-tier drops (disk copies persist)
+    long disk_hits = 0;    ///< loaded + hash-verified from the disk tier
+    long builds = 0;       ///< builder invocations — the "zero reduction work
+                           ///< on a warm hit" assertion counts THIS
+    long evictions = 0;    ///< memory-tier drops (disk copies persist)
+    long poisonings = 0;   ///< keys marked poisoned by repeated build failure
+    long poison_hits = 0;  ///< requests answered by the negative cache
 };
 
 /// Content-addressed registry of reduced models — the serving layer's answer
@@ -63,8 +82,19 @@ struct ModelCacheStats {
 /// Lookup order: in-memory LRU tier → disk tier (content-hash-verified
 /// reload; a corrupted file is rebuilt, never served) → the caller's builder
 /// (counted; write-through persisted). Concurrent requests for one key
-/// coalesce onto a single build: losers block on the winner's future instead
-/// of duplicating a PRIMA/low-rank reduction.
+/// coalesce onto a single build at two scopes: in-process via
+/// util::SingleFlight, cross-process via the disk store's per-key file lock
+/// (the loser re-probes disk after the winner's persist and reloads).
+///
+/// Failure containment:
+///  - A persist failure never fails the build — the model is served from
+///    memory and the store failure is counted (DiskStoreStats).
+///  - A builder failure propagates to every coalesced waiter; after
+///    `poison_after` consecutive failures the key is negative-cached for
+///    `poison_ttl_ms` and requests fail fast instead of re-running the
+///    builder (callers degrade — see StudySession).
+///  - A waiter with a Deadline gives up with DeadlineExceeded without
+///    disturbing the winner's build.
 ///
 /// Entries are handed out as shared_ptr<const ReducedModel>, so a model
 /// stays valid for clients holding it across an eviction.
@@ -84,11 +114,17 @@ public:
     const ModelCacheOptions& options() const { return opts_; }
 
     /// The model for `key`, from memory, disk, or — as a last resort —
-    /// `build` (whose exception propagates to every coalesced waiter).
-    ModelPtr get_or_build(const CacheKey& key, const Builder& build);
+    /// `build` (whose exception propagates to every coalesced waiter). A set
+    /// `deadline` bounds how long this call waits on someone ELSE's in-flight
+    /// build (DeadlineExceeded); the build itself always runs to completion.
+    ModelPtr get_or_build(const CacheKey& key, const Builder& build,
+                          const util::Deadline& deadline = {});
 
     /// Probe without building: memory then disk; nullptr on a true miss.
     ModelPtr lookup(const CacheKey& key);
+
+    /// True while `key` is negative-cached after repeated build failures.
+    bool poisoned(const CacheKey& key) const;
 
     /// Drops the whole memory tier (the disk tier keeps every built model).
     /// Test/ops hook for exercising eviction + reload paths.
@@ -97,6 +133,13 @@ public:
     /// Path a model with this key is (or would be) persisted under; empty
     /// when no disk tier is configured.
     std::string disk_path(const CacheKey& key) const;
+
+    /// The shared disk tier; nullptr when memory-only.
+    DiskStore* disk_store() { return disk_.get(); }
+    const DiskStore* disk_store() const { return disk_.get(); }
+
+    /// Disk-tier counters (zeros when memory-only).
+    DiskStoreStats disk_stats() const;
 
     int memory_size() const;
     ModelCacheStats stats() const;
@@ -107,20 +150,33 @@ private:
         ModelPtr model;
     };
 
+    /// Negative-cache record of a key whose builder keeps failing.
+    struct Poison {
+        std::exception_ptr error;
+        util::Deadline::clock::time_point expiry;
+    };
+
     /// Memory-tier probe + LRU bump. Caller holds mutex_.
     ModelPtr memory_lookup_locked(const CacheKey& key);
-
-    /// Disk-tier probe (read + verify). Caller must NOT hold mutex_.
-    ModelPtr disk_lookup(const CacheKey& key);
 
     /// Insert at the LRU front, evicting past capacity. Caller holds mutex_.
     void insert_locked(const CacheKey& key, ModelPtr model);
 
+    /// The single-flight winner's miss path: disk probe → cross-process
+    /// lock → re-probe → build → insert + persist.
+    ModelPtr build_miss(const CacheKey& key, const Builder& build);
+
+    /// Records a builder failure; poisons the key past the threshold.
+    void record_build_failure(const CacheKey& key, std::exception_ptr error);
+
     ModelCacheOptions opts_;
+    std::unique_ptr<DiskStore> disk_;  ///< null when memory-only
+    util::SingleFlight<std::uint64_t, ModelPtr> flight_;
     mutable std::mutex mutex_;
     std::list<Entry> lru_;  ///< front = most recently used
     std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
-    std::unordered_map<std::uint64_t, std::shared_future<ModelPtr>> inflight_;
+    std::unordered_map<std::uint64_t, Poison> poisoned_;
+    std::unordered_map<std::uint64_t, int> consecutive_failures_;
     ModelCacheStats stats_;
 };
 

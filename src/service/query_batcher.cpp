@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
+#include <type_traits>
 #include <utility>
 
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/thread_pool.h"
 
 namespace varmor::service {
@@ -41,19 +44,39 @@ std::vector<Group<ItemT>> group_by_point(std::vector<ItemT>& items) {
     return groups;
 }
 
+/// Fails a promise, tolerating one already satisfied: when a batch blows up
+/// partway through execution, the members already answered keep their
+/// values and only the unanswered ones receive the batch failure.
+template <class T>
+void try_fail(std::promise<T>& promise, const std::exception_ptr& error) {
+    try {
+        promise.set_exception(error);
+    } catch (const std::future_error&) {
+    }
+}
+
+std::string point_detail(const std::vector<double>& p) {
+    return p.empty() ? std::string() : std::to_string(p[0]);
+}
+
 }  // namespace
 
-QueryBatcher::QueryBatcher(const mor::RomEvalEngine& engine,
+QueryBatcher::QueryBatcher(const mor::RomEvalEngine* engine, QueryFallbacks fallbacks,
                            const analysis::TransientBatchRunner* transient,
                            analysis::InputFn input, double delay_level,
                            int observe_port, const QueryBatcherOptions& opts)
     : engine_(engine),
+      fallbacks_(std::move(fallbacks)),
       transient_(transient),
       input_(std::move(input)),
       level_(delay_level),
-      opts_(opts) {
+      opts_(opts),
+      queue_(static_cast<std::size_t>(std::max(0, opts.max_pending))) {
     check(opts_.max_batch >= 1, "QueryBatcher: max_batch must be >= 1");
     check(opts_.max_wait_ms >= 0.0, "QueryBatcher: max_wait_ms must be >= 0");
+    check(opts_.max_pending >= 0, "QueryBatcher: max_pending must be >= 0");
+    check(engine_ != nullptr || fallbacks_.transfer || fallbacks_.poles,
+          "QueryBatcher: no engine and no fallback paths");
     if (transient_) {
         observe_ = observe_port < 0 ? transient_->num_ports() - 1 : observe_port;
         check(observe_ >= 0 && observe_ < transient_->num_ports(),
@@ -63,38 +86,90 @@ QueryBatcher::QueryBatcher(const mor::RomEvalEngine& engine,
     flusher_ = std::thread([this] { flusher_loop(); });
 }
 
-QueryBatcher::~QueryBatcher() {
-    queue_.close();   // flusher drains the tail, then exits
-    flusher_.join();
+QueryBatcher::QueryBatcher(const mor::RomEvalEngine& engine,
+                           const analysis::TransientBatchRunner* transient,
+                           analysis::InputFn input, double delay_level,
+                           int observe_port, const QueryBatcherOptions& opts)
+    : QueryBatcher(&engine, QueryFallbacks{}, transient, std::move(input),
+                   delay_level, observe_port, opts) {}
+
+QueryBatcher::~QueryBatcher() { close(); }
+
+void QueryBatcher::close() {
+    queue_.close();  // flusher drains the tail, then exits
+    std::lock_guard<std::mutex> lock(close_mutex_);
+    if (flusher_.joinable()) flusher_.join();
+}
+
+template <class ItemT, class ResultT>
+std::future<ResultT> QueryBatcher::admit(ItemT item) {
+    std::future<ResultT> out = item.result.get_future();
+    if (item.deadline.expired()) {
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.expired;
+        }
+        item.result.set_exception(std::make_exception_ptr(DeadlineExceeded(
+            "QueryBatcher: deadline expired before admission")));
+        return out;
+    }
+    Item wrapped(std::move(item));
+    // try_push moves from `wrapped` only on kOk — on rejection the item (and
+    // its promise) is still ours to fail cleanly. The submitting thread
+    // NEVER sees a throw for load or lifecycle; everything arrives through
+    // the future.
+    switch (queue_.try_push(wrapped)) {
+        case util::PushStatus::kOk:
+            break;
+        case util::PushStatus::kFull: {
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++stats_.shed;
+            }
+            std::get<ItemT>(wrapped).result.set_exception(std::make_exception_ptr(
+                OverloadError("QueryBatcher: shed — " +
+                              std::to_string(opts_.max_pending) +
+                              " queries already pending")));
+            break;
+        }
+        case util::PushStatus::kClosed: {
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++stats_.rejected_closed;
+            }
+            std::get<ItemT>(wrapped).result.set_exception(std::make_exception_ptr(
+                ServiceClosed("QueryBatcher: submit after close")));
+            break;
+        }
+    }
+    return out;
 }
 
 std::future<la::ZMatrix> QueryBatcher::submit_transfer(std::vector<double> p,
-                                                       la::cplx s) {
-    TransferItem item{std::move(p), s, {}};
-    std::future<la::ZMatrix> out = item.result.get_future();
-    queue_.push(Item(std::move(item)));
-    return out;
+                                                       la::cplx s,
+                                                       util::Deadline deadline) {
+    return admit<TransferItem, la::ZMatrix>(TransferItem{std::move(p), s, deadline, {}});
 }
 
-std::future<DelayResult> QueryBatcher::submit_delay(std::vector<double> p) {
+std::future<DelayResult> QueryBatcher::submit_delay(std::vector<double> p,
+                                                    util::Deadline deadline) {
     check(transient_ != nullptr, "QueryBatcher: no transient runner configured");
-    DelayItem item{std::move(p), {}};
-    std::future<DelayResult> out = item.result.get_future();
-    queue_.push(Item(std::move(item)));
-    return out;
+    return admit<DelayItem, DelayResult>(DelayItem{std::move(p), deadline, {}});
 }
 
-std::future<std::vector<la::cplx>> QueryBatcher::submit_poles(std::vector<double> p) {
-    PoleItem item{std::move(p), {}};
-    std::future<std::vector<la::cplx>> out = item.result.get_future();
-    queue_.push(Item(std::move(item)));
-    return out;
+std::future<std::vector<la::cplx>> QueryBatcher::submit_poles(std::vector<double> p,
+                                                              util::Deadline deadline) {
+    return admit<PoleItem, std::vector<la::cplx>>(PoleItem{std::move(p), deadline, {}});
 }
 
 void QueryBatcher::flush() {
     FlushItem marker;
     std::future<void> done = marker.done.get_future();
-    queue_.push(Item(std::move(marker)));
+    Item wrapped(std::move(marker));
+    // force: a flush marker is a control message, exempt from admission
+    // control (shedding it would deadlock the flusher's caller), but not
+    // from close() — after close everything is already drained.
+    if (queue_.try_push(wrapped, /*force=*/true) != util::PushStatus::kOk) return;
     done.get();
 }
 
@@ -116,10 +191,40 @@ void QueryBatcher::flusher_loop() {
         int nqueries = 0;
         // Sorts one popped item into its lane; true = flush marker (stop
         // collecting so the marker's "everything before me" promise holds).
+        // Deadline triage happens HERE: a query that expired while queued is
+        // completed with DeadlineExceeded now instead of riding a batch
+        // whose result it can no longer use.
         auto take = [&](Item&& item) -> bool {
             if (std::holds_alternative<FlushItem>(item)) {
                 acks.push_back(std::get<FlushItem>(std::move(item)));
                 return true;
+            }
+            const bool expired = std::visit(
+                [](const auto& it) {
+                    if constexpr (std::is_same_v<std::decay_t<decltype(it)>, FlushItem>)
+                        return false;
+                    else
+                        return it.deadline.expired();
+                },
+                item);
+            if (expired) {
+                // Count BEFORE failing the promise (same order as admit):
+                // a stats() read right after this future resolves must
+                // already see the expiry.
+                {
+                    std::lock_guard<std::mutex> lock(stats_mutex_);
+                    ++stats_.expired;
+                }
+                const auto error = std::make_exception_ptr(DeadlineExceeded(
+                    "QueryBatcher: deadline expired in the queue"));
+                std::visit(
+                    [&](auto& it) {
+                        if constexpr (!std::is_same_v<std::decay_t<decltype(it)>,
+                                                      FlushItem>)
+                            it.result.set_exception(error);
+                    },
+                    item);
+                return false;
             }
             ++nqueries;
             if (std::holds_alternative<TransferItem>(item))
@@ -158,7 +263,22 @@ void QueryBatcher::flusher_loop() {
             stats_.largest_batch = std::max(stats_.largest_batch, nqueries);
         }
 
-        execute(transfers, delays, poles);
+        // The flusher survives ANYTHING a batch throws — injected faults
+        // included: the failure goes into the affected queries' futures (the
+        // already-answered keep their values) and the loop serves the next
+        // batch. A wedged flusher would wedge every future client; a failed
+        // batch only fails its own members.
+        try {
+            VARMOR_FAULT_POINT("query_batcher.flush");
+            execute(transfers, delays, poles);
+        } catch (...) {
+            const std::exception_ptr error = std::current_exception();
+            for (TransferItem& item : transfers) try_fail(item.result, error);
+            for (DelayItem& item : delays) try_fail(item.result, error);
+            for (PoleItem& item : poles) try_fail(item.result, error);
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.flush_failures;
+        }
         for (FlushItem& ack : acks) ack.done.set_value();
     }
 }
@@ -175,7 +295,9 @@ void QueryBatcher::execute(std::vector<TransferItem>& transfers,
 
     // --- transfer lane: group by parameter point, fan groups over the pool.
     // Each worker stamps (and the engine Hessenberg-prepares) a point once,
-    // then answers every coalesced frequency with one O(q^2) solve.
+    // then answers every coalesced frequency with one O(q^2) solve. In
+    // degraded mode the fallback solves the FULL pencil per query — slower,
+    // same grouping stats, same isolation.
     if (!transfers.empty()) {
         auto groups = group_by_point(transfers);
         {
@@ -189,16 +311,27 @@ void QueryBatcher::execute(std::vector<TransferItem>& transfers,
                 mor::RomEvalWorkspace ws;
                 for (int g = chunk_begin; g < chunk_end; ++g) {
                     auto& group = groups[static_cast<std::size_t>(g)];
-                    try {
-                        engine_.stamp_parameters(*group.p, ws);
-                    } catch (...) {
-                        for (TransferItem* item : group.items)
-                            item->result.set_exception(std::current_exception());
-                        continue;
+                    if (engine_) {
+                        try {
+                            VARMOR_FAULT_POINT_DETAIL("query_batcher.stamp",
+                                                      point_detail(*group.p));
+                            engine_->stamp_parameters(*group.p, ws);
+                        } catch (...) {
+                            for (TransferItem* item : group.items)
+                                item->result.set_exception(std::current_exception());
+                            continue;
+                        }
                     }
                     for (TransferItem* item : group.items) {
                         try {
-                            item->result.set_value(engine_.transfer(item->s, ws));
+                            if (engine_) {
+                                item->result.set_value(engine_->transfer(item->s, ws));
+                            } else if (fallbacks_.transfer) {
+                                item->result.set_value(
+                                    fallbacks_.transfer(*group.p, item->s));
+                            } else {
+                                throw Error("QueryBatcher: no transfer path");
+                            }
                         } catch (...) {
                             // e.g. the pencil singular at exactly this s:
                             // fails THIS query only, like serve-alone would.
@@ -218,16 +351,26 @@ void QueryBatcher::execute(std::vector<TransferItem>& transfers,
                 mor::RomEvalWorkspace ws;
                 for (int g = chunk_begin; g < chunk_end; ++g) {
                     auto& group = groups[static_cast<std::size_t>(g)];
-                    try {
-                        engine_.stamp_parameters(*group.p, ws);
-                    } catch (...) {
-                        for (PoleItem* item : group.items)
-                            item->result.set_exception(std::current_exception());
-                        continue;
+                    if (engine_) {
+                        try {
+                            VARMOR_FAULT_POINT_DETAIL("query_batcher.stamp",
+                                                      point_detail(*group.p));
+                            engine_->stamp_parameters(*group.p, ws);
+                        } catch (...) {
+                            for (PoleItem* item : group.items)
+                                item->result.set_exception(std::current_exception());
+                            continue;
+                        }
                     }
                     for (PoleItem* item : group.items) {
                         try {
-                            item->result.set_value(engine_.poles(ws));
+                            if (engine_) {
+                                item->result.set_value(engine_->poles(ws));
+                            } else if (fallbacks_.poles) {
+                                item->result.set_value(fallbacks_.poles(*group.p));
+                            } else {
+                                throw Error("QueryBatcher: no poles path");
+                            }
                         } catch (...) {
                             item->result.set_exception(std::current_exception());
                         }
@@ -238,31 +381,36 @@ void QueryBatcher::execute(std::vector<TransferItem>& transfers,
 
     // --- delay lane: the pending corners ARE a TransientBatchRunner corner
     // batch (one refactorization per corner, forcing series evaluated once).
-    // run_batch rethrows the FIRST corner's failure for the whole batch, so
-    // on failure fall back to serving every corner alone — the slow path,
-    // but it restores per-query isolation (only the actually-bad corners
-    // fail) exactly when something already went wrong.
+    // The captured variant keeps per-corner isolation inside the batch: a
+    // failing corner fails ITS future only, and every other corner's answer
+    // comes from this same batch — never from a re-run, so no extra work and
+    // bit-identical results whether or not a batchmate failed.
     if (!delays.empty()) {
+        std::vector<std::vector<double>> corners;
+        corners.reserve(delays.size());
+        for (const DelayItem& item : delays) corners.push_back(item.p);
         try {
-            std::vector<std::vector<double>> corners;
-            corners.reserve(delays.size());
-            for (const DelayItem& item : delays) corners.push_back(item.p);
-            const std::vector<analysis::TransientResult> waves =
-                transient_->run_batch(corners, input_, opts_.threads);
-            for (std::size_t i = 0; i < delays.size(); ++i)
-                delays[i].result.set_value(DelayResult{
-                    analysis::crossing_time(waves[i], observe_, level_), level_});
-        } catch (...) {
-            for (DelayItem& item : delays) {
+            std::vector<analysis::TransientBatchRunner::CornerOutcome> outcomes =
+                transient_->run_batch_captured(corners, input_, opts_.threads);
+            for (std::size_t i = 0; i < delays.size(); ++i) {
+                if (outcomes[i].error) {
+                    delays[i].result.set_exception(outcomes[i].error);
+                    continue;
+                }
                 try {
-                    item.result.set_value(DelayResult{
-                        analysis::crossing_time(transient_->run(item.p, input_),
-                                                observe_, level_),
+                    delays[i].result.set_value(DelayResult{
+                        analysis::crossing_time(*outcomes[i].result, observe_, level_),
                         level_});
                 } catch (...) {
-                    item.result.set_exception(std::current_exception());
+                    delays[i].result.set_exception(std::current_exception());
                 }
             }
+        } catch (...) {
+            // Shared preamble failure (forcing-series evaluation is corner-
+            // independent): by construction the same failure would hit every
+            // corner served alone, so every future gets it.
+            const std::exception_ptr error = std::current_exception();
+            for (DelayItem& item : delays) try_fail(item.result, error);
         }
     }
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -12,6 +13,8 @@
 #include "analysis/transient_batch.h"
 #include "la/dense.h"
 #include "mor/rom_eval.h"
+#include "service/errors.h"
+#include "util/deadline.h"
 #include "util/mpmc_queue.h"
 
 namespace varmor::service {
@@ -35,6 +38,11 @@ struct QueryBatcherOptions {
     /// Fan-out of batch EXECUTION, SweepOptions convention: 0 = the
     /// process-wide pool, 1 = serial, n > 1 = a dedicated pool of n.
     int threads = 0;
+    /// Admission bound: at most this many queries pending in the ingress
+    /// queue; past it submits are SHED with an OverloadError future (0 =
+    /// unbounded). Overload degrades into fast rejection of the excess, not
+    /// into unbounded latency for everyone.
+    int max_pending = 0;
 };
 
 struct QueryBatcherStats {
@@ -45,6 +53,20 @@ struct QueryBatcherStats {
     long transfer_groups = 0;  ///< distinct parameter points across transfer
                                ///< batches — the coalescing win is
                                ///< transfer_queries / transfer_groups
+    long shed = 0;             ///< submits rejected by admission control (OverloadError)
+    long expired = 0;          ///< queries completed with DeadlineExceeded
+    long rejected_closed = 0;  ///< submits after close() (ServiceClosed)
+    long flush_failures = 0;   ///< batches whose execution itself failed (every
+                               ///< member got the failure; the flusher survived)
+};
+
+/// Degraded-mode serving paths used when no ROM engine is available (the
+/// model build failed and the key is poisoned — see StudySession): per-query
+/// full-pencil evaluation. Slower, but answers stay exact and the service
+/// stays up.
+struct QueryFallbacks {
+    std::function<la::ZMatrix(const std::vector<double>& p, la::cplx s)> transfer;
+    std::function<std::vector<la::cplx>(const std::vector<double>& p)> poles;
 };
 
 /// Coalesces concurrent point queries from many logical clients into the
@@ -76,12 +98,28 @@ struct QueryBatcherStats {
 /// each engine computes a batch item independently of batch composition and
 /// thread count — so a coalesced batch is BIT-IDENTICAL to serving each
 /// query alone, no matter how traffic happens to interleave.
+///
+/// Failure contract: submit never throws for load, latency, or lifecycle
+/// reasons, and NO accepted query's future is ever left unfulfilled — every
+/// outcome arrives through the future as a value or as one of the
+/// service::errors taxonomy (OverloadError when shed at ingress,
+/// DeadlineExceeded when a per-query Deadline passes in the queue,
+/// ServiceClosed when racing close()). A failure during batch execution —
+/// including injected faults — fails the affected queries' futures and the
+/// flusher keeps serving subsequent batches.
 class QueryBatcher {
 public:
-    /// Serves transfer/pole queries on `engine` and (when `transient` is
+    /// Serves transfer/pole queries on `engine` — or, when `engine` is null,
+    /// on the `fallbacks` paths (degraded mode) — and (when `transient` is
     /// non-null) delay queries on `transient` with the given step input and
     /// absolute crossing threshold. All referenced objects must outlive the
     /// batcher. `observe_port` follows TransientStudyOptions (-1 = last).
+    QueryBatcher(const mor::RomEvalEngine* engine, QueryFallbacks fallbacks,
+                 const analysis::TransientBatchRunner* transient,
+                 analysis::InputFn input, double delay_level, int observe_port,
+                 const QueryBatcherOptions& opts = {});
+
+    /// Engine-only convenience (the common, non-degraded construction).
     QueryBatcher(const mor::RomEvalEngine& engine,
                  const analysis::TransientBatchRunner* transient,
                  analysis::InputFn input, double delay_level, int observe_port,
@@ -94,15 +132,29 @@ public:
     QueryBatcher& operator=(const QueryBatcher&) = delete;
 
     // -----------------------------------------------------------------
-    // Point queries (safe from any thread; results via future).
+    // Point queries (safe from any thread; results via future). An unset
+    // deadline means "whenever"; a set one bounds queue time — an expired
+    // query is completed with DeadlineExceeded, never silently dropped.
     // -----------------------------------------------------------------
 
-    std::future<la::ZMatrix> submit_transfer(std::vector<double> p, la::cplx s);
-    std::future<DelayResult> submit_delay(std::vector<double> p);
-    std::future<std::vector<la::cplx>> submit_poles(std::vector<double> p);
+    std::future<la::ZMatrix> submit_transfer(std::vector<double> p, la::cplx s,
+                                             util::Deadline deadline = {});
+    std::future<DelayResult> submit_delay(std::vector<double> p,
+                                          util::Deadline deadline = {});
+    std::future<std::vector<la::cplx>> submit_poles(std::vector<double> p,
+                                                    util::Deadline deadline = {});
 
     /// Blocks until every query submitted before this call has executed.
+    /// After close() this is a no-op (everything was drained by close).
     void flush();
+
+    /// Drains everything already submitted, then stops the flusher
+    /// (idempotent; the destructor calls it). Later submits get ServiceClosed
+    /// futures — never an exception into the submitting thread.
+    void close();
+
+    /// True when serving on the fallback paths (no ROM engine).
+    bool degraded() const { return engine_ == nullptr; }
 
     const QueryBatcherOptions& options() const { return opts_; }
     QueryBatcherStats stats() const;
@@ -111,14 +163,17 @@ private:
     struct TransferItem {
         std::vector<double> p;
         la::cplx s;
+        util::Deadline deadline;
         std::promise<la::ZMatrix> result;
     };
     struct DelayItem {
         std::vector<double> p;
+        util::Deadline deadline;
         std::promise<DelayResult> result;
     };
     struct PoleItem {
         std::vector<double> p;
+        util::Deadline deadline;
         std::promise<std::vector<la::cplx>> result;
     };
     struct FlushItem {
@@ -126,11 +181,18 @@ private:
     };
     using Item = std::variant<TransferItem, DelayItem, PoleItem, FlushItem>;
 
+    /// Deadline triage + admission control shared by the three submits:
+    /// returns the item's future, which is fulfilled normally, or failed
+    /// right here when the query is expired / shed / racing close().
+    template <class ItemT, class ResultT>
+    std::future<ResultT> admit(ItemT item);
+
     void flusher_loop();
     void execute(std::vector<TransferItem>& transfers, std::vector<DelayItem>& delays,
                  std::vector<PoleItem>& poles);
 
-    const mor::RomEvalEngine& engine_;
+    const mor::RomEvalEngine* engine_;  ///< null = degraded (fallbacks serve)
+    QueryFallbacks fallbacks_;
     const analysis::TransientBatchRunner* transient_;
     analysis::InputFn input_;
     double level_ = 0.0;
@@ -140,7 +202,8 @@ private:
     util::MpmcQueue<Item> queue_;
     mutable std::mutex stats_mutex_;
     QueryBatcherStats stats_;
-    std::thread flusher_;  ///< last member: joins before the rest tears down
+    std::mutex close_mutex_;  ///< serializes close() callers around the join
+    std::thread flusher_;     ///< last member: joins before the rest tears down
 };
 
 }  // namespace varmor::service

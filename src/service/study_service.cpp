@@ -3,7 +3,11 @@
 #include <cmath>
 #include <utility>
 
+#include "analysis/poles.h"
+#include "la/ops.h"
+#include "solve/parametric_context.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 
 namespace varmor::service {
 
@@ -12,17 +16,25 @@ StudySession::StudySession(const circuit::ParametricSystem& sys, CacheKey key,
     : key_(key),
       study_(sys),
       runner_(study_.trapezoid_cache(), opts.transient.transient) {
+    VARMOR_FAULT_POINT_DETAIL("study_session.construct", key_.hex());
     // The served model: memory tier, disk tier, or — on a true miss — one
     // low-rank reduction through the session context's cached g0 symbolic.
     // A warm cache performs ZERO reduction work here (ModelCacheStats::builds
-    // is the counter that proves it).
-    ModelCache::ModelPtr model = cache.get_or_build(key_, [&] {
-        mor::LowRankPmorOptions build = opts.reduction;
-        if (!build.g0_factor && !build.g0_symbolic)
-            build.g0_symbolic = &study_.context().g0_symbolic();
-        return mor::lowrank_pmor(sys, build).model;
-    });
-    study_.set_rom(*model);
+    // is the counter that proves it). A build that FAILS does not fail the
+    // session: it comes up degraded — full-pencil serving, no ROM — and the
+    // service swaps in a full session once the key heals (the cache poisons
+    // a repeatedly failing key, so degraded opens are cheap in between).
+    try {
+        ModelCache::ModelPtr model = cache.get_or_build(key_, [&] {
+            mor::LowRankPmorOptions build = opts.reduction;
+            if (!build.g0_factor && !build.g0_symbolic)
+                build.g0_symbolic = &study_.context().g0_symbolic();
+            return mor::lowrank_pmor(sys, build).model;
+        });
+        study_.set_rom(*model);
+    } catch (const std::exception&) {
+        degraded_ = true;
+    }
 
     input_ = analysis::step_input(runner_.num_ports(), opts.transient.input_port,
                                   opts.transient.amplitude);
@@ -41,12 +53,44 @@ StudySession::StudySession(const circuit::ParametricSystem& sys, CacheKey key,
         level_ = opts.transient.level_fraction *
                  nominal.ports[static_cast<std::size_t>(observe_)].back();
     }
-    batcher_ = std::make_unique<QueryBatcher>(study_.rom_engine(), &runner_, input_,
-                                              level_, observe_, opts.batcher);
+    if (degraded_) {
+        QueryFallbacks fallbacks;
+        fallbacks.transfer = [this](const std::vector<double>& p, la::cplx s) {
+            return full_transfer(p, s);
+        };
+        fallbacks.poles = [this](const std::vector<double>& p) {
+            return full_poles(p);
+        };
+        batcher_ = std::make_unique<QueryBatcher>(nullptr, std::move(fallbacks),
+                                                  &runner_, input_, level_, observe_,
+                                                  opts.batcher);
+    } else {
+        batcher_ = std::make_unique<QueryBatcher>(study_.rom_engine(), &runner_,
+                                                  input_, level_, observe_,
+                                                  opts.batcher);
+    }
+}
+
+la::ZMatrix StudySession::full_transfer(const std::vector<double>& p,
+                                        la::cplx s) const {
+    // The full-pencil reference path (the same scaffold sweep_full uses):
+    // stamp G(p)/C(p) on the context's union patterns, factor G + sC once,
+    // solve for every port column. Exact — a degraded session trades speed,
+    // never correctness.
+    const solve::ParametricSolveContext& ctx = study_.context();
+    const la::ZMatrix bz = la::to_complex(ctx.system().b);
+    const la::ZMatrix lzt = la::transpose(la::to_complex(ctx.system().l));
+    const solve::PencilBatch pencil(ctx, p, s);
+    return la::matmul(lzt, pencil.reference().solve(bz));
+}
+
+std::vector<la::cplx> StudySession::full_poles(const std::vector<double>& p) const {
+    return analysis::dominant_poles_at(study_.context().system(), p);
 }
 
 la::ZMatrix StudySession::transfer_now(const std::vector<double>& p,
                                        la::cplx s) const {
+    if (degraded_) return full_transfer(p, s);
     mor::RomEvalWorkspace ws;
     study_.rom_engine().stamp_parameters(p, ws);
     return study_.rom_engine().transfer(s, ws);
@@ -58,6 +102,7 @@ DelayResult StudySession::delay_now(const std::vector<double>& p) const {
 }
 
 std::vector<la::cplx> StudySession::poles_now(const std::vector<double>& p) const {
+    if (degraded_) return full_poles(p);
     mor::RomEvalWorkspace ws;
     study_.rom_engine().stamp_parameters(p, ws);
     return study_.rom_engine().poles(ws);
@@ -70,49 +115,44 @@ StudyService::~StudyService() = default;
 
 StudySession& StudyService::open(const circuit::ParametricSystem& sys) {
     const CacheKey key = cache_key(sys, opts_.reduction);
-    std::shared_future<void> wait_on;
-    std::promise<void> promise;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = sessions_.find(key.value);
-        if (it != sessions_.end()) return *it->second;
-        auto fl = opening_.find(key.value);
-        if (fl != opening_.end()) {
-            wait_on = fl->second;
-        } else {
-            // This thread owns the construction; later open()s of the SAME
-            // system wait on its future while opens of other systems (and
-            // num_sessions/flush_all) proceed — session construction can be
-            // seconds of reduction on a cache miss and must not hold the
-            // service lock (the same rule ModelCache applies to builders).
-            opening_[key.value] = promise.get_future().share();
-        }
+        // A healthy session — or a degraded one whose key is still poisoned
+        // (rebuilding now would just fail fast again) — is final. A degraded
+        // session whose poison EXPIRED falls through to a replacement build.
+        if (it != sessions_.end() &&
+            (!it->second->degraded() || cache_->poisoned(key)))
+            return *it->second;
     }
-    if (wait_on.valid()) {
-        wait_on.get();  // rethrows a failed construction
-        std::lock_guard<std::mutex> lock(mutex_);
-        return *sessions_.at(key.value);
-    }
-
-    std::unique_ptr<StudySession> session;
-    try {
-        session.reset(new StudySession(sys, key, *cache_, opts_));
-    } catch (...) {
+    // Construction (possibly seconds of reduction on a cache miss) runs
+    // outside the service lock, single-flighted per key: concurrent opens of
+    // THIS system coalesce while opens of other systems — and
+    // num_sessions/flush_all — proceed (the same rule ModelCache applies to
+    // builders).
+    return *opening_.run(key.value, [&]() -> StudySession* {
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            opening_.erase(key.value);
+            auto it = sessions_.find(key.value);
+            if (it != sessions_.end() &&
+                (!it->second->degraded() || cache_->poisoned(key)))
+                return it->second.get();  // raced a finished open
         }
-        promise.set_exception(std::current_exception());
-        throw;
-    }
-    StudySession& ref = *session;
-    {
+        auto session = std::unique_ptr<StudySession>(
+            new StudySession(sys, key, *cache_, opts_));
         std::lock_guard<std::mutex> lock(mutex_);
+        auto it = sessions_.find(key.value);
+        if (it != sessions_.end()) {
+            // Healed replacement: clients may hold references into the old
+            // (degraded) session, so it is retired — kept alive and
+            // flushable — rather than destroyed.
+            retired_.push_back(std::move(it->second));
+            sessions_.erase(it);
+        }
+        StudySession* ptr = session.get();
         sessions_.emplace(key.value, std::move(session));
-        opening_.erase(key.value);
-    }
-    promise.set_value();
-    return ref;
+        return ptr;
+    });
 }
 
 int StudyService::num_sessions() const {
@@ -123,6 +163,7 @@ int StudyService::num_sessions() const {
 void StudyService::flush_all() {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto& entry : sessions_) entry.second->flush();
+    for (auto& session : retired_) session->flush();
 }
 
 }  // namespace varmor::service

@@ -10,6 +10,7 @@
 #include "circuit/parametric_system.h"
 #include "service/model_cache.h"
 #include "service/query_batcher.h"
+#include "util/single_flight.h"
 
 namespace varmor::service {
 
@@ -31,28 +32,41 @@ struct StudyServiceOptions {
 /// engine), the corner-batch transient runner fed from the session's
 /// trapezoid-pencil cache, and the query batcher coalescing this model's
 /// traffic. Obtained from StudyService::open(); owned by the service.
+///
+/// Graceful degradation: when the model build/reload fails (and the cache
+/// has poisoned the key), the session comes up WITHOUT a ROM and serves
+/// transfer/pole queries through direct full-pencil evaluation — slower but
+/// exact, and the service stays up. StudyService::open replaces a degraded
+/// session with a full one once the key heals (poison expiry + successful
+/// build).
 class StudySession {
 public:
     StudySession(const StudySession&) = delete;
     StudySession& operator=(const StudySession&) = delete;
 
     // -----------------------------------------------------------------
-    // Async point queries (any thread; coalesced by the batcher).
+    // Async point queries (any thread; coalesced by the batcher). The
+    // optional deadline bounds queue time; see QueryBatcher's failure
+    // contract for the OverloadError / DeadlineExceeded / ServiceClosed
+    // taxonomy — all of which arrive through the future.
     // -----------------------------------------------------------------
 
-    /// ROM transfer value H(s, p).
-    std::future<la::ZMatrix> transfer(std::vector<double> p, la::cplx s) {
-        return batcher_->submit_transfer(std::move(p), s);
+    /// ROM transfer value H(s, p) (full-pencil value when degraded).
+    std::future<la::ZMatrix> transfer(std::vector<double> p, la::cplx s,
+                                      util::Deadline deadline = {}) {
+        return batcher_->submit_transfer(std::move(p), s, deadline);
     }
 
     /// Full-system 50%-crossing delay at corner p (level fixed per session).
-    std::future<DelayResult> delay(std::vector<double> p) {
-        return batcher_->submit_delay(std::move(p));
+    std::future<DelayResult> delay(std::vector<double> p,
+                                   util::Deadline deadline = {}) {
+        return batcher_->submit_delay(std::move(p), deadline);
     }
 
-    /// ROM poles at corner p.
-    std::future<std::vector<la::cplx>> poles(std::vector<double> p) {
-        return batcher_->submit_poles(std::move(p));
+    /// ROM poles at corner p (full-system dominant poles when degraded).
+    std::future<std::vector<la::cplx>> poles(std::vector<double> p,
+                                             util::Deadline deadline = {}) {
+        return batcher_->submit_poles(std::move(p), deadline);
     }
 
     /// Blocks until everything submitted to this session has executed.
@@ -61,7 +75,8 @@ public:
     // -----------------------------------------------------------------
     // Unbatched single-query serving: each call serves its query ALONE on
     // fresh per-call scratch — no coalescing, no shared batch state. This is
-    // the reference the batched path must match bitwise, and the baseline
+    // the reference the batched path must match bitwise (degraded sessions
+    // route both paths through the same full-pencil code), and the baseline
     // bench/service_throughput measures against.
     // -----------------------------------------------------------------
 
@@ -76,10 +91,18 @@ public:
     /// nominal corner when the options left it NaN).
     double delay_level() const { return level_; }
 
+    /// True when the session serves without a ROM (model build failed).
+    bool degraded() const { return degraded_; }
+
 private:
     friend class StudyService;
     StudySession(const circuit::ParametricSystem& sys, CacheKey key,
                  ModelCache& cache, const StudyServiceOptions& opts);
+
+    /// Direct full-pencil serving paths (the degraded lanes and the
+    /// degraded transfer_now/poles_now reference).
+    la::ZMatrix full_transfer(const std::vector<double>& p, la::cplx s) const;
+    std::vector<la::cplx> full_poles(const std::vector<double>& p) const;
 
     CacheKey key_;
     analysis::VariabilityStudy study_;
@@ -87,6 +110,7 @@ private:
     analysis::InputFn input_;
     int observe_ = 0;
     double level_ = 0.0;
+    bool degraded_ = false;
     std::unique_ptr<QueryBatcher> batcher_;
 };
 
@@ -120,6 +144,11 @@ public:
     /// in parallel (construction runs outside the service lock). The
     /// returned session is valid for the service's lifetime and its query
     /// methods are safe from any thread.
+    ///
+    /// Recovery: reopening a DEGRADED session's system after its cache key
+    /// healed (poison expired, build succeeds again) constructs a fresh
+    /// full session and retires the degraded one — existing references stay
+    /// valid for the service's lifetime and keep serving degraded.
     StudySession& open(const circuit::ParametricSystem& sys);
 
     ModelCache& cache() { return *cache_; }
@@ -128,7 +157,7 @@ public:
 
     int num_sessions() const;
 
-    /// Flushes every session's pending queries.
+    /// Flushes every session's pending queries (retired ones included).
     void flush_all();
 
 private:
@@ -136,9 +165,12 @@ private:
     StudyServiceOptions opts_;
     mutable std::mutex mutex_;
     std::unordered_map<std::uint64_t, std::unique_ptr<StudySession>> sessions_;
-    /// In-flight session constructions (same pattern as ModelCache's build
-    /// coalescing): key -> future the non-owning openers wait on.
-    std::unordered_map<std::uint64_t, std::shared_future<void>> opening_;
+    /// Sessions replaced after healing from degraded mode: kept alive (and
+    /// flushable) because clients may still hold references into them.
+    std::vector<std::unique_ptr<StudySession>> retired_;
+    /// In-flight session constructions: concurrent opens of one system
+    /// coalesce; opens of other systems proceed in parallel.
+    util::SingleFlight<std::uint64_t, StudySession*> opening_;
 };
 
 }  // namespace varmor::service

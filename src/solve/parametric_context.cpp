@@ -1,8 +1,10 @@
 #include "solve/parametric_context.h"
 
 #include <algorithm>
+#include <string>
 
 #include "util/check.h"
+#include "util/fault_injection.h"
 
 namespace varmor::solve {
 
@@ -154,8 +156,7 @@ const sparse::SparseLu& TrapezoidBatch::factor_lhs(const std::vector<double>& p,
     return batch_.factor(s.lhs);
 }
 
-std::shared_ptr<const TrapezoidBatch> TrapezoidBatchCache::get(double dt) {
-    std::lock_guard<std::mutex> lock(mutex_);
+std::shared_ptr<const TrapezoidBatch> TrapezoidBatchCache::lookup_locked(double dt) {
     for (std::size_t k = 0; k < entries_.size(); ++k)
         if (entries_[k].first == dt) {
             // Hit: rotate to the back (most recently used).
@@ -164,15 +165,35 @@ std::shared_ptr<const TrapezoidBatch> TrapezoidBatchCache::get(double dt) {
             entries_.push_back(std::move(entry));
             return entries_.back().second;
         }
-    // Miss: build under the lock so concurrent first requests for one dt
-    // construct (and factor the nominal reference) exactly once; drop the
-    // least recently used pencil past capacity (existing runners keep their
-    // shared_ptr, so eviction never invalidates in-flight studies).
-    auto batch = std::make_shared<const TrapezoidBatch>(*ctx_, dt);
-    ++builds_;
-    entries_.emplace_back(dt, batch);
-    if (static_cast<int>(entries_.size()) > capacity_) entries_.erase(entries_.begin());
-    return batch;
+    return nullptr;
+}
+
+std::shared_ptr<const TrapezoidBatch> TrapezoidBatchCache::get(double dt) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (auto batch = lookup_locked(dt)) return batch;
+    }
+    // Miss: single-flight per dt, with the construction (nominal stamping +
+    // reference factorization — potentially seconds on a large system)
+    // OUTSIDE the cache lock, so hits and other dt values proceed during a
+    // build; concurrent first requests for one dt still construct exactly
+    // once. Past capacity the least recently used pencil is dropped (existing
+    // runners keep their shared_ptr, so eviction never invalidates in-flight
+    // studies).
+    return flight_.run(dt, [&]() -> std::shared_ptr<const TrapezoidBatch> {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (auto batch = lookup_locked(dt)) return batch;  // raced a done flight
+        }
+        VARMOR_FAULT_POINT_DETAIL("trapezoid_cache.build", std::to_string(dt));
+        auto batch = std::make_shared<const TrapezoidBatch>(*ctx_, dt);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++builds_;
+        entries_.emplace_back(dt, batch);
+        if (static_cast<int>(entries_.size()) > capacity_)
+            entries_.erase(entries_.begin());
+        return batch;
+    });
 }
 
 long TrapezoidBatchCache::builds() const {

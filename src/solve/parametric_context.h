@@ -12,6 +12,7 @@
 #include "sparse/csc.h"
 #include "sparse/splu.h"
 #include "util/check.h"
+#include "util/single_flight.h"
 
 namespace varmor::solve {
 
@@ -195,9 +196,11 @@ private:
 /// per distinct dt forever. Runners hold shared_ptrs, so an evicted pencil
 /// stays valid for the runners already built on it.
 ///
-/// Thread-safety: get() is internally synchronized (a miss builds under the
-/// lock — concurrent first requests for one dt build once); returned batches
-/// are immutable and safe to share across studies and threads.
+/// Thread-safety: get() is internally synchronized; a miss builds OUTSIDE
+/// the cache lock via keyed single-flight (concurrent first requests for one
+/// dt build once, while hits — and builds of other dt values — proceed);
+/// returned batches are immutable and safe to share across studies and
+/// threads.
 class TrapezoidBatchCache {
 public:
     static constexpr int kDefaultCapacity = 8;
@@ -222,11 +225,15 @@ public:
     long builds() const;
 
 private:
+    /// Probe + MRU rotate. Caller holds mutex_.
+    std::shared_ptr<const TrapezoidBatch> lookup_locked(double dt);
+
     const ParametricSolveContext* ctx_;
     int capacity_ = kDefaultCapacity;
     mutable std::mutex mutex_;
     /// Most recently used last; evicted from the front past capacity.
     std::vector<std::pair<double, std::shared_ptr<const TrapezoidBatch>>> entries_;
+    util::SingleFlight<double, std::shared_ptr<const TrapezoidBatch>> flight_;
     long builds_ = 0;
 };
 

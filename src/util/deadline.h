@@ -1,0 +1,54 @@
+#pragma once
+
+#include <chrono>
+
+#include "util/check.h"
+
+namespace varmor::util {
+
+/// Thrown when a query (or a wait on someone else's in-flight work) runs out
+/// of time. Completing a future with THIS — instead of leaving it hanging on
+/// a wedged build — is the serving layer's latency contract.
+class DeadlineExceeded : public Error {
+public:
+    using Error::Error;
+};
+
+/// Absolute completion deadline carried alongside a query. Default
+/// constructed it is "never": queries without latency requirements behave
+/// exactly as before. Comparisons use the steady clock, so deadlines are
+/// immune to wall-clock adjustments.
+class Deadline {
+public:
+    using clock = std::chrono::steady_clock;
+
+    Deadline() = default;  ///< unset: never expires
+
+    static Deadline never() { return Deadline(); }
+
+    /// A deadline `ms` milliseconds from now (ms <= 0: already expired).
+    static Deadline after_ms(double ms) {
+        return at(clock::now() +
+                  std::chrono::duration_cast<clock::duration>(
+                      std::chrono::duration<double, std::milli>(ms)));
+    }
+
+    static Deadline at(clock::time_point t) {
+        Deadline d;
+        d.set_ = true;
+        d.at_ = t;
+        return d;
+    }
+
+    bool is_set() const { return set_; }
+    bool expired() const { return set_ && clock::now() >= at_; }
+
+    /// The absolute time point; meaningful only when is_set().
+    clock::time_point time() const { return at_; }
+
+private:
+    bool set_ = false;
+    clock::time_point at_{};
+};
+
+}  // namespace varmor::util

@@ -1,0 +1,92 @@
+#include "util/fault_injection.h"
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+namespace varmor::util {
+
+std::atomic<int> FaultInjector::armed_points_{0};
+
+FaultInjector& FaultInjector::instance() {
+    static FaultInjector injector;
+    return injector;
+}
+
+void FaultInjector::arm(const std::string& point, Handler handler) {
+    check(static_cast<bool>(handler), "FaultInjector: empty handler");
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (handlers_.emplace(point, handler).second)
+        armed_points_.fetch_add(1, std::memory_order_relaxed);
+    else
+        handlers_[point] = std::move(handler);
+}
+
+void FaultInjector::disarm(const std::string& point) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (handlers_.erase(point) > 0)
+        armed_points_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    armed_points_.fetch_sub(static_cast<int>(handlers_.size()),
+                            std::memory_order_relaxed);
+    handlers_.clear();
+    hits_.clear();
+}
+
+long FaultInjector::hits(const std::string& point) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = hits_.find(point);
+    return it == hits_.end() ? 0 : it->second;
+}
+
+void FaultInjector::fire(const std::string& point, const std::string& detail) {
+    Handler handler;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++hits_[point];
+        auto it = handlers_.find(point);
+        if (it != handlers_.end()) handler = it->second;
+    }
+    // Invoked OUTSIDE the registry lock: a handler may arm/disarm points
+    // (e.g. disarm itself after the first hit) without deadlocking.
+    if (handler) handler(point, detail);
+}
+
+FaultInjector::Handler FaultInjector::fail(std::string message) {
+    return [message = std::move(message)](const std::string& point,
+                                          const std::string&) {
+        throw FaultInjected("injected fault at " + point + ": " + message);
+    };
+}
+
+FaultInjector::Handler FaultInjector::fail_first(int n, std::string message) {
+    auto remaining = std::make_shared<std::atomic<int>>(n);
+    return [remaining, message = std::move(message)](const std::string& point,
+                                                     const std::string&) {
+        if (remaining->fetch_sub(1, std::memory_order_relaxed) > 0)
+            throw FaultInjected("injected transient fault at " + point + ": " +
+                                message);
+    };
+}
+
+FaultInjector::Handler FaultInjector::fail_detail(std::string detail,
+                                                  std::string message) {
+    return [detail = std::move(detail), message = std::move(message)](
+               const std::string& point, const std::string& d) {
+        if (d == detail)
+            throw FaultInjected("injected fault at " + point + " [" + d + "]: " +
+                                message);
+    };
+}
+
+FaultInjector::Handler FaultInjector::sleep_for(double ms) {
+    return [ms](const std::string&, const std::string&) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+    };
+}
+
+}  // namespace varmor::util

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace varmor::util {
+
+/// Exception thrown by the canned fault handlers below — a distinct type so
+/// tests can assert that a failure they observe is the one they injected,
+/// not an unrelated contract violation.
+class FaultInjected : public Error {
+public:
+    using Error::Error;
+};
+
+/// Process-wide deterministic fault-injection registry.
+///
+/// Production code marks its failure seams with named fault points
+/// (VARMOR_FAULT_POINT below): disk reads/writes/renames in the model
+/// cache's disk tier, ROM builds, batcher flushes, session construction.
+/// Tests arm a handler on a point; when execution reaches it the handler
+/// runs and may throw (simulating an IO error or a bad pencil), sleep
+/// (simulating a wedged build), or just count. Nothing is armed in
+/// production, and the macro's fast path is a single relaxed atomic load —
+/// with VARMOR_FAULT_INJECTION compiled out it is zero-cost entirely.
+///
+/// Handlers receive the point name plus a call-site `detail` string (e.g.
+/// the first parameter value of the corner being served), so a test can
+/// fault one specific query out of a coalesced batch and assert that the
+/// others are untouched.
+///
+/// Thread-safety: all methods are safe to call concurrently; handlers are
+/// copied out of the registry before invocation, so a handler may arm or
+/// disarm points (including its own).
+class FaultInjector {
+public:
+    using Handler =
+        std::function<void(const std::string& point, const std::string& detail)>;
+
+    static FaultInjector& instance();
+
+    /// True when ANY point is armed — the macro's fast-path gate. Hit
+    /// counting is active only while this is true.
+    static bool armed() {
+        return armed_points_.load(std::memory_order_relaxed) > 0;
+    }
+
+    /// Arms (or replaces) the handler at `point`.
+    void arm(const std::string& point, Handler handler);
+
+    /// Removes the handler at `point` (no-op when none is armed).
+    void disarm(const std::string& point);
+
+    /// Disarms every point and resets the hit counters.
+    void clear();
+
+    /// Times `point` was reached while the injector was armed.
+    long hits(const std::string& point) const;
+
+    /// Called by VARMOR_FAULT_POINT. Records the hit and invokes the armed
+    /// handler, whose exception (if any) propagates to the call site.
+    void fire(const std::string& point, const std::string& detail);
+
+    // -----------------------------------------------------------------
+    // Canned handlers for the common test shapes.
+    // -----------------------------------------------------------------
+
+    /// Throws FaultInjected on every hit.
+    static Handler fail(std::string message);
+
+    /// Throws FaultInjected on the first `n` hits, then passes (a transient
+    /// fault that a retry policy should absorb).
+    static Handler fail_first(int n, std::string message);
+
+    /// Throws FaultInjected only when the call site's detail string equals
+    /// `detail` (fault one query of a batch, leave the rest alone).
+    static Handler fail_detail(std::string detail, std::string message);
+
+    /// Sleeps for `ms` on every hit (a wedged build / slow disk).
+    static Handler sleep_for(double ms);
+
+private:
+    FaultInjector() = default;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Handler> handlers_;
+    std::unordered_map<std::string, long> hits_;
+    static std::atomic<int> armed_points_;
+};
+
+/// RAII arm/disarm for tests: the fault exists exactly for the scope.
+class ScopedFault {
+public:
+    ScopedFault(std::string point, FaultInjector::Handler handler)
+        : point_(std::move(point)) {
+        FaultInjector::instance().arm(point_, std::move(handler));
+    }
+    ~ScopedFault() { FaultInjector::instance().disarm(point_); }
+
+    ScopedFault(const ScopedFault&) = delete;
+    ScopedFault& operator=(const ScopedFault&) = delete;
+
+private:
+    std::string point_;
+};
+
+}  // namespace varmor::util
+
+// The fault-point macros. `detail` is evaluated ONLY when something is
+// armed, so call sites may build it from per-query state without paying for
+// it in production. With VARMOR_FAULT_INJECTION undefined both compile to
+// nothing.
+#ifdef VARMOR_FAULT_INJECTION
+#define VARMOR_FAULT_POINT(point)                                      \
+    do {                                                               \
+        if (::varmor::util::FaultInjector::armed())                    \
+            ::varmor::util::FaultInjector::instance().fire((point), {}); \
+    } while (0)
+#define VARMOR_FAULT_POINT_DETAIL(point, detail)                             \
+    do {                                                                     \
+        if (::varmor::util::FaultInjector::armed())                          \
+            ::varmor::util::FaultInjector::instance().fire((point), (detail)); \
+    } while (0)
+#else
+#define VARMOR_FAULT_POINT(point) ((void)0)
+#define VARMOR_FAULT_POINT_DETAIL(point, detail) ((void)0)
+#endif

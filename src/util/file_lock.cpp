@@ -1,0 +1,71 @@
+#include "util/file_lock.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include "util/check.h"
+
+namespace varmor::util {
+
+namespace {
+
+int open_lock_file(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    check(fd >= 0, "FileLock: cannot open " + path + ": " + std::strerror(errno));
+    return fd;
+}
+
+}  // namespace
+
+FileLock FileLock::acquire(const std::string& path) {
+    const int fd = open_lock_file(path);
+    int rc;
+    do {
+        rc = ::flock(fd, LOCK_EX);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        const std::string err = std::strerror(errno);
+        ::close(fd);
+        throw Error("FileLock: flock failed for " + path + ": " + err);
+    }
+    return FileLock(fd);
+}
+
+FileLock FileLock::try_acquire(const std::string& path) {
+    const int fd = open_lock_file(path);
+    int rc;
+    do {
+        rc = ::flock(fd, LOCK_EX | LOCK_NB);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        ::close(fd);  // held elsewhere (or failed): report "not locked"
+        return FileLock();
+    }
+    return FileLock(fd);
+}
+
+FileLock::FileLock(FileLock&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+    if (this != &other) {
+        release();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+FileLock::~FileLock() { release(); }
+
+void FileLock::release() {
+    if (fd_ >= 0) {
+        ::close(fd_);  // closing the descriptor drops the flock
+        fd_ = -1;
+    }
+}
+
+}  // namespace varmor::util

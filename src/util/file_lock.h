@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+
+namespace varmor::util {
+
+/// Advisory cross-process file lock (flock-based RAII) — the cross-process
+/// half of the single-flight story, used by the shared disk store so N
+/// server processes pointed at one artifact directory serialize builds and
+/// GC of the same key without coordination infrastructure.
+///
+/// flock rather than a create-exclusive lock FILE: the kernel releases the
+/// lock when the holder's descriptor closes — including when the holder
+/// CRASHES — so a dead writer can never wedge every other server forever,
+/// which is the crash-safety property a lock-file-by-existence scheme lacks.
+/// The lock file itself is a zero-byte marker that is never deleted (
+/// unlinking a locked file is a classic TOCTOU race); a directory accretes
+/// one per distinct key, bounded by the key space.
+class FileLock {
+public:
+    FileLock() = default;  ///< not holding anything
+
+    /// Blocks until the exclusive lock on `path` is held (creating the file
+    /// if needed). Throws varmor::Error when the file cannot be opened.
+    static FileLock acquire(const std::string& path);
+
+    /// Non-blocking variant: returns an unlocked FileLock when another
+    /// process holds the lock.
+    static FileLock try_acquire(const std::string& path);
+
+    FileLock(FileLock&& other) noexcept;
+    FileLock& operator=(FileLock&& other) noexcept;
+    FileLock(const FileLock&) = delete;
+    FileLock& operator=(const FileLock&) = delete;
+
+    ~FileLock();
+
+    bool locked() const { return fd_ >= 0; }
+
+    /// Drops the lock early (idempotent; the destructor otherwise does it).
+    void release();
+
+private:
+    explicit FileLock(int fd) : fd_(fd) {}
+    int fd_ = -1;
+};
+
+}  // namespace varmor::util

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -11,32 +12,67 @@
 
 namespace varmor::util {
 
+/// Outcome of a non-blocking enqueue attempt — admission control's verdict,
+/// reported as data instead of an exception so a producer racing shutdown or
+/// a traffic spike gets a value it can turn into a cleanly failed future.
+enum class PushStatus {
+    kOk,      ///< item enqueued
+    kFull,    ///< bounded queue at capacity — shed the work
+    kClosed,  ///< queue closed — the service is tearing down
+};
+
 /// Bounded-complexity multi-producer/multi-consumer blocking queue: the
 /// ingress lane of the serving layer. Many logical clients push queries
 /// concurrently; the batcher's flusher drains them in arrival order (the
 /// lock serializes pushes, so "arrival order" is well defined) and applies
 /// its size/deadline coalescing policy via pop_until().
 ///
+/// A non-zero `capacity` bounds the backlog: try_push reports kFull once
+/// `capacity` items are pending, which is the admission-control half of the
+/// serving layer's overload story (shed at ingress with a failed future,
+/// never an unbounded queue that converts overload into unbounded latency).
+///
 /// close() ends the stream: pending items remain poppable (consumers drain
-/// the tail), further pushes throw, and once the queue is empty every
-/// blocked pop returns std::nullopt. Destruction does not require close();
-/// the owner is responsible for joining its consumers first.
+/// the tail), further pushes report kClosed (try_push) or throw (push), and
+/// once the queue is empty every blocked pop returns std::nullopt.
+/// Destruction does not require close(); the owner is responsible for
+/// joining its consumers first.
 template <class T>
 class MpmcQueue {
 public:
-    MpmcQueue() = default;
+    /// capacity = 0: unbounded (try_push never reports kFull).
+    explicit MpmcQueue(std::size_t capacity = 0) : capacity_(capacity) {}
     MpmcQueue(const MpmcQueue&) = delete;
     MpmcQueue& operator=(const MpmcQueue&) = delete;
 
-    /// Enqueues an item; throws varmor::Error on a closed queue (a service
-    /// being torn down must not silently swallow queries).
-    void push(T item) {
+    /// Non-blocking, non-throwing enqueue: moves from `item` ONLY on kOk (on
+    /// kFull/kClosed the caller keeps it, promise and all, to fail cleanly).
+    /// `force` bypasses the capacity bound but not close() — for control
+    /// markers (flush acks) that must never be shed by admission control.
+    PushStatus try_push(T& item, bool force = false) {
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            check(!closed_, "MpmcQueue: push on closed queue");
+            if (closed_) return PushStatus::kClosed;
+            if (!force && capacity_ != 0 && items_.size() >= capacity_)
+                return PushStatus::kFull;
             items_.push_back(std::move(item));
         }
         ready_.notify_one();
+        return PushStatus::kOk;
+    }
+
+    /// Throwing convenience enqueue (varmor::Error on a closed or full
+    /// queue). Serving paths use try_push — a client must get a failed
+    /// future, not an exception out of submit.
+    void push(T item) {
+        switch (try_push(item)) {
+            case PushStatus::kOk:
+                return;
+            case PushStatus::kFull:
+                throw Error("MpmcQueue: push on full queue");
+            case PushStatus::kClosed:
+                throw Error("MpmcQueue: push on closed queue");
+        }
     }
 
     /// Blocks until an item is available (returns it) or the queue is closed
@@ -83,6 +119,8 @@ public:
         return items_.size();
     }
 
+    std::size_t capacity() const { return capacity_; }
+
 private:
     // Callers hold mutex_.
     std::optional<T> take_locked() {
@@ -96,6 +134,7 @@ private:
         return out;
     }
 
+    std::size_t capacity_ = 0;
     mutable std::mutex mutex_;
     std::condition_variable ready_;
     std::deque<T> items_;

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <functional>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "util/deadline.h"
+
+namespace varmor::util {
+
+/// Keyed single-flight: concurrent run() calls for one key coalesce onto a
+/// single execution of the builder — exactly one caller (the "winner") runs
+/// it, outside any lock, while the rest block on the winner's future and
+/// share its result or its exception. Different keys proceed independently.
+///
+/// This is the in-process half of the serving layer's duplicate-suppression
+/// story, extracted from the three hand-rolled copies it used to live in
+/// (ModelCache::get_or_build, StudyService::open, and TrapezoidBatchCache,
+/// which built under its lock); the cross-process half is util::FileLock on
+/// the shared disk store.
+///
+/// The flight exists only while the builder runs: once it completes (either
+/// way) the key is forgotten, so a later run() re-executes — callers are
+/// expected to consult their own cache first and use run() purely to
+/// deduplicate the miss path.
+///
+/// Waiters may pass a Deadline: a waiter that times out throws
+/// DeadlineExceeded WITHOUT disturbing the build — the winner still
+/// completes and later callers still benefit. (The winner itself never
+/// times out; cancelling half-done solver state is worse than finishing.)
+///
+/// Value must be copyable (every coalesced caller receives a copy); in
+/// practice flights carry shared_ptr or raw pointers into caller-owned maps.
+template <class Key, class Value>
+class SingleFlight {
+public:
+    using Builder = std::function<Value()>;
+
+    SingleFlight() = default;
+    SingleFlight(const SingleFlight&) = delete;
+    SingleFlight& operator=(const SingleFlight&) = delete;
+
+    Value run(const Key& key, const Builder& build,
+              const Deadline& deadline = {}) {
+        std::shared_future<Value> wait_on;
+        std::promise<Value> promise;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = inflight_.find(key);
+            if (it != inflight_.end()) {
+                wait_on = it->second;
+            } else {
+                // This caller owns the flight: later run()s for the key wait
+                // on its future instead of duplicating the build.
+                inflight_.emplace(key, promise.get_future().share());
+            }
+        }
+        if (wait_on.valid()) {
+            if (deadline.is_set() &&
+                wait_on.wait_until(deadline.time()) == std::future_status::timeout)
+                throw DeadlineExceeded(
+                    "SingleFlight: deadline expired waiting on an in-flight build");
+            return wait_on.get();  // rethrows the winner's failure
+        }
+        try {
+            Value value = build();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                inflight_.erase(key);
+            }
+            promise.set_value(value);
+            return value;
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                inflight_.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+            throw;
+        }
+    }
+
+    /// Number of builds currently in flight (test hook).
+    int in_flight() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return static_cast<int>(inflight_.size());
+    }
+
+private:
+    mutable std::mutex mutex_;
+    std::unordered_map<Key, std::shared_future<Value>> inflight_;
+};
+
+}  // namespace varmor::util

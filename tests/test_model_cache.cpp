@@ -7,10 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -18,6 +21,7 @@
 #include "mor/model_io.h"
 #include "mor_test_utils.h"
 #include "service/model_cache.h"
+#include "util/fault_injection.h"
 
 namespace varmor::service {
 namespace {
@@ -246,6 +250,276 @@ TEST(ModelCache, ConcurrentMissesCoalesceOntoOneBuild) {
         ASSERT_TRUE(r != nullptr);
         EXPECT_EQ(r.get(), results[0].get());
     }
+}
+
+/// In-flight writes are `<name>.tmp.<pid>.<seq>`; after any completed
+/// operation none may remain (a leftover is a crashed-writer simulation, not
+/// a normal outcome).
+int count_tmp_files(const std::string& dir) {
+    int n = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir))
+        if (entry.path().filename().string().find(".tmp.") != std::string::npos)
+            ++n;
+    return n;
+}
+
+/// The `.rom` stems actually present — what the manifest must agree with.
+std::vector<std::string> rom_stems(const std::string& dir) {
+    std::vector<std::string> stems;
+    for (const auto& entry : std::filesystem::directory_iterator(dir))
+        if (entry.path().extension() == ".rom")
+            stems.push_back(entry.path().stem().string());
+    std::sort(stems.begin(), stems.end());
+    return stems;
+}
+
+/// The corruption matrix: every way a shared disk can hand back a damaged
+/// artifact must end in detect → rebuild → repersist, with no orphan temp
+/// files — never in serving bad bits and never in a crash.
+void expect_corruption_repaired(const std::string& dir_name,
+                                const std::function<void(const std::string&)>& damage) {
+    const circuit::ParametricSystem sys = test_system();
+    const mor::LowRankPmorOptions ropts = small_reduction();
+    const CacheKey key = cache_key(sys, ropts);
+    const mor::ReducedModel reference = mor::lowrank_pmor(sys, ropts).model;
+
+    ModelCacheOptions copts;
+    copts.disk_dir = fresh_disk_dir(dir_name);
+    copts.retry.backoff_ms = 0.1;
+    ModelCache cache(copts);
+    (void)cache.get_or_build(key, [&] { return mor::lowrank_pmor(sys, ropts).model; });
+    ASSERT_EQ(cache.stats().builds, 1);
+
+    damage(cache.disk_path(key));
+    cache.evict_memory();
+
+    // The damaged artifact is a miss: detected, rebuilt, NOT served.
+    const ModelCache::ModelPtr repaired = cache.get_or_build(
+        key, [&] { return mor::lowrank_pmor(sys, ropts).model; });
+    expect_bit_identical(*repaired, reference);
+    EXPECT_EQ(cache.stats().builds, 2);
+    EXPECT_EQ(cache.stats().disk_hits, 0);
+    EXPECT_GE(cache.disk_stats().load_failures, 1);
+
+    // The rebuild REPERSISTED a good artifact: the next cold probe is a
+    // verified disk hit again, and no in-flight temp files were left behind.
+    cache.evict_memory();
+    (void)cache.get_or_build(key, [&]() -> mor::ReducedModel {
+        ADD_FAILURE() << "builder must not run after the repair persisted";
+        return mor::lowrank_pmor(sys, ropts).model;
+    });
+    EXPECT_EQ(cache.stats().builds, 2);
+    EXPECT_EQ(cache.stats().disk_hits, 1);
+    EXPECT_EQ(count_tmp_files(copts.disk_dir), 0);
+}
+
+TEST(ModelCache, TruncatedDiskFileIsRebuiltAndRepersisted) {
+    expect_corruption_repaired("varmor_cache_truncated", [](const std::string& path) {
+        std::ifstream in(path);
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        std::ofstream out(path, std::ios::trunc);
+        out << text.substr(0, text.size() / 2);
+    });
+}
+
+TEST(ModelCache, BadMagicDiskFileIsRebuiltAndRepersisted) {
+    expect_corruption_repaired("varmor_cache_badmagic", [](const std::string& path) {
+        std::ofstream out(path, std::ios::trunc);
+        out << "not a varmor model\n";
+    });
+}
+
+TEST(ModelCache, FlippedPayloadBitIsRebuiltAndRepersisted) {
+    expect_corruption_repaired("varmor_cache_bitflip", [](const std::string& path) {
+        std::ifstream in(path);
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        const std::size_t pos = text.find("G0\n");
+        ASSERT_NE(pos, std::string::npos);
+        text[pos + 3] = text[pos + 3] == '1' ? '2' : '1';
+        std::ofstream out(path, std::ios::trunc);
+        out << text;
+    });
+}
+
+TEST(ModelCache, StaleTmpFromCrashedWriterIsSweptAtStartup) {
+    const std::string dir = fresh_disk_dir("varmor_cache_staletmp");
+    std::filesystem::create_directories(dir);
+    // A crashed writer's leftovers: a writer-unique temp name that will
+    // never be renamed into place.
+    {
+        std::ofstream orphan(dir + "/deadbeefdeadbeef.rom.tmp.99999.0");
+        orphan << "half-written artifact";
+    }
+
+    ModelCacheOptions copts;
+    copts.disk_dir = dir;
+    copts.tmp_ttl_seconds = 0.0;  // everything qualifies as stale
+    ModelCache cache(copts);      // construction runs the recovery sweep
+
+    EXPECT_EQ(count_tmp_files(dir), 0);
+    EXPECT_GE(cache.disk_stats().tmp_removed, 1);
+
+    // The sweep touched only temp files; a real artifact written afterwards
+    // is untouched by subsequent sweeps even at TTL zero.
+    const circuit::ParametricSystem sys = test_system();
+    const mor::LowRankPmorOptions ropts = small_reduction();
+    const CacheKey key = cache_key(sys, ropts);
+    (void)cache.get_or_build(key, [&] { return mor::lowrank_pmor(sys, ropts).model; });
+    cache.disk_store()->sweep();
+    EXPECT_TRUE(std::filesystem::exists(cache.disk_path(key)));
+}
+
+TEST(ModelCache, ManifestTracksTheDirectory) {
+    const circuit::ParametricSystem sys = test_system();
+    ModelCacheOptions copts;
+    copts.disk_dir = fresh_disk_dir("varmor_cache_manifest");
+    ModelCache cache(copts);
+
+    const mor::LowRankPmorOptions o1 = small_reduction();
+    mor::LowRankPmorOptions o2 = small_reduction();
+    o2.s_order = 4;
+    (void)cache.get_or_build(cache_key(sys, o1),
+                             [&] { return mor::lowrank_pmor(sys, o1).model; });
+    (void)cache.get_or_build(cache_key(sys, o2),
+                             [&] { return mor::lowrank_pmor(sys, o2).model; });
+
+    // The manifest is the directory's index: key-sorted, one line per
+    // artifact, refreshed after every store.
+    EXPECT_EQ(cache.disk_store()->manifest_keys(), rom_stems(copts.disk_dir));
+    EXPECT_EQ(cache.disk_store()->manifest_keys().size(), 2u);
+}
+
+TEST(ModelCache, DiskGcEvictsOldestAndUpdatesManifest) {
+    const circuit::ParametricSystem sys = test_system();
+    const mor::LowRankPmorOptions o1 = small_reduction();
+    mor::LowRankPmorOptions o2 = small_reduction();
+    o2.s_order = 4;
+
+    // Measure one artifact to size the capacity bound: k1 fits alone, k1+k2
+    // does not.
+    const std::string probe_dir = fresh_disk_dir("varmor_cache_gc_probe");
+    std::uintmax_t artifact_bytes = 0;
+    {
+        ModelCacheOptions copts;
+        copts.disk_dir = probe_dir;
+        ModelCache probe(copts);
+        (void)probe.get_or_build(cache_key(sys, o1),
+                                 [&] { return mor::lowrank_pmor(sys, o1).model; });
+        artifact_bytes = std::filesystem::file_size(probe.disk_path(cache_key(sys, o1)));
+    }
+
+    ModelCacheOptions copts;
+    copts.disk_dir = fresh_disk_dir("varmor_cache_gc");
+    copts.disk_capacity_bytes = artifact_bytes + 16;
+    ModelCache cache(copts);
+    const CacheKey k1 = cache_key(sys, o1), k2 = cache_key(sys, o2);
+
+    (void)cache.get_or_build(k1, [&] { return mor::lowrank_pmor(sys, o1).model; });
+    EXPECT_TRUE(std::filesystem::exists(cache.disk_path(k1)));  // fits alone
+
+    // k2 pushes the store over capacity: the GC removes the OLDEST artifact
+    // (k1) and never the one just written.
+    (void)cache.get_or_build(k2, [&] { return mor::lowrank_pmor(sys, o2).model; });
+    EXPECT_FALSE(std::filesystem::exists(cache.disk_path(k1)));
+    EXPECT_TRUE(std::filesystem::exists(cache.disk_path(k2)));
+    EXPECT_EQ(cache.disk_stats().gc_removed, 1);
+    EXPECT_EQ(cache.disk_store()->manifest_keys(),
+              std::vector<std::string>{k2.hex()});
+
+    // A GC-evicted key is a clean miss: it rebuilds (memory still holds it
+    // here, so evict that tier first to prove the disk path).
+    cache.evict_memory();
+    (void)cache.get_or_build(k1, [&] { return mor::lowrank_pmor(sys, o1).model; });
+    EXPECT_EQ(cache.stats().builds, 3);
+}
+
+TEST(ModelCache, SecondInstanceServesFromSharedDiskWithoutBuilding) {
+    const circuit::ParametricSystem sys = test_system();
+    const mor::LowRankPmorOptions ropts = small_reduction();
+    const CacheKey key = cache_key(sys, ropts);
+    const std::string dir = fresh_disk_dir("varmor_cache_shared_seq");
+
+    ModelCacheOptions copts;
+    copts.disk_dir = dir;
+    ModelCache first(copts);
+    const ModelCache::ModelPtr built = first.get_or_build(
+        key, [&] { return mor::lowrank_pmor(sys, ropts).model; });
+
+    // A second instance on the same directory — another process in spirit —
+    // must serve the key from the shared store with zero reduction work.
+    ModelCache second(copts);
+    const ModelCache::ModelPtr reloaded = second.get_or_build(
+        key, [&]() -> mor::ReducedModel {
+            ADD_FAILURE() << "second instance must reload, not rebuild";
+            return mor::lowrank_pmor(sys, ropts).model;
+        });
+    expect_bit_identical(*built, *reloaded);
+    EXPECT_EQ(second.stats().builds, 0);
+    EXPECT_EQ(second.stats().disk_hits, 1);
+}
+
+TEST(ModelCache, TwoInstancesOneDiskConcurrentBuildsUnderFaultsStayCoherent) {
+    using util::FaultInjector;
+    using util::ScopedFault;
+
+    const circuit::ParametricSystem sys = test_system();
+    const mor::LowRankPmorOptions o1 = small_reduction();
+    mor::LowRankPmorOptions o2 = small_reduction();
+    o2.s_order = 4;
+    const CacheKey k1 = cache_key(sys, o1), k2 = cache_key(sys, o2);
+    const mor::ReducedModel ref1 = mor::lowrank_pmor(sys, o1).model;
+    const mor::ReducedModel ref2 = mor::lowrank_pmor(sys, o2).model;
+
+    FaultInjector::instance().clear();
+    ModelCacheOptions copts;
+    copts.disk_dir = fresh_disk_dir("varmor_cache_shared_conc");
+    copts.retry.backoff_ms = 0.1;
+    ModelCache a(copts), b(copts);
+
+    // A transient disk-write fault in the middle of the stampede: the retry
+    // policy must absorb it without breaking any of the guarantees below.
+    ScopedFault flaky("model_cache.disk_write",
+                      FaultInjector::fail_first(1, "EIO once"));
+
+    std::atomic<int> built1{0}, built2{0};
+    auto build1 = [&] { ++built1; return mor::lowrank_pmor(sys, o1).model; };
+    auto build2 = [&] { ++built2; return mor::lowrank_pmor(sys, o2).model; };
+
+    std::vector<ModelCache::ModelPtr> out(8);
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 8; ++t)
+        clients.emplace_back([&, t] {
+            ModelCache& cache = (t % 2 == 0) ? a : b;
+            out[static_cast<std::size_t>(t)] =
+                (t < 4) ? cache.get_or_build(k1, build1)
+                        : cache.get_or_build(k2, build2);
+        });
+    for (std::thread& c : clients) c.join();
+
+    // No double builds: in-process single-flight dedups within an instance,
+    // the per-key file lock + re-probe dedups ACROSS instances — exactly one
+    // reduction per key, total, no matter who won.
+    EXPECT_EQ(built1.load(), 1);
+    EXPECT_EQ(built2.load(), 1);
+    EXPECT_EQ(a.stats().builds + b.stats().builds, 2);
+
+    // No corruption: every client of either instance got the reference bits.
+    for (int t = 0; t < 8; ++t) {
+        ASSERT_TRUE(out[static_cast<std::size_t>(t)] != nullptr);
+        expect_bit_identical(*out[static_cast<std::size_t>(t)],
+                             t < 4 ? ref1 : ref2);
+    }
+
+    // No manifest divergence: both instances' view of the shared index
+    // equals the directory itself, and no in-flight temp files survive.
+    const std::vector<std::string> on_disk = rom_stems(copts.disk_dir);
+    EXPECT_EQ(on_disk.size(), 2u);
+    EXPECT_EQ(a.disk_store()->manifest_keys(), on_disk);
+    EXPECT_EQ(b.disk_store()->manifest_keys(), on_disk);
+    EXPECT_EQ(count_tmp_files(copts.disk_dir), 0);
+    FaultInjector::instance().clear();
 }
 
 TEST(ModelCache, LookupProbesWithoutBuilding) {
