@@ -89,12 +89,12 @@ std::shared_ptr<const mor::ReducedModel> DiskStore::load(const std::string& key_
             // same on every retry, so a verify failure is a MISS (rebuild),
             // never a retry and never a crash.
             if (meta.content_hash != mor::model_content_hash(*model)) {
-                std::lock_guard<std::mutex> lock(stats_mutex_);
+                util::MutexLock lock(stats_mutex_);
                 ++stats_.load_failures;
                 return nullptr;
             }
             {
-                std::lock_guard<std::mutex> lock(stats_mutex_);
+                util::MutexLock lock(stats_mutex_);
                 ++stats_.loads;
             }
             return model;
@@ -104,7 +104,7 @@ std::shared_ptr<const mor::ReducedModel> DiskStore::load(const std::string& key_
             // line can surface as bad_alloc/length_error from the matrix
             // allocation, and that too must end as a rebuild, never a crash
             // in the serving path.
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            util::MutexLock lock(stats_mutex_);
             if (attempt == opts_.retry.attempts) {
                 ++stats_.load_failures;
                 return nullptr;
@@ -137,7 +137,7 @@ bool DiskStore::store(const std::string& key_hex, const mor::ReducedModel& model
         } catch (const std::exception&) {
             std::error_code ec;
             fs::remove(tmp, ec);  // this attempt's leftovers, best-effort
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            util::MutexLock lock(stats_mutex_);
             if (attempt == opts_.retry.attempts) {
                 ++stats_.store_failures;
             } else {
@@ -149,7 +149,7 @@ bool DiskStore::store(const std::string& key_hex, const mor::ReducedModel& model
     }
     if (persisted) {
         {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            util::MutexLock lock(stats_mutex_);
             ++stats_.stores;
         }
         util::FileLock store_lock =
@@ -184,7 +184,7 @@ void DiskStore::maintain_locked(const std::string& just_written_hex) {
             if (file_age_seconds(p, age_ec) >= opts_.tmp_ttl_seconds && !age_ec) {
                 std::error_code rm_ec;
                 if (fs::remove(p, rm_ec)) {
-                    std::lock_guard<std::mutex> lock(stats_mutex_);
+                    util::MutexLock lock(stats_mutex_);
                     ++stats_.tmp_removed;
                 }
             }
@@ -222,7 +222,7 @@ void DiskStore::maintain_locked(const std::string& just_written_hex) {
             std::error_code rm_ec;
             if (fs::remove(a.path, rm_ec)) {
                 total -= a.bytes;
-                std::lock_guard<std::mutex> lock(stats_mutex_);
+                util::MutexLock lock(stats_mutex_);
                 ++stats_.gc_removed;
             } else {
                 kept.push_back(std::move(a));
@@ -273,7 +273,7 @@ std::vector<std::string> DiskStore::manifest_keys() const {
 }
 
 DiskStoreStats DiskStore::stats() const {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     return stats_;
 }
 

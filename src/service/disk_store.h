@@ -2,12 +2,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "mor/reduced_model.h"
 #include "util/file_lock.h"
+#include "util/thread_annotations.h"
 
 namespace varmor::service {
 
@@ -98,18 +98,19 @@ public:
     /// manifest does not exist yet.
     std::vector<std::string> manifest_keys() const;
 
-    DiskStoreStats stats() const;
+    DiskStoreStats stats() const EXCLUDES(stats_mutex_);
 
 private:
     std::string lock_path(const std::string& key_hex) const;
 
     /// Manifest rewrite + size GC + stale-tmp sweep. Caller holds the
-    /// store-wide file lock.
-    void maintain_locked(const std::string& just_written_hex);
+    /// store-wide FILE lock (cross-process; invisible to the static
+    /// analysis) — stats_mutex_ is taken briefly per counter bump inside.
+    void maintain_locked(const std::string& just_written_hex) EXCLUDES(stats_mutex_);
 
     DiskStoreOptions opts_;
-    mutable std::mutex stats_mutex_;
-    DiskStoreStats stats_;
+    mutable util::Mutex stats_mutex_;
+    DiskStoreStats stats_ GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace varmor::service

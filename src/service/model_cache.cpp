@@ -93,13 +93,13 @@ void ModelCache::insert_locked(const CacheKey& key, ModelPtr model) {
 
 ModelCache::ModelPtr ModelCache::lookup(const CacheKey& key) {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         if (ModelPtr m = memory_lookup_locked(key)) return m;
     }
     if (!disk_) return nullptr;
     ModelPtr m = disk_->load(key.hex());
     if (m) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         ++stats_.disk_hits;
         insert_locked(key, m);
     }
@@ -107,14 +107,14 @@ ModelCache::ModelPtr ModelCache::lookup(const CacheKey& key) {
 }
 
 bool ModelCache::poisoned(const CacheKey& key) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = poisoned_.find(key.value);
     return it != poisoned_.end() &&
            util::Deadline::clock::now() < it->second.expiry;
 }
 
 void ModelCache::record_build_failure(const CacheKey& key, std::exception_ptr error) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     const int failures = ++consecutive_failures_[key.value];
     if (failures >= opts_.poison_after) {
         poisoned_[key.value] =
@@ -134,7 +134,7 @@ ModelCache::ModelPtr ModelCache::build_miss(const CacheKey& key, const Builder& 
     // since our memory miss.
     if (disk_) {
         if (ModelPtr m = disk_->load(hex)) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            util::MutexLock lock(mutex_);
             ++stats_.disk_hits;
             consecutive_failures_.erase(key.value);
             insert_locked(key, m);
@@ -150,7 +150,7 @@ ModelCache::ModelPtr ModelCache::build_miss(const CacheKey& key, const Builder& 
     if (disk_) {
         build_lock = disk_->lock_key(hex);
         if (ModelPtr m = disk_->load(hex)) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            util::MutexLock lock(mutex_);
             ++stats_.disk_hits;
             consecutive_failures_.erase(key.value);
             insert_locked(key, m);
@@ -168,7 +168,7 @@ ModelCache::ModelPtr ModelCache::build_miss(const CacheKey& key, const Builder& 
     }
 
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         ++stats_.builds;
         consecutive_failures_.erase(key.value);
         poisoned_.erase(key.value);
@@ -184,7 +184,7 @@ ModelCache::ModelPtr ModelCache::build_miss(const CacheKey& key, const Builder& 
 ModelCache::ModelPtr ModelCache::get_or_build(const CacheKey& key, const Builder& build,
                                               const util::Deadline& deadline) {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         if (ModelPtr m = memory_lookup_locked(key)) return m;
         // Negative cache: a key whose builder keeps failing fails FAST (the
         // stored failure, rethrown) instead of re-running the builder on
@@ -206,19 +206,19 @@ ModelCache::ModelPtr ModelCache::get_or_build(const CacheKey& key, const Builder
 }
 
 void ModelCache::evict_memory() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     stats_.evictions += static_cast<long>(lru_.size());
     lru_.clear();
     index_.clear();
 }
 
 int ModelCache::memory_size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return static_cast<int>(lru_.size());
 }
 
 ModelCacheStats ModelCache::stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return stats_;
 }
 

@@ -5,7 +5,6 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -15,6 +14,7 @@
 #include "service/disk_store.h"
 #include "util/deadline.h"
 #include "util/single_flight.h"
+#include "util/thread_annotations.h"
 
 namespace varmor::service {
 
@@ -118,17 +118,17 @@ public:
     /// `deadline` bounds how long this call waits on someone ELSE's in-flight
     /// build (DeadlineExceeded); the build itself always runs to completion.
     ModelPtr get_or_build(const CacheKey& key, const Builder& build,
-                          const util::Deadline& deadline = {});
+                          const util::Deadline& deadline = {}) EXCLUDES(mutex_);
 
     /// Probe without building: memory then disk; nullptr on a true miss.
-    ModelPtr lookup(const CacheKey& key);
+    ModelPtr lookup(const CacheKey& key) EXCLUDES(mutex_);
 
     /// True while `key` is negative-cached after repeated build failures.
-    bool poisoned(const CacheKey& key) const;
+    bool poisoned(const CacheKey& key) const EXCLUDES(mutex_);
 
     /// Drops the whole memory tier (the disk tier keeps every built model).
     /// Test/ops hook for exercising eviction + reload paths.
-    void evict_memory();
+    void evict_memory() EXCLUDES(mutex_);
 
     /// Path a model with this key is (or would be) persisted under; empty
     /// when no disk tier is configured.
@@ -141,8 +141,8 @@ public:
     /// Disk-tier counters (zeros when memory-only).
     DiskStoreStats disk_stats() const;
 
-    int memory_size() const;
-    ModelCacheStats stats() const;
+    int memory_size() const EXCLUDES(mutex_);
+    ModelCacheStats stats() const EXCLUDES(mutex_);
 
 private:
     struct Entry {
@@ -156,28 +156,32 @@ private:
         util::Deadline::clock::time_point expiry;
     };
 
-    /// Memory-tier probe + LRU bump. Caller holds mutex_.
-    ModelPtr memory_lookup_locked(const CacheKey& key);
+    /// Memory-tier probe + LRU bump.
+    ModelPtr memory_lookup_locked(const CacheKey& key) REQUIRES(mutex_);
 
-    /// Insert at the LRU front, evicting past capacity. Caller holds mutex_.
-    void insert_locked(const CacheKey& key, ModelPtr model);
+    /// Insert at the LRU front, evicting past capacity.
+    void insert_locked(const CacheKey& key, ModelPtr model) REQUIRES(mutex_);
 
     /// The single-flight winner's miss path: disk probe → cross-process
-    /// lock → re-probe → build → insert + persist.
-    ModelPtr build_miss(const CacheKey& key, const Builder& build);
+    /// lock → re-probe → build → insert + persist. EXCLUDES(mutex_) is the
+    /// build-outside-the-lock contract: the builder and every disk IO run
+    /// with the cache lock released; it is taken only around tier updates.
+    ModelPtr build_miss(const CacheKey& key, const Builder& build) EXCLUDES(mutex_);
 
     /// Records a builder failure; poisons the key past the threshold.
-    void record_build_failure(const CacheKey& key, std::exception_ptr error);
+    void record_build_failure(const CacheKey& key, std::exception_ptr error)
+        EXCLUDES(mutex_);
 
     ModelCacheOptions opts_;
     std::unique_ptr<DiskStore> disk_;  ///< null when memory-only
     util::SingleFlight<std::uint64_t, ModelPtr> flight_;
-    mutable std::mutex mutex_;
-    std::list<Entry> lru_;  ///< front = most recently used
-    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
-    std::unordered_map<std::uint64_t, Poison> poisoned_;
-    std::unordered_map<std::uint64_t, int> consecutive_failures_;
-    ModelCacheStats stats_;
+    mutable util::Mutex mutex_;
+    std::list<Entry> lru_ GUARDED_BY(mutex_);  ///< front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_
+        GUARDED_BY(mutex_);
+    std::unordered_map<std::uint64_t, Poison> poisoned_ GUARDED_BY(mutex_);
+    std::unordered_map<std::uint64_t, int> consecutive_failures_ GUARDED_BY(mutex_);
+    ModelCacheStats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace varmor::service

@@ -97,7 +97,7 @@ QueryBatcher::~QueryBatcher() { close(); }
 
 void QueryBatcher::close() {
     queue_.close();  // flusher drains the tail, then exits
-    std::lock_guard<std::mutex> lock(close_mutex_);
+    util::MutexLock lock(close_mutex_);
     if (flusher_.joinable()) flusher_.join();
 }
 
@@ -106,7 +106,7 @@ std::future<ResultT> QueryBatcher::admit(ItemT item) {
     std::future<ResultT> out = item.result.get_future();
     if (item.deadline.expired()) {
         {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            util::MutexLock lock(stats_mutex_);
             ++stats_.expired;
         }
         item.result.set_exception(std::make_exception_ptr(DeadlineExceeded(
@@ -123,7 +123,7 @@ std::future<ResultT> QueryBatcher::admit(ItemT item) {
             break;
         case util::PushStatus::kFull: {
             {
-                std::lock_guard<std::mutex> lock(stats_mutex_);
+                util::MutexLock lock(stats_mutex_);
                 ++stats_.shed;
             }
             std::get<ItemT>(wrapped).result.set_exception(std::make_exception_ptr(
@@ -134,7 +134,7 @@ std::future<ResultT> QueryBatcher::admit(ItemT item) {
         }
         case util::PushStatus::kClosed: {
             {
-                std::lock_guard<std::mutex> lock(stats_mutex_);
+                util::MutexLock lock(stats_mutex_);
                 ++stats_.rejected_closed;
             }
             std::get<ItemT>(wrapped).result.set_exception(std::make_exception_ptr(
@@ -174,7 +174,7 @@ void QueryBatcher::flush() {
 }
 
 QueryBatcherStats QueryBatcher::stats() const {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     return stats_;
 }
 
@@ -212,7 +212,7 @@ void QueryBatcher::flusher_loop() {
                 // a stats() read right after this future resolves must
                 // already see the expiry.
                 {
-                    std::lock_guard<std::mutex> lock(stats_mutex_);
+                    util::MutexLock lock(stats_mutex_);
                     ++stats_.expired;
                 }
                 const auto error = std::make_exception_ptr(DeadlineExceeded(
@@ -257,7 +257,7 @@ void QueryBatcher::flusher_loop() {
         // future resolves (or after flush() returns) must already see the
         // batch that produced it.
         {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            util::MutexLock lock(stats_mutex_);
             stats_.queries += nqueries;
             ++stats_.batches;
             stats_.largest_batch = std::max(stats_.largest_batch, nqueries);
@@ -276,7 +276,7 @@ void QueryBatcher::flusher_loop() {
             for (TransferItem& item : transfers) try_fail(item.result, error);
             for (DelayItem& item : delays) try_fail(item.result, error);
             for (PoleItem& item : poles) try_fail(item.result, error);
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            util::MutexLock lock(stats_mutex_);
             ++stats_.flush_failures;
         }
         for (FlushItem& ack : acks) ack.done.set_value();
@@ -301,7 +301,7 @@ void QueryBatcher::execute(std::vector<TransferItem>& transfers,
     if (!transfers.empty()) {
         auto groups = group_by_point(transfers);
         {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            util::MutexLock lock(stats_mutex_);
             stats_.transfer_queries += static_cast<long>(transfers.size());
             stats_.transfer_groups += static_cast<long>(groups.size());
         }

@@ -3,7 +3,6 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <variant>
@@ -16,6 +15,7 @@
 #include "service/errors.h"
 #include "util/deadline.h"
 #include "util/mpmc_queue.h"
+#include "util/thread_annotations.h"
 
 namespace varmor::service {
 
@@ -157,7 +157,7 @@ public:
     bool degraded() const { return engine_ == nullptr; }
 
     const QueryBatcherOptions& options() const { return opts_; }
-    QueryBatcherStats stats() const;
+    QueryBatcherStats stats() const EXCLUDES(stats_mutex_);
 
 private:
     struct TransferItem {
@@ -200,10 +200,12 @@ private:
     QueryBatcherOptions opts_;
 
     util::MpmcQueue<Item> queue_;
-    mutable std::mutex stats_mutex_;
-    QueryBatcherStats stats_;
-    std::mutex close_mutex_;  ///< serializes close() callers around the join
-    std::thread flusher_;     ///< last member: joins before the rest tears down
+    mutable util::Mutex stats_mutex_;
+    QueryBatcherStats stats_ GUARDED_BY(stats_mutex_);
+    util::Mutex close_mutex_;  ///< serializes close() callers around the join
+    /// Written once in the constructor; joined under close_mutex_ — never
+    /// touched concurrently outside that, so deliberately unguarded.
+    std::thread flusher_;  ///< last member: joins before the rest tears down
 };
 
 }  // namespace varmor::service

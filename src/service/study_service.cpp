@@ -116,7 +116,7 @@ StudyService::~StudyService() = default;
 StudySession& StudyService::open(const circuit::ParametricSystem& sys) {
     const CacheKey key = cache_key(sys, opts_.reduction);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         auto it = sessions_.find(key.value);
         // A healthy session — or a degraded one whose key is still poisoned
         // (rebuilding now would just fail fast again) — is final. A degraded
@@ -132,7 +132,7 @@ StudySession& StudyService::open(const circuit::ParametricSystem& sys) {
     // builders).
     return *opening_.run(key.value, [&]() -> StudySession* {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            util::MutexLock lock(mutex_);
             auto it = sessions_.find(key.value);
             if (it != sessions_.end() &&
                 (!it->second->degraded() || cache_->poisoned(key)))
@@ -140,7 +140,7 @@ StudySession& StudyService::open(const circuit::ParametricSystem& sys) {
         }
         auto session = std::unique_ptr<StudySession>(
             new StudySession(sys, key, *cache_, opts_));
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         auto it = sessions_.find(key.value);
         if (it != sessions_.end()) {
             // Healed replacement: clients may hold references into the old
@@ -156,12 +156,12 @@ StudySession& StudyService::open(const circuit::ParametricSystem& sys) {
 }
 
 int StudyService::num_sessions() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return static_cast<int>(sessions_.size());
 }
 
 void StudyService::flush_all() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (auto& entry : sessions_) entry.second->flush();
     for (auto& session : retired_) session->flush();
 }

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -11,6 +10,7 @@
 #include "service/model_cache.h"
 #include "service/query_batcher.h"
 #include "util/single_flight.h"
+#include "util/thread_annotations.h"
 
 namespace varmor::service {
 
@@ -149,25 +149,26 @@ public:
     /// healed (poison expired, build succeeds again) constructs a fresh
     /// full session and retires the degraded one — existing references stay
     /// valid for the service's lifetime and keep serving degraded.
-    StudySession& open(const circuit::ParametricSystem& sys);
+    StudySession& open(const circuit::ParametricSystem& sys) EXCLUDES(mutex_);
 
     ModelCache& cache() { return *cache_; }
     const ModelCache& cache() const { return *cache_; }
     const StudyServiceOptions& options() const { return opts_; }
 
-    int num_sessions() const;
+    int num_sessions() const EXCLUDES(mutex_);
 
     /// Flushes every session's pending queries (retired ones included).
-    void flush_all();
+    void flush_all() EXCLUDES(mutex_);
 
 private:
     ModelCache* cache_;
     StudyServiceOptions opts_;
-    mutable std::mutex mutex_;
-    std::unordered_map<std::uint64_t, std::unique_ptr<StudySession>> sessions_;
+    mutable util::Mutex mutex_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<StudySession>> sessions_
+        GUARDED_BY(mutex_);
     /// Sessions replaced after healing from degraded mode: kept alive (and
     /// flushable) because clients may still hold references into them.
-    std::vector<std::unique_ptr<StudySession>> retired_;
+    std::vector<std::unique_ptr<StudySession>> retired_ GUARDED_BY(mutex_);
     /// In-flight session constructions: concurrent opens of one system
     /// coalesce; opens of other systems proceed in parallel.
     util::SingleFlight<std::uint64_t, StudySession*> opening_;

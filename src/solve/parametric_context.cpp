@@ -23,7 +23,7 @@ ParametricSolveContext::ParametricSolveContext(const circuit::ParametricSystem& 
 }
 
 const sparse::SpluSymbolic& ParametricSolveContext::g_symbolic() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (!g_ready_) {
         const sparse::Csc gs = stamper_.g_skeleton();
         g_symbolic_ = sparse::SpluSymbolic::analyze(gs);
@@ -34,7 +34,7 @@ const sparse::SpluSymbolic& ParametricSolveContext::g_symbolic() const {
 }
 
 const sparse::SpluSymbolic& ParametricSolveContext::g0_symbolic() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (!g0_ready_) {
         g0_symbolic_ = sparse::SpluSymbolic::analyze(sys_.g0);
         ++symbolic_analyses_;
@@ -44,7 +44,7 @@ const sparse::SpluSymbolic& ParametricSolveContext::g0_symbolic() const {
 }
 
 const sparse::SpluSymbolic& ParametricSolveContext::pencil_symbolic() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (!pencil_ready_) {
         pencil_symbolic_ = sparse::SpluSymbolic::analyze(
             sys_.size(), pencil_pattern_.col_ptr, pencil_pattern_.row_idx);
@@ -55,7 +55,7 @@ const sparse::SpluSymbolic& ParametricSolveContext::pencil_symbolic() const {
 }
 
 long ParametricSolveContext::symbolic_analyses() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return symbolic_analyses_;
 }
 
@@ -170,7 +170,7 @@ std::shared_ptr<const TrapezoidBatch> TrapezoidBatchCache::lookup_locked(double 
 
 std::shared_ptr<const TrapezoidBatch> TrapezoidBatchCache::get(double dt) {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         if (auto batch = lookup_locked(dt)) return batch;
     }
     // Miss: single-flight per dt, with the construction (nominal stamping +
@@ -182,12 +182,12 @@ std::shared_ptr<const TrapezoidBatch> TrapezoidBatchCache::get(double dt) {
     // studies).
     return flight_.run(dt, [&]() -> std::shared_ptr<const TrapezoidBatch> {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            util::MutexLock lock(mutex_);
             if (auto batch = lookup_locked(dt)) return batch;  // raced a done flight
         }
         VARMOR_FAULT_POINT_DETAIL("trapezoid_cache.build", std::to_string(dt));
         auto batch = std::make_shared<const TrapezoidBatch>(*ctx_, dt);
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         ++builds_;
         entries_.emplace_back(dt, batch);
         if (static_cast<int>(entries_.size()) > capacity_)
@@ -197,7 +197,7 @@ std::shared_ptr<const TrapezoidBatch> TrapezoidBatchCache::get(double dt) {
 }
 
 long TrapezoidBatchCache::builds() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return builds_;
 }
 

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -13,6 +12,7 @@
 #include "sparse/splu.h"
 #include "util/check.h"
 #include "util/single_flight.h"
+#include "util/thread_annotations.h"
 
 namespace varmor::solve {
 
@@ -63,7 +63,7 @@ public:
     int num_params() const { return sys_.num_params(); }
 
     /// Symbolic analysis of the G(p) union pattern (lazily built, cached).
-    const sparse::SpluSymbolic& g_symbolic() const;
+    const sparse::SpluSymbolic& g_symbolic() const EXCLUDES(mutex_);
 
     /// Symbolic analysis of the NOMINAL matrix g0's own pattern (lazily
     /// built, cached). This differs from g_symbolic(): g0's pattern excludes
@@ -72,15 +72,15 @@ public:
     /// uses — sharing it keeps repeated ROM builds on one context (e.g.
     /// model-cache misses in the serving layer) from re-running the
     /// analysis, bit-identical to an uncached build.
-    const sparse::SpluSymbolic& g0_symbolic() const;
+    const sparse::SpluSymbolic& g0_symbolic() const EXCLUDES(mutex_);
 
     /// Symbolic analysis of the full union(G, C) pattern; serves the complex
     /// sweep pencil and the real trapezoid pencils (lazily built, cached).
-    const sparse::SpluSymbolic& pencil_symbolic() const;
+    const sparse::SpluSymbolic& pencil_symbolic() const EXCLUDES(mutex_);
 
     /// Number of symbolic analyses this context has run so far — the test
     /// hook behind the facade's "N studies, one analysis" contract.
-    long symbolic_analyses() const;
+    long symbolic_analyses() const EXCLUDES(mutex_);
 
     /// The full union(G, C) pattern (sorted CSC arrays) that pencil_symbolic
     /// analyzes; trapezoid and sweep-pencil assemblers must carry exactly
@@ -111,10 +111,18 @@ private:
     circuit::ParametricStamper stamper_;
     sparse::detail::UnionPattern pencil_pattern_;
 
-    mutable std::mutex mutex_;
-    mutable sparse::SpluSymbolic g_symbolic_, g0_symbolic_, pencil_symbolic_;
-    mutable bool g_ready_ = false, g0_ready_ = false, pencil_ready_ = false;
-    mutable long symbolic_analyses_ = 0;
+    mutable util::Mutex mutex_;
+    // The lazy symbolic state. Note the getters return const& into these
+    // AFTER releasing the lock — safe because a ready analysis is immutable
+    // (write-once), but beyond what the static analysis can model, so the
+    // references escape unannotated by design.
+    mutable sparse::SpluSymbolic g_symbolic_ GUARDED_BY(mutex_);
+    mutable sparse::SpluSymbolic g0_symbolic_ GUARDED_BY(mutex_);
+    mutable sparse::SpluSymbolic pencil_symbolic_ GUARDED_BY(mutex_);
+    mutable bool g_ready_ GUARDED_BY(mutex_) = false;
+    mutable bool g0_ready_ GUARDED_BY(mutex_) = false;
+    mutable bool pencil_ready_ GUARDED_BY(mutex_) = false;
+    mutable long symbolic_analyses_ GUARDED_BY(mutex_) = 0;
 };
 
 /// Frequency-sweep batch at a fixed parameter point p: the complex pencil
@@ -218,23 +226,26 @@ public:
     const ParametricSolveContext& context() const { return *ctx_; }
 
     /// The cached pencil for this exact dt, building it on first request.
-    std::shared_ptr<const TrapezoidBatch> get(double dt);
+    /// EXCLUDES(mutex_) is the build-outside-the-lock contract: the miss
+    /// path constructs the batch with the cache lock released.
+    std::shared_ptr<const TrapezoidBatch> get(double dt) EXCLUDES(mutex_);
 
     /// Number of pencils actually constructed (the cache-effectiveness test
     /// hook: repeated studies with shared step sizes keep this flat).
-    long builds() const;
+    long builds() const EXCLUDES(mutex_);
 
 private:
-    /// Probe + MRU rotate. Caller holds mutex_.
-    std::shared_ptr<const TrapezoidBatch> lookup_locked(double dt);
+    /// Probe + MRU rotate.
+    std::shared_ptr<const TrapezoidBatch> lookup_locked(double dt) REQUIRES(mutex_);
 
     const ParametricSolveContext* ctx_;
     int capacity_ = kDefaultCapacity;
-    mutable std::mutex mutex_;
+    mutable util::Mutex mutex_;
     /// Most recently used last; evicted from the front past capacity.
-    std::vector<std::pair<double, std::shared_ptr<const TrapezoidBatch>>> entries_;
+    std::vector<std::pair<double, std::shared_ptr<const TrapezoidBatch>>> entries_
+        GUARDED_BY(mutex_);
     util::SingleFlight<double, std::shared_ptr<const TrapezoidBatch>> flight_;
-    long builds_ = 0;
+    long builds_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace varmor::solve

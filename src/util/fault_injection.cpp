@@ -16,7 +16,7 @@ FaultInjector& FaultInjector::instance() {
 
 void FaultInjector::arm(const std::string& point, Handler handler) {
     check(static_cast<bool>(handler), "FaultInjector: empty handler");
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (handlers_.emplace(point, handler).second)
         armed_points_.fetch_add(1, std::memory_order_relaxed);
     else
@@ -24,13 +24,13 @@ void FaultInjector::arm(const std::string& point, Handler handler) {
 }
 
 void FaultInjector::disarm(const std::string& point) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (handlers_.erase(point) > 0)
         armed_points_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void FaultInjector::clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     armed_points_.fetch_sub(static_cast<int>(handlers_.size()),
                             std::memory_order_relaxed);
     handlers_.clear();
@@ -38,7 +38,7 @@ void FaultInjector::clear() {
 }
 
 long FaultInjector::hits(const std::string& point) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = hits_.find(point);
     return it == hits_.end() ? 0 : it->second;
 }
@@ -46,7 +46,7 @@ long FaultInjector::hits(const std::string& point) const {
 void FaultInjector::fire(const std::string& point, const std::string& detail) {
     Handler handler;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         ++hits_[point];
         auto it = handlers_.find(point);
         if (it != handlers_.end()) handler = it->second;

@@ -2,11 +2,11 @@
 
 #include <atomic>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "util/check.h"
+#include "util/thread_annotations.h"
 
 namespace varmor::util {
 
@@ -51,20 +51,22 @@ public:
     }
 
     /// Arms (or replaces) the handler at `point`.
-    void arm(const std::string& point, Handler handler);
+    void arm(const std::string& point, Handler handler) EXCLUDES(mutex_);
 
     /// Removes the handler at `point` (no-op when none is armed).
-    void disarm(const std::string& point);
+    void disarm(const std::string& point) EXCLUDES(mutex_);
 
     /// Disarms every point and resets the hit counters.
-    void clear();
+    void clear() EXCLUDES(mutex_);
 
     /// Times `point` was reached while the injector was armed.
-    long hits(const std::string& point) const;
+    long hits(const std::string& point) const EXCLUDES(mutex_);
 
     /// Called by VARMOR_FAULT_POINT. Records the hit and invokes the armed
-    /// handler, whose exception (if any) propagates to the call site.
-    void fire(const std::string& point, const std::string& detail);
+    /// handler, whose exception (if any) propagates to the call site. The
+    /// handler itself runs OUTSIDE the registry lock (EXCLUDES) so it may
+    /// arm/disarm points — including itself — without deadlocking.
+    void fire(const std::string& point, const std::string& detail) EXCLUDES(mutex_);
 
     // -----------------------------------------------------------------
     // Canned handlers for the common test shapes.
@@ -87,9 +89,9 @@ public:
 private:
     FaultInjector() = default;
 
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string, Handler> handlers_;
-    std::unordered_map<std::string, long> hits_;
+    mutable Mutex mutex_;
+    std::unordered_map<std::string, Handler> handlers_ GUARDED_BY(mutex_);
+    std::unordered_map<std::string, long> hits_ GUARDED_BY(mutex_);
     static std::atomic<int> armed_points_;
 };
 

@@ -1,14 +1,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "util/check.h"
+#include "util/thread_annotations.h"
 
 namespace varmor::util {
 
@@ -49,9 +48,9 @@ public:
     /// kFull/kClosed the caller keeps it, promise and all, to fail cleanly).
     /// `force` bypasses the capacity bound but not close() — for control
     /// markers (flush acks) that must never be shed by admission control.
-    PushStatus try_push(T& item, bool force = false) {
+    PushStatus try_push(T& item, bool force = false) EXCLUDES(mutex_) {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (closed_) return PushStatus::kClosed;
             if (!force && capacity_ != 0 && items_.size() >= capacity_)
                 return PushStatus::kFull;
@@ -64,7 +63,7 @@ public:
     /// Throwing convenience enqueue (varmor::Error on a closed or full
     /// queue). Serving paths use try_push — a client must get a failed
     /// future, not an exception out of submit.
-    void push(T item) {
+    void push(T item) EXCLUDES(mutex_) {
         switch (try_push(item)) {
             case PushStatus::kOk:
                 return;
@@ -77,15 +76,15 @@ public:
 
     /// Blocks until an item is available (returns it) or the queue is closed
     /// AND drained (returns std::nullopt).
-    std::optional<T> pop() {
-        std::unique_lock<std::mutex> lock(mutex_);
-        ready_.wait(lock, [&] { return !items_.empty() || closed_; });
+    std::optional<T> pop() EXCLUDES(mutex_) {
+        MutexLock lock(mutex_);
+        while (items_.empty() && !closed_) ready_.wait(mutex_);
         return take_locked();
     }
 
     /// Non-blocking pop.
-    std::optional<T> try_pop() {
-        std::lock_guard<std::mutex> lock(mutex_);
+    std::optional<T> try_pop() EXCLUDES(mutex_) {
+        MutexLock lock(mutex_);
         if (items_.empty()) return std::nullopt;
         return take_unchecked();
     }
@@ -94,51 +93,55 @@ public:
     /// is closed and drained. std::nullopt means "no item by the deadline" —
     /// the batcher's cue to flush what it has collected so far.
     template <class Clock, class Duration>
-    std::optional<T> pop_until(const std::chrono::time_point<Clock, Duration>& deadline) {
-        std::unique_lock<std::mutex> lock(mutex_);
-        ready_.wait_until(lock, deadline, [&] { return !items_.empty() || closed_; });
+    std::optional<T> pop_until(const std::chrono::time_point<Clock, Duration>& deadline)
+        EXCLUDES(mutex_) {
+        MutexLock lock(mutex_);
+        while (items_.empty() && !closed_) {
+            if (ready_.wait_until(mutex_, deadline) == std::cv_status::timeout)
+                break;  // take_locked re-checks: an item may have landed
+                        // exactly at the deadline
+        }
         return take_locked();
     }
 
     /// Ends the stream (idempotent); wakes every blocked consumer.
-    void close() {
+    void close() EXCLUDES(mutex_) {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             closed_ = true;
         }
         ready_.notify_all();
     }
 
-    bool closed() const {
-        std::lock_guard<std::mutex> lock(mutex_);
+    bool closed() const EXCLUDES(mutex_) {
+        MutexLock lock(mutex_);
         return closed_;
     }
 
-    std::size_t size() const {
-        std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t size() const EXCLUDES(mutex_) {
+        MutexLock lock(mutex_);
         return items_.size();
     }
 
     std::size_t capacity() const { return capacity_; }
 
 private:
-    // Callers hold mutex_.
-    std::optional<T> take_locked() {
+    std::optional<T> take_locked() REQUIRES(mutex_) {
         if (items_.empty()) return std::nullopt;  // woken by close()
         return take_unchecked();
     }
 
-    std::optional<T> take_unchecked() {
+    std::optional<T> take_unchecked() REQUIRES(mutex_) {
         std::optional<T> out(std::move(items_.front()));
         items_.pop_front();
         return out;
     }
 
     std::size_t capacity_ = 0;
-    mutable std::mutex mutex_;
-    std::condition_variable ready_;
-    std::deque<T> items_;
-    bool closed_ = false;
+    mutable Mutex mutex_;
+    CondVar ready_;
+    std::deque<T> items_ GUARDED_BY(mutex_);
+    bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace varmor::util

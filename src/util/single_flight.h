@@ -2,11 +2,11 @@
 
 #include <functional>
 #include <future>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "util/deadline.h"
+#include "util/thread_annotations.h"
 
 namespace varmor::util {
 
@@ -42,12 +42,16 @@ public:
     SingleFlight(const SingleFlight&) = delete;
     SingleFlight& operator=(const SingleFlight&) = delete;
 
+    /// EXCLUDES(mutex_) is the build-outside-the-lock contract in attribute
+    /// form: the builder (and every wait on the winner's future) runs with
+    /// the registry lock RELEASED — the lock is held only for the in-flight
+    /// map bookkeeping around it.
     Value run(const Key& key, const Builder& build,
-              const Deadline& deadline = {}) {
+              const Deadline& deadline = {}) EXCLUDES(mutex_) {
         std::shared_future<Value> wait_on;
         std::promise<Value> promise;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             auto it = inflight_.find(key);
             if (it != inflight_.end()) {
                 wait_on = it->second;
@@ -67,14 +71,14 @@ public:
         try {
             Value value = build();
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                MutexLock lock(mutex_);
                 inflight_.erase(key);
             }
             promise.set_value(value);
             return value;
         } catch (...) {
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                MutexLock lock(mutex_);
                 inflight_.erase(key);
             }
             promise.set_exception(std::current_exception());
@@ -83,14 +87,14 @@ public:
     }
 
     /// Number of builds currently in flight (test hook).
-    int in_flight() const {
-        std::lock_guard<std::mutex> lock(mutex_);
+    int in_flight() const EXCLUDES(mutex_) {
+        MutexLock lock(mutex_);
         return static_cast<int>(inflight_.size());
     }
 
 private:
-    mutable std::mutex mutex_;
-    std::unordered_map<Key, std::shared_future<Value>> inflight_;
+    mutable Mutex mutex_;
+    std::unordered_map<Key, std::shared_future<Value>> inflight_ GUARDED_BY(mutex_);
 };
 
 }  // namespace varmor::util

@@ -1,0 +1,188 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Clang Thread Safety Analysis — the compile-time half of varmor's
+// concurrency-correctness story.
+//
+// The serving stack (ModelCache, QueryBatcher, StudyService, DiskStore,
+// SingleFlight, MpmcQueue, TrapezoidBatchCache, ThreadPool, FaultInjector) is
+// lock-based concurrency protecting the invariants batched-pMOR serving
+// depends on: one build per key, bitwise-identical coalescing, shared
+// immutable symbolic state. TSan checks those locks dynamically, on the
+// interleavings a test run happens to see; the attribute macros below let
+// clang prove the lock discipline on EVERY path at compile time
+// (-Wthread-safety, promoted to -Werror=thread-safety in CI's
+// static-analysis job). On GCC every macro expands to nothing, so the
+// annotated code is plain C++17 there.
+//
+// Conventions (enforced by tools/varmor_lint.py):
+//  - No naked std::mutex / std::condition_variable / std::lock_guard /
+//    std::unique_lock outside this header. Concurrent code uses the
+//    annotated util::Mutex / util::MutexLock / util::CondVar wrappers.
+//  - Every field a mutex protects carries GUARDED_BY(mutex_).
+//  - Every method that must be called with the lock held carries
+//    REQUIRES(mutex_) (project convention: such methods are also named
+//    *_locked).
+//  - Public methods that take the lock themselves carry EXCLUDES(mutex_);
+//    this is also how the deliberate build-OUTSIDE-the-lock pattern
+//    (ModelCache::build_miss, TrapezoidBatchCache::get, StudyService::open)
+//    is encoded: the analysis rejects a caller that would hold the cache
+//    lock across a build.
+//  - Accessors handing out a lock use RETURN_CAPABILITY so callers' scoped
+//    locks resolve to the right capability.
+//
+// NOTE on the standard library: with libstdc++ (every CI configuration)
+// std::mutex is unannotated, so wrapping it in an ACQUIRE()/RELEASE()
+// function is clean. libc++ builds annotate std::mutex itself; if varmor
+// ever targets libc++, Mutex::lock/unlock would need
+// NO_THREAD_SAFETY_ANALYSIS on their bodies.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define VARMOR_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define VARMOR_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op on GCC and others
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names the kind in
+/// diagnostics).
+#define CAPABILITY(x) VARMOR_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (util::MutexLock below).
+#define SCOPED_CAPABILITY VARMOR_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Field annotation: reads and writes require holding the given capability.
+#define GUARDED_BY(x) VARMOR_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer/smart-pointer field annotation: the pointed-to data requires the
+/// capability (the pointer itself may be read freely).
+#define PT_GUARDED_BY(x) VARMOR_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function annotation: callers must hold the capability (exclusively).
+#define REQUIRES(...) \
+    VARMOR_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function annotation: callers must hold the capability at least shared.
+#define REQUIRES_SHARED(...) \
+    VARMOR_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function annotation: the function acquires the capability and does not
+/// release it (Mutex::lock, MutexLock's constructor).
+#define ACQUIRE(...) \
+    VARMOR_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function annotation: the function releases a held capability.
+#define RELEASE(...) \
+    VARMOR_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capability iff the return value equals
+/// the first argument (Mutex::try_lock).
+#define TRY_ACQUIRE(...) \
+    VARMOR_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Function annotation: callers must NOT hold the capability — the function
+/// takes it itself, or deliberately runs outside it (the build-outside-the-
+/// lock pattern of the caches and single-flight).
+#define EXCLUDES(...) \
+    VARMOR_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Function annotation: the returned reference IS the given capability —
+/// lets accessors hand out a lock so callers' MutexLock resolves to it.
+#define RETURN_CAPABILITY(x) \
+    VARMOR_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Function annotation: asserts (at runtime, from the analysis' view) that
+/// the capability is held — for code reachable only under a lock that the
+/// analysis cannot see (e.g. callbacks invoked by a locked caller).
+#define ASSERT_CAPABILITY(x) \
+    VARMOR_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with a
+/// comment explaining why the discipline holds anyway.
+#define NO_THREAD_SAFETY_ANALYSIS \
+    VARMOR_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace varmor::util {
+
+/// Annotated exclusive mutex: std::mutex carrying the CAPABILITY attribute
+/// so clang tracks what it guards. Drop-in for the project's former naked
+/// std::mutex members.
+class CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() ACQUIRE() { mu_.lock(); }
+    void unlock() RELEASE() { mu_.unlock(); }
+    bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+    /// The wrapped std::mutex, AS THE SAME CAPABILITY (RETURN_CAPABILITY
+    /// keeps the analysis tracking it) — interop for code that needs
+    /// std::unique_lock's movable-lock semantics. None of varmor needs that
+    /// today; prefer MutexLock + CondVar.
+    std::mutex& native() RETURN_CAPABILITY(this) { return mu_; }
+
+private:
+    std::mutex mu_;
+};
+
+/// Annotated RAII lock (SCOPED_CAPABILITY): the project's replacement for
+/// std::lock_guard/std::unique_lock on a util::Mutex. The analysis knows the
+/// capability is held exactly for this object's scope — including early
+/// returns.
+class SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~MutexLock() RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+private:
+    Mutex& mu_;
+};
+
+/// Condition variable waiting directly on a util::Mutex (via
+/// std::condition_variable_any, for which Mutex is BasicLockable), so wait
+/// sites keep their REQUIRES relationship visible to the analysis.
+///
+/// Deliberately predicate-free: the std predicate overloads hide the
+/// guarded-field reads inside a lambda the analysis cannot attribute to the
+/// held lock. Call sites spell the standard loop instead —
+///
+///     MutexLock lock(mutex_);
+///     while (!condition) cv_.wait(mutex_);
+///
+/// — which the analysis checks completely.
+class CondVar {
+public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+    /// Atomically releases `mu`, blocks, and reacquires before returning.
+    void wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+    /// wait() with an absolute deadline; std::cv_status::timeout when the
+    /// deadline passed (the mutex is reacquired either way).
+    template <class Clock, class Duration>
+    std::cv_status wait_until(
+        Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+        REQUIRES(mu) {
+        return cv_.wait_until(mu, deadline);
+    }
+
+private:
+    std::condition_variable_any cv_;
+};
+
+}  // namespace varmor::util

@@ -23,7 +23,7 @@ ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     wake_.notify_all();
@@ -34,8 +34,8 @@ void ThreadPool::worker_loop() {
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            MutexLock lock(mutex_);
+            while (!stop_ && tasks_.empty()) wake_.wait(mutex_);
             if (stop_ && tasks_.empty()) return;
             task = std::move(tasks_.front());
             tasks_.pop();
@@ -76,9 +76,9 @@ void ThreadPool::parallel_chunks(
 
     struct Section {
         std::atomic<int> remaining;
-        std::mutex m;
-        std::condition_variable done;
-        std::exception_ptr error;
+        Mutex m;
+        CondVar done;
+        std::exception_ptr error GUARDED_BY(m);
     };
     auto section = std::make_shared<Section>();
     section->remaining.store(chunks);
@@ -91,25 +91,25 @@ void ThreadPool::parallel_chunks(
             const int e = begin + static_cast<int>(static_cast<long long>(len) * (r + 1) / chunks);
             fn(r, b, e);
         } catch (...) {
-            std::lock_guard<std::mutex> lock(section->m);
+            MutexLock lock(section->m);
             if (!section->error) section->error = std::current_exception();
         }
         t_in_pool_section = was;
         if (section->remaining.fetch_sub(1) == 1) {
-            std::lock_guard<std::mutex> lock(section->m);
+            MutexLock lock(section->m);
             section->done.notify_all();
         }
     };
 
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         for (int r = 1; r < chunks; ++r) tasks_.push([run_chunk, r] { run_chunk(r); });
     }
     wake_.notify_all();
     run_chunk(0);  // the caller is worker 0
 
-    std::unique_lock<std::mutex> lock(section->m);
-    section->done.wait(lock, [&] { return section->remaining.load() == 0; });
+    MutexLock lock(section->m);
+    while (section->remaining.load() != 0) section->done.wait(section->m);
     if (section->error) std::rethrow_exception(section->error);
 }
 

@@ -1,11 +1,11 @@
 #pragma once
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace varmor::util {
 
@@ -60,11 +60,13 @@ private:
     void worker_loop();
 
     int threads_ = 1;
+    /// Written once in the constructor, joined in the destructor — never
+    /// touched concurrently, so deliberately unguarded.
     std::vector<std::thread> workers_;
-    std::mutex mutex_;
-    std::condition_variable wake_;
-    std::queue<std::function<void()>> tasks_;
-    bool stop_ = false;
+    Mutex mutex_;
+    CondVar wake_;
+    std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+    bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace varmor::util

@@ -1,0 +1,38 @@
+// NEGATIVE-COMPILE TEST — this file must NOT compile under
+// -Werror=thread-safety (see ts_unguarded_field.cpp for the harness shape).
+//
+// Violation exercised: re-entering an EXCLUDES(mutex) method while already
+// holding the mutex — the self-deadlock the build-outside-the-lock contract
+// (SingleFlight::run, ModelCache::build_miss, TrapezoidBatchCache::get)
+// exists to prevent.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Cache {
+public:
+    int get() EXCLUDES(mu_) {
+        varmor::util::MutexLock lock(mu_);
+        if (value_ < 0) return refresh();  // BUG: calls EXCLUDES(mu_) with mu_ held
+        return value_;
+    }
+
+    int refresh() EXCLUDES(mu_) {
+        const int fresh = 42;  // stands in for a slow rebuild
+        varmor::util::MutexLock lock(mu_);
+        value_ = fresh;
+        return value_;
+    }
+
+private:
+    varmor::util::Mutex mu_;
+    int value_ GUARDED_BY(mu_) = -1;
+};
+
+}  // namespace
+
+int main() {
+    Cache cache;
+    return cache.get() == 42 ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+// POSITIVE-COMPILE TEST — this file MUST compile cleanly under
+// -Werror=thread-safety. It exercises every annotation the project uses
+// (GUARDED_BY, REQUIRES, EXCLUDES, ACQUIRE/RELEASE via Mutex/MutexLock,
+// RETURN_CAPABILITY, CondVar waits) in the shapes the codebase uses them,
+// proving the negative tests next to it fail for the violation they plant
+// and not because the harness itself is broken.
+
+#include <deque>
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+using varmor::util::CondVar;
+using varmor::util::Mutex;
+using varmor::util::MutexLock;
+
+/// The project's canonical shapes in miniature: guarded state, a REQUIRES
+/// helper, EXCLUDES public methods, a condition wait loop, and a
+/// RETURN_CAPABILITY accessor.
+class Registry {
+public:
+    Mutex& mu() RETURN_CAPABILITY(mu_) { return mu_; }
+
+    void publish(int item) EXCLUDES(mu_) {
+        {
+            MutexLock lock(mu_);
+            items_.push_back(item);
+        }
+        ready_.notify_one();
+    }
+
+    int consume() EXCLUDES(mu_) {
+        MutexLock lock(mu_);
+        while (items_.empty()) ready_.wait(mu_);
+        return take_locked();
+    }
+
+    int size_with_manual_lock() EXCLUDES(mu_) {
+        mu().lock();
+        const int n = static_cast<int>(items_.size());
+        mu().unlock();
+        return n;
+    }
+
+private:
+    int take_locked() REQUIRES(mu_) {
+        const int front = items_.front();
+        items_.pop_front();
+        return front;
+    }
+
+    Mutex mu_;
+    CondVar ready_;
+    std::deque<int> items_ GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+int main() {
+    Registry registry;
+    registry.publish(7);
+    const int got = registry.consume();
+    return got == 7 && registry.size_with_manual_lock() == 0 ? 0 : 1;
+}

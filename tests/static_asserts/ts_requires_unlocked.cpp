@@ -1,0 +1,31 @@
+// NEGATIVE-COMPILE TEST — this file must NOT compile under
+// -Werror=thread-safety (see ts_unguarded_field.cpp for the harness shape).
+//
+// Violation exercised: calling a REQUIRES(mutex) method without holding the
+// mutex — the *_locked helper convention ModelCache / MpmcQueue /
+// TrapezoidBatchCache rely on.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+public:
+    void increment() {
+        increment_locked();  // BUG: REQUIRES(mu_) without holding mu_
+    }
+
+private:
+    void increment_locked() REQUIRES(mu_) { ++value_; }
+
+    varmor::util::Mutex mu_;
+    long value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    Counter counter;
+    counter.increment();
+    return 0;
+}

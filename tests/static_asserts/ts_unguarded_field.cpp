@@ -1,0 +1,34 @@
+// NEGATIVE-COMPILE TEST — this file must NOT compile under
+// -Werror=thread-safety. CMake builds it via an EXCLUDE_FROM_ALL target
+// wrapped in a WILL_FAIL ctest entry: the test PASSES when clang rejects it.
+//
+// Violation exercised: reading and writing a GUARDED_BY field without
+// holding its mutex.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Account {
+public:
+    void deposit(long amount) {
+        varmor::util::MutexLock lock(mu_);
+        balance_ += amount;
+    }
+
+    long racy_balance() const {
+        return balance_;  // BUG: reads balance_ without mu_
+    }
+
+private:
+    mutable varmor::util::Mutex mu_;
+    long balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    Account account;
+    account.deposit(10);
+    return account.racy_balance() == 10 ? 0 : 1;
+}
