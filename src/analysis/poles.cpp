@@ -18,7 +18,7 @@ namespace {
 
 /// Converts nu-eigenvalues of G^-1 C into poles s = -1/nu, most dominant
 /// (smallest |s|) first, keeping `count`.
-std::vector<cplx> nus_to_poles(std::vector<cplx> nus, int count, double nu_scale) {
+std::vector<cplx> nus_to_poles(const std::vector<cplx>& nus, int count, double nu_scale) {
     std::vector<cplx> poles;
     const double cutoff = 1e-12 * nu_scale;
     for (const cplx& nu : nus) {
@@ -60,7 +60,7 @@ std::vector<cplx> dominant_poles(const sparse::SparseLu& g_factor, const sparse:
         auto nus = la::eig_values(a);
         double scale = 0;
         for (const cplx& nu : nus) scale = std::max(scale, std::abs(nu));
-        return nus_to_poles(std::move(nus), opts.count, scale);
+        return nus_to_poles(nus, opts.count, scale);
     }
 
     sparse::LinearOperator op(
