@@ -23,6 +23,7 @@
 #include "circuit/mna.h"
 #include "la/lu_dense.h"
 #include "la/ops.h"
+#include "la/simd.h"
 #include "mor/prima.h"
 #include "mor/reduced_model.h"
 #include "mor/rom_eval.h"
@@ -189,9 +190,15 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     std::printf("\n");
 
-    checks.expect(speedup_naive >= 2.0,
-                  "batched engine is >= 2x faster than the naive per-point path "
-                  "(single-threaded)");
+    // PR-8 raised the bar: the simd arm's blocked/transposed kernels hold
+    // ~30x over the seed loop on AVX2 hardware and ~11x on the forced-scalar
+    // arm (the transposed Hessenberg solve and wider RHS blocking help both).
+    // Gate at roughly a third of the measured ratios so CI machine noise
+    // cannot flake the check, arm-aware through la::simd::kActive.
+    const double gate = la::simd::kActive ? 8.0 : 4.0;
+    checks.expect(speedup_naive >= gate,
+                  "batched engine is >= " + std::to_string(static_cast<int>(gate)) +
+                      "x faster than the naive per-point path (single-threaded)");
     checks.expect(max_grid_deviation(serial, looped) == 0.0,
                   "batched engine is bit-identical to the serial looped "
                   "transfer() path");
@@ -210,6 +217,7 @@ int main(int argc, char** argv) {
          << "  \"samples\": " << samples.size() << ",\n"
          << "  \"frequencies\": " << s_points.size() << ",\n"
          << "  \"threads\": " << util::ThreadPool::default_threads() << ",\n"
+         << "  \"simd\": " << (la::simd::kActive ? "true" : "false") << ",\n"
          << "  \"ms_naive_per_point\": " << ms_naive << ",\n"
          << "  \"ms_looped_transfer\": " << ms_looped << ",\n"
          << "  \"ms_batched_serial\": " << ms_serial << ",\n"

@@ -48,6 +48,8 @@ int lu_factor_inplace(MatrixT<T>& lu, std::vector<int>& perm) {
         const T pivot = ck[k];
         for (int i = k + 1; i < n; ++i) ck[i] /= pivot;  // multipliers, contiguous
 
+        using P = simd::Pack<T>;
+        constexpr int W = P::lanes;
         int j = k + 1;
         for (; j + 4 <= n; j += 4) {
             T* c0 = lu.col_data(j);
@@ -55,19 +57,39 @@ int lu_factor_inplace(MatrixT<T>& lu, std::vector<int>& perm) {
             T* c2 = lu.col_data(j + 2);
             T* c3 = lu.col_data(j + 3);
             const T u0 = c0[k], u1 = c1[k], u2 = c2[k], u3 = c3[k];
-            for (int i = k + 1; i < n; ++i) {
+            const P v0 = P::broadcast(u0), v1 = P::broadcast(u1);
+            const P v2 = P::broadcast(u2), v3 = P::broadcast(u3);
+            int i = k + 1;
+            for (; i + W <= n; i += W) {
+                const P mv = P::load(ck + i);
+                fnmadd(mv, v0, P::load(c0 + i)).store(c0 + i);
+                fnmadd(mv, v1, P::load(c1 + i)).store(c1 + i);
+                fnmadd(mv, v2, P::load(c2 + i)).store(c2 + i);
+                fnmadd(mv, v3, P::load(c3 + i)).store(c3 + i);
+            }
+            for (; i < n; ++i) {
                 const T m = ck[i];
-                c0[i] -= m * u0;
-                c1[i] -= m * u1;
-                c2[i] -= m * u2;
-                c3[i] -= m * u3;
+                c0[i] = simd::fnmadd_s(m, u0, c0[i]);
+                c1[i] = simd::fnmadd_s(m, u1, c1[i]);
+                c2[i] = simd::fnmadd_s(m, u2, c2[i]);
+                c3[i] = simd::fnmadd_s(m, u3, c3[i]);
             }
         }
+        // Remainder columns spell the update with the SAME operand order as
+        // the blocked pass (multiplier first, broadcast u second): the fused
+        // complex product is not symmetric in its factors, so calling
+        // fnma_n(ukj, ck, cj) here would round differently and break the
+        // bitwise contract with small_lu_factor, which uses this order for
+        // every column.
         for (; j < n; ++j) {
             T* cj = lu.col_data(j);
             const T ukj = cj[k];
             if (ukj == T{}) continue;
-            for (int i = k + 1; i < n; ++i) cj[i] -= ck[i] * ukj;
+            const P uv = P::broadcast(ukj);
+            int i = k + 1;
+            for (; i + W <= n; i += W)
+                fnmadd(P::load(ck + i), uv, P::load(cj + i)).store(cj + i);
+            for (; i < n; ++i) cj[i] = simd::fnmadd_s(ck[i], ukj, cj[i]);
         }
     }
     return sign;
@@ -86,8 +108,12 @@ int lu_factor_inplace(MatrixT<T>& lu, std::vector<int>& perm) {
 template <class T>
 void lu_substitute_inplace(const MatrixT<T>& lu, T* x, int nrhs) {
     const int n = lu.rows();
-    for (int r0 = 0; r0 < nrhs; r0 += 4) {
-        const int rw = std::min(4, nrhs - r0);
+    // Eight right-hand sides per pass over the factors: each RHS column is
+    // still eliminated by its own fnma_n calls, so the block width only
+    // changes how often the L/U columns stream through cache, never the
+    // per-column arithmetic — any width gives bit-identical results.
+    for (int r0 = 0; r0 < nrhs; r0 += 8) {
+        const int rw = std::min(8, nrhs - r0);
         T* xs = x + static_cast<std::size_t>(r0) * static_cast<std::size_t>(n);
         // L y = P b (unit diagonal).
         for (int j = 0; j < n; ++j) {
@@ -96,7 +122,7 @@ void lu_substitute_inplace(const MatrixT<T>& lu, T* x, int nrhs) {
                 T* xr = xs + static_cast<std::size_t>(r) * static_cast<std::size_t>(n);
                 const T xj = xr[j];
                 if (xj == T{}) continue;
-                for (int i = j + 1; i < n; ++i) xr[i] -= cj[i] * xj;
+                simd::fnma_n(n - j - 1, xj, cj + j + 1, xr + j + 1);
             }
         }
         // U x = y.
@@ -107,7 +133,7 @@ void lu_substitute_inplace(const MatrixT<T>& lu, T* x, int nrhs) {
                 xr[j] /= cj[j];
                 const T xj = xr[j];
                 if (xj == T{}) continue;
-                for (int i = 0; i < j; ++i) xr[i] -= cj[i] * xj;
+                simd::fnma_n(j, xj, cj, xr);
             }
         }
     }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "la/dense.h"
+#include "la/simd.h"
 
 namespace varmor::la {
 
@@ -14,35 +15,38 @@ namespace varmor::la {
 template <class T>
 T dot(const VectorT<T>& x, const VectorT<T>& y) {
     check(x.size() == y.size(), "dot: dimension mismatch");
-    T acc{};
-    for (int i = 0; i < x.size(); ++i) {
-        if constexpr (std::is_same_v<T, cplx>)
-            acc += std::conj(x[i]) * y[i];
-        else
-            acc += x[i] * y[i];
+    if constexpr (std::is_same_v<T, cplx>) {
+        T acc{};
+        for (int i = 0; i < x.size(); ++i) acc += std::conj(x[i]) * y[i];
+        return acc;
+    } else {
+        return simd::dot_n(x.size(), x.data(), y.data());
     }
-    return acc;
 }
 
 /// Euclidean norm.
 template <class T>
 double norm2(const VectorT<T>& x) {
-    double acc = 0;
-    for (int i = 0; i < x.size(); ++i) acc += std::norm(x[i]);
-    return std::sqrt(acc);
+    if constexpr (std::is_same_v<T, cplx>) {
+        double acc = 0;
+        for (int i = 0; i < x.size(); ++i) acc += std::norm(x[i]);
+        return std::sqrt(acc);
+    } else {
+        return std::sqrt(simd::dot_n(x.size(), x.data(), x.data()));
+    }
 }
 
 /// y += alpha * x.
 template <class T>
 void axpy(T alpha, const VectorT<T>& x, VectorT<T>& y) {
     check(x.size() == y.size(), "axpy: dimension mismatch");
-    for (int i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+    simd::axpy_n(x.size(), alpha, x.data(), y.data());
 }
 
 /// x *= alpha.
 template <class T>
 void scale(VectorT<T>& x, T alpha) {
-    for (int i = 0; i < x.size(); ++i) x[i] *= alpha;
+    simd::scale_n(x.size(), alpha, x.data());
 }
 
 template <class T>
@@ -77,11 +81,8 @@ template <class T>
 VectorT<T> matvec(const MatrixT<T>& a, const VectorT<T>& x) {
     check(a.cols() == x.size(), "matvec: dimension mismatch");
     VectorT<T> y(a.rows());
-    for (int j = 0; j < a.cols(); ++j) {
-        const T xj = x[j];
-        const T* col = a.col_data(j);
-        for (int i = 0; i < a.rows(); ++i) y[i] += col[i] * xj;
-    }
+    for (int j = 0; j < a.cols(); ++j)
+        simd::axpy_n(a.rows(), x[j], a.col_data(j), y.data());
     return y;
 }
 
@@ -90,25 +91,22 @@ template <class T>
 VectorT<T> matvec_transpose(const MatrixT<T>& a, const VectorT<T>& x) {
     check(a.rows() == x.size(), "matvec_transpose: dimension mismatch");
     VectorT<T> y(a.cols());
-    for (int j = 0; j < a.cols(); ++j) {
-        const T* col = a.col_data(j);
-        T acc{};
-        for (int i = 0; i < a.rows(); ++i) acc += col[i] * x[i];
-        y[j] = acc;
-    }
+    for (int j = 0; j < a.cols(); ++j)
+        y[j] = simd::dot_n(a.rows(), a.col_data(j), x.data());
     return y;
 }
 
 namespace detail {
 
-/// C += A * B, register-blocked: four columns of B/C per pass over A and two
-/// columns of A per pass over C, so every value loaded from memory feeds
-/// several fused multiply-adds from registers instead of one. Column-major
-/// all the way down — the i loops stream contiguous columns. The block
-/// widths are a compromise between double (wider would still fit registers)
-/// and complex (each scalar is two doubles).
+/// C += A * B, register-blocked on top of the simd layer: four columns of
+/// B/C per pass over A and two columns of A per pass over C, with the i loop
+/// running Pack<T>-wide broadcast-FMA updates down contiguous columns.
+/// Remainder rows use the fmadd_s twins, so an entry's value never depends on
+/// which side of the vector/tail split it fell on.
 template <class T>
 void gemm_acc(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>& c) {
+    using P = simd::Pack<T>;
+    constexpr int W = P::lanes;
     const int m = a.rows();
     const int kn = a.cols();
     const int n = b.cols();
@@ -128,24 +126,32 @@ void gemm_acc(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>& c) {
             const T* a1 = a.col_data(k + 1);
             const T b00 = b0[k], b01 = b1[k], b02 = b2[k], b03 = b3[k];
             const T b10 = b0[k + 1], b11 = b1[k + 1], b12 = b2[k + 1], b13 = b3[k + 1];
-            for (int i = 0; i < m; ++i) {
+            const P v00 = P::broadcast(b00), v01 = P::broadcast(b01);
+            const P v02 = P::broadcast(b02), v03 = P::broadcast(b03);
+            const P v10 = P::broadcast(b10), v11 = P::broadcast(b11);
+            const P v12 = P::broadcast(b12), v13 = P::broadcast(b13);
+            int i = 0;
+            for (; i + W <= m; i += W) {
+                const P a0v = P::load(a0 + i), a1v = P::load(a1 + i);
+                fmadd(a1v, v10, fmadd(a0v, v00, P::load(c0 + i))).store(c0 + i);
+                fmadd(a1v, v11, fmadd(a0v, v01, P::load(c1 + i))).store(c1 + i);
+                fmadd(a1v, v12, fmadd(a0v, v02, P::load(c2 + i))).store(c2 + i);
+                fmadd(a1v, v13, fmadd(a0v, v03, P::load(c3 + i))).store(c3 + i);
+            }
+            for (; i < m; ++i) {
                 const T a0i = a0[i], a1i = a1[i];
-                c0[i] += a0i * b00 + a1i * b10;
-                c1[i] += a0i * b01 + a1i * b11;
-                c2[i] += a0i * b02 + a1i * b12;
-                c3[i] += a0i * b03 + a1i * b13;
+                c0[i] = simd::fmadd_s(a1i, b10, simd::fmadd_s(a0i, b00, c0[i]));
+                c1[i] = simd::fmadd_s(a1i, b11, simd::fmadd_s(a0i, b01, c1[i]));
+                c2[i] = simd::fmadd_s(a1i, b12, simd::fmadd_s(a0i, b02, c2[i]));
+                c3[i] = simd::fmadd_s(a1i, b13, simd::fmadd_s(a0i, b03, c3[i]));
             }
         }
         for (; k < kn; ++k) {
             const T* ak = a.col_data(k);
-            const T b0k = b0[k], b1k = b1[k], b2k = b2[k], b3k = b3[k];
-            for (int i = 0; i < m; ++i) {
-                const T aki = ak[i];
-                c0[i] += aki * b0k;
-                c1[i] += aki * b1k;
-                c2[i] += aki * b2k;
-                c3[i] += aki * b3k;
-            }
+            simd::axpy_n(m, b0[k], ak, c0);
+            simd::axpy_n(m, b1[k], ak, c1);
+            simd::axpy_n(m, b2[k], ak, c2);
+            simd::axpy_n(m, b3[k], ak, c3);
         }
     }
     for (; j < n; ++j) {
@@ -154,17 +160,21 @@ void gemm_acc(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>& c) {
         for (int k = 0; k < kn; ++k) {
             const T bkj = bj[k];
             if (bkj == T{}) continue;
-            const T* ak = a.col_data(k);
-            for (int i = 0; i < m; ++i) cj[i] += ak[i] * bkj;
+            simd::axpy_n(m, bkj, a.col_data(k), cj);
         }
     }
 }
 
-/// C = A^T * B, register-blocked: a 4x4 tile of C accumulates sixteen
-/// independent dot products per sweep over the shared rows, so the columns
-/// of A and B stream through cache once per tile instead of once per entry.
+/// C = A^T * B, register-blocked on the simd layer: a 2x4 tile of C holds
+/// eight Pack<T>-wide accumulators per sweep over the shared rows (two A
+/// columns, four B columns stream through cache once per tile). Every entry
+/// — tile, edge or remainder — is accumulated in the dot1_n order (one
+/// vector accumulator, hsum, then the scalar tail), so c(i,j) depends only
+/// on the two columns and the row count, not on the tile position.
 template <class T>
 void gemm_transA(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>& c) {
+    using P = simd::Pack<T>;
+    constexpr int W = P::lanes;
     const int rows = a.rows();
     const int ma = a.cols();
     const int n = b.cols();
@@ -175,49 +185,46 @@ void gemm_transA(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>& c) {
         const T* b2 = b.col_data(j + 2);
         const T* b3 = b.col_data(j + 3);
         int i = 0;
-        for (; i + 4 <= ma; i += 4) {
+        for (; i + 2 <= ma; i += 2) {
             const T* a0 = a.col_data(i);
             const T* a1 = a.col_data(i + 1);
-            const T* a2 = a.col_data(i + 2);
-            const T* a3 = a.col_data(i + 3);
-            T s00{}, s01{}, s02{}, s03{};
-            T s10{}, s11{}, s12{}, s13{};
-            T s20{}, s21{}, s22{}, s23{};
-            T s30{}, s31{}, s32{}, s33{};
-            for (int r = 0; r < rows; ++r) {
-                const T a0r = a0[r], a1r = a1[r], a2r = a2[r], a3r = a3[r];
-                const T b0r = b0[r], b1r = b1[r], b2r = b2[r], b3r = b3[r];
-                s00 += a0r * b0r; s01 += a0r * b1r; s02 += a0r * b2r; s03 += a0r * b3r;
-                s10 += a1r * b0r; s11 += a1r * b1r; s12 += a1r * b2r; s13 += a1r * b3r;
-                s20 += a2r * b0r; s21 += a2r * b1r; s22 += a2r * b2r; s23 += a2r * b3r;
-                s30 += a3r * b0r; s31 += a3r * b1r; s32 += a3r * b2r; s33 += a3r * b3r;
+            P s00 = P::zero(), s01 = P::zero(), s02 = P::zero(), s03 = P::zero();
+            P s10 = P::zero(), s11 = P::zero(), s12 = P::zero(), s13 = P::zero();
+            int r = 0;
+            for (; r + W <= rows; r += W) {
+                const P a0v = P::load(a0 + r), a1v = P::load(a1 + r);
+                const P b0v = P::load(b0 + r), b1v = P::load(b1 + r);
+                const P b2v = P::load(b2 + r), b3v = P::load(b3 + r);
+                s00 = fmadd(a0v, b0v, s00); s01 = fmadd(a0v, b1v, s01);
+                s02 = fmadd(a0v, b2v, s02); s03 = fmadd(a0v, b3v, s03);
+                s10 = fmadd(a1v, b0v, s10); s11 = fmadd(a1v, b1v, s11);
+                s12 = fmadd(a1v, b2v, s12); s13 = fmadd(a1v, b3v, s13);
             }
-            c(i, j) = s00; c(i, j + 1) = s01; c(i, j + 2) = s02; c(i, j + 3) = s03;
-            c(i + 1, j) = s10; c(i + 1, j + 1) = s11; c(i + 1, j + 2) = s12; c(i + 1, j + 3) = s13;
-            c(i + 2, j) = s20; c(i + 2, j + 1) = s21; c(i + 2, j + 2) = s22; c(i + 2, j + 3) = s23;
-            c(i + 3, j) = s30; c(i + 3, j + 1) = s31; c(i + 3, j + 2) = s32; c(i + 3, j + 3) = s33;
+            T t00 = hsum(s00), t01 = hsum(s01), t02 = hsum(s02), t03 = hsum(s03);
+            T t10 = hsum(s10), t11 = hsum(s11), t12 = hsum(s12), t13 = hsum(s13);
+            for (; r < rows; ++r) {
+                const T a0r = a0[r], a1r = a1[r];
+                const T b0r = b0[r], b1r = b1[r], b2r = b2[r], b3r = b3[r];
+                t00 = simd::fmadd_s(a0r, b0r, t00); t01 = simd::fmadd_s(a0r, b1r, t01);
+                t02 = simd::fmadd_s(a0r, b2r, t02); t03 = simd::fmadd_s(a0r, b3r, t03);
+                t10 = simd::fmadd_s(a1r, b0r, t10); t11 = simd::fmadd_s(a1r, b1r, t11);
+                t12 = simd::fmadd_s(a1r, b2r, t12); t13 = simd::fmadd_s(a1r, b3r, t13);
+            }
+            c(i, j) = t00; c(i, j + 1) = t01; c(i, j + 2) = t02; c(i, j + 3) = t03;
+            c(i + 1, j) = t10; c(i + 1, j + 1) = t11; c(i + 1, j + 2) = t12; c(i + 1, j + 3) = t13;
         }
         for (; i < ma; ++i) {
             const T* ai = a.col_data(i);
-            T s0{}, s1{}, s2{}, s3{};
-            for (int r = 0; r < rows; ++r) {
-                const T air = ai[r];
-                s0 += air * b0[r];
-                s1 += air * b1[r];
-                s2 += air * b2[r];
-                s3 += air * b3[r];
-            }
-            c(i, j) = s0; c(i, j + 1) = s1; c(i, j + 2) = s2; c(i, j + 3) = s3;
+            c(i, j) = simd::dot1_n(rows, ai, b0);
+            c(i, j + 1) = simd::dot1_n(rows, ai, b1);
+            c(i, j + 2) = simd::dot1_n(rows, ai, b2);
+            c(i, j + 3) = simd::dot1_n(rows, ai, b3);
         }
     }
     for (; j < n; ++j) {
         const T* bj = b.col_data(j);
-        for (int i = 0; i < ma; ++i) {
-            const T* ai = a.col_data(i);
-            T acc{};
-            for (int r = 0; r < rows; ++r) acc += ai[r] * bj[r];
-            c(i, j) = acc;
-        }
+        for (int i = 0; i < ma; ++i)
+            c(i, j) = simd::dot1_n(rows, a.col_data(i), bj);
     }
 }
 

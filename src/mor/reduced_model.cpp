@@ -5,6 +5,7 @@
 #include "la/eig.h"
 #include "la/lu_dense.h"
 #include "la/ops.h"
+#include "la/simd.h"
 #include "mor/rom_eval.h"
 #include "util/check.h"
 
@@ -19,11 +20,14 @@ namespace {
 Matrix affine(const Matrix& base, const std::vector<Matrix>& terms,
               const std::vector<double>& p) {
     check(p.size() == terms.size(), "ReducedModel: parameter vector length mismatch");
+    // Same accumulation kernel (simd::axpy_n) and zero-parameter skip as the
+    // engine's stamp_affine — the poles() bit-identity contract between
+    // ReducedModel and RomEvalEngine rests on it.
     Matrix acc = base;
     for (std::size_t i = 0; i < terms.size(); ++i) {
         if (p[i] == 0.0) continue;
-        for (std::size_t e = 0; e < acc.raw().size(); ++e)
-            acc.raw()[e] += p[i] * terms[i].raw()[e];
+        la::simd::axpy_n(static_cast<int>(acc.raw().size()), p[i],
+                         terms[i].raw().data(), acc.raw().data());
     }
     return acc;
 }

@@ -4,7 +4,10 @@
 #include <cmath>
 
 #include "la/eig.h"
+#include "la/hessenberg.h"
 #include "la/ops.h"
+#include "la/simd.h"
+#include "la/small_dense.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -32,8 +35,10 @@ std::vector<double> pack_terms(const Matrix& base, const std::vector<Matrix>& te
     return packed;
 }
 
-/// out = block0 + sum_i p_i * block_{i+1}, same accumulation order (and the
-/// same skip of exact-zero parameters) as ReducedModel::g_at/c_at.
+/// out = block0 + sum_i p_i * block_{i+1}, same accumulation kernel (and the
+/// same skip of exact-zero parameters) as ReducedModel::g_at/c_at — both run
+/// simd::axpy_n per term, which keeps the engine's poles() bit-identical to
+/// ReducedModel::poles().
 void stamp_affine(const std::vector<double>& packed, const std::vector<double>& p,
                   int q, Matrix& out) {
     const std::size_t block = static_cast<std::size_t>(q) * static_cast<std::size_t>(q);
@@ -43,110 +48,48 @@ void stamp_affine(const std::vector<double>& packed, const std::vector<double>& 
     double* acc = out.raw().data();
     for (std::size_t i = 0; i < p.size(); ++i) {
         if (p[i] == 0.0) continue;
-        const double pi = p[i];
-        const double* term = packed.data() + block * (i + 1);
-        for (std::size_t e = 0; e < block; ++e) acc[e] += pi * term[e];
+        la::simd::axpy_n(static_cast<int>(block), p[i], packed.data() + block * (i + 1),
+                         acc);
     }
 }
 
-/// In-place Householder reduction of `h` to upper Hessenberg form with the
-/// orthogonal transform accumulated into `q`: on return h is upper
-/// Hessenberg, q orthogonal, and  a_input = q * h * q^T. Column-oriented
-/// throughout (left transforms touch contiguous column tails, right
-/// transforms are two axpy sweeps over columns); `v` is reflector scratch.
-void hessenberg_with_q(Matrix& h, Matrix& q, std::vector<double>& v) {
-    const int n = h.rows();
-    if (q.rows() != n || q.cols() != n) q = Matrix(n, n);
-    q.fill(0.0);
-    for (int i = 0; i < n; ++i) q(i, i) = 1.0;
-    v.resize(static_cast<std::size_t>(n));
-    std::vector<double> w;
-
-    for (int k = 0; k + 2 < n; ++k) {
-        // Reflector annihilating h(k+2.., k): v spans rows k+1..n-1.
-        const int len = n - k - 1;
-        double* hk = h.col_data(k) + (k + 1);
-        double xnorm2 = 0.0;
-        for (int i = 0; i < len; ++i) xnorm2 += hk[i] * hk[i];
-        const double xnorm = std::sqrt(xnorm2);
-        if (xnorm == 0.0) continue;  // column already reduced
-        const double alpha = hk[0] >= 0.0 ? -xnorm : xnorm;
-        v[0] = hk[0] - alpha;
-        for (int i = 1; i < len; ++i) v[static_cast<std::size_t>(i)] = hk[i];
-        double vnorm2 = 0.0;
-        for (int i = 0; i < len; ++i)
-            vnorm2 += v[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
-        if (vnorm2 == 0.0) continue;
-        const double beta = 2.0 / vnorm2;
-
-        // Column k maps to (.., alpha, 0, ..) exactly; store that directly.
-        hk[0] = alpha;
-        for (int i = 1; i < len; ++i) hk[i] = 0.0;
-
-        // Left transform: rows k+1..n-1 of columns k+1..n-1.
-        for (int j = k + 1; j < n; ++j) {
-            double* cj = h.col_data(j) + (k + 1);
-            double dot = 0.0;
-            for (int i = 0; i < len; ++i) dot += v[static_cast<std::size_t>(i)] * cj[i];
-            const double f = beta * dot;
-            if (f == 0.0) continue;
-            for (int i = 0; i < len; ++i) cj[i] -= f * v[static_cast<std::size_t>(i)];
-        }
-
-        // Right transform on h and accumulation into q: M <- M (I - beta v v^T)
-        // over columns k+1..n-1, as two axpy sweeps through contiguous columns.
-        auto right_apply = [&](Matrix& m) {
-            w.assign(static_cast<std::size_t>(n), 0.0);
-            for (int c = 0; c < len; ++c) {
-                const double vc = v[static_cast<std::size_t>(c)];
-                if (vc == 0.0) continue;
-                const double* col = m.col_data(k + 1 + c);
-                for (int i = 0; i < n; ++i) w[static_cast<std::size_t>(i)] += vc * col[i];
-            }
-            for (int c = 0; c < len; ++c) {
-                const double f = beta * v[static_cast<std::size_t>(c)];
-                if (f == 0.0) continue;
-                double* col = m.col_data(k + 1 + c);
-                for (int i = 0; i < n; ++i) col[i] -= f * w[static_cast<std::size_t>(i)];
-            }
-        };
-        right_apply(h);
-        right_apply(q);
+/// The fixed-size direct-lane solve: stamps the identity-padded pencil
+/// K_N = diag(G~+sC~, I), factors and substitutes with the fully unrolled
+/// small_lu kernels, and leaves the top q rows of K^-1 B~ in ws.x. Bitwise
+/// the generic klu path on the embedded q x q block (see la/small_dense.h).
+template <int N>
+void small_direct_solve(int q, int m, cplx s, const la::Matrix& gp,
+                        const la::Matrix& cp, const ZMatrix& bz,
+                        RomEvalWorkspace& ws) {
+    ws.kpad.resize(static_cast<std::size_t>(N) * N);
+    ws.kperm.resize(static_cast<std::size_t>(N));
+    ws.xpad.resize(static_cast<std::size_t>(N) * static_cast<std::size_t>(m));
+    cplx* k = ws.kpad.data();
+    for (int j = 0; j < q; ++j) {
+        cplx* col = k + static_cast<std::size_t>(j) * N;
+        la::simd::pencil_stamp_n(q, s, gp.col_data(j), cp.col_data(j), col);
+        for (int i = q; i < N; ++i) col[i] = cplx{};
     }
-}
-
-/// Solves (I + sH) X = R in place: Gaussian elimination with adjacent-row
-/// partial pivoting on the upper Hessenberg matrix (one subdiagonal, so each
-/// step eliminates a single entry and updates one row), right-hand sides
-/// carried along, then column-oriented back substitution. O(q^2 (1 + nrhs)).
-void hessenberg_solve(ZMatrix& m, ZMatrix& x) {
-    const int n = m.rows();
-    const int nrhs = x.cols();
-    for (int k = 0; k + 1 < n; ++k) {
-        if (std::abs(m(k + 1, k)) > std::abs(m(k, k))) {
-            for (int j = k; j < n; ++j) std::swap(m(k, j), m(k + 1, j));
-            for (int r = 0; r < nrhs; ++r) std::swap(x(k, r), x(k + 1, r));
-        }
-        check(std::abs(m(k, k)) > 0.0,
-              "RomEvalEngine: reduced pencil is numerically singular");
-        const cplx mult = m(k + 1, k) / m(k, k);
-        if (mult != cplx{}) {
-            for (int j = k + 1; j < n; ++j) m(k + 1, j) -= mult * m(k, j);
-            for (int r = 0; r < nrhs; ++r) x(k + 1, r) -= mult * x(k, r);
+    for (int j = q; j < N; ++j) {
+        cplx* col = k + static_cast<std::size_t>(j) * N;
+        for (int i = 0; i < N; ++i) col[i] = cplx{};
+        col[j] = 1.0;
+    }
+    la::small_lu_factor<N>(k, ws.kperm.data());
+    cplx* x = ws.xpad.data();
+    for (int r = 0; r < m; ++r) {
+        const cplx* br = bz.col_data(r);
+        cplx* xr = x + static_cast<std::size_t>(r) * N;
+        for (int i = 0; i < N; ++i) {
+            const int pi = ws.kperm[static_cast<std::size_t>(i)];
+            xr[i] = pi < q ? br[pi] : cplx{};
         }
     }
-    check(std::abs(m(n - 1, n - 1)) > 0.0,
-          "RomEvalEngine: reduced pencil is numerically singular");
-    for (int j = n - 1; j >= 0; --j) {
-        const cplx* cj = m.col_data(j);
-        for (int r = 0; r < nrhs; ++r) {
-            cplx* xr = x.col_data(r);
-            xr[j] /= cj[j];
-            const cplx xj = xr[j];
-            if (xj == cplx{}) continue;
-            for (int i = 0; i < j; ++i) xr[i] -= cj[i] * xj;
-        }
-    }
+    la::small_lu_substitute<N>(k, x, m);
+    if (ws.x.rows() != q || ws.x.cols() != m) ws.x = ZMatrix(q, m);
+    for (int r = 0; r < m; ++r)
+        std::copy(x + static_cast<std::size_t>(r) * N,
+                  x + static_cast<std::size_t>(r) * N + q, ws.x.col_data(r));
 }
 
 }  // namespace
@@ -212,7 +155,17 @@ void RomEvalEngine::prepare_transfer(RomEvalWorkspace& ws) const {
     if (ws.hh.rows() != q_ || ws.hh.cols() != q_) ws.hh = Matrix(q_, q_);
     ws.hh.raw() = ws.cp.raw();
     ws.glu.solve_inplace(ws.hh);  // A = G^-1 C
-    hessenberg_with_q(ws.hh, ws.qh, ws.hv);
+    la::hessenberg_with_q(ws.hh, ws.qh, ws.hv);
+
+    // Transpose the Hessenberg band once per sample so the per-frequency
+    // stamp and solve run down contiguous columns of (I + sH)^T (see
+    // la::hessenberg_solve_t). Rows below the first subdiagonal of H are
+    // never read, so only the band is copied.
+    if (ws.ht.rows() != q_ || ws.ht.cols() != q_) ws.ht = Matrix(q_, q_);
+    for (int j = 0; j < q_; ++j) {
+        double* tj = ws.ht.col_data(j);
+        for (int i = j > 0 ? j - 1 : 0; i < q_; ++i) tj[i] = ws.hh(j, i);
+    }
 
     Matrix r0 = b_;
     ws.glu.solve_inplace(r0);                    // G^-1 B
@@ -226,35 +179,44 @@ ZMatrix RomEvalEngine::transfer(cplx s, RomEvalWorkspace& ws) const {
     if (!ws.transfer_ready) prepare_transfer(ws);
 
     if (ws.direct_path) {
-        // The shared direct kernel (small-q fast lane and singular-G~
-        // fallback): factor the complex pencil at this frequency directly.
-        ZMatrix& k = ws.klu.stamp(q_);
-        const double* g = ws.gp.raw().data();
-        const double* c = ws.cp.raw().data();
-        cplx* out = k.raw().data();
-        for (std::size_t e = 0; e < k.raw().size(); ++e) out[e] = g[e] + s * c[e];
-        ws.klu.factor_stamped();
-        if (ws.x.rows() != q_ || ws.x.cols() != m_) ws.x = ZMatrix(q_, m_);
-        ws.x.raw() = bz_.raw();
-        ws.klu.solve_inplace(ws.x);
+        // The direct kernel (small-q fast lane and singular-G~ fallback):
+        // factor the complex pencil at this frequency. Below
+        // kDirectPathOrder the identity-padded fixed-size kernels run the
+        // same arithmetic fully unrolled; the generic workspace LU serves
+        // the singular-G~ fallback at q >= kDirectPathOrder. Both stamp
+        // through simd::pencil_stamp_n and eliminate with the same
+        // per-element semantics, so the lanes agree bitwise.
+        const bool fixed = la::small_lu_dispatch(q_, [&](auto n) {
+            small_direct_solve<decltype(n)::value>(q_, m_, s, ws.gp, ws.cp, bz_, ws);
+        });
+        if (!fixed) {
+            ZMatrix& k = ws.klu.stamp(q_);
+            la::simd::pencil_stamp_n(q_ * q_, s, ws.gp.raw().data(),
+                                     ws.cp.raw().data(), k.raw().data());
+            ws.klu.factor_stamped();
+            if (ws.x.rows() != q_ || ws.x.cols() != m_) ws.x = ZMatrix(q_, m_);
+            ws.x.raw() = bz_.raw();
+            ws.klu.solve_inplace(ws.x);
+        }
         return la::matmul(lzt_, ws.x);
     }
 
     // Per-frequency stage: K^-1 B~ = Q (I + sH)^-1 Q^T G~^-1 B~, one complex
-    // Hessenberg solve. Only the Hessenberg band of I + sH is stamped (the
-    // solve never reads below the first subdiagonal).
+    // Hessenberg solve in transposed storage. Column j of ms holds row j of
+    // I + sH (contiguous from the subdiagonal entry), stamped from the
+    // per-sample H^T; only the Hessenberg band is written, and the solve
+    // never reads outside it.
     if (ws.ms.rows() != q_ || ws.ms.cols() != q_) ws.ms = ZMatrix(q_, q_);
     for (int j = 0; j < q_; ++j) {
-        const double* hj = ws.hh.col_data(j);
+        const int imin = j > 0 ? j - 1 : 0;
         cplx* mj = ws.ms.col_data(j);
-        const int imax = std::min(j + 1, q_ - 1);
-        for (int i = 0; i <= imax; ++i) mj[i] = s * hj[i];
+        la::simd::zscale_real_n(q_ - imin, s, ws.ht.col_data(j) + imin, mj + imin);
         mj[j] += 1.0;
     }
     if (ws.xs.rows() != q_ || ws.xs.cols() != m_) ws.xs = ZMatrix(q_, m_);
     for (std::size_t e = 0; e < ws.xs.raw().size(); ++e)
         ws.xs.raw()[e] = ws.rh.raw()[e];
-    hessenberg_solve(ws.ms, ws.xs);
+    la::hessenberg_solve_t(ws.ms, ws.xs);
     return la::matmul(ws.lqz, ws.xs);  // L~^T Q (I+sH)^-1 Q^T G^-1 B~
 }
 
@@ -267,13 +229,8 @@ ZMatrix RomEvalEngine::transfer_sensitivity(cplx s, int param,
     // apply it twice — the sensitivity chain needs K^-1 against an arbitrary
     // complex right-hand side, which the real Hessenberg data cannot serve.
     ZMatrix& k = ws.klu.stamp(q_);
-    {
-        const double* g = ws.gp.raw().data();
-        const double* c = ws.cp.raw().data();
-        cplx* out = k.raw().data();
-        const std::size_t total = k.raw().size();
-        for (std::size_t e = 0; e < total; ++e) out[e] = g[e] + s * c[e];
-    }
+    la::simd::pencil_stamp_n(q_ * q_, s, ws.gp.raw().data(), ws.cp.raw().data(),
+                             k.raw().data());
     ws.klu.factor_stamped();
     if (ws.x.rows() != q_ || ws.x.cols() != m_) ws.x = ZMatrix(q_, m_);
     ws.x.raw() = bz_.raw();
@@ -284,8 +241,7 @@ ZMatrix RomEvalEngine::transfer_sensitivity(cplx s, int param,
     const std::size_t block = static_cast<std::size_t>(q_) * static_cast<std::size_t>(q_);
     const double* dg = g_terms_.data() + block * static_cast<std::size_t>(param + 1);
     const double* dc = c_terms_.data() + block * static_cast<std::size_t>(param + 1);
-    cplx* dk = ws.dk.raw().data();
-    for (std::size_t e = 0; e < block; ++e) dk[e] = dg[e] + s * dc[e];
+    la::simd::pencil_stamp_n(static_cast<int>(block), s, dg, dc, ws.dk.raw().data());
 
     la::matmul_into(ws.dk, ws.x, ws.dkx);  // dK K^-1 B~
     ws.klu.solve_inplace(ws.dkx);          // K^-1 dK K^-1 B~
@@ -323,13 +279,29 @@ std::vector<std::vector<ZMatrix>> RomEvalEngine::transfer_grid(
     for (auto& row : out) row.resize(s_points.size());
     if (ns == 0 || nf == 0) return out;
 
-    // Flatten (sample, frequency) into one index space so chunks stay
-    // balanced when either dimension is small. Chunks are contiguous, so a
-    // worker's frequencies for one sample are consecutive and the sample is
-    // stamped (and Hessenberg-reduced) exactly once per (chunk, sample)
-    // pair. The per-sample preparation is deterministic, so a sample split
-    // across chunks still yields identical values — bit-identical results at
-    // any thread count.
+    // When samples dominate (Monte-Carlo style grids: many corners, few
+    // frequencies), chunk BY SAMPLE so the O(q^3) per-sample Hessenberg
+    // preparation parallelizes and is paid exactly once per sample — the
+    // flattened split would duplicate it wherever a sample straddles a chunk
+    // boundary and, at nf < threads, serialize whole samples behind
+    // frequency sub-chunks. Otherwise flatten (sample, frequency) into one
+    // index space so chunks stay balanced when either dimension is small.
+    // The branch depends only on (ns, nf), per-point values are
+    // thread-count-independent either way, and both splits run the same
+    // transfer() kernel — results stay bit-identical at any thread count and
+    // under either chunking.
+    if (ns >= nf) {
+        util::ThreadPool::run_chunks(threads, 0, ns, [&](int, int s0, int s1) {
+            RomEvalWorkspace ws;
+            for (int i = s0; i < s1; ++i) {
+                stamp_parameters(samples[static_cast<std::size_t>(i)], ws);
+                for (int j = 0; j < nf; ++j)
+                    out[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+                        transfer(s_points[static_cast<std::size_t>(j)], ws);
+            }
+        });
+        return out;
+    }
     util::ThreadPool::run_chunks(
         threads, 0, ns * nf, [&](int, int chunk_begin, int chunk_end) {
             RomEvalWorkspace ws;

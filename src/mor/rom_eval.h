@@ -22,17 +22,22 @@ struct RomEvalWorkspace {
     la::DenseLuWorkspace<la::cplx> klu; ///< direct pencil factorization (sensitivities)
     // Per-sample transfer data (prepared lazily on the first frequency).
     la::Matrix hh;   ///< H = Q^T (G^-1 C) Q, upper Hessenberg (q x q)
+    la::Matrix ht;   ///< H^T — row j of H contiguous, for the stamped solve
     la::Matrix qh;   ///< accumulated orthogonal Q                (q x q)
     la::Matrix rh;   ///< Q^T G^-1 B~                             (q x m)
     la::ZMatrix lqz; ///< L~^T Q promoted to complex              (m x q)
     // Per-frequency targets.
-    la::ZMatrix ms;  ///< I + sH stamped per frequency            (q x q)
+    la::ZMatrix ms;  ///< (I + sH)^T stamped per frequency        (q x q)
     la::ZMatrix xs;  ///< Hessenberg solve target                 (q x m)
     la::ZMatrix x;   ///< K^-1 B~ of the sensitivity path         (q x m)
     la::ZMatrix dkx; ///< sensitivity chain                       (q x m)
     la::ZMatrix dk;  ///< dG~_i + s dC~_i                         (q x q)
     la::Matrix ac;   ///< G~(p)^-1 C~(p) of the pole path         (q x q)
     std::vector<double> hv;  ///< Householder scratch
+    // Fixed-size direct-lane scratch (identity-padded pencil, q < 20).
+    std::vector<la::cplx> kpad;  ///< padded pencil, N x N column-major
+    std::vector<la::cplx> xpad;  ///< padded solve target, N x m
+    std::vector<int> kperm;      ///< padded row permutation
     bool stamped = false;        ///< gp/cp hold a valid sample
     bool transfer_ready = false; ///< hh/qh/rh/lqz match the stamped sample
     /// transfer() uses the direct dense-pencil kernel instead of the

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "la/simd.h"
 #include "sparse/csc.h"
 #include "sparse/ordering.h"
 
@@ -479,13 +480,21 @@ void SparseLuT<T>::solve_inplace(T* b, T* scratch) const {
     const int n = s.n;
     T* x = scratch;
     for (int i = 0; i < n; ++i) x[s.pinv[static_cast<std::size_t>(i)]] = b[i];
+    // Updates go through simd::mul_s (the pinned unfused product), not plain
+    // `-= value * xj`: the blocked matrix solve below promises bitwise
+    // identity to this path, and a plain complex product's rounding depends
+    // on the inlining context (GCC SLP fuses the two lanes into vfmaddsub
+    // even under -ffp-contract=off). mul_s compiles to the same mul/addsub
+    // sequence as one lane of the blocked path's vector mul, everywhere.
     // L y = Pb  (unit diagonal first per column)
     for (int j = 0; j < n; ++j) {
         const T xj = x[j];
         if (xj == T{}) continue;
         for (int p = s.l_colptr[static_cast<std::size_t>(j)] + 1;
-             p < s.l_colptr[static_cast<std::size_t>(j) + 1]; ++p)
-            x[s.l_rowidx[static_cast<std::size_t>(p)]] -= l_values_[static_cast<std::size_t>(p)] * xj;
+             p < s.l_colptr[static_cast<std::size_t>(j) + 1]; ++p) {
+            T& xt = x[s.l_rowidx[static_cast<std::size_t>(p)]];
+            xt = xt - la::simd::mul_s(l_values_[static_cast<std::size_t>(p)], xj);
+        }
     }
     // U z = y  (diagonal last per column)
     for (int j = n - 1; j >= 0; --j) {
@@ -493,8 +502,10 @@ void SparseLuT<T>::solve_inplace(T* b, T* scratch) const {
         x[j] /= u_values_[static_cast<std::size_t>(pend) - 1];
         const T xj = x[j];
         if (xj == T{}) continue;
-        for (int p = s.u_colptr[static_cast<std::size_t>(j)]; p < pend - 1; ++p)
-            x[s.u_rowidx[static_cast<std::size_t>(p)]] -= u_values_[static_cast<std::size_t>(p)] * xj;
+        for (int p = s.u_colptr[static_cast<std::size_t>(j)]; p < pend - 1; ++p) {
+            T& xt = x[s.u_rowidx[static_cast<std::size_t>(p)]];
+            xt = xt - la::simd::mul_s(u_values_[static_cast<std::size_t>(p)], xj);
+        }
     }
     // Undo the column permutation.
     for (int k = 0; k < n; ++k) b[s.q[static_cast<std::size_t>(k)]] = x[k];
@@ -553,53 +564,76 @@ MatrixT<T> SparseLuT<T>::solve(const MatrixT<T>& b) const {
     const int n = s.n;
     MatrixT<T> x = b;
     // Blocked multi-RHS: up to `kBlock` right-hand sides share each pass over
-    // the factor columns, so L/U values are read once per block. Every column
-    // runs the identical operation sequence as a solo solve_inplace() call.
+    // the factor columns, so L/U values are read once per block. The scratch
+    // is LANE-MAJOR (the kBlock right-hand sides of row i are contiguous at
+    // scratch.col_data(i)), so one broadcast factor value updates the whole
+    // block with Pack<T>-wide unfused mul+sub — bitwise the per-element
+    // arithmetic of a solo solve_inplace() call, whose updates go through
+    // simd::mul_s for exactly this reason. The solo path's zero-rhs
+    // skip is dropped here: updating with a zero xj can only rewrite a zero's
+    // sign bit, which == (and every bitwise pin built on it) cannot see.
     constexpr int kBlock = 8;
-    MatrixT<T> scratch(n, std::min(kBlock, b.cols() > 0 ? b.cols() : 1));
+    using P = la::simd::Pack<T>;
+    constexpr int W = P::lanes;
+    static_assert(kBlock % W == 0, "block width must be a multiple of the pack width");
+    constexpr int NV = kBlock / W;
+    MatrixT<T> scratch(kBlock, n);
     for (int j0 = 0; j0 < b.cols(); j0 += kBlock) {
         const int jw = std::min(kBlock, b.cols() - j0);
         solve_count_ += jw;
-        // Gather each column into pivot coordinates.
+        // Zero-pad the unused lanes of a tail block once; padded lanes carry
+        // exact zeros through both triangular passes.
+        if (jw < kBlock) scratch.fill(T{});
+        // Gather each column into pivot coordinates, lane-major.
         for (int r = 0; r < jw; ++r) {
             const T* br = x.col_data(j0 + r);
-            T* xr = scratch.col_data(r);
             for (int i = 0; i < n; ++i)
-                xr[s.pinv[static_cast<std::size_t>(i)]] = br[i];
+                scratch(r, s.pinv[static_cast<std::size_t>(i)]) = br[i];
         }
         // L y = Pb (unit diagonal first per column).
         for (int j = 0; j < n; ++j) {
-            const int p0 = s.l_colptr[static_cast<std::size_t>(j)] + 1;
-            const int p1 = s.l_colptr[static_cast<std::size_t>(j) + 1];
-            for (int r = 0; r < jw; ++r) {
-                T* xr = scratch.col_data(r);
-                const T xj = xr[j];
-                if (xj == T{}) continue;
-                for (int p = p0; p < p1; ++p)
-                    xr[s.l_rowidx[static_cast<std::size_t>(p)]] -=
-                        l_values_[static_cast<std::size_t>(p)] * xj;
+            const T* xj = scratch.col_data(j);
+            bool any = false;
+            for (int r = 0; r < jw; ++r)
+                if (xj[r] != T{}) { any = true; break; }
+            if (!any) continue;
+            P xjv[NV];
+            for (int v = 0; v < NV; ++v) xjv[v] = P::load(xj + v * W);
+            for (int p = s.l_colptr[static_cast<std::size_t>(j)] + 1;
+                 p < s.l_colptr[static_cast<std::size_t>(j) + 1]; ++p) {
+                const P lv = P::broadcast(l_values_[static_cast<std::size_t>(p)]);
+                T* xt = scratch.col_data(s.l_rowidx[static_cast<std::size_t>(p)]);
+                for (int v = 0; v < NV; ++v)
+                    sub(P::load(xt + v * W), mul(lv, xjv[v])).store(xt + v * W);
             }
         }
-        // U z = y (diagonal last per column).
+        // U z = y (diagonal last per column). Lane divisions stay scalar —
+        // identical to the solo path's per-column divide (complex division
+        // has no lane-exact vector form anyway).
         for (int j = n - 1; j >= 0; --j) {
-            const int p0 = s.u_colptr[static_cast<std::size_t>(j)];
             const int pend = s.u_colptr[static_cast<std::size_t>(j) + 1];
             const T dinv = u_values_[static_cast<std::size_t>(pend) - 1];
+            T* xj = scratch.col_data(j);
+            bool any = false;
             for (int r = 0; r < jw; ++r) {
-                T* xr = scratch.col_data(r);
-                xr[j] /= dinv;
-                const T xj = xr[j];
-                if (xj == T{}) continue;
-                for (int p = p0; p < pend - 1; ++p)
-                    xr[s.u_rowidx[static_cast<std::size_t>(p)]] -=
-                        u_values_[static_cast<std::size_t>(p)] * xj;
+                xj[r] /= dinv;
+                any = any || xj[r] != T{};
+            }
+            if (!any) continue;
+            P xjv[NV];
+            for (int v = 0; v < NV; ++v) xjv[v] = P::load(xj + v * W);
+            for (int p = s.u_colptr[static_cast<std::size_t>(j)]; p < pend - 1; ++p) {
+                const P uv = P::broadcast(u_values_[static_cast<std::size_t>(p)]);
+                T* xt = scratch.col_data(s.u_rowidx[static_cast<std::size_t>(p)]);
+                for (int v = 0; v < NV; ++v)
+                    sub(P::load(xt + v * W), mul(uv, xjv[v])).store(xt + v * W);
             }
         }
         // Undo the column permutation.
         for (int r = 0; r < jw; ++r) {
-            const T* xr = scratch.col_data(r);
             T* br = x.col_data(j0 + r);
-            for (int k = 0; k < n; ++k) br[s.q[static_cast<std::size_t>(k)]] = xr[k];
+            for (int k = 0; k < n; ++k)
+                br[s.q[static_cast<std::size_t>(k)]] = scratch(r, k);
         }
     }
     return x;

@@ -48,4 +48,11 @@ inline void expect_near(const la::Matrix& a, const la::Matrix& b, double tol,
     EXPECT_LE(la::norm_max(a - b), tol) << what;
 }
 
+inline void expect_near(const la::ZMatrix& a, const la::ZMatrix& b, double tol,
+                        const char* what = "") {
+    ASSERT_EQ(a.rows(), b.rows()) << what;
+    ASSERT_EQ(a.cols(), b.cols()) << what;
+    EXPECT_LE(la::norm_max(a - b), tol) << what;
+}
+
 }  // namespace varmor::testing

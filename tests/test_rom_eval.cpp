@@ -250,5 +250,67 @@ TEST(RomEvalEngine, EmptyGridDimensions) {
     EXPECT_TRUE(grid[0].empty());
 }
 
+/// Builds a model, checks which dispatch lane it takes, and pins the engine
+/// grid bitwise against looped transfer() calls at 1 and 8 threads.
+void expect_grid_bitwise_on_lane(const ReducedModel& model, bool expect_direct,
+                                 std::uint64_t sample_seed) {
+    const RomEvalEngine engine(model);
+    RomEvalWorkspace ws;
+    const auto samples = make_samples(3, model.num_params(), sample_seed);
+    engine.stamp_parameters(samples[0], ws);
+    (void)engine.transfer(cplx(0.0, util::two_pi_f(1e9)), ws);
+    EXPECT_EQ(ws.direct_path, expect_direct);
+
+    const auto s_points = make_s_points(5);
+    std::vector<std::vector<ZMatrix>> looped;
+    for (const auto& p : samples) {
+        std::vector<ZMatrix> row;
+        for (const cplx& sp : s_points) row.push_back(model.transfer(sp, p));
+        looped.push_back(std::move(row));
+    }
+    for (int threads : {1, 8})
+        EXPECT_EQ(max_grid_deviation(engine.transfer_grid(samples, s_points, threads),
+                                     looped), 0.0)
+            << "threads=" << threads;
+}
+
+TEST(RomEvalEngine, DispatchBoundaryJustBelowDirectLimit) {
+    // q = 18 < kDirectPathOrder = 20: the LAST reduced order on the direct
+    // lane, padded up to the 20-wide fixed-size kernel.
+    const ReducedModel model = make_model(60, 2, 41, 9);  // q = 18
+    ASSERT_EQ(model.size(), RomEvalEngine::kDirectPathOrder - 2);
+    expect_grid_bitwise_on_lane(model, /*expect_direct=*/true, 43);
+}
+
+TEST(RomEvalEngine, DispatchBoundaryAtDirectLimit) {
+    // q = 20 == kDirectPathOrder: the FIRST reduced order on the Hessenberg
+    // path. Both dispatch arms must hold the loop-vs-grid bitwise contract.
+    const ReducedModel model = make_model(60, 2, 41, 10);  // q = 20
+    ASSERT_EQ(model.size(), RomEvalEngine::kDirectPathOrder);
+    expect_grid_bitwise_on_lane(model, /*expect_direct=*/false, 47);
+}
+
+TEST(RomEvalEngine, SampleMajorChunkingBitIdenticalToLoop) {
+    // ns >= nf flips transfer_grid into by-sample chunking (one Hessenberg
+    // preparation per sample per chunk); the values must not notice. 17
+    // samples x 2 frequencies exercises uneven chunk splits at 8 threads.
+    const ReducedModel model = make_model();
+    const RomEvalEngine engine(model);
+    const auto samples = make_samples(16, model.num_params(), 53);  // +nominal = 17
+    const auto s_points = make_s_points(2);
+    ASSERT_GE(samples.size(), s_points.size());
+
+    std::vector<std::vector<ZMatrix>> looped;
+    for (const auto& p : samples) {
+        std::vector<ZMatrix> row;
+        for (const cplx& sp : s_points) row.push_back(model.transfer(sp, p));
+        looped.push_back(std::move(row));
+    }
+    for (int threads : {1, 8})
+        EXPECT_EQ(max_grid_deviation(engine.transfer_grid(samples, s_points, threads),
+                                     looped), 0.0)
+            << "threads=" << threads;
+}
+
 }  // namespace
 }  // namespace varmor::mor

@@ -30,6 +30,12 @@ future-in-lock   src/service/ must not .get()/.wait() a future while a
                  future wait under a lock is a latent deadlock even when the
                  thread-safety analysis cannot see it (the wait blocks on
                  another thread that may need the same lock).
+
+simd-confined    Raw vector intrinsics (immintrin.h, _mm*/__m128/__m256/
+                 __m512 tokens) are allowed in src/la/simd.h ONLY. Everything
+                 else programs against Pack<T> and the pointer kernels, so
+                 the portable scalar arm stays complete and the bit-identity
+                 contract has a single place to audit.
 """
 
 import os
@@ -211,6 +217,22 @@ class Linter:
                                 f"{token} outside util/thread_annotations.h — "
                                 "use the annotated util::Mutex/MutexLock/CondVar")
 
+    # -- simd-confined -----------------------------------------------------
+    def check_simd_confined(self):
+        allowed = os.path.normpath(os.path.join(self.root, "src", "la", "simd.h"))
+        intrinsic_re = re.compile(
+            r"\bimmintrin\.h\b|\b_mm\w*\s*\(|\b__m(?:128|256|512)[di]?\b")
+        for path in iter_source_files(self.root, "src"):
+            if os.path.normpath(path) == allowed:
+                continue
+            with open(path, encoding="utf-8") as f:
+                code = strip_code(f.read(), keep_strings=False)
+            for m in intrinsic_re.finditer(code):
+                self.report(path, line_of(code, m.start()), "simd-confined",
+                            f"raw vector intrinsic '{m.group(0).strip()}' outside "
+                            "src/la/simd.h — program against Pack<T> / the "
+                            "simd:: pointer kernels")
+
     # -- future-in-lock ----------------------------------------------------
     def check_future_in_lock(self):
         for path in iter_source_files(self.root, os.path.join("src", "service")):
@@ -248,6 +270,7 @@ class Linter:
         self.check_fault_points()
         self.check_numerics_hygiene()
         self.check_naked_mutex()
+        self.check_simd_confined()
         self.check_future_in_lock()
         return self.findings
 
