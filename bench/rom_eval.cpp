@@ -190,6 +190,17 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     std::printf("\n");
 
+    // The work-stealing scheduler's view of the parallel grid: how evenly
+    // the chunks spread over the workers and how many claims were steals
+    // (imbalance absorbed dynamically without changing any result bit).
+    const util::ThreadPool::SchedulingStats sched =
+        util::ThreadPool::global().scheduling_stats();
+    std::printf("pool scheduling: %lld sections, %lld steals, queue high-water %d\n",
+                sched.sections, sched.steals, sched.queue_high_water);
+    std::printf("chunks claimed per worker:");
+    for (long long c : sched.chunks_per_worker) std::printf(" %lld", c);
+    std::printf("\n\n");
+
     // PR-8 raised the bar: the simd arm's blocked/transposed kernels hold
     // ~30x over the seed loop on AVX2 hardware and ~11x on the forced-scalar
     // arm (the transposed Hessenberg solve and wider RHS blocking help both).

@@ -132,6 +132,16 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     std::printf("\n");
 
+    // Work-stealing scheduler counters for the parallel corner batch: chunk
+    // distribution across workers plus how many claims were steals.
+    const util::ThreadPool::SchedulingStats sched =
+        util::ThreadPool::global().scheduling_stats();
+    std::printf("pool scheduling: %lld sections, %lld steals, queue high-water %d\n",
+                sched.sections, sched.steals, sched.queue_high_water);
+    std::printf("chunks claimed per worker:");
+    for (long long c : sched.chunks_per_worker) std::printf(" %lld", c);
+    std::printf("\n\n");
+
     checks.expect(speedup_serial >= 2.0,
                   "batched engine is >= 2x faster than per-corner rebuilds "
                   "(single-threaded)");

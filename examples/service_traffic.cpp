@@ -9,12 +9,12 @@
 //   - QueryBatcher: concurrent transfer/delay/pole queries coalesce into
 //     engine batches under the size/deadline policy; results are bitwise
 //     identical to serving each query alone.
-//   - StudySession futures: clients block only on their own answers.
+//   - StudySession tickets: clients block only on their own answers (the
+//     slab-backed service::Future — recycled slots, no per-query allocation).
 //
 // Build & run:  cmake --build build && ./build/examples/service_traffic
 
 #include <cstdio>
-#include <future>
 #include <thread>
 #include <vector>
 
@@ -64,11 +64,11 @@ int main() {
     for (int c = 0; c < kClients; ++c)
         clients.emplace_back([&, c] {
             const std::vector<double> corner{0.05 * c - 0.2, 0.1 - 0.03 * c};
-            std::vector<std::future<la::ZMatrix>> tf;
+            std::vector<service::Future<la::ZMatrix>> tf;
             for (double f : freqs)
                 tf.push_back(session.transfer(corner, cplx(0.0, util::two_pi_f(f))));
-            std::future<service::DelayResult> df = session.delay(corner);
-            std::future<std::vector<cplx>> pf = session.poles(corner);
+            service::Future<service::DelayResult> df = session.delay(corner);
+            service::Future<std::vector<cplx>> pf = session.poles(corner);
             for (auto& f : tf) {
                 (void)f.get();
                 ++answered[static_cast<std::size_t>(c)];

@@ -114,32 +114,41 @@ TransientResult TransientBatchRunner::run(const std::vector<double>& p,
     return run(p, input, scratch);
 }
 
-std::vector<TransientBatchRunner::CornerOutcome> TransientBatchRunner::run_batch_captured(
-    const std::vector<std::vector<double>>& corners, const InputFn& input,
-    int threads) const {
+std::vector<Vector> TransientBatchRunner::make_forcing(const InputFn& input) const {
     // The input series is corner-independent: evaluate u(t) and the B
     // product once for the whole batch instead of once per corner, and share
     // the series read-only across workers.
-    const std::vector<Vector> forcing = detail::forcing_series(
+    return detail::forcing_series(
         grid_, input, [&](const Vector& u) { return la::matvec(ctx_->system().b, u); });
+}
+
+TransientBatchRunner::CornerOutcome TransientBatchRunner::run_corner_captured(
+    const std::vector<double>& p, const std::vector<Vector>& forcing,
+    Scratch& scratch) const {
+    CornerOutcome out;
+    try {
+        out.result = run_with_forcing(p, forcing, scratch);
+    } catch (...) {
+        // The corner's own failure, isolated to its slot. The per-corner
+        // pencil state is scratch-local and rebuilt per corner, so a failed
+        // corner leaves nothing behind for the next one on this scratch.
+        out.error = std::current_exception();
+    }
+    return out;
+}
+
+std::vector<TransientBatchRunner::CornerOutcome> TransientBatchRunner::run_batch_captured(
+    const std::vector<std::vector<double>>& corners, const InputFn& input,
+    int threads) const {
+    const std::vector<Vector> forcing = make_forcing(input);
     std::vector<CornerOutcome> out(corners.size());
     util::ThreadPool::run_chunks(
         threads, 0, static_cast<int>(corners.size()),
         [&](int, int chunk_begin, int chunk_end) {
             Scratch scratch = make_scratch();
-            for (int i = chunk_begin; i < chunk_end; ++i) {
-                CornerOutcome& slot = out[static_cast<std::size_t>(i)];
-                try {
-                    slot.result = run_with_forcing(
-                        corners[static_cast<std::size_t>(i)], forcing, scratch);
-                } catch (...) {
-                    // The corner's own failure, isolated to its slot. The
-                    // per-corner pencil state is scratch-local and rebuilt
-                    // per corner, so a failed corner leaves nothing behind
-                    // for the next one on this worker.
-                    slot.error = std::current_exception();
-                }
-            }
+            for (int i = chunk_begin; i < chunk_end; ++i)
+                out[static_cast<std::size_t>(i)] = run_corner_captured(
+                    corners[static_cast<std::size_t>(i)], forcing, scratch);
         });
     return out;
 }

@@ -97,6 +97,22 @@ public:
         std::exception_ptr error;
     };
 
+    /// The batch preamble, exposed: evaluates the corner-independent forcing
+    /// series B (u0+u1)/2 over the runner's grid, once, for sharing
+    /// read-only across any number of run_corner_captured calls. This is how
+    /// the serving layer schedules delay corners as individual pool tasks
+    /// (overlapped with the dense transfer lane) while keeping the
+    /// evaluate-the-input-once economics of run_batch.
+    std::vector<la::Vector> make_forcing(const InputFn& input) const;
+
+    /// One corner of a captured batch on caller-owned scratch and a shared
+    /// forcing series from make_forcing: the corner's own failure is
+    /// captured into the outcome, never thrown. Bit-identical to the
+    /// corresponding slot of run_batch_captured (same single code path).
+    CornerOutcome run_corner_captured(const std::vector<double>& p,
+                                      const std::vector<la::Vector>& forcing,
+                                      Scratch& scratch) const;
+
     /// run_batch with per-corner failure isolation: a corner that throws
     /// (singular pencil, parameter-length mismatch, injected fault) captures
     /// its exception into its own slot, and every OTHER corner still runs —

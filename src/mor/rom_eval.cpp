@@ -92,6 +92,22 @@ void small_direct_solve(int q, int m, cplx s, const la::Matrix& gp,
                   x + static_cast<std::size_t>(r) * N + q, ws.x.col_data(r));
 }
 
+/// Stamps ms = (I + sH)^T for one frequency from the per-sample band
+/// transpose ht: column j of ms holds row j of I + sH, contiguous from the
+/// subdiagonal entry. Only the Hessenberg band is written, and
+/// hessenberg_solve_t never reads outside it. Shared by transfer() and the
+/// sensitivity chain so both stamp bit-identical pencils; the solve
+/// eliminates IN PLACE, so callers re-stamp before every solve.
+void stamp_hessenberg_pencil(int q, cplx s, const Matrix& ht, ZMatrix& ms) {
+    if (ms.rows() != q || ms.cols() != q) ms = ZMatrix(q, q);
+    for (int j = 0; j < q; ++j) {
+        const int imin = j > 0 ? j - 1 : 0;
+        cplx* mj = ms.col_data(j);
+        la::simd::zscale_real_n(q - imin, s, ht.col_data(j) + imin, mj + imin);
+        mj[j] += 1.0;
+    }
+}
+
 }  // namespace
 
 RomEvalEngine::RomEvalEngine(const ReducedModel& model)
@@ -120,6 +136,7 @@ void RomEvalEngine::stamp_parameters(const std::vector<double>& p,
     stamp_affine(c_terms_, p, q_, ws.cp);
     ws.stamped = true;
     ws.transfer_ready = false;
+    ws.sens_ready = false;
 }
 
 void RomEvalEngine::prepare_transfer(RomEvalWorkspace& ws) const {
@@ -202,17 +219,8 @@ ZMatrix RomEvalEngine::transfer(cplx s, RomEvalWorkspace& ws) const {
     }
 
     // Per-frequency stage: K^-1 B~ = Q (I + sH)^-1 Q^T G~^-1 B~, one complex
-    // Hessenberg solve in transposed storage. Column j of ms holds row j of
-    // I + sH (contiguous from the subdiagonal entry), stamped from the
-    // per-sample H^T; only the Hessenberg band is written, and the solve
-    // never reads outside it.
-    if (ws.ms.rows() != q_ || ws.ms.cols() != q_) ws.ms = ZMatrix(q_, q_);
-    for (int j = 0; j < q_; ++j) {
-        const int imin = j > 0 ? j - 1 : 0;
-        cplx* mj = ws.ms.col_data(j);
-        la::simd::zscale_real_n(q_ - imin, s, ws.ht.col_data(j) + imin, mj + imin);
-        mj[j] += 1.0;
-    }
+    // Hessenberg solve in transposed storage.
+    stamp_hessenberg_pencil(q_, s, ws.ht, ws.ms);
     if (ws.xs.rows() != q_ || ws.xs.cols() != m_) ws.xs = ZMatrix(q_, m_);
     for (std::size_t e = 0; e < ws.xs.raw().size(); ++e)
         ws.xs.raw()[e] = ws.rh.raw()[e];
@@ -225,27 +233,71 @@ ZMatrix RomEvalEngine::transfer_sensitivity(cplx s, int param,
     check(ws.stamped, "RomEvalEngine::transfer_sensitivity: stamp_parameters first");
     check(param >= 0 && param < np_,
           "RomEvalEngine::transfer_sensitivity: parameter index out of range");
-    // Direct path: factor K = G~(p) + sC~(p) once into the workspace and
-    // apply it twice — the sensitivity chain needs K^-1 against an arbitrary
-    // complex right-hand side, which the real Hessenberg data cannot serve.
-    ZMatrix& k = ws.klu.stamp(q_);
-    la::simd::pencil_stamp_n(q_ * q_, s, ws.gp.raw().data(), ws.cp.raw().data(),
-                             k.raw().data());
-    ws.klu.factor_stamped();
-    if (ws.x.rows() != q_ || ws.x.cols() != m_) ws.x = ZMatrix(q_, m_);
-    ws.x.raw() = bz_.raw();
-    ws.klu.solve_inplace(ws.x);  // K^-1 B~
+    if (!ws.transfer_ready) prepare_transfer(ws);
 
-    // dK = G~_i + s C~_i from the packed terms.
+    // dK = G~_i + s C~_i from the packed terms (both lanes stamp it the
+    // same way).
     if (ws.dk.rows() != q_ || ws.dk.cols() != q_) ws.dk = ZMatrix(q_, q_);
     const std::size_t block = static_cast<std::size_t>(q_) * static_cast<std::size_t>(q_);
     const double* dg = g_terms_.data() + block * static_cast<std::size_t>(param + 1);
     const double* dc = c_terms_.data() + block * static_cast<std::size_t>(param + 1);
     la::simd::pencil_stamp_n(static_cast<int>(block), s, dg, dc, ws.dk.raw().data());
 
+    if (ws.direct_path) {
+        // Direct lane (small q, or singular G~(p)): factor K = G~ + sC~ once
+        // into the workspace and apply it twice.
+        ZMatrix& k = ws.klu.stamp(q_);
+        la::simd::pencil_stamp_n(q_ * q_, s, ws.gp.raw().data(), ws.cp.raw().data(),
+                                 k.raw().data());
+        ws.klu.factor_stamped();
+        if (ws.x.rows() != q_ || ws.x.cols() != m_) ws.x = ZMatrix(q_, m_);
+        ws.x.raw() = bz_.raw();
+        ws.klu.solve_inplace(ws.x);            // K^-1 B~
+        la::matmul_into(ws.dk, ws.x, ws.dkx);  // dK K^-1 B~
+        ws.klu.solve_inplace(ws.dkx);          // K^-1 dK K^-1 B~
+        ZMatrix out = la::matmul(lzt_, ws.dkx);
+        for (cplx& v : out.raw()) v = -v;
+        return out;
+    }
+
+    // Hessenberg lane: K^-1 = Q (I + sH)^-1 Q^T G~^-1, so both K^-1
+    // applications are O(q^2) Hessenberg solves on the per-sample form and
+    // the trailing L~^T folds into the per-sample L~^T Q — no complex pencil
+    // factorization at any frequency. The solve eliminates ms in place, so
+    // the pencil is re-stamped before each solve (O(q^2) band writes).
+    if (!ws.sens_ready) {
+        ws.qz = la::to_complex(ws.qh);
+        ws.qtz = la::transpose(ws.qz);
+        ws.sens_ready = true;
+    }
+
+    // X = K^-1 B~ = Q (I + sH)^-1 (Q^T G~^-1 B~), as in transfer().
+    stamp_hessenberg_pencil(q_, s, ws.ht, ws.ms);
+    if (ws.xs.rows() != q_ || ws.xs.cols() != m_) ws.xs = ZMatrix(q_, m_);
+    for (std::size_t e = 0; e < ws.xs.raw().size(); ++e)
+        ws.xs.raw()[e] = ws.rh.raw()[e];
+    la::hessenberg_solve_t(ws.ms, ws.xs);
+    la::matmul_into(ws.qz, ws.xs, ws.x);
+
     la::matmul_into(ws.dk, ws.x, ws.dkx);  // dK K^-1 B~
-    ws.klu.solve_inplace(ws.dkx);          // K^-1 dK K^-1 B~
-    ZMatrix out = la::matmul(lzt_, ws.dkx);
+
+    // G~^-1 (dK K^-1 B~) through the per-sample REAL factorization: split
+    // the complex right-hand side into Re/Im blocks, substitute each.
+    if (ws.yr.rows() != q_ || ws.yr.cols() != m_) ws.yr = Matrix(q_, m_);
+    if (ws.yi.rows() != q_ || ws.yi.cols() != m_) ws.yi = Matrix(q_, m_);
+    for (std::size_t e = 0; e < ws.dkx.raw().size(); ++e) {
+        ws.yr.raw()[e] = ws.dkx.raw()[e].real();
+        ws.yi.raw()[e] = ws.dkx.raw()[e].imag();
+    }
+    ws.glu.solve_inplace(ws.yr);
+    ws.glu.solve_inplace(ws.yi);
+    for (std::size_t e = 0; e < ws.dkx.raw().size(); ++e)
+        ws.dkx.raw()[e] = cplx(ws.yr.raw()[e], ws.yi.raw()[e]);
+
+    la::matmul_into(ws.qtz, ws.dkx, ws.xs);      // Q^T G~^-1 dK K^-1 B~
+    stamp_hessenberg_pencil(q_, s, ws.ht, ws.ms);
+    la::hessenberg_solve_t(ws.ms, ws.xs);        // (I + sH)^-1 ...
+    ZMatrix out = la::matmul(ws.lqz, ws.xs);     // L~^T Q ...
     for (cplx& v : out.raw()) v = -v;
     return out;
 }

@@ -26,12 +26,19 @@ struct RomEvalWorkspace {
     la::Matrix qh;   ///< accumulated orthogonal Q                (q x q)
     la::Matrix rh;   ///< Q^T G^-1 B~                             (q x m)
     la::ZMatrix lqz; ///< L~^T Q promoted to complex              (m x q)
+    // Per-sample sensitivity data (promoted lazily on the first
+    // transfer_sensitivity of the sample — transfer-only traffic never
+    // pays for it).
+    la::ZMatrix qz;  ///< Q promoted to complex                   (q x q)
+    la::ZMatrix qtz; ///< Q^T promoted to complex                 (q x q)
     // Per-frequency targets.
     la::ZMatrix ms;  ///< (I + sH)^T stamped per frequency        (q x q)
     la::ZMatrix xs;  ///< Hessenberg solve target                 (q x m)
     la::ZMatrix x;   ///< K^-1 B~ of the sensitivity path         (q x m)
     la::ZMatrix dkx; ///< sensitivity chain                       (q x m)
     la::ZMatrix dk;  ///< dG~_i + s dC~_i                         (q x q)
+    la::Matrix yr;   ///< Re scratch of the sensitivity G~ solve  (q x m)
+    la::Matrix yi;   ///< Im scratch of the sensitivity G~ solve  (q x m)
     la::Matrix ac;   ///< G~(p)^-1 C~(p) of the pole path         (q x q)
     std::vector<double> hv;  ///< Householder scratch
     // Fixed-size direct-lane scratch (identity-padded pencil, q < 20).
@@ -40,6 +47,7 @@ struct RomEvalWorkspace {
     std::vector<int> kperm;      ///< padded row permutation
     bool stamped = false;        ///< gp/cp hold a valid sample
     bool transfer_ready = false; ///< hh/qh/rh/lqz match the stamped sample
+    bool sens_ready = false;     ///< qz/qtz match the stamped sample
     /// transfer() uses the direct dense-pencil kernel instead of the
     /// Hessenberg split — either because the model is small (q below
     /// RomEvalEngine::kDirectPathOrder, where the per-sample Hessenberg
@@ -101,7 +109,14 @@ public:
     la::ZMatrix transfer(la::cplx s, RomEvalWorkspace& ws) const;
 
     /// dH/dp_i = -L~^T K^-1 (G~_i + s C~_i) K^-1 B~ for the stamped sample
-    /// (direct dense factorization of K into the workspace).
+    /// (m x m). Routed through the SAME per-sample Hessenberg form as
+    /// transfer(): with K^-1 = Q (I + sH)^-1 Q^T G~^-1, a sensitivity point
+    /// is two O(q^2) Hessenberg solves plus one real G~ substitution — no
+    /// per-frequency complex factorization, so grids of sensitivities
+    /// amortize the O(q^3) preparation exactly like transfer grids do. The
+    /// direct lane (q < kDirectPathOrder, or singular G~(p)) keeps the dense
+    /// pencil factorization; the branch depends only on (q, stamped values),
+    /// so looped and batched evaluation agree bitwise.
     la::ZMatrix transfer_sensitivity(la::cplx s, int param, RomEvalWorkspace& ws) const;
 
     /// All finite poles of the pencil (G~(p), C~(p)) for the stamped sample,

@@ -46,7 +46,13 @@ CacheKey cache_key(const circuit::ParametricSystem& sys,
 
 ModelCache::ModelCache(const ModelCacheOptions& opts) : opts_(opts) {
     check(opts_.memory_capacity >= 1, "ModelCache: memory_capacity must be >= 1");
+    check(opts_.memory_shards >= 1, "ModelCache: memory_shards must be >= 1");
     check(opts_.poison_after >= 1, "ModelCache: poison_after must be >= 1");
+    shard_capacity_ =
+        (opts_.memory_capacity + opts_.memory_shards - 1) / opts_.memory_shards;
+    shards_.reserve(static_cast<std::size_t>(opts_.memory_shards));
+    for (int i = 0; i < opts_.memory_shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
     if (!opts_.disk_dir.empty()) {
         DiskStoreOptions d;
         d.dir = opts_.disk_dir;
@@ -67,77 +73,82 @@ DiskStoreStats ModelCache::disk_stats() const {
     return disk_->stats();
 }
 
-ModelCache::ModelPtr ModelCache::memory_lookup_locked(const CacheKey& key) {
-    auto it = index_.find(key.value);
-    if (it == index_.end()) return nullptr;
-    lru_.splice(lru_.begin(), lru_, it->second);  // bump to most recent
-    ++stats_.memory_hits;
+ModelCache::ModelPtr ModelCache::memory_lookup_locked(Shard& sh,
+                                                      const CacheKey& key) const {
+    auto it = sh.index.find(key.value);
+    if (it == sh.index.end()) return nullptr;
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second);  // bump to most recent
+    ++sh.stats.memory_hits;
     return it->second->model;
 }
 
-void ModelCache::insert_locked(const CacheKey& key, ModelPtr model) {
-    auto it = index_.find(key.value);
-    if (it != index_.end()) {
-        lru_.splice(lru_.begin(), lru_, it->second);
+void ModelCache::insert_locked(Shard& sh, const CacheKey& key, ModelPtr model) const {
+    auto it = sh.index.find(key.value);
+    if (it != sh.index.end()) {
+        sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
         it->second->model = std::move(model);
         return;
     }
-    lru_.push_front(Entry{key, std::move(model)});
-    index_[key.value] = lru_.begin();
-    while (static_cast<int>(lru_.size()) > opts_.memory_capacity) {
-        index_.erase(lru_.back().key.value);
-        lru_.pop_back();
-        ++stats_.evictions;
+    sh.lru.push_front(Entry{key, std::move(model)});
+    sh.index[key.value] = sh.lru.begin();
+    while (static_cast<int>(sh.lru.size()) > shard_capacity_) {
+        sh.index.erase(sh.lru.back().key.value);
+        sh.lru.pop_back();
+        ++sh.stats.evictions;
     }
 }
 
 ModelCache::ModelPtr ModelCache::lookup(const CacheKey& key) {
+    Shard& sh = shard(key);
     {
-        util::MutexLock lock(mutex_);
-        if (ModelPtr m = memory_lookup_locked(key)) return m;
+        util::MutexLock lock(sh.mutex);
+        if (ModelPtr m = memory_lookup_locked(sh, key)) return m;
     }
     if (!disk_) return nullptr;
     ModelPtr m = disk_->load(key.hex());
     if (m) {
-        util::MutexLock lock(mutex_);
-        ++stats_.disk_hits;
-        insert_locked(key, m);
+        util::MutexLock lock(sh.mutex);
+        ++sh.stats.disk_hits;
+        insert_locked(sh, key, m);
     }
     return m;
 }
 
 bool ModelCache::poisoned(const CacheKey& key) const {
-    util::MutexLock lock(mutex_);
-    auto it = poisoned_.find(key.value);
-    return it != poisoned_.end() &&
+    Shard& sh = shard(key);
+    util::MutexLock lock(sh.mutex);
+    auto it = sh.poisoned.find(key.value);
+    return it != sh.poisoned.end() &&
            util::Deadline::clock::now() < it->second.expiry;
 }
 
 void ModelCache::record_build_failure(const CacheKey& key, std::exception_ptr error) {
-    util::MutexLock lock(mutex_);
-    const int failures = ++consecutive_failures_[key.value];
+    Shard& sh = shard(key);
+    util::MutexLock lock(sh.mutex);
+    const int failures = ++sh.consecutive_failures[key.value];
     if (failures >= opts_.poison_after) {
-        poisoned_[key.value] =
+        sh.poisoned[key.value] =
             Poison{std::move(error),
                    util::Deadline::clock::now() +
                        std::chrono::duration_cast<util::Deadline::clock::duration>(
                            std::chrono::duration<double, std::milli>(
                                opts_.poison_ttl_ms))};
-        ++stats_.poisonings;
+        ++sh.stats.poisonings;
     }
 }
 
 ModelCache::ModelPtr ModelCache::build_miss(const CacheKey& key, const Builder& build) {
     const std::string hex = key.hex();
+    Shard& sh = shard(key);
 
     // Disk probe first: another thread/process may have persisted the model
     // since our memory miss.
     if (disk_) {
         if (ModelPtr m = disk_->load(hex)) {
-            util::MutexLock lock(mutex_);
-            ++stats_.disk_hits;
-            consecutive_failures_.erase(key.value);
-            insert_locked(key, m);
+            util::MutexLock lock(sh.mutex);
+            ++sh.stats.disk_hits;
+            sh.consecutive_failures.erase(key.value);
+            insert_locked(sh, key, m);
             return m;
         }
     }
@@ -150,10 +161,10 @@ ModelCache::ModelPtr ModelCache::build_miss(const CacheKey& key, const Builder& 
     if (disk_) {
         build_lock = disk_->lock_key(hex);
         if (ModelPtr m = disk_->load(hex)) {
-            util::MutexLock lock(mutex_);
-            ++stats_.disk_hits;
-            consecutive_failures_.erase(key.value);
-            insert_locked(key, m);
+            util::MutexLock lock(sh.mutex);
+            ++sh.stats.disk_hits;
+            sh.consecutive_failures.erase(key.value);
+            insert_locked(sh, key, m);
             return m;
         }
     }
@@ -168,11 +179,11 @@ ModelCache::ModelPtr ModelCache::build_miss(const CacheKey& key, const Builder& 
     }
 
     {
-        util::MutexLock lock(mutex_);
-        ++stats_.builds;
-        consecutive_failures_.erase(key.value);
-        poisoned_.erase(key.value);
-        insert_locked(key, model);
+        util::MutexLock lock(sh.mutex);
+        ++sh.stats.builds;
+        sh.consecutive_failures.erase(key.value);
+        sh.poisoned.erase(key.value);
+        insert_locked(sh, key, model);
     }
     // Write-through persist — retried inside the store; an ultimate failure
     // is counted there, NOT thrown: the disk tier is an optimization and a
@@ -183,19 +194,20 @@ ModelCache::ModelPtr ModelCache::build_miss(const CacheKey& key, const Builder& 
 
 ModelCache::ModelPtr ModelCache::get_or_build(const CacheKey& key, const Builder& build,
                                               const util::Deadline& deadline) {
+    Shard& sh = shard(key);
     {
-        util::MutexLock lock(mutex_);
-        if (ModelPtr m = memory_lookup_locked(key)) return m;
+        util::MutexLock lock(sh.mutex);
+        if (ModelPtr m = memory_lookup_locked(sh, key)) return m;
         // Negative cache: a key whose builder keeps failing fails FAST (the
         // stored failure, rethrown) instead of re-running the builder on
         // every request. Expiry lets transient infrastructure failures heal.
-        auto it = poisoned_.find(key.value);
-        if (it != poisoned_.end()) {
+        auto it = sh.poisoned.find(key.value);
+        if (it != sh.poisoned.end()) {
             if (util::Deadline::clock::now() < it->second.expiry) {
-                ++stats_.poison_hits;
+                ++sh.stats.poison_hits;
                 std::rethrow_exception(it->second.error);
             }
-            poisoned_.erase(it);  // expired — try a real build again
+            sh.poisoned.erase(it);  // expired — try a real build again
         }
     }
     if (deadline.expired())
@@ -206,20 +218,47 @@ ModelCache::ModelPtr ModelCache::get_or_build(const CacheKey& key, const Builder
 }
 
 void ModelCache::evict_memory() {
-    util::MutexLock lock(mutex_);
-    stats_.evictions += static_cast<long>(lru_.size());
-    lru_.clear();
-    index_.clear();
+    for (const auto& shard_ptr : shards_) {
+        Shard& sh = *shard_ptr;
+        util::MutexLock lock(sh.mutex);
+        sh.stats.evictions += static_cast<long>(sh.lru.size());
+        sh.lru.clear();
+        sh.index.clear();
+    }
 }
 
 int ModelCache::memory_size() const {
-    util::MutexLock lock(mutex_);
-    return static_cast<int>(lru_.size());
+    int total = 0;
+    for (const auto& shard_ptr : shards_) {
+        const Shard& sh = *shard_ptr;
+        util::MutexLock lock(sh.mutex);
+        total += static_cast<int>(sh.lru.size());
+    }
+    return total;
 }
 
 ModelCacheStats ModelCache::stats() const {
-    util::MutexLock lock(mutex_);
-    return stats_;
+    ModelCacheStats total;
+    for (const ModelCacheStats& s : shard_stats()) {
+        total.memory_hits += s.memory_hits;
+        total.disk_hits += s.disk_hits;
+        total.builds += s.builds;
+        total.evictions += s.evictions;
+        total.poisonings += s.poisonings;
+        total.poison_hits += s.poison_hits;
+    }
+    return total;
+}
+
+std::vector<ModelCacheStats> ModelCache::shard_stats() const {
+    std::vector<ModelCacheStats> out;
+    out.reserve(shards_.size());
+    for (const auto& shard_ptr : shards_) {
+        const Shard& sh = *shard_ptr;
+        util::MutexLock lock(sh.mutex);
+        out.push_back(sh.stats);
+    }
+    return out;
 }
 
 }  // namespace varmor::service

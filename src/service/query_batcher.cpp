@@ -44,19 +44,18 @@ std::vector<Group<ItemT>> group_by_point(std::vector<ItemT>& items) {
     return groups;
 }
 
-/// Fails a promise, tolerating one already satisfied: when a batch blows up
-/// partway through execution, the members already answered keep their
-/// values and only the unanswered ones receive the batch failure.
-template <class T>
-void try_fail(std::promise<T>& promise, const std::exception_ptr& error) {
-    try {
-        promise.set_exception(error);
-    } catch (const std::future_error&) {
-    }
-}
-
 std::string point_detail(const std::vector<double>& p) {
     return p.empty() ? std::string() : std::to_string(p[0]);
+}
+
+/// Chunk count for fanning `n` lane units into the combined task set:
+/// mirrors the pool's own oversubscription so the work-stealing scheduler
+/// has slack to interleave lanes, without one task per unit.
+int lane_chunks(int n, int threads) {
+    const int width = threads == 1
+                          ? 1
+                          : (threads > 1 ? threads : util::ThreadPool::global().size());
+    return std::min(n, std::max(1, width * util::ThreadPool::kChunksPerWorker));
 }
 
 }  // namespace
@@ -102,22 +101,24 @@ void QueryBatcher::close() {
 }
 
 template <class ItemT, class ResultT>
-std::future<ResultT> QueryBatcher::admit(ItemT item) {
-    std::future<ResultT> out = item.result.get_future();
+Future<ResultT> QueryBatcher::admit(util::ResultSlab<ResultT>& slab, ItemT item) {
+    auto opened = slab.open();
+    item.result = opened.first;
     if (item.deadline.expired()) {
         {
             util::MutexLock lock(stats_mutex_);
             ++stats_.expired;
         }
-        item.result.set_exception(std::make_exception_ptr(DeadlineExceeded(
-            "QueryBatcher: deadline expired before admission")));
-        return out;
+        slab.set_error(opened.first,
+                       std::make_exception_ptr(DeadlineExceeded(
+                           "QueryBatcher: deadline expired before admission")));
+        return std::move(opened.second);
     }
     Item wrapped(std::move(item));
-    // try_push moves from `wrapped` only on kOk — on rejection the item (and
-    // its promise) is still ours to fail cleanly. The submitting thread
+    // try_push moves from `wrapped` only on kOk — on rejection the channel
+    // (a POD handle we still hold) is failed cleanly. The submitting thread
     // NEVER sees a throw for load or lifecycle; everything arrives through
-    // the future.
+    // the ticket.
     switch (queue_.try_push(wrapped)) {
         case util::PushStatus::kOk:
             break;
@@ -126,10 +127,10 @@ std::future<ResultT> QueryBatcher::admit(ItemT item) {
                 util::MutexLock lock(stats_mutex_);
                 ++stats_.shed;
             }
-            std::get<ItemT>(wrapped).result.set_exception(std::make_exception_ptr(
-                OverloadError("QueryBatcher: shed — " +
-                              std::to_string(opts_.max_pending) +
-                              " queries already pending")));
+            slab.set_error(opened.first, std::make_exception_ptr(OverloadError(
+                                             "QueryBatcher: shed — " +
+                                             std::to_string(opts_.max_pending) +
+                                             " queries already pending")));
             break;
         }
         case util::PushStatus::kClosed: {
@@ -137,40 +138,44 @@ std::future<ResultT> QueryBatcher::admit(ItemT item) {
                 util::MutexLock lock(stats_mutex_);
                 ++stats_.rejected_closed;
             }
-            std::get<ItemT>(wrapped).result.set_exception(std::make_exception_ptr(
-                ServiceClosed("QueryBatcher: submit after close")));
+            slab.set_error(opened.first, std::make_exception_ptr(ServiceClosed(
+                                             "QueryBatcher: submit after close")));
             break;
         }
     }
-    return out;
+    return std::move(opened.second);
 }
 
-std::future<la::ZMatrix> QueryBatcher::submit_transfer(std::vector<double> p,
-                                                       la::cplx s,
-                                                       util::Deadline deadline) {
-    return admit<TransferItem, la::ZMatrix>(TransferItem{std::move(p), s, deadline, {}});
+Future<la::ZMatrix> QueryBatcher::submit_transfer(std::vector<double> p, la::cplx s,
+                                                  util::Deadline deadline) {
+    return admit<TransferItem, la::ZMatrix>(transfer_slab_,
+                                            TransferItem{std::move(p), s, deadline, {}});
 }
 
-std::future<DelayResult> QueryBatcher::submit_delay(std::vector<double> p,
-                                                    util::Deadline deadline) {
+Future<DelayResult> QueryBatcher::submit_delay(std::vector<double> p,
+                                               util::Deadline deadline) {
     check(transient_ != nullptr, "QueryBatcher: no transient runner configured");
-    return admit<DelayItem, DelayResult>(DelayItem{std::move(p), deadline, {}});
+    return admit<DelayItem, DelayResult>(delay_slab_,
+                                         DelayItem{std::move(p), deadline, {}});
 }
 
-std::future<std::vector<la::cplx>> QueryBatcher::submit_poles(std::vector<double> p,
-                                                              util::Deadline deadline) {
-    return admit<PoleItem, std::vector<la::cplx>>(PoleItem{std::move(p), deadline, {}});
+Future<std::vector<la::cplx>> QueryBatcher::submit_poles(std::vector<double> p,
+                                                         util::Deadline deadline) {
+    return admit<PoleItem, std::vector<la::cplx>>(pole_slab_,
+                                                  PoleItem{std::move(p), deadline, {}});
 }
 
 void QueryBatcher::flush() {
-    FlushItem marker;
-    std::future<void> done = marker.done.get_future();
-    Item wrapped(std::move(marker));
+    auto opened = flush_slab_.open();
+    Item wrapped(FlushItem{opened.first});
     // force: a flush marker is a control message, exempt from admission
     // control (shedding it would deadlock the flusher's caller), but not
     // from close() — after close everything is already drained.
-    if (queue_.try_push(wrapped, /*force=*/true) != util::PushStatus::kOk) return;
-    done.get();
+    if (queue_.try_push(wrapped, /*force=*/true) != util::PushStatus::kOk) {
+        flush_slab_.set_value(opened.first, {});  // recycle the slot
+        return;
+    }
+    opened.second.get();
 }
 
 QueryBatcherStats QueryBatcher::stats() const {
@@ -196,7 +201,7 @@ void QueryBatcher::flusher_loop() {
         // whose result it can no longer use.
         auto take = [&](Item&& item) -> bool {
             if (std::holds_alternative<FlushItem>(item)) {
-                acks.push_back(std::get<FlushItem>(std::move(item)));
+                acks.push_back(std::get<FlushItem>(item));
                 return true;
             }
             const bool expired = std::visit(
@@ -208,8 +213,8 @@ void QueryBatcher::flusher_loop() {
                 },
                 item);
             if (expired) {
-                // Count BEFORE failing the promise (same order as admit):
-                // a stats() read right after this future resolves must
+                // Count BEFORE failing the channel (same order as admit):
+                // a stats() read right after this ticket resolves must
                 // already see the expiry.
                 {
                     util::MutexLock lock(stats_mutex_);
@@ -217,13 +222,12 @@ void QueryBatcher::flusher_loop() {
                 }
                 const auto error = std::make_exception_ptr(DeadlineExceeded(
                     "QueryBatcher: deadline expired in the queue"));
-                std::visit(
-                    [&](auto& it) {
-                        if constexpr (!std::is_same_v<std::decay_t<decltype(it)>,
-                                                      FlushItem>)
-                            it.result.set_exception(error);
-                    },
-                    item);
+                if (auto* t = std::get_if<TransferItem>(&item))
+                    transfer_slab_.set_error(t->result, error);
+                else if (auto* d = std::get_if<DelayItem>(&item))
+                    delay_slab_.set_error(d->result, error);
+                else if (auto* q = std::get_if<PoleItem>(&item))
+                    pole_slab_.set_error(q->result, error);
                 return false;
             }
             ++nqueries;
@@ -254,7 +258,7 @@ void QueryBatcher::flusher_loop() {
 
         // Publish the batch's stats BEFORE execution: the first set_value
         // below releases a waiting client, and a stats() read right after a
-        // future resolves (or after flush() returns) must already see the
+        // ticket resolves (or after flush() returns) must already see the
         // batch that produced it.
         {
             util::MutexLock lock(stats_mutex_);
@@ -264,22 +268,30 @@ void QueryBatcher::flusher_loop() {
         }
 
         // The flusher survives ANYTHING a batch throws — injected faults
-        // included: the failure goes into the affected queries' futures (the
-        // already-answered keep their values) and the loop serves the next
-        // batch. A wedged flusher would wedge every future client; a failed
-        // batch only fails its own members.
+        // included: the failure goes into the affected queries' channels
+        // (set_error is a no-op on the already-answered, which keep their
+        // values) and the loop serves the next batch. A wedged flusher would
+        // wedge every future client; a failed batch only fails its own
+        // members.
         try {
             VARMOR_FAULT_POINT("query_batcher.flush");
             execute(transfers, delays, poles);
         } catch (...) {
             const std::exception_ptr error = std::current_exception();
-            for (TransferItem& item : transfers) try_fail(item.result, error);
-            for (DelayItem& item : delays) try_fail(item.result, error);
-            for (PoleItem& item : poles) try_fail(item.result, error);
+            {
+                // Batch sweep: tolerant per entry, so members that already
+                // answered keep their values; one wake-up per lane.
+                util::ResultSlab<la::ZMatrix>::Batch tb(transfer_slab_);
+                util::ResultSlab<DelayResult>::Batch db(delay_slab_);
+                util::ResultSlab<std::vector<la::cplx>>::Batch pb(pole_slab_);
+                for (TransferItem& item : transfers) tb.set_error(item.result, error);
+                for (DelayItem& item : delays) db.set_error(item.result, error);
+                for (PoleItem& item : poles) pb.set_error(item.result, error);
+            }
             util::MutexLock lock(stats_mutex_);
             ++stats_.flush_failures;
         }
-        for (FlushItem& ack : acks) ack.done.set_value();
+        for (FlushItem& ack : acks) flush_slab_.set_value(ack.done, {});
     }
 }
 
@@ -291,26 +303,42 @@ void QueryBatcher::execute(std::vector<TransferItem>& transfers,
     // what else happened to be coalesced with it (the serve-alone purity the
     // header promises). Stamp failures fail a whole point group (stamping
     // depends only on p, so every query at that point fails alone too);
-    // everything past the stamp is caught per item.
+    // everything past the stamp is caught per item. Every task body below
+    // catches internally, so the combined section never aborts early.
+    //
+    // The three lanes are fanned into ONE task set on the work-stealing
+    // pool: dense transfer/pole chunks and sparse delay corners interleave
+    // on the same workers instead of running lane-after-lane. Task
+    // composition affects scheduling only — each item's result is computed
+    // independently, so the overlap is invisible in the bits.
+    std::vector<std::function<void()>> tasks;
 
-    // --- transfer lane: group by parameter point, fan groups over the pool.
-    // Each worker stamps (and the engine Hessenberg-prepares) a point once,
-    // then answers every coalesced frequency with one O(q^2) solve. In
-    // degraded mode the fallback solves the FULL pencil per query — slower,
-    // same grouping stats, same isolation.
-    if (!transfers.empty()) {
-        auto groups = group_by_point(transfers);
+    // --- transfer lane: group by parameter point, chunk groups into tasks.
+    // Each task stamps (and the engine Hessenberg-prepares) each of its
+    // points once, then answers every coalesced frequency with one O(q^2)
+    // solve. In degraded mode the fallback solves the FULL pencil per query
+    // — slower, same grouping stats, same isolation.
+    auto transfer_groups = group_by_point(transfers);
+    if (!transfer_groups.empty()) {
         {
             util::MutexLock lock(stats_mutex_);
             stats_.transfer_queries += static_cast<long>(transfers.size());
-            stats_.transfer_groups += static_cast<long>(groups.size());
+            stats_.transfer_groups += static_cast<long>(transfer_groups.size());
         }
-        util::ThreadPool::run_chunks(
-            opts_.threads, 0, static_cast<int>(groups.size()),
-            [&](int, int chunk_begin, int chunk_end) {
+        const int n = static_cast<int>(transfer_groups.size());
+        const int chunks = lane_chunks(n, opts_.threads);
+        for (int c = 0; c < chunks; ++c) {
+            const int b = static_cast<int>(static_cast<long long>(n) * c / chunks);
+            const int e = static_cast<int>(static_cast<long long>(n) * (c + 1) / chunks);
+            tasks.push_back([this, &transfer_groups, b, e] {
                 mor::RomEvalWorkspace ws;
-                for (int g = chunk_begin; g < chunk_end; ++g) {
-                    auto& group = groups[static_cast<std::size_t>(g)];
+                // Batch fulfilment: the chunk's answers land under ONE slab
+                // lock with ONE wake-up when the task ends (the destructor
+                // commits), instead of a per-query notify storm across every
+                // blocked client.
+                util::ResultSlab<la::ZMatrix>::Batch done(transfer_slab_);
+                for (int g = b; g < e; ++g) {
+                    auto& group = transfer_groups[static_cast<std::size_t>(g)];
                     if (engine_) {
                         try {
                             VARMOR_FAULT_POINT_DETAIL("query_batcher.stamp",
@@ -318,39 +346,45 @@ void QueryBatcher::execute(std::vector<TransferItem>& transfers,
                             engine_->stamp_parameters(*group.p, ws);
                         } catch (...) {
                             for (TransferItem* item : group.items)
-                                item->result.set_exception(std::current_exception());
+                                done.set_error(item->result, std::current_exception());
                             continue;
                         }
                     }
                     for (TransferItem* item : group.items) {
                         try {
                             if (engine_) {
-                                item->result.set_value(engine_->transfer(item->s, ws));
+                                done.set_value(item->result,
+                                               engine_->transfer(item->s, ws));
                             } else if (fallbacks_.transfer) {
-                                item->result.set_value(
-                                    fallbacks_.transfer(*group.p, item->s));
+                                done.set_value(item->result,
+                                               fallbacks_.transfer(*group.p, item->s));
                             } else {
                                 throw Error("QueryBatcher: no transfer path");
                             }
                         } catch (...) {
                             // e.g. the pencil singular at exactly this s:
                             // fails THIS query only, like serve-alone would.
-                            item->result.set_exception(std::current_exception());
+                            done.set_error(item->result, std::current_exception());
                         }
                     }
                 }
             });
+        }
     }
 
     // --- pole lane: same grouping; the pole kernel is per-sample only.
-    if (!poles.empty()) {
-        auto groups = group_by_point(poles);
-        util::ThreadPool::run_chunks(
-            opts_.threads, 0, static_cast<int>(groups.size()),
-            [&](int, int chunk_begin, int chunk_end) {
+    auto pole_groups = group_by_point(poles);
+    if (!pole_groups.empty()) {
+        const int n = static_cast<int>(pole_groups.size());
+        const int chunks = lane_chunks(n, opts_.threads);
+        for (int c = 0; c < chunks; ++c) {
+            const int b = static_cast<int>(static_cast<long long>(n) * c / chunks);
+            const int e = static_cast<int>(static_cast<long long>(n) * (c + 1) / chunks);
+            tasks.push_back([this, &pole_groups, b, e] {
                 mor::RomEvalWorkspace ws;
-                for (int g = chunk_begin; g < chunk_end; ++g) {
-                    auto& group = groups[static_cast<std::size_t>(g)];
+                util::ResultSlab<std::vector<la::cplx>>::Batch done(pole_slab_);
+                for (int g = b; g < e; ++g) {
+                    auto& group = pole_groups[static_cast<std::size_t>(g)];
                     if (engine_) {
                         try {
                             VARMOR_FAULT_POINT_DETAIL("query_batcher.stamp",
@@ -358,61 +392,82 @@ void QueryBatcher::execute(std::vector<TransferItem>& transfers,
                             engine_->stamp_parameters(*group.p, ws);
                         } catch (...) {
                             for (PoleItem* item : group.items)
-                                item->result.set_exception(std::current_exception());
+                                done.set_error(item->result, std::current_exception());
                             continue;
                         }
                     }
                     for (PoleItem* item : group.items) {
                         try {
                             if (engine_) {
-                                item->result.set_value(engine_->poles(ws));
+                                done.set_value(item->result, engine_->poles(ws));
                             } else if (fallbacks_.poles) {
-                                item->result.set_value(fallbacks_.poles(*group.p));
+                                done.set_value(item->result, fallbacks_.poles(*group.p));
                             } else {
                                 throw Error("QueryBatcher: no poles path");
                             }
                         } catch (...) {
-                            item->result.set_exception(std::current_exception());
+                            done.set_error(item->result, std::current_exception());
                         }
                     }
                 }
             });
+        }
     }
 
     // --- delay lane: the pending corners ARE a TransientBatchRunner corner
-    // batch (one refactorization per corner, forcing series evaluated once).
-    // The captured variant keeps per-corner isolation inside the batch: a
-    // failing corner fails ITS future only, and every other corner's answer
-    // comes from this same batch — never from a re-run, so no extra work and
-    // bit-identical results whether or not a batchmate failed.
+    // batch (one refactorization per corner). The forcing series is corner-
+    // independent, evaluated ONCE here on the flusher thread; a failure in
+    // it would hit every corner served alone too, so it fails every delay
+    // channel (the shared-preamble contract). Per-corner execution keeps the
+    // captured-batch isolation: a failing corner fails ITS ticket only, and
+    // every other corner's answer comes from this same batch — never from a
+    // re-run, so no extra work and bit-identical results whether or not a
+    // batchmate failed.
+    std::vector<la::Vector> forcing;
+    bool delay_ready = false;
     if (!delays.empty()) {
-        std::vector<std::vector<double>> corners;
-        corners.reserve(delays.size());
-        for (const DelayItem& item : delays) corners.push_back(item.p);
         try {
-            std::vector<analysis::TransientBatchRunner::CornerOutcome> outcomes =
-                transient_->run_batch_captured(corners, input_, opts_.threads);
-            for (std::size_t i = 0; i < delays.size(); ++i) {
-                if (outcomes[i].error) {
-                    delays[i].result.set_exception(outcomes[i].error);
-                    continue;
-                }
-                try {
-                    delays[i].result.set_value(DelayResult{
-                        analysis::crossing_time(*outcomes[i].result, observe_, level_),
-                        level_});
-                } catch (...) {
-                    delays[i].result.set_exception(std::current_exception());
-                }
-            }
+            forcing = transient_->make_forcing(input_);
+            delay_ready = true;
         } catch (...) {
-            // Shared preamble failure (forcing-series evaluation is corner-
-            // independent): by construction the same failure would hit every
-            // corner served alone, so every future gets it.
             const std::exception_ptr error = std::current_exception();
-            for (DelayItem& item : delays) try_fail(item.result, error);
+            util::ResultSlab<DelayResult>::Batch done(delay_slab_);
+            for (DelayItem& item : delays) done.set_error(item.result, error);
         }
     }
+    if (delay_ready) {
+        const int n = static_cast<int>(delays.size());
+        const int chunks = lane_chunks(n, opts_.threads);
+        for (int c = 0; c < chunks; ++c) {
+            const int b = static_cast<int>(static_cast<long long>(n) * c / chunks);
+            const int e = static_cast<int>(static_cast<long long>(n) * (c + 1) / chunks);
+            tasks.push_back([this, &delays, &forcing, b, e] {
+                analysis::TransientBatchRunner::Scratch scratch =
+                    transient_->make_scratch();
+                util::ResultSlab<DelayResult>::Batch done(delay_slab_);
+                for (int i = b; i < e; ++i) {
+                    DelayItem& item = delays[static_cast<std::size_t>(i)];
+                    analysis::TransientBatchRunner::CornerOutcome outcome =
+                        transient_->run_corner_captured(item.p, forcing, scratch);
+                    if (outcome.error) {
+                        done.set_error(item.result, outcome.error);
+                        continue;
+                    }
+                    try {
+                        done.set_value(
+                            item.result,
+                            DelayResult{analysis::crossing_time(*outcome.result,
+                                                                observe_, level_),
+                                        level_});
+                    } catch (...) {
+                        done.set_error(item.result, std::current_exception());
+                    }
+                }
+            });
+        }
+    }
+
+    util::ThreadPool::run_tasks(opts_.threads, tasks);
 }
 
 }  // namespace varmor::service

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <functional>
-#include <future>
 #include <memory>
 #include <optional>
 #include <thread>
@@ -15,9 +14,18 @@
 #include "service/errors.h"
 #include "util/deadline.h"
 #include "util/mpmc_queue.h"
+#include "util/result_slab.h"
 #include "util/thread_annotations.h"
 
 namespace varmor::service {
+
+/// The serving layer's async result handle: a slab-backed ticket with the
+/// std::future surface the call sites rely on (get / wait_for / valid).
+/// Submits used to allocate a promise/future pair per query; tickets are
+/// recycled slab slots, so a warm query's result round-trip allocates
+/// nothing (see util::ResultSlab).
+template <class T>
+using Future = util::ResultTicket<T>;
 
 /// Answer to a delay query: the 50%-crossing time of the observed port
 /// (nullopt if the waveform never crosses inside the simulated window) and
@@ -93,6 +101,14 @@ struct QueryFallbacks {
 /// whichever comes first. flush() forces a drain of everything already
 /// submitted.
 ///
+/// Within one flush the three lanes are OVERLAPPED, not sequential: the
+/// transfer lane's dense Hessenberg chunks, the pole lane's sample chunks
+/// and the delay lane's sparse transient corners are submitted as ONE task
+/// set to the work-stealing util::ThreadPool, so a worker that finishes its
+/// dense chunks steals sparse corners (and vice versa) instead of idling at
+/// a lane barrier. Results are unaffected — every task computes items
+/// independently (the bit-identity contract below).
+///
 /// Determinism contract (the reason coalescing is safe to hide behind
 /// futures): every query's answer is a pure function of its own arguments —
 /// each engine computes a batch item independently of batch composition and
@@ -132,17 +148,19 @@ public:
     QueryBatcher& operator=(const QueryBatcher&) = delete;
 
     // -----------------------------------------------------------------
-    // Point queries (safe from any thread; results via future). An unset
-    // deadline means "whenever"; a set one bounds queue time — an expired
-    // query is completed with DeadlineExceeded, never silently dropped.
+    // Point queries (safe from any thread; results via slab ticket — see
+    // Future above). An unset deadline means "whenever"; a set one bounds
+    // queue time — an expired query is completed with DeadlineExceeded,
+    // never silently dropped. Tickets share ownership of their slab, so
+    // they stay collectible after the batcher is destroyed.
     // -----------------------------------------------------------------
 
-    std::future<la::ZMatrix> submit_transfer(std::vector<double> p, la::cplx s,
-                                             util::Deadline deadline = {});
-    std::future<DelayResult> submit_delay(std::vector<double> p,
-                                          util::Deadline deadline = {});
-    std::future<std::vector<la::cplx>> submit_poles(std::vector<double> p,
-                                                    util::Deadline deadline = {});
+    Future<la::ZMatrix> submit_transfer(std::vector<double> p, la::cplx s,
+                                        util::Deadline deadline = {});
+    Future<DelayResult> submit_delay(std::vector<double> p,
+                                     util::Deadline deadline = {});
+    Future<std::vector<la::cplx>> submit_poles(std::vector<double> p,
+                                               util::Deadline deadline = {});
 
     /// Blocks until every query submitted before this call has executed.
     /// After close() this is a no-op (everything was drained by close).
@@ -159,33 +177,41 @@ public:
     const QueryBatcherOptions& options() const { return opts_; }
     QueryBatcherStats stats() const EXCLUDES(stats_mutex_);
 
+    /// Occupancy of the per-lane result slabs (bench/ops visibility): after
+    /// warm-up, `capacity` plateaus at the concurrency high-water mark and
+    /// every further query reuses a recycled slot.
+    util::ResultSlabStats transfer_slab_stats() const { return transfer_slab_.stats(); }
+    util::ResultSlabStats delay_slab_stats() const { return delay_slab_.stats(); }
+    util::ResultSlabStats pole_slab_stats() const { return pole_slab_.stats(); }
+
 private:
     struct TransferItem {
         std::vector<double> p;
         la::cplx s;
         util::Deadline deadline;
-        std::promise<la::ZMatrix> result;
+        util::ResultSlab<la::ZMatrix>::Channel result;
     };
     struct DelayItem {
         std::vector<double> p;
         util::Deadline deadline;
-        std::promise<DelayResult> result;
+        util::ResultSlab<DelayResult>::Channel result;
     };
     struct PoleItem {
         std::vector<double> p;
         util::Deadline deadline;
-        std::promise<std::vector<la::cplx>> result;
+        util::ResultSlab<std::vector<la::cplx>>::Channel result;
     };
     struct FlushItem {
-        std::promise<void> done;
+        util::ResultSlab<std::monostate>::Channel done;
     };
     using Item = std::variant<TransferItem, DelayItem, PoleItem, FlushItem>;
 
     /// Deadline triage + admission control shared by the three submits:
-    /// returns the item's future, which is fulfilled normally, or failed
-    /// right here when the query is expired / shed / racing close().
+    /// opens a slab channel and returns its ticket, which is fulfilled
+    /// normally, or failed right here when the query is expired / shed /
+    /// racing close().
     template <class ItemT, class ResultT>
-    std::future<ResultT> admit(ItemT item);
+    Future<ResultT> admit(util::ResultSlab<ResultT>& slab, ItemT item);
 
     void flusher_loop();
     void execute(std::vector<TransferItem>& transfers, std::vector<DelayItem>& delays,
@@ -200,6 +226,13 @@ private:
     QueryBatcherOptions opts_;
 
     util::MpmcQueue<Item> queue_;
+    /// Per-lane result-channel arenas. Recycled per flush epoch: a slot
+    /// returns to its slab the moment its batch fulfils it and its client
+    /// collects, so steady-state traffic reuses a small fixed pool.
+    util::ResultSlab<la::ZMatrix> transfer_slab_;
+    util::ResultSlab<DelayResult> delay_slab_;
+    util::ResultSlab<std::vector<la::cplx>> pole_slab_;
+    util::ResultSlab<std::monostate> flush_slab_;
     mutable util::Mutex stats_mutex_;
     QueryBatcherStats stats_ GUARDED_BY(stats_mutex_);
     util::Mutex close_mutex_;  ///< serializes close() callers around the join

@@ -45,27 +45,29 @@ public:
     StudySession& operator=(const StudySession&) = delete;
 
     // -----------------------------------------------------------------
-    // Async point queries (any thread; coalesced by the batcher). The
-    // optional deadline bounds queue time; see QueryBatcher's failure
-    // contract for the OverloadError / DeadlineExceeded / ServiceClosed
-    // taxonomy — all of which arrive through the future.
+    // Async point queries (any thread; coalesced by the batcher). Results
+    // arrive through slab-backed tickets (service::Future — the
+    // std::future surface on a recycled slot, so a warm query allocates
+    // nothing). The optional deadline bounds queue time; see QueryBatcher's
+    // failure contract for the OverloadError / DeadlineExceeded /
+    // ServiceClosed taxonomy — all of which arrive through the ticket.
     // -----------------------------------------------------------------
 
     /// ROM transfer value H(s, p) (full-pencil value when degraded).
-    std::future<la::ZMatrix> transfer(std::vector<double> p, la::cplx s,
-                                      util::Deadline deadline = {}) {
+    Future<la::ZMatrix> transfer(std::vector<double> p, la::cplx s,
+                                 util::Deadline deadline = {}) {
         return batcher_->submit_transfer(std::move(p), s, deadline);
     }
 
     /// Full-system 50%-crossing delay at corner p (level fixed per session).
-    std::future<DelayResult> delay(std::vector<double> p,
-                                   util::Deadline deadline = {}) {
+    Future<DelayResult> delay(std::vector<double> p,
+                              util::Deadline deadline = {}) {
         return batcher_->submit_delay(std::move(p), deadline);
     }
 
     /// ROM poles at corner p (full-system dominant poles when degraded).
-    std::future<std::vector<la::cplx>> poles(std::vector<double> p,
-                                             util::Deadline deadline = {}) {
+    Future<std::vector<la::cplx>> poles(std::vector<double> p,
+                                        util::Deadline deadline = {}) {
         return batcher_->submit_poles(std::move(p), deadline);
     }
 

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <thread>
 #include <vector>
@@ -10,16 +12,48 @@
 namespace varmor::util {
 
 /// Fixed-size thread pool for the data-parallel evaluation sweeps (frequency
-/// points, Monte-Carlo samples, corner grids). Deliberately simple: no work
-/// stealing, contiguous deterministic chunking, exceptions propagated to the
-/// caller. Determinism matters more than load balance here — every parallel
-/// driver in varmor computes each item independently of thread count, so
-/// results are bit-identical to a serial run.
+/// points, Monte-Carlo samples, corner grids) and the serving layer's mixed
+/// batch lanes. Scheduling is DETERMINISTIC WORK-STEALING: a parallel section
+/// splits its range into more chunks than workers (oversubscription), deals
+/// them out contiguously, and idle workers steal from the tail of a victim's
+/// queue. The chunk -> (rank, chunk_begin, chunk_end) mapping is a pure
+/// function of (range, chunk count), NEVER of which worker ran it, so every
+/// engine built on the pool stays bit-identical to a serial run — only the
+/// claim order is dynamic, which is what absorbs skewed per-item costs
+/// (per-sample Arnoldi counts, mixed transfer/transient lanes).
 class ThreadPool {
 public:
-    /// Spawns `threads - 1` workers (the caller participates as the last
-    /// worker during parallel sections). threads <= 1 means fully inline
-    /// serial execution.
+    /// Chunks dealt per worker in a parallel section. 1 would reproduce the
+    /// old static-chunk schedule; 4 gives the stealing scheduler enough slack
+    /// to absorb a 4x per-chunk cost skew while keeping per-chunk overhead
+    /// (one mutex op to claim) negligible against varmor's chunk bodies.
+    static constexpr int kChunksPerWorker = 4;
+
+    /// Pool-level scheduling counters, aggregated over every parallel
+    /// section this pool has run. `chunks_per_worker[w]` counts chunks
+    /// CLAIMED by worker slot w (slot 0 is the calling thread); `steals`
+    /// counts claims that came from another slot's queue; and
+    /// `queue_high_water` is the deepest any single worker queue has been at
+    /// section start (the stealing scheduler's exposure to imbalance).
+    struct SchedulingStats {
+        std::vector<long long> chunks_per_worker;
+        long long steals = 0;
+        long long sections = 0;
+        int queue_high_water = 0;
+    };
+
+    /// Process-wide totals across every pool, including the throwaway pools
+    /// run_chunks(threads > 1) builds — what the bench drivers print.
+    struct ProcessCounters {
+        long long chunks = 0;
+        long long steals = 0;
+        long long sections = 0;
+        int queue_high_water = 0;
+    };
+
+    /// Spawns `threads - 1` workers (the caller participates as worker slot 0
+    /// during parallel sections). threads <= 1 means fully inline serial
+    /// execution.
     explicit ThreadPool(int threads);
     ~ThreadPool();
 
@@ -37,11 +71,13 @@ public:
     /// The size global() would use.
     static int default_threads();
 
-    /// Splits [begin, end) into at most size() contiguous chunks and runs
-    /// fn(rank, chunk_begin, chunk_end) for each, in parallel. `rank` is the
-    /// chunk index in [0, chunks) — stable across runs, so callers key
-    /// per-thread workspaces on it. Blocks until every chunk finished; the
-    /// first exception thrown by any chunk is rethrown on the caller.
+    /// Splits [begin, end) into at most size() * kChunksPerWorker contiguous
+    /// chunks and runs fn(rank, chunk_begin, chunk_end) for each, in
+    /// parallel. `rank` is the chunk index in [0, chunks) — a pure function
+    /// of the range and the pool size, stable across runs and across which
+    /// worker claims the chunk, so callers may key per-chunk scratch on it.
+    /// Blocks until every chunk finished; the first exception thrown by any
+    /// chunk is rethrown on the caller.
     void parallel_chunks(int begin, int end,
                          const std::function<void(int rank, int chunk_begin, int chunk_end)>& fn);
 
@@ -49,15 +85,41 @@ public:
     /// above.
     void parallel_for(int begin, int end, const std::function<void(int i)>& fn);
 
+    /// Heterogeneous units: runs every task in `tasks`, work-stealing across
+    /// the pool exactly like parallel_chunks (each task is one chunk). The
+    /// serving layer uses this to overlap a flush's dense transfer chunks
+    /// with its sparse transient corners on the same workers. Blocks until
+    /// all tasks finished; the first exception is rethrown (tasks that must
+    /// not poison their batch catch internally).
+    void parallel_tasks(const std::vector<std::function<void()>>& tasks);
+
     /// Shared dispatch policy of the evaluation drivers' `threads` knob:
-    /// 1 = inline serial (one chunk), <= 0 = the global() pool, n > 1 = a
-    /// dedicated pool of n. Keeps the policy in one place so every batch
-    /// driver (sweeps, MC studies, benches) behaves identically.
+    /// 1 = inline serial (one chunk spanning the range), <= 0 = the global()
+    /// pool, n > 1 = a dedicated pool of n. Keeps the policy in one place so
+    /// every batch driver (sweeps, MC studies, benches) behaves identically.
     static void run_chunks(int threads, int begin, int end,
                            const std::function<void(int rank, int chunk_begin, int chunk_end)>& fn);
 
+    /// run_chunks' policy for parallel_tasks: 1 = inline serial in index
+    /// order, <= 0 = global() pool, n > 1 = dedicated pool of n.
+    static void run_tasks(int threads, const std::vector<std::function<void()>>& tasks);
+
+    /// Snapshot of this pool's scheduling counters (monotonic since
+    /// construction or the last reset). Counts only scheduled sections —
+    /// inline serial/nested execution never touches the scheduler.
+    SchedulingStats scheduling_stats() const;
+    void reset_scheduling_stats();
+
+    /// Snapshot / reset of the process-wide totals.
+    static ProcessCounters process_counters();
+    static void reset_process_counters();
+
 private:
+    struct Section;
+
     void worker_loop();
+    void run_section(const std::shared_ptr<Section>& section);
+    void section_worker(const std::shared_ptr<Section>& section, int slot);
 
     int threads_ = 1;
     /// Written once in the constructor, joined in the destructor — never
@@ -67,6 +129,12 @@ private:
     CondVar wake_;
     std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
     bool stop_ GUARDED_BY(mutex_) = false;
+    /// Scheduling counters; plain atomics (monotonic, no invariant couples
+    /// them) so hot claim paths never take a stats lock.
+    std::unique_ptr<std::atomic<long long>[]> slot_chunks_;  ///< size threads_
+    std::atomic<long long> steals_{0};
+    std::atomic<long long> sections_{0};
+    std::atomic<int> queue_high_water_{0};
 };
 
 }  // namespace varmor::util

@@ -69,17 +69,19 @@ ModelCacheOptions fault_cache_options(const std::string& disk_dir) {
     return copts;
 }
 
-/// Invariant 1 helper: the future must RESOLVE (either way) promptly.
-template <class T>
-::testing::AssertionResult resolves(std::future<T>& f) {
+/// Invariant 1 helper: the ticket must RESOLVE (either way) promptly.
+/// Generic over the handle (service::Future tickets and std::future alike —
+/// both expose the same wait_for surface).
+template <class FutureT>
+::testing::AssertionResult resolves(FutureT& f) {
     if (f.wait_for(std::chrono::seconds(30)) == std::future_status::ready)
         return ::testing::AssertionSuccess();
     return ::testing::AssertionFailure() << "future left unfulfilled";
 }
 
 /// get() that reports value-vs-error without throwing out of the test body.
-template <class T>
-bool got_value(std::future<T>&& f) {
+template <class FutureT>
+bool got_value(FutureT&& f) {
     try {
         (void)f.get();
         return true;
@@ -173,9 +175,9 @@ TEST(FaultInjection, EveryFaultPointIsSurvivable) {
             if (session) {
                 // Invariant 1: whatever the fault does, every future
                 // resolves — value or exception, never a hang.
-                std::vector<std::future<ZMatrix>> tf;
-                std::vector<std::future<DelayResult>> df;
-                std::vector<std::future<std::vector<cplx>>> pf;
+                std::vector<Future<ZMatrix>> tf;
+                std::vector<Future<DelayResult>> df;
+                std::vector<Future<std::vector<cplx>>> pf;
                 for (const auto& p : corners) {
                     tf.push_back(session->transfer(p, s));
                     df.push_back(session->delay(p));
@@ -267,7 +269,7 @@ TEST(FaultInjection, DelayCornerFaultIsolatesOneQueryWithoutRerun) {
         ScopedFault fault("transient.corner",
                           FaultInjector::fail_detail(
                               std::to_string(corners[bad][0]), "bad corner"));
-        std::vector<std::future<DelayResult>> futures;
+        std::vector<Future<DelayResult>> futures;
         for (const auto& p : corners) futures.push_back(session.delay(p));
         session.flush();
 
@@ -337,7 +339,7 @@ TEST(FaultInjection, OverloadShedsWithFailedFutureNeverThrow) {
     // Hold the flusher inside a batch so the bounded queue actually fills.
     ScopedFault slow("query_batcher.flush", FaultInjector::sleep_for(60.0));
     const cplx s(0.0, 1.0);
-    std::vector<std::future<ZMatrix>> futures;
+    std::vector<Future<ZMatrix>> futures;
     for (int i = 0; i < 16; ++i)
         futures.push_back(session.transfer({0.01 * i, 0.0}, s));  // must not throw
 

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -167,6 +168,7 @@ TEST(ModelCache, LruEvictsLeastRecentlyUsed) {
     const circuit::ParametricSystem sys = test_system();
     ModelCacheOptions copts;
     copts.memory_capacity = 2;
+    copts.memory_shards = 1;  // one shard = the single global LRU order pinned here
     ModelCache cache(copts);
 
     mor::LowRankPmorOptions o1 = small_reduction();
@@ -195,6 +197,158 @@ TEST(ModelCache, LruEvictsLeastRecentlyUsed) {
     EXPECT_EQ(cache.stats().builds, 3);
     (void)cache.get_or_build(k2, build(o2));
     EXPECT_EQ(cache.stats().builds, 4);
+}
+
+/// `count` distinct reduction-option variants whose cache keys all land on
+/// `target_shard` — built by scanning cheap key-affecting perturbations
+/// (drop_tol changes the key but not the build cost) until enough map there.
+std::vector<mor::LowRankPmorOptions> same_shard_options(
+    const ModelCache& cache, const circuit::ParametricSystem& sys,
+    int target_shard, std::size_t count) {
+    std::vector<mor::LowRankPmorOptions> out;
+    for (int i = 0; out.size() < count && i < 100000; ++i) {
+        mor::LowRankPmorOptions o = small_reduction();
+        o.orth.drop_tol = 1e-12 * (1.0 + i);
+        if (cache.shard_of(cache_key(sys, o)) == target_shard) out.push_back(o);
+    }
+    EXPECT_EQ(out.size(), count) << "could not find enough same-shard keys";
+    return out;
+}
+
+TEST(ModelCache, ShardedEvictionIsPerShardNotGlobal) {
+    const circuit::ParametricSystem sys = test_system();
+    ModelCacheOptions copts;
+    copts.memory_capacity = 4;
+    copts.memory_shards = 2;  // per-shard capacity = 2
+    ModelCache cache(copts);
+
+    // Three keys on shard 0, one on shard 1. Four models total fit a GLOBAL
+    // capacity of 4, so any eviction below proves the bound is per shard.
+    const auto s0 = same_shard_options(cache, sys, 0, 3);
+    const auto s1 = same_shard_options(cache, sys, 1, 1);
+    auto build = [&](const mor::LowRankPmorOptions& o) {
+        return [&sys, o] { return mor::lowrank_pmor(sys, o).model; };
+    };
+    const CacheKey k1 = cache_key(sys, s1[0]);
+    std::vector<CacheKey> k0;
+    for (const auto& o : s0) k0.push_back(cache_key(sys, o));
+
+    (void)cache.get_or_build(k1, build(s1[0]));  // globally least-recent below
+    for (std::size_t i = 0; i < s0.size(); ++i)
+        (void)cache.get_or_build(k0[i], build(s0[i]));
+
+    // Shard 0 overflowed its slice (3 inserts, capacity 2): its own LRU entry
+    // k0[0] was dropped. Shard 1's entry survives even though it is the
+    // globally least-recently-used key.
+    EXPECT_EQ(cache.memory_size(), 3);
+    EXPECT_EQ(cache.stats().evictions, 1);
+    (void)cache.get_or_build(k1, [&]() -> mor::ReducedModel {
+        ADD_FAILURE() << "other shard's entry must not be evicted";
+        return mor::lowrank_pmor(sys, s1[0]).model;
+    });
+    (void)cache.get_or_build(k0[2], [&]() -> mor::ReducedModel {
+        ADD_FAILURE() << "most-recent entry of the overflowed shard must survive";
+        return mor::lowrank_pmor(sys, s0[2]).model;
+    });
+    EXPECT_EQ(cache.stats().builds, 4);
+    (void)cache.get_or_build(k0[0], build(s0[0]));  // the per-shard victim
+    EXPECT_EQ(cache.stats().builds, 5);
+}
+
+TEST(ModelCache, AggregateCountersAreTheSumOfShardCounters) {
+    const circuit::ParametricSystem sys = test_system();
+    ModelCacheOptions copts;
+    copts.memory_shards = 4;
+    ModelCache cache(copts);
+    ASSERT_EQ(cache.num_shards(), 4);
+
+    mor::LowRankPmorOptions o1 = small_reduction();
+    mor::LowRankPmorOptions o2 = small_reduction();
+    o2.s_order = 4;
+    const CacheKey k1 = cache_key(sys, o1), k2 = cache_key(sys, o2);
+    (void)cache.get_or_build(k1, [&] { return mor::lowrank_pmor(sys, o1).model; });
+    (void)cache.get_or_build(k2, [&] { return mor::lowrank_pmor(sys, o2).model; });
+    (void)cache.get_or_build(k1, [&] { return mor::lowrank_pmor(sys, o1).model; });
+    (void)cache.get_or_build(k1, [&] { return mor::lowrank_pmor(sys, o1).model; });
+
+    // Counters live in the key's shard and nowhere else; stats() is the sum.
+    const std::vector<ModelCacheStats> per_shard = cache.shard_stats();
+    ASSERT_EQ(per_shard.size(), 4u);
+    ModelCacheStats sum;
+    for (const ModelCacheStats& s : per_shard) {
+        sum.memory_hits += s.memory_hits;
+        sum.disk_hits += s.disk_hits;
+        sum.builds += s.builds;
+        sum.evictions += s.evictions;
+        sum.poisonings += s.poisonings;
+        sum.poison_hits += s.poison_hits;
+    }
+    const ModelCacheStats agg = cache.stats();
+    EXPECT_EQ(agg.memory_hits, sum.memory_hits);
+    EXPECT_EQ(agg.builds, sum.builds);
+    EXPECT_EQ(agg.memory_hits, 2);
+    EXPECT_EQ(agg.builds, 2);
+    EXPECT_EQ(per_shard[static_cast<std::size_t>(cache.shard_of(k1))].memory_hits, 2);
+    EXPECT_GE(per_shard[static_cast<std::size_t>(cache.shard_of(k1))].builds, 1);
+}
+
+TEST(ModelCache, ShardedConcurrentHitMissStormMatchesUnshardedBitwise) {
+    const circuit::ParametricSystem sys = test_system();
+
+    // Four distinct keys and their unsharded (memory_shards = 1) reference
+    // bits — the behavior the sharded tier must reproduce exactly.
+    std::vector<mor::LowRankPmorOptions> opts_of;
+    for (int v = 0; v < 4; ++v) {
+        mor::LowRankPmorOptions o = small_reduction();
+        o.s_order = 2 + v;
+        opts_of.push_back(o);
+    }
+    ModelCacheOptions ref_opts;
+    ref_opts.memory_shards = 1;
+    ModelCache reference(ref_opts);
+    std::vector<ModelCache::ModelPtr> ref_models;
+    for (const auto& o : opts_of)
+        ref_models.push_back(reference.get_or_build(
+            cache_key(sys, o), [&] { return mor::lowrank_pmor(sys, o).model; }));
+
+    ModelCacheOptions copts;
+    copts.memory_shards = 8;
+    ModelCache cache(copts);
+
+    // The storm: 8 clients hammer all four keys while the main thread evicts
+    // the whole memory tier underneath them — every answer must still be the
+    // reference bits (misses rebuild deterministically, hits serve the same).
+    const int kClients = 8;
+    const int kRounds = 24;
+    std::vector<std::vector<ModelCache::ModelPtr>> got(kClients);
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kClients; ++t)
+        clients.emplace_back([&, t] {
+            for (int r = 0; r < kRounds; ++r) {
+                const std::size_t v = static_cast<std::size_t>((t + r) % 4);
+                got[static_cast<std::size_t>(t)].push_back(cache.get_or_build(
+                    cache_key(sys, opts_of[v]),
+                    [&, v] { return mor::lowrank_pmor(sys, opts_of[v]).model; }));
+            }
+        });
+    for (int e = 0; e < 4; ++e) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        cache.evict_memory();
+    }
+    for (std::thread& c : clients) c.join();
+
+    for (int t = 0; t < kClients; ++t)
+        for (int r = 0; r < kRounds; ++r) {
+            const auto& m = got[static_cast<std::size_t>(t)][static_cast<std::size_t>(r)];
+            ASSERT_TRUE(m != nullptr);
+            expect_bit_identical(*m, *ref_models[static_cast<std::size_t>((t + r) % 4)]);
+        }
+    // Counted paths never exceed the request count (coalesced single-flight
+    // waiters ride a winner's build and count neither a hit nor a build), and
+    // every key was built at least once.
+    const ModelCacheStats agg = cache.stats();
+    EXPECT_LE(agg.memory_hits + agg.builds, kClients * kRounds);
+    EXPECT_GE(agg.builds, 4);
 }
 
 TEST(ModelCache, CorruptDiskFileIsRebuiltNotServed) {

@@ -8,7 +8,7 @@
 
 #include <chrono>
 #include <cmath>
-#include <future>
+#include <future>  // std::future_status — the ticket's wait_for vocabulary
 #include <thread>
 #include <vector>
 
@@ -110,9 +110,9 @@ TEST(QueryBatcher, ThreadedCoalescingBitIdenticalToServingAlone) {
         QueryBatcher batcher(fx.engine, &fx.runner, fx.input, fx.level, fx.observe(),
                              opts);
 
-        std::vector<std::vector<std::future<ZMatrix>>> tf(kClients);
-        std::vector<std::vector<std::future<DelayResult>>> df(kClients);
-        std::vector<std::vector<std::future<std::vector<cplx>>>> pf(kClients);
+        std::vector<std::vector<Future<ZMatrix>>> tf(kClients);
+        std::vector<std::vector<Future<DelayResult>>> df(kClients);
+        std::vector<std::vector<Future<std::vector<cplx>>>> pf(kClients);
         std::vector<std::thread> clients;
         for (int c = 0; c < kClients; ++c)
             clients.emplace_back([&, c] {
@@ -184,7 +184,7 @@ TEST(QueryBatcher, SizeTriggerFlushesWithoutWaitingForDeadline) {
     opts.threads = 1;
     QueryBatcher batcher(fx.engine, nullptr, {}, 0.0, 0, opts);
 
-    std::vector<std::future<ZMatrix>> fs;
+    std::vector<Future<ZMatrix>> fs;
     for (int j = 0; j < 4; ++j)
         fs.push_back(batcher.submit_transfer({0.02 * j, 0.0}, cplx(0.0, 1.0 + j)));
     // If only the (1-minute) deadline could flush, this would time out.

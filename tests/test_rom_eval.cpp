@@ -97,6 +97,69 @@ TEST(RomEvalEngine, SensitivityBitIdenticalToLooped) {
     }
 }
 
+TEST(RomEvalEngine, SensitivityHessenbergLaneMatchesDirectFactorization) {
+    // q = 24 >= kDirectPathOrder: sensitivities route through the per-sample
+    // Hessenberg form (two O(q^2) solves) instead of factoring the complex
+    // pencil per frequency. Validate against the explicit direct formula
+    // -L~^T K^-1 dK K^-1 B~ with tolerance (mathematically equal, different
+    // factorization), and pin looped-vs-batched bitwise (one code path).
+    const ReducedModel model = make_model(80, 3, 7, 12);  // q = 24
+    ASSERT_GE(model.size(), RomEvalEngine::kDirectPathOrder);
+    const RomEvalEngine engine(model);
+    const cplx s(0.0, util::two_pi_f(5e8));
+
+    RomEvalWorkspace ws;
+    for (const auto& p : make_samples(2, model.num_params(), 61)) {
+        engine.stamp_parameters(p, ws);
+        (void)engine.transfer(s, ws);
+        ASSERT_FALSE(ws.direct_path);
+
+        const la::Matrix gp = model.g_at(p);
+        const la::Matrix cp = model.c_at(p);
+        la::ZMatrix k(gp.rows(), gp.cols());
+        for (std::size_t e = 0; e < k.raw().size(); ++e)
+            k.raw()[e] = gp.raw()[e] + s * cp.raw()[e];
+        const la::DenseLu<cplx> klu(k);
+        const ZMatrix x = klu.solve(la::to_complex(model.b));
+        const la::ZMatrix lt = la::transpose(la::to_complex(model.l));
+
+        for (int i = 0; i < model.num_params(); ++i) {
+            const ZMatrix batched = engine.transfer_sensitivity(s, i, ws);
+            const ZMatrix looped = model.transfer_sensitivity(s, p, i);
+            EXPECT_EQ(la::norm_max(batched - looped), 0.0) << "param " << i;
+
+            const auto ui = static_cast<std::size_t>(i);
+            la::ZMatrix dk(gp.rows(), gp.cols());
+            for (std::size_t e = 0; e < dk.raw().size(); ++e)
+                dk.raw()[e] = model.dg[ui].raw()[e] + s * model.dc[ui].raw()[e];
+            ZMatrix ref = la::matmul(lt, klu.solve(la::matmul(dk, x)));
+            for (cplx& v : ref.raw()) v = -v;
+            EXPECT_LE(la::norm_max(batched - ref), 1e-9 * (1.0 + la::norm_max(ref)))
+                << "param " << i;
+        }
+    }
+}
+
+TEST(RomEvalEngine, SensitivityWithoutPriorTransferPreparesItself) {
+    // transfer_sensitivity as the FIRST per-sample call must trigger the
+    // same preparation transfer() would — and agree bitwise with the
+    // sensitivity computed after a transfer() warmed the workspace.
+    const ReducedModel model = make_model(80, 3, 7, 12);  // q = 24
+    const RomEvalEngine engine(model);
+    const cplx s(0.0, util::two_pi_f(1e9));
+    const std::vector<double> p{0.05, -0.1, 0.15};
+
+    RomEvalWorkspace cold, warm;
+    engine.stamp_parameters(p, cold);
+    engine.stamp_parameters(p, warm);
+    (void)engine.transfer(s, warm);
+    for (int i = 0; i < model.num_params(); ++i)
+        EXPECT_EQ(la::norm_max(engine.transfer_sensitivity(s, i, cold) -
+                               engine.transfer_sensitivity(s, i, warm)),
+                  0.0)
+            << "param " << i;
+}
+
 TEST(RomEvalEngine, PolesBitIdenticalToModelPoles) {
     const ReducedModel model = make_model();
     const RomEvalEngine engine(model);

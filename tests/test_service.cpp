@@ -76,9 +76,9 @@ TEST(StudyService, MixedEightClientWorkloadBitIdenticalToUnbatched) {
 
         // The mixed workload: every client submits a small transfer sweep,
         // one delay query, and one pole query, concurrently.
-        std::vector<std::vector<std::future<ZMatrix>>> tf(kClients);
-        std::vector<std::future<DelayResult>> df(kClients);
-        std::vector<std::future<std::vector<cplx>>> pf(kClients);
+        std::vector<std::vector<Future<ZMatrix>>> tf(kClients);
+        std::vector<Future<DelayResult>> df(kClients);
+        std::vector<Future<std::vector<cplx>>> pf(kClients);
         std::vector<std::thread> clients;
         for (int c = 0; c < kClients; ++c)
             clients.emplace_back([&, c] {

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <functional>
 #include <numeric>
+#include <tuple>
 #include <vector>
 
 #include "util/check.h"
@@ -20,21 +23,118 @@ TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
 }
 
 TEST(ThreadPool, ChunksPartitionTheRange) {
+    // The work-stealing pool oversubscribes: size() * kChunksPerWorker chunks
+    // (capped by the range length), contiguous and deterministic. rank -> [b, e)
+    // must be a pure function of the range, never of which worker ran it.
     ThreadPool pool(3);
+    const int expected = 3 * ThreadPool::kChunksPerWorker;
     std::mutex m;
-    std::vector<std::pair<int, int>> chunks;
+    std::vector<std::tuple<int, int, int>> chunks;
     pool.parallel_chunks(5, 47, [&](int rank, int b, int e) {
         EXPECT_GE(rank, 0);
-        EXPECT_LT(rank, 3);
+        EXPECT_LT(rank, expected);
+        std::lock_guard<std::mutex> lock(m);
+        chunks.emplace_back(rank, b, e);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    ASSERT_EQ(chunks.size(), static_cast<std::size_t>(expected));
+    EXPECT_EQ(std::get<1>(chunks.front()), 5);
+    EXPECT_EQ(std::get<2>(chunks.back()), 47);
+    for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+        // Ranks are dense and chunks tile the range in rank order.
+        EXPECT_EQ(std::get<0>(chunks[i]) + 1, std::get<0>(chunks[i + 1]));
+        EXPECT_EQ(std::get<2>(chunks[i]), std::get<1>(chunks[i + 1]));
+    }
+}
+
+TEST(ThreadPool, ShortRangeGetsOneChunkPerElement) {
+    ThreadPool pool(4);
+    std::mutex m;
+    std::vector<std::pair<int, int>> chunks;
+    pool.parallel_chunks(0, 3, [&](int, int b, int e) {
         std::lock_guard<std::mutex> lock(m);
         chunks.emplace_back(b, e);
     });
     std::sort(chunks.begin(), chunks.end());
     ASSERT_EQ(chunks.size(), 3u);
-    EXPECT_EQ(chunks.front().first, 5);
-    EXPECT_EQ(chunks.back().second, 47);
-    for (std::size_t i = 0; i + 1 < chunks.size(); ++i)
-        EXPECT_EQ(chunks[i].second, chunks[i + 1].first);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(chunks[static_cast<std::size_t>(i)].first, i);
+        EXPECT_EQ(chunks[static_cast<std::size_t>(i)].second, i + 1);
+    }
+}
+
+TEST(ThreadPool, SchedulingStatsCountChunksAndSections) {
+    ThreadPool pool(3);
+    pool.reset_scheduling_stats();
+    pool.parallel_for(0, 100, [](int) {});
+    const auto stats = pool.scheduling_stats();
+    ASSERT_EQ(stats.chunks_per_worker.size(), 3u);
+    long long total = 0;
+    for (long long c : stats.chunks_per_worker) total += c;
+    EXPECT_EQ(total, 3LL * ThreadPool::kChunksPerWorker);
+    EXPECT_EQ(stats.sections, 1);
+    // Every queue was dealt kChunksPerWorker chunks.
+    EXPECT_EQ(stats.queue_high_water, ThreadPool::kChunksPerWorker);
+    EXPECT_GE(stats.steals, 0);
+}
+
+TEST(ThreadPool, StealingRebalancesASkewedSection) {
+    // One pathological chunk (rank 0) holds its worker for the whole section;
+    // the other workers must steal rank 0's dealt-but-unstarted chunks, so
+    // the section finishes and at least one steal is recorded. Every rank
+    // still runs exactly once — stealing moves workers, not work.
+    ThreadPool pool(2);
+    pool.reset_scheduling_stats();
+    std::atomic<int> others_done{0};
+    const int chunks = 2 * ThreadPool::kChunksPerWorker;
+    std::vector<std::atomic<int>> ran(static_cast<std::size_t>(chunks));
+    for (auto& r : ran) r.store(0);
+    pool.parallel_chunks(0, chunks, [&](int rank, int, int) {
+        ran[static_cast<std::size_t>(rank)].fetch_add(1);
+        if (rank == 0) {
+            // Busy-wait until every other chunk completed somewhere.
+            while (others_done.load() < chunks - 1) std::this_thread::yield();
+        } else {
+            others_done.fetch_add(1);
+        }
+    });
+    for (const auto& r : ran) EXPECT_EQ(r.load(), 1);
+    const auto stats = pool.scheduling_stats();
+    EXPECT_GE(stats.steals, 1);
+}
+
+TEST(ThreadPool, ParallelTasksRunEveryTaskOnce) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(37);
+    for (auto& h : hits) h.store(0);
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        tasks.push_back([&hits, i] { hits[i].fetch_add(1); });
+    pool.parallel_tasks(tasks);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelTasksPropagateExceptions) {
+    ThreadPool pool(4);
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 16; ++i)
+        tasks.push_back([i] {
+            if (i == 11) throw Error("task boom");
+        });
+    EXPECT_THROW(pool.parallel_tasks(tasks), Error);
+    // Pool must still be usable afterwards.
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 8, [&](int) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, RunTasksSerialPolicyRunsInlineInOrder) {
+    std::vector<int> order;
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 5; ++i) tasks.push_back([&order, i] { order.push_back(i); });
+    ThreadPool::run_tasks(1, tasks);
+    ASSERT_EQ(order.size(), 5u);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
 TEST(ThreadPool, SerialPoolRunsInline) {

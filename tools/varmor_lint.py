@@ -31,6 +31,12 @@ future-in-lock   src/service/ must not .get()/.wait() a future while a
                  thread-safety analysis cannot see it (the wait blocks on
                  another thread that may need the same lock).
 
+no-promise       src/service/ must not construct std::promise: per-query
+                 promise/future pairs pay one shared-state heap allocation
+                 each, which is exactly what the slab result channels
+                 (util::ResultSlab and its ResultTicket) exist to avoid.
+                 Tests and the util layer are out of scope.
+
 simd-confined    Raw vector intrinsics (immintrin.h, _mm*/__m128/__m256/
                  __m512 tokens) are allowed in src/la/simd.h ONLY. Everything
                  else programs against Pack<T> and the pointer kernels, so
@@ -233,6 +239,18 @@ class Linter:
                             "src/la/simd.h — program against Pack<T> / the "
                             "simd:: pointer kernels")
 
+    # -- no-promise --------------------------------------------------------
+    def check_no_promise(self):
+        promise_re = re.compile(r"\bstd::promise\b")
+        for path in iter_source_files(self.root, os.path.join("src", "service")):
+            with open(path, encoding="utf-8") as f:
+                code = strip_code(f.read(), keep_strings=False)
+            for m in promise_re.finditer(code):
+                self.report(path, line_of(code, m.start()), "no-promise",
+                            "std::promise in the serving layer — use the slab "
+                            "result channels (util::ResultSlab / ResultTicket); "
+                            "a promise allocates shared state per query")
+
     # -- future-in-lock ----------------------------------------------------
     def check_future_in_lock(self):
         for path in iter_source_files(self.root, os.path.join("src", "service")):
@@ -271,6 +289,7 @@ class Linter:
         self.check_numerics_hygiene()
         self.check_naked_mutex()
         self.check_simd_confined()
+        self.check_no_promise()
         self.check_future_in_lock()
         return self.findings
 
