@@ -5,8 +5,10 @@
 
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/table.h"
 
 namespace varmor::bench {
@@ -33,5 +35,35 @@ public:
 private:
     int failures_ = 0;
 };
+
+/// Human-readable digest of a telemetry snapshot — the one counter-printing
+/// routine every bench shares. Scalar instruments are grouped by their
+/// `component.` prefix (one line per component, zero-valued entries
+/// skipped); histograms — nanosecond-valued by the obs naming convention —
+/// print count/mean/p50/p95/p99 in milliseconds.
+inline void print_snapshot(const obs::Snapshot& snap, const std::string& heading) {
+    std::printf("%s:\n", heading.c_str());
+    std::map<std::string, std::string> lines;
+    const auto fold = [&](const std::map<std::string, long long>& scalars) {
+        for (const auto& [name, v] : scalars) {
+            if (v == 0) continue;
+            const std::size_t dot = name.find('.');
+            std::string& line = lines[name.substr(0, dot)];
+            if (!line.empty()) line += ", ";
+            line += (dot == std::string::npos ? name : name.substr(dot + 1)) +
+                    "=" + std::to_string(v);
+        }
+    };
+    fold(snap.counters);
+    fold(snap.gauges);
+    for (const auto& [component, line] : lines)
+        std::printf("  %-14s %s\n", component.c_str(), line.c_str());
+    for (const auto& [name, h] : snap.histograms) {
+        if (h.count() == 0) continue;
+        std::printf("  %-24s n=%-6lld mean=%.3f ms  p50=%.3f  p95=%.3f  p99=%.3f\n",
+                    name.c_str(), h.count(), h.mean() / 1e6, h.p50() / 1e6,
+                    h.p95() / 1e6, h.p99() / 1e6);
+    }
+}
 
 }  // namespace varmor::bench

@@ -27,6 +27,7 @@
 #include "mor/prima.h"
 #include "mor/reduced_model.h"
 #include "mor/rom_eval.h"
+#include "obs/export.h"
 #include "util/constants.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -190,16 +191,12 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     std::printf("\n");
 
-    // The work-stealing scheduler's view of the parallel grid: how evenly
-    // the chunks spread over the workers and how many claims were steals
-    // (imbalance absorbed dynamically without changing any result bit).
-    const util::ThreadPool::SchedulingStats sched =
-        util::ThreadPool::global().scheduling_stats();
-    std::printf("pool scheduling: %lld sections, %lld steals, queue high-water %d\n",
-                sched.sections, sched.steals, sched.queue_high_water);
-    std::printf("chunks claimed per worker:");
-    for (long long c : sched.chunks_per_worker) std::printf(" %lld", c);
-    std::printf("\n\n");
+    // The engine's stage profile (rom_eval.* counters + grid histogram) and
+    // the work-stealing scheduler's counters, through the same snapshot the
+    // serving stack exports — one printing routine for every bench.
+    const obs::Snapshot telemetry = obs::process_snapshot();
+    bench::print_snapshot(telemetry, "telemetry (process snapshot)");
+    std::printf("\n");
 
     // PR-8 raised the bar: the simd arm's blocked/transposed kernels hold
     // ~30x over the seed loop on AVX2 hardware and ~11x on the forced-scalar
@@ -236,6 +233,7 @@ int main(int argc, char** argv) {
          << "  \"speedup_vs_naive\": " << speedup_naive << ",\n"
          << "  \"speedup_vs_looped\": " << speedup_looped << ",\n"
          << "  \"speedup_parallel\": " << speedup_parallel << ",\n"
+         << "  \"telemetry\": " << telemetry.to_json(2) << ",\n"
          << "  \"shape_failures\": " << checks.failures() << "\n"
          << "}\n";
     std::printf("wrote %s\n", json_path);

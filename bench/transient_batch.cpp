@@ -18,6 +18,7 @@
 #include "circuit/generators.h"
 #include "circuit/mna.h"
 #include "la/ops.h"
+#include "obs/export.h"
 #include "sparse/csc.h"
 #include "sparse/splu.h"
 #include "util/table.h"
@@ -132,15 +133,12 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     std::printf("\n");
 
-    // Work-stealing scheduler counters for the parallel corner batch: chunk
-    // distribution across workers plus how many claims were steals.
-    const util::ThreadPool::SchedulingStats sched =
-        util::ThreadPool::global().scheduling_stats();
-    std::printf("pool scheduling: %lld sections, %lld steals, queue high-water %d\n",
-                sched.sections, sched.steals, sched.queue_high_water);
-    std::printf("chunks claimed per worker:");
-    for (long long c : sched.chunks_per_worker) std::printf(" %lld", c);
-    std::printf("\n\n");
+    // Per-corner cost distribution (transient.corner_ns), the refactorize-
+    // or-fallback tallies, and the work-stealing scheduler counters, through
+    // the same snapshot the serving stack exports.
+    const obs::Snapshot telemetry = obs::process_snapshot();
+    bench::print_snapshot(telemetry, "telemetry (process snapshot)");
+    std::printf("\n");
 
     checks.expect(speedup_serial >= 2.0,
                   "batched engine is >= 2x faster than per-corner rebuilds "
@@ -171,6 +169,7 @@ int main(int argc, char** argv) {
          << "  \"speedup_vs_pre_batching\": " << speedup_legacy << ",\n"
          << "  \"speedup_serial\": " << speedup_serial << ",\n"
          << "  \"speedup_parallel\": " << speedup_parallel << ",\n"
+         << "  \"telemetry\": " << telemetry.to_json(2) << ",\n"
          << "  \"shape_failures\": " << checks.failures() << "\n"
          << "}\n";
     std::printf("wrote %s\n", json_path);

@@ -5,9 +5,11 @@
 #include <string>
 
 #include "la/ops.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace varmor::analysis {
 
@@ -125,6 +127,16 @@ std::vector<Vector> TransientBatchRunner::make_forcing(const InputFn& input) con
 TransientBatchRunner::CornerOutcome TransientBatchRunner::run_corner_captured(
     const std::vector<double>& p, const std::vector<Vector>& forcing,
     Scratch& scratch) const {
+    // Every batched corner — service delay lane or run_batch driver — funnels
+    // through here, so this is where the per-corner cost distribution lives.
+    // A corner is ms-scale; two clock reads are noise.
+    static obs::Counter& corners =
+        obs::Registry::global().counter("transient.corners", 16);
+    static obs::Counter& corner_failures =
+        obs::Registry::global().counter("transient.corner_failures", 16);
+    static obs::Histogram& corner_hist =
+        obs::Registry::global().histogram("transient.corner_ns");
+    const std::int64_t t0 = obs::enabled() ? util::Timer::now_ns() : 0;
     CornerOutcome out;
     try {
         out.result = run_with_forcing(p, forcing, scratch);
@@ -133,7 +145,10 @@ TransientBatchRunner::CornerOutcome TransientBatchRunner::run_corner_captured(
         // pencil state is scratch-local and rebuilt per corner, so a failed
         // corner leaves nothing behind for the next one on this scratch.
         out.error = std::current_exception();
+        corner_failures.add();
     }
+    corners.add();
+    if (t0 != 0) corner_hist.record(util::Timer::now_ns() - t0);
     return out;
 }
 

@@ -8,8 +8,10 @@
 #include "la/ops.h"
 #include "la/simd.h"
 #include "la/small_dense.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace varmor::mor {
 
@@ -331,6 +333,38 @@ std::vector<std::vector<ZMatrix>> RomEvalEngine::transfer_grid(
     for (auto& row : out) row.resize(s_points.size());
     if (ns == 0 || nf == 0) return out;
 
+    // Grid-level stage timers. Per-chunk accounting only: each chunk times
+    // its stamps (2 clock reads per SAMPLE, the expensive O(q^3) stage) and
+    // charges the remainder of its wall time to the O(q^2) per-frequency
+    // solves — no clock read on the per-point hot path. Counters are
+    // sharded: every pool worker adds once per chunk.
+    obs::Registry& reg = obs::Registry::global();
+    static obs::Counter& grid_count = reg.counter("rom_eval.grids");
+    static obs::Counter& sample_count = reg.counter("rom_eval.samples", 16);
+    static obs::Counter& point_count = reg.counter("rom_eval.points", 16);
+    static obs::Counter& stamp_ns = reg.counter("rom_eval.stamp_ns", 16);
+    static obs::Counter& solve_ns = reg.counter("rom_eval.solve_ns", 16);
+    static obs::Histogram& grid_hist = reg.histogram("rom_eval.grid_ns");
+    const bool timed = obs::enabled();
+    const std::int64_t grid_begin = timed ? util::Timer::now_ns() : 0;
+    struct ChunkObs {
+        std::int64_t begin_ns = 0;
+        std::int64_t stamp_ns = 0;
+        long long samples = 0;
+        long long points = 0;
+    };
+    auto chunk_begin_obs = [&](ChunkObs& c) {
+        if (timed) c.begin_ns = util::Timer::now_ns();
+    };
+    auto chunk_end_obs = [&](ChunkObs& c) {
+        sample_count.add(c.samples);
+        point_count.add(c.points);
+        if (!timed) return;
+        const std::int64_t total = util::Timer::now_ns() - c.begin_ns;
+        stamp_ns.add(c.stamp_ns);
+        solve_ns.add(total - c.stamp_ns);
+    };
+
     // When samples dominate (Monte-Carlo style grids: many corners, few
     // frequencies), chunk BY SAMPLE so the O(q^3) per-sample Hessenberg
     // preparation parallelizes and is paid exactly once per sample — the
@@ -342,33 +376,54 @@ std::vector<std::vector<ZMatrix>> RomEvalEngine::transfer_grid(
     // thread-count-independent either way, and both splits run the same
     // transfer() kernel — results stay bit-identical at any thread count and
     // under either chunking.
+    auto finish_grid = [&] {
+        grid_count.add();
+        if (timed) grid_hist.record(util::Timer::now_ns() - grid_begin);
+    };
+
     if (ns >= nf) {
         util::ThreadPool::run_chunks(threads, 0, ns, [&](int, int s0, int s1) {
             RomEvalWorkspace ws;
+            ChunkObs c;
+            chunk_begin_obs(c);
             for (int i = s0; i < s1; ++i) {
+                const std::int64_t t0 = timed ? util::Timer::now_ns() : 0;
                 stamp_parameters(samples[static_cast<std::size_t>(i)], ws);
+                if (timed) c.stamp_ns += util::Timer::now_ns() - t0;
+                ++c.samples;
+                c.points += nf;
                 for (int j = 0; j < nf; ++j)
                     out[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
                         transfer(s_points[static_cast<std::size_t>(j)], ws);
             }
+            chunk_end_obs(c);
         });
+        finish_grid();
         return out;
     }
     util::ThreadPool::run_chunks(
         threads, 0, ns * nf, [&](int, int chunk_begin, int chunk_end) {
             RomEvalWorkspace ws;
+            ChunkObs c;
+            chunk_begin_obs(c);
             int current_sample = -1;
             for (int idx = chunk_begin; idx < chunk_end; ++idx) {
                 const int i = idx / nf;
                 const int j = idx % nf;
                 if (i != current_sample) {
+                    const std::int64_t t0 = timed ? util::Timer::now_ns() : 0;
                     stamp_parameters(samples[static_cast<std::size_t>(i)], ws);
+                    if (timed) c.stamp_ns += util::Timer::now_ns() - t0;
+                    ++c.samples;
                     current_sample = i;
                 }
+                ++c.points;
                 out[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
                     transfer(s_points[static_cast<std::size_t>(j)], ws);
             }
+            chunk_end_obs(c);
         });
+    finish_grid();
     return out;
 }
 

@@ -1,0 +1,15 @@
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace varmor::obs {
+
+/// One coherent snapshot of every process-wide telemetry source: the
+/// instrument Registry, the thread pool's scheduling counters (`pool.*`),
+/// the fault injector's hit counts (`fault.<point>`), and the trace store's
+/// occupancy (`obs.traces_*`). Component-owned stats that live per-object
+/// (cache shards, disk store, batcher lanes) are layered on top by
+/// service::export_telemetry / StudyService::telemetry().
+Snapshot process_snapshot();
+
+}  // namespace varmor::obs

@@ -70,7 +70,15 @@ QueryBatcher::QueryBatcher(const mor::RomEvalEngine* engine, QueryFallbacks fall
       input_(std::move(input)),
       level_(delay_level),
       opts_(opts),
-      queue_(static_cast<std::size_t>(std::max(0, opts.max_pending))) {
+      queue_(static_cast<std::size_t>(std::max(0, opts.max_pending))),
+      obs_queue_wait_(obs::Registry::global().histogram("query.queue_wait_ns")),
+      obs_stamp_(obs::Registry::global().histogram("query.stamp_ns")),
+      obs_solve_(obs::Registry::global().histogram("query.solve_ns")),
+      obs_fulfil_(obs::Registry::global().histogram("query.fulfil_ns")),
+      obs_transfer_latency_(
+          obs::Registry::global().histogram("transfer.latency_ns")),
+      obs_delay_latency_(obs::Registry::global().histogram("delay.latency_ns")),
+      obs_pole_latency_(obs::Registry::global().histogram("pole.latency_ns")) {
     check(opts_.max_batch >= 1, "QueryBatcher: max_batch must be >= 1");
     check(opts_.max_wait_ms >= 0.0, "QueryBatcher: max_wait_ms must be >= 0");
     check(opts_.max_pending >= 0, "QueryBatcher: max_pending must be >= 0");
@@ -104,6 +112,11 @@ template <class ItemT, class ResultT>
 Future<ResultT> QueryBatcher::admit(util::ResultSlab<ResultT>& slab, ItemT item) {
     auto opened = slab.open();
     item.result = opened.first;
+    // The query's trace is born HERE, on the submitting thread: the mint
+    // stamps submit time, and every later stage appends to this one object
+    // as it rides through triage and the flush lanes. Inactive (id 0, no
+    // clock read) when telemetry is off.
+    item.trace = obs::QueryTrace::mint();
     if (item.deadline.expired()) {
         {
             util::MutexLock lock(stats_mutex_);
@@ -204,6 +217,11 @@ void QueryBatcher::flusher_loop() {
                 acks.push_back(std::get<FlushItem>(item));
                 return true;
             }
+            // Triage IS the end of the queue-wait stage: one clock read per
+            // popped item (telemetry on only), shared by the span and the
+            // expiry records below.
+            const std::int64_t tnow =
+                obs::enabled() ? util::Timer::now_ns() : 0;
             const bool expired = std::visit(
                 [](const auto& it) {
                     if constexpr (std::is_same_v<std::decay_t<decltype(it)>, FlushItem>)
@@ -220,16 +238,41 @@ void QueryBatcher::flusher_loop() {
                     util::MutexLock lock(stats_mutex_);
                     ++stats_.expired;
                 }
+                // An expired query's trace still tells its story: all
+                // queue-wait, resolved as a failure, recorded now (it will
+                // never reach a flush lane).
+                auto expire_trace = [&](obs::QueryTrace& trace,
+                                        const char* lane) {
+                    if (!trace.active()) return;
+                    trace.add(obs::Stage::kQueueWait, trace.submit_ns, tnow);
+                    trace.ok = false;
+                    if (tnow != 0)
+                        obs_queue_wait_.record(tnow - trace.submit_ns);
+                    obs::TraceStore::global().record(trace, lane);
+                };
                 const auto error = std::make_exception_ptr(DeadlineExceeded(
                     "QueryBatcher: deadline expired in the queue"));
-                if (auto* t = std::get_if<TransferItem>(&item))
+                if (auto* t = std::get_if<TransferItem>(&item)) {
+                    expire_trace(t->trace, "transfer");
                     transfer_slab_.set_error(t->result, error);
-                else if (auto* d = std::get_if<DelayItem>(&item))
+                } else if (auto* d = std::get_if<DelayItem>(&item)) {
+                    expire_trace(d->trace, "delay");
                     delay_slab_.set_error(d->result, error);
-                else if (auto* q = std::get_if<PoleItem>(&item))
+                } else if (auto* q = std::get_if<PoleItem>(&item)) {
+                    expire_trace(q->trace, "pole");
                     pole_slab_.set_error(q->result, error);
+                }
                 return false;
             }
+            if (tnow != 0)
+                std::visit(
+                    [&](auto& it) {
+                        if constexpr (!std::is_same_v<std::decay_t<decltype(it)>,
+                                                      FlushItem>)
+                            it.trace.add(obs::Stage::kQueueWait,
+                                         it.trace.submit_ns, tnow);
+                    },
+                    item);
             ++nqueries;
             if (std::holds_alternative<TransferItem>(item))
                 transfers.push_back(std::get<TransferItem>(std::move(item)));
@@ -288,6 +331,24 @@ void QueryBatcher::flusher_loop() {
                 for (DelayItem& item : delays) db.set_error(item.result, error);
                 for (PoleItem& item : poles) pb.set_error(item.result, error);
             }
+            // A whole-batch failure can only be thrown BEFORE the lane tasks
+            // run (their bodies catch internally), so no trace here was
+            // finished yet — close them all out as failures.
+            if (obs::enabled()) {
+                const std::int64_t tf = util::Timer::now_ns();
+                for (TransferItem& item : transfers) {
+                    item.trace.ok = false;
+                    finish_trace(item.trace, "transfer", obs_transfer_latency_, tf);
+                }
+                for (DelayItem& item : delays) {
+                    item.trace.ok = false;
+                    finish_trace(item.trace, "delay", obs_delay_latency_, tf);
+                }
+                for (PoleItem& item : poles) {
+                    item.trace.ok = false;
+                    finish_trace(item.trace, "pole", obs_pole_latency_, tf);
+                }
+            }
             util::MutexLock lock(stats_mutex_);
             ++stats_.flush_failures;
         }
@@ -332,41 +393,74 @@ void QueryBatcher::execute(std::vector<TransferItem>& transfers,
             const int e = static_cast<int>(static_cast<long long>(n) * (c + 1) / chunks);
             tasks.push_back([this, &transfer_groups, b, e] {
                 mor::RomEvalWorkspace ws;
-                // Batch fulfilment: the chunk's answers land under ONE slab
-                // lock with ONE wake-up when the task ends (the destructor
-                // commits), instead of a per-query notify storm across every
-                // blocked client.
-                util::ResultSlab<la::ZMatrix>::Batch done(transfer_slab_);
-                for (int g = b; g < e; ++g) {
-                    auto& group = transfer_groups[static_cast<std::size_t>(g)];
-                    if (engine_) {
-                        try {
-                            VARMOR_FAULT_POINT_DETAIL("query_batcher.stamp",
-                                                      point_detail(*group.p));
-                            engine_->stamp_parameters(*group.p, ws);
-                        } catch (...) {
-                            for (TransferItem* item : group.items)
-                                done.set_error(item->result, std::current_exception());
-                            continue;
-                        }
-                    }
-                    for (TransferItem* item : group.items) {
-                        try {
-                            if (engine_) {
-                                done.set_value(item->result,
-                                               engine_->transfer(item->s, ws));
-                            } else if (fallbacks_.transfer) {
-                                done.set_value(item->result,
-                                               fallbacks_.transfer(*group.p, item->s));
-                            } else {
-                                throw Error("QueryBatcher: no transfer path");
+                {
+                    // Batch fulfilment: the chunk's answers land under ONE
+                    // slab lock with ONE wake-up when the task ends (the
+                    // destructor commits), instead of a per-query notify
+                    // storm across every blocked client.
+                    util::ResultSlab<la::ZMatrix>::Batch done(transfer_slab_);
+                    for (int g = b; g < e; ++g) {
+                        auto& group = transfer_groups[static_cast<std::size_t>(g)];
+                        if (engine_) {
+                            // The stamp is shared by the whole group: ONE
+                            // timed span, copied into every member's trace.
+                            const std::int64_t t0 =
+                                obs::enabled() ? util::Timer::now_ns() : 0;
+                            try {
+                                VARMOR_FAULT_POINT_DETAIL("query_batcher.stamp",
+                                                          point_detail(*group.p));
+                                engine_->stamp_parameters(*group.p, ws);
+                            } catch (...) {
+                                for (TransferItem* item : group.items) {
+                                    item->trace.ok = false;
+                                    done.set_error(item->result,
+                                                   std::current_exception());
+                                }
+                                continue;
                             }
-                        } catch (...) {
-                            // e.g. the pencil singular at exactly this s:
-                            // fails THIS query only, like serve-alone would.
-                            done.set_error(item->result, std::current_exception());
+                            if (t0 != 0) {
+                                const std::int64_t t1 = util::Timer::now_ns();
+                                for (TransferItem* item : group.items)
+                                    item->trace.add(obs::Stage::kStamp, t0, t1);
+                            }
+                        }
+                        for (TransferItem* item : group.items) {
+                            const std::int64_t s0 =
+                                obs::enabled() && item->trace.active()
+                                    ? util::Timer::now_ns()
+                                    : 0;
+                            try {
+                                if (engine_) {
+                                    done.set_value(item->result,
+                                                   engine_->transfer(item->s, ws));
+                                } else if (fallbacks_.transfer) {
+                                    done.set_value(item->result,
+                                                   fallbacks_.transfer(*group.p,
+                                                                       item->s));
+                                } else {
+                                    throw Error("QueryBatcher: no transfer path");
+                                }
+                            } catch (...) {
+                                // e.g. the pencil singular at exactly this s:
+                                // fails THIS query only, like serve-alone
+                                // would.
+                                item->trace.ok = false;
+                                done.set_error(item->result,
+                                               std::current_exception());
+                            }
+                            if (s0 != 0)
+                                item->trace.add(obs::Stage::kSolve, s0,
+                                                util::Timer::now_ns());
                         }
                     }
+                }  // batch committed: the chunk's results are visible now
+                if (obs::enabled()) {
+                    const std::int64_t tf = util::Timer::now_ns();
+                    for (int g = b; g < e; ++g)
+                        for (TransferItem* item :
+                             transfer_groups[static_cast<std::size_t>(g)].items)
+                            finish_trace(item->trace, "transfer",
+                                         obs_transfer_latency_, tf);
                 }
             });
         }
@@ -382,33 +476,63 @@ void QueryBatcher::execute(std::vector<TransferItem>& transfers,
             const int e = static_cast<int>(static_cast<long long>(n) * (c + 1) / chunks);
             tasks.push_back([this, &pole_groups, b, e] {
                 mor::RomEvalWorkspace ws;
-                util::ResultSlab<std::vector<la::cplx>>::Batch done(pole_slab_);
-                for (int g = b; g < e; ++g) {
-                    auto& group = pole_groups[static_cast<std::size_t>(g)];
-                    if (engine_) {
-                        try {
-                            VARMOR_FAULT_POINT_DETAIL("query_batcher.stamp",
-                                                      point_detail(*group.p));
-                            engine_->stamp_parameters(*group.p, ws);
-                        } catch (...) {
-                            for (PoleItem* item : group.items)
-                                done.set_error(item->result, std::current_exception());
-                            continue;
-                        }
-                    }
-                    for (PoleItem* item : group.items) {
-                        try {
-                            if (engine_) {
-                                done.set_value(item->result, engine_->poles(ws));
-                            } else if (fallbacks_.poles) {
-                                done.set_value(item->result, fallbacks_.poles(*group.p));
-                            } else {
-                                throw Error("QueryBatcher: no poles path");
+                {
+                    util::ResultSlab<std::vector<la::cplx>>::Batch done(pole_slab_);
+                    for (int g = b; g < e; ++g) {
+                        auto& group = pole_groups[static_cast<std::size_t>(g)];
+                        if (engine_) {
+                            const std::int64_t t0 =
+                                obs::enabled() ? util::Timer::now_ns() : 0;
+                            try {
+                                VARMOR_FAULT_POINT_DETAIL("query_batcher.stamp",
+                                                          point_detail(*group.p));
+                                engine_->stamp_parameters(*group.p, ws);
+                            } catch (...) {
+                                for (PoleItem* item : group.items) {
+                                    item->trace.ok = false;
+                                    done.set_error(item->result,
+                                                   std::current_exception());
+                                }
+                                continue;
                             }
-                        } catch (...) {
-                            done.set_error(item->result, std::current_exception());
+                            if (t0 != 0) {
+                                const std::int64_t t1 = util::Timer::now_ns();
+                                for (PoleItem* item : group.items)
+                                    item->trace.add(obs::Stage::kStamp, t0, t1);
+                            }
+                        }
+                        for (PoleItem* item : group.items) {
+                            const std::int64_t s0 =
+                                obs::enabled() && item->trace.active()
+                                    ? util::Timer::now_ns()
+                                    : 0;
+                            try {
+                                if (engine_) {
+                                    done.set_value(item->result, engine_->poles(ws));
+                                } else if (fallbacks_.poles) {
+                                    done.set_value(item->result,
+                                                   fallbacks_.poles(*group.p));
+                                } else {
+                                    throw Error("QueryBatcher: no poles path");
+                                }
+                            } catch (...) {
+                                item->trace.ok = false;
+                                done.set_error(item->result,
+                                               std::current_exception());
+                            }
+                            if (s0 != 0)
+                                item->trace.add(obs::Stage::kSolve, s0,
+                                                util::Timer::now_ns());
                         }
                     }
+                }
+                if (obs::enabled()) {
+                    const std::int64_t tf = util::Timer::now_ns();
+                    for (int g = b; g < e; ++g)
+                        for (PoleItem* item :
+                             pole_groups[static_cast<std::size_t>(g)].items)
+                            finish_trace(item->trace, "pole", obs_pole_latency_,
+                                         tf);
                 }
             });
         }
@@ -431,8 +555,18 @@ void QueryBatcher::execute(std::vector<TransferItem>& transfers,
             delay_ready = true;
         } catch (...) {
             const std::exception_ptr error = std::current_exception();
-            util::ResultSlab<DelayResult>::Batch done(delay_slab_);
-            for (DelayItem& item : delays) done.set_error(item.result, error);
+            {
+                util::ResultSlab<DelayResult>::Batch done(delay_slab_);
+                for (DelayItem& item : delays) {
+                    item.trace.ok = false;
+                    done.set_error(item.result, error);
+                }
+            }
+            if (obs::enabled()) {
+                const std::int64_t tf = util::Timer::now_ns();
+                for (DelayItem& item : delays)
+                    finish_trace(item.trace, "delay", obs_delay_latency_, tf);
+            }
         }
     }
     if (delay_ready) {
@@ -444,30 +578,76 @@ void QueryBatcher::execute(std::vector<TransferItem>& transfers,
             tasks.push_back([this, &delays, &forcing, b, e] {
                 analysis::TransientBatchRunner::Scratch scratch =
                     transient_->make_scratch();
-                util::ResultSlab<DelayResult>::Batch done(delay_slab_);
-                for (int i = b; i < e; ++i) {
-                    DelayItem& item = delays[static_cast<std::size_t>(i)];
-                    analysis::TransientBatchRunner::CornerOutcome outcome =
-                        transient_->run_corner_captured(item.p, forcing, scratch);
-                    if (outcome.error) {
-                        done.set_error(item.result, outcome.error);
-                        continue;
-                    }
-                    try {
-                        done.set_value(
-                            item.result,
-                            DelayResult{analysis::crossing_time(*outcome.result,
+                {
+                    util::ResultSlab<DelayResult>::Batch done(delay_slab_);
+                    for (int i = b; i < e; ++i) {
+                        DelayItem& item = delays[static_cast<std::size_t>(i)];
+                        const std::int64_t s0 =
+                            obs::enabled() && item.trace.active()
+                                ? util::Timer::now_ns()
+                                : 0;
+                        analysis::TransientBatchRunner::CornerOutcome outcome =
+                            transient_->run_corner_captured(item.p, forcing,
+                                                            scratch);
+                        if (outcome.error) {
+                            item.trace.ok = false;
+                            done.set_error(item.result, outcome.error);
+                        } else {
+                            try {
+                                done.set_value(
+                                    item.result,
+                                    DelayResult{
+                                        analysis::crossing_time(*outcome.result,
                                                                 observe_, level_),
                                         level_});
-                    } catch (...) {
-                        done.set_error(item.result, std::current_exception());
+                            } catch (...) {
+                                item.trace.ok = false;
+                                done.set_error(item.result,
+                                               std::current_exception());
+                            }
+                        }
+                        if (s0 != 0)
+                            item.trace.add(obs::Stage::kSolve, s0,
+                                           util::Timer::now_ns());
                     }
+                }
+                if (obs::enabled()) {
+                    const std::int64_t tf = util::Timer::now_ns();
+                    for (int i = b; i < e; ++i)
+                        finish_trace(delays[static_cast<std::size_t>(i)].trace,
+                                     "delay", obs_delay_latency_, tf);
                 }
             });
         }
     }
 
     util::ThreadPool::run_tasks(opts_.threads, tasks);
+}
+
+void QueryBatcher::finish_trace(obs::QueryTrace& trace, const char* lane,
+                                obs::Histogram& lane_latency,
+                                std::int64_t now_ns) {
+    if (!trace.active()) return;
+    trace.add(obs::Stage::kFulfil, trace.last_end_ns(), now_ns);
+    lane_latency.record(now_ns - trace.submit_ns);
+    for (int i = 0; i < trace.num_spans; ++i) {
+        const obs::Span& span = trace.spans[i];
+        switch (span.stage) {
+            case obs::Stage::kQueueWait:
+                obs_queue_wait_.record(span.duration_ns());
+                break;
+            case obs::Stage::kStamp:
+                obs_stamp_.record(span.duration_ns());
+                break;
+            case obs::Stage::kSolve:
+                obs_solve_.record(span.duration_ns());
+                break;
+            case obs::Stage::kFulfil:
+                obs_fulfil_.record(span.duration_ns());
+                break;
+        }
+    }
+    obs::TraceStore::global().record(trace, lane);
 }
 
 }  // namespace varmor::service

@@ -11,6 +11,8 @@
 #include "analysis/transient_batch.h"
 #include "la/dense.h"
 #include "mor/rom_eval.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/errors.h"
 #include "util/deadline.h"
 #include "util/mpmc_queue.h"
@@ -185,20 +187,27 @@ public:
     util::ResultSlabStats pole_slab_stats() const { return pole_slab_.stats(); }
 
 private:
+    // Each point-query item carries its obs::QueryTrace — minted at submit
+    // (admit), queue-wait span stamped at triage, stamp/solve/fulfil spans
+    // in the flush lanes, recorded to the TraceStore at fulfilment. An
+    // inactive trace (telemetry off) makes every one of those a no-op.
     struct TransferItem {
         std::vector<double> p;
         la::cplx s;
         util::Deadline deadline;
+        obs::QueryTrace trace;
         util::ResultSlab<la::ZMatrix>::Channel result;
     };
     struct DelayItem {
         std::vector<double> p;
         util::Deadline deadline;
+        obs::QueryTrace trace;
         util::ResultSlab<DelayResult>::Channel result;
     };
     struct PoleItem {
         std::vector<double> p;
         util::Deadline deadline;
+        obs::QueryTrace trace;
         util::ResultSlab<std::vector<la::cplx>>::Channel result;
     };
     struct FlushItem {
@@ -216,6 +225,13 @@ private:
     void flusher_loop();
     void execute(std::vector<TransferItem>& transfers, std::vector<DelayItem>& delays,
                  std::vector<PoleItem>& poles);
+
+    /// Closes out a query's trace at fulfilment time: fulfil span (last
+    /// span end → `now_ns`, i.e. until its chunk's slab batch committed),
+    /// per-stage + per-lane latency histograms, TraceStore record. No-op
+    /// for inactive traces.
+    void finish_trace(obs::QueryTrace& trace, const char* lane,
+                      obs::Histogram& lane_latency, std::int64_t now_ns);
 
     const mor::RomEvalEngine* engine_;  ///< null = degraded (fallbacks serve)
     QueryFallbacks fallbacks_;
@@ -235,6 +251,16 @@ private:
     util::ResultSlab<std::monostate> flush_slab_;
     mutable util::Mutex stats_mutex_;
     QueryBatcherStats stats_ GUARDED_BY(stats_mutex_);
+    /// Registry-owned latency instruments, resolved once at construction
+    /// (instruments are process-global and never move, so the references
+    /// stay valid and the hot path never touches the registry lock).
+    obs::Histogram& obs_queue_wait_;
+    obs::Histogram& obs_stamp_;
+    obs::Histogram& obs_solve_;
+    obs::Histogram& obs_fulfil_;
+    obs::Histogram& obs_transfer_latency_;
+    obs::Histogram& obs_delay_latency_;
+    obs::Histogram& obs_pole_latency_;
     util::Mutex close_mutex_;  ///< serializes close() callers around the join
     /// Written once in the constructor; joined under close_mutex_ — never
     /// touched concurrently outside that, so deliberately unguarded.

@@ -5,6 +5,8 @@
 
 #include "analysis/poles.h"
 #include "la/ops.h"
+#include "obs/export.h"
+#include "service/telemetry.h"
 #include "solve/parametric_context.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
@@ -164,6 +166,18 @@ void StudyService::flush_all() {
     util::MutexLock lock(mutex_);
     for (auto& entry : sessions_) entry.second->flush();
     for (auto& session : retired_) session->flush();
+}
+
+obs::Snapshot StudyService::telemetry() const {
+    obs::Snapshot snap = obs::process_snapshot();
+    export_model_cache(*cache_, snap);
+    util::MutexLock lock(mutex_);
+    snap.add_gauge("service.sessions", static_cast<long long>(sessions_.size()));
+    snap.add_gauge("service.retired_sessions",
+                   static_cast<long long>(retired_.size()));
+    for (const auto& entry : sessions_) export_batcher(entry.second->batcher(), snap);
+    for (const auto& session : retired_) export_batcher(session->batcher(), snap);
+    return snap;
 }
 
 }  // namespace varmor::service

@@ -7,6 +7,7 @@
 #include "analysis/transient_batch.h"
 #include "analysis/variability_study.h"
 #include "circuit/parametric_system.h"
+#include "obs/metrics.h"
 #include "service/model_cache.h"
 #include "service/query_batcher.h"
 #include "util/single_flight.h"
@@ -161,6 +162,14 @@ public:
 
     /// Flushes every session's pending queries (retired ones included).
     void flush_all() EXCLUDES(mutex_);
+
+    /// ONE coherent telemetry snapshot for the whole service: the process-
+    /// wide instruments (latency/stage histograms, engine and solver
+    /// counters, pool scheduling, fault-point hits, trace-store occupancy)
+    /// plus this service's cache/disk-store counters and every session's
+    /// batcher + slab stats (retired sessions included — their queries
+    /// counted too). Serialize with obs::Snapshot::to_json().
+    obs::Snapshot telemetry() const EXCLUDES(mutex_);
 
 private:
     ModelCache* cache_;

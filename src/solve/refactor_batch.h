@@ -3,6 +3,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "sparse/csc.h"
 #include "sparse/splu.h"
 
@@ -67,12 +68,21 @@ public:
     /// returned reference points into `s` and is valid until the next
     /// factor()/use_reference() call on the same scratch.
     const sparse::SparseLuT<T>& factor(Scratch& s) const {
+        // Registry dedupes by name, so the double and complex instantiations
+        // share ONE counter each. Sharded: every pool worker hits this per
+        // point.
+        static obs::Counter& refactorizations =
+            obs::Registry::global().counter("solve.refactorizations", 16);
+        static obs::Counter& fallbacks =
+            obs::Registry::global().counter("solve.refactor_fallbacks", 16);
         try {
             s.lu.refactorize(s.a, s.ws);
+            refactorizations.add();
             return s.lu;
         } catch (const sparse::RefactorError&) {
             // Point-local fallback; s.lu keeps the reference pivot sequence
             // so later points in the chunk stay batch-independent.
+            fallbacks.add();
             typename sparse::SparseLuT<T>::Options opts;
             opts.symbolic = symbolic_;
             s.fallback.emplace(s.a, opts, s.ws);

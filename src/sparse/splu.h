@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "la/simd.h"
+#include "obs/metrics.h"
 #include "sparse/csc.h"
 #include "sparse/ordering.h"
 
@@ -445,6 +446,12 @@ void SparseLuT<T>::refactorize(const CscT<T>& a, SpluWorkspaceT<T>& ws) {
                 x[static_cast<std::size_t>(s.u_rowidx[static_cast<std::size_t>(p)])] = T{};
             for (int p = l_start + 1; p < l_end; ++p)
                 x[static_cast<std::size_t>(s.l_rowidx[static_cast<std::size_t>(p)])] = T{};
+            // Cold path (the caller re-factors from scratch): a counter here
+            // is how operators see WHY a corner fell off the refactorize
+            // fast lane (both template instantiations share the name).
+            static obs::Counter& singular_aborts = obs::Registry::global().counter(
+                "splu.refactor_singular_aborts");
+            singular_aborts.add();
             throw RefactorError(
                 "SparseLu::refactorize: frozen pivot collapsed; factor from scratch");
         }
@@ -466,10 +473,14 @@ void SparseLuT<T>::refactorize(const CscT<T>& a, SpluWorkspaceT<T>& ws) {
         // back to all-zero (so the workspace is reusable for the fallback
         // factorization the caller will run).
         gmax2 = std::max(gmax2, detail::mag2(pivot));
-        if (gmax2 > growth_tol2)
+        if (gmax2 > growth_tol2) {
+            static obs::Counter& growth_aborts = obs::Registry::global().counter(
+                "splu.refactor_growth_aborts");
+            growth_aborts.add();
             throw RefactorError(
                 "SparseLu::refactorize: pivot growth exceeded limit; frozen pivot "
                 "sequence is unstable on these values, factor from scratch");
+        }
     }
 }
 

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace varmor::util {
 
@@ -16,11 +17,12 @@ public:
 
 /// Absolute completion deadline carried alongside a query. Default
 /// constructed it is "never": queries without latency requirements behave
-/// exactly as before. Comparisons use the steady clock, so deadlines are
-/// immune to wall-clock adjustments.
+/// exactly as before. Comparisons use Timer::clock — the one monotonic
+/// clock shared with telemetry spans — so deadlines are immune to
+/// wall-clock adjustments and directly comparable with span timestamps.
 class Deadline {
 public:
-    using clock = std::chrono::steady_clock;
+    using clock = Timer::clock;
 
     Deadline() = default;  ///< unset: never expires
 

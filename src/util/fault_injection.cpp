@@ -43,6 +43,11 @@ long FaultInjector::hits(const std::string& point) const {
     return it == hits_.end() ? 0 : it->second;
 }
 
+std::map<std::string, long> FaultInjector::hit_counts() const {
+    MutexLock lock(mutex_);
+    return {hits_.begin(), hits_.end()};
+}
+
 void FaultInjector::fire(const std::string& point, const std::string& detail) {
     Handler handler;
     {

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <string>
 #include <unordered_map>
 
@@ -61,6 +62,12 @@ public:
 
     /// Times `point` was reached while the injector was armed.
     long hits(const std::string& point) const EXCLUDES(mutex_);
+
+    /// Snapshot of every hit counter, ordered by point name — the export
+    /// surface obs::process_snapshot() publishes as `fault.<point>`, so
+    /// tests read fault activity from telemetry instead of poking at
+    /// registry internals.
+    std::map<std::string, long> hit_counts() const EXCLUDES(mutex_);
 
     /// Called by VARMOR_FAULT_POINT. Records the hit and invokes the armed
     /// handler, whose exception (if any) propagates to the call site. The

@@ -1,14 +1,22 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace varmor::util {
 
 /// Wall-clock stopwatch used by the cost-scaling benchmarks (section 4.2 of
 /// the paper claims near-linear reduction cost; bench/cost_scaling measures
-/// it with this).
+/// it with this). Also the process-wide clock source for telemetry spans
+/// (src/obs/) and util::Deadline: everything that compares or subtracts
+/// time points uses Timer::clock, which is asserted monotonic below.
 class Timer {
 public:
+    using clock = std::chrono::steady_clock;
+    static_assert(clock::is_steady,
+                  "varmor timing requires a monotonic clock: spans, deadlines "
+                  "and latency histograms must be immune to wall-clock steps");
+
     Timer() : start_(clock::now()) {}
 
     /// Restart the stopwatch.
@@ -22,8 +30,15 @@ public:
     /// Milliseconds elapsed since construction / last reset().
     double milliseconds() const { return seconds() * 1e3; }
 
+    /// Monotonic now, as integer nanoseconds since the clock's (arbitrary)
+    /// epoch. Spans store two of these; durations are plain subtraction.
+    static std::int64_t now_ns() {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   clock::now().time_since_epoch())
+            .count();
+    }
+
 private:
-    using clock = std::chrono::steady_clock;
     clock::time_point start_;
 };
 

@@ -24,6 +24,7 @@
 
 #include "mor/lowrank_pmor.h"
 #include "mor_test_utils.h"
+#include "obs/export.h"
 #include "service/study_service.h"
 #include "util/constants.h"
 #include "util/fault_injection.h"
@@ -191,8 +192,10 @@ TEST(FaultInjection, EveryFaultPointIsSurvivable) {
                 for (auto& f : df) (void)got_value(std::move(f));
                 for (auto& f : pf) (void)got_value(std::move(f));
             }
-            // The point must actually have been exercised by this scenario.
-            EXPECT_GT(FaultInjector::instance().hits(point), 0)
+            // The point must actually have been exercised by this scenario —
+            // read through the unified snapshot (the injector's hit counts
+            // surface as fault.* counters), not the injector's internals.
+            EXPECT_GT(obs::process_snapshot().counter("fault." + point), 0)
                 << "fault point never fired — the scenario does not cover it";
         }
 
@@ -237,7 +240,8 @@ TEST(FaultInjection, ReloadVerifyFaultFallsBackToRebuild) {
         StudyService service(cache, service_options());
         StudySession& session = service.open(sys);
         EXPECT_FALSE(session.degraded());
-        EXPECT_GT(FaultInjector::instance().hits("model_cache.reload_verify"), 0);
+        EXPECT_GT(obs::process_snapshot().counter("fault.model_cache.reload_verify"),
+                  0);
         EXPECT_EQ(cache.stats().builds, 2);  // rebuilt, not served corrupt
     }
     FaultInjector::instance().clear();
@@ -264,7 +268,8 @@ TEST(FaultInjection, DelayCornerFaultIsolatesOneQueryWithoutRerun) {
     std::vector<DelayResult> ref;
     for (const auto& p : corners) ref.push_back(session.delay_now(p));
 
-    const long hits_before = FaultInjector::instance().hits("transient.corner");
+    const long long hits_before =
+        obs::process_snapshot().counter("fault.transient.corner");
     {
         ScopedFault fault("transient.corner",
                           FaultInjector::fail_detail(
@@ -286,8 +291,9 @@ TEST(FaultInjection, DelayCornerFaultIsolatesOneQueryWithoutRerun) {
         // No serve-alone re-runs: each corner reached the engine exactly
         // once (the old fallback re-ran every healthy corner individually,
         // which would double these hits).
-        EXPECT_EQ(FaultInjector::instance().hits("transient.corner") - hits_before,
-                  static_cast<long>(corners.size()));
+        EXPECT_EQ(obs::process_snapshot().counter("fault.transient.corner") -
+                      hits_before,
+                  static_cast<long long>(corners.size()));
     }
     FaultInjector::instance().clear();
 }

@@ -42,6 +42,15 @@ simd-confined    Raw vector intrinsics (immintrin.h, _mm*/__m128/__m256/
                  else programs against Pack<T> and the pointer kernels, so
                  the portable scalar arm stays complete and the bit-identity
                  contract has a single place to audit.
+
+obs-naming       Every literal metric name registered or exported in src/
+                 (obs::Registry counter/gauge/histogram, obs::Snapshot
+                 add_counter/add_gauge/add_histogram) is `component.metric`
+                 style and appears in exactly ONE file — the registry dedupes
+                 by name, so a name reused across files would silently merge
+                 two unrelated instruments. Names assembled at runtime (the
+                 "fault." + point and slab-prefix exports) are exempt by
+                 construction: they carry no literal to scan.
 """
 
 import os
@@ -66,6 +75,10 @@ NAKED_PRIMITIVES = (
 
 FAULT_POINT_RE = re.compile(r'VARMOR_FAULT_POINT(?:_DETAIL)?\s*\(\s*"([^"]+)"')
 FAULT_NAME_RE = re.compile(r"^[a-z0-9_]+\.[a-z0-9_]+$")
+OBS_REGISTER_RE = re.compile(
+    r'\b(?:add_counter|add_gauge|add_histogram|counter|gauge|histogram)'
+    r'\s*\(\s*"([^"]+)"')
+OBS_NAME_RE = re.compile(r"^[a-z0-9_]+\.[a-z0-9_]+$")
 RAND_RE = re.compile(r"\b(?:std::)?rand\s*\(")
 M_PI_RE = re.compile(r"\bM_PI\b")
 FUTURE_DECL_RE = re.compile(r"std::(?:shared_)?future\s*<[^;{}]*?>\s+(\w+)\s*[;=({]")
@@ -192,6 +205,28 @@ class Linter:
                         "missing tests/test_fault_injection.cpp — fault-point "
                         "coverage cannot be checked")
 
+    # -- obs-naming --------------------------------------------------------
+    def check_obs_naming(self):
+        seen = {}  # name -> first (path, line)
+        for path in iter_source_files(self.root, "src"):
+            with open(path, encoding="utf-8") as f:
+                code = strip_code(f.read(), keep_strings=True)
+            for m in OBS_REGISTER_RE.finditer(code):
+                name, line = m.group(1), line_of(code, m.start())
+                if not OBS_NAME_RE.match(name):
+                    self.report(path, line, "obs-naming",
+                                f'metric name "{name}" is not component.metric '
+                                "style ([a-z0-9_]+.[a-z0-9_]+)")
+                if name in seen and seen[name][0] != path:
+                    first = seen[name]
+                    self.report(path, line, "obs-naming",
+                                f'metric name "{name}" is also registered in '
+                                f"{os.path.relpath(first[0], self.root)}:{first[1]} "
+                                "— a name must be confined to one file (the "
+                                "registry would silently merge the instruments)")
+                else:
+                    seen.setdefault(name, (path, line))
+
     # -- numerics-hygiene --------------------------------------------------
     def check_numerics_hygiene(self):
         for subdir in NUMERICS_DIRS:
@@ -286,6 +321,7 @@ class Linter:
 
     def run(self):
         self.check_fault_points()
+        self.check_obs_naming()
         self.check_numerics_hygiene()
         self.check_naked_mutex()
         self.check_simd_confined()
